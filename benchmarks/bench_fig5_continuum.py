@@ -1,0 +1,149 @@
+"""FIG5 — the PLA-definition continuum (paper Fig 5, the headline figure).
+
+The paper sketches two opposed axes across the four engineering levels:
+"ease of PLA elicitation" grows source → warehouse → meta-report → report,
+while "stability" shrinks the same way, with meta-reports as the engineered
+sweet spot. This benchmark measures both axes (plus over-engineering and
+requirement testability) by running the elicitation simulation and
+replaying report-evolution streams at two scales.
+
+Expected shape (the reproduction target):
+  * effort-per-artifact strictly decreasing source → report (= ease rising);
+  * stability strictly decreasing source → report;
+  * over-engineering: source > warehouse ≥ meta-report = report = 0;
+  * meta-reports minimize total interaction cost over the deployment's life.
+
+Run standalone:  python benchmarks/bench_fig5_continuum.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import print_table
+from repro.simulation import build_scenario, compare_levels
+from repro.workloads import generate_evolution_stream
+
+
+def run_fig5(scenario, *, n_events: int, seed: int, new_feed_rate: float = 0.1):
+    events = generate_evolution_stream(
+        scenario.workload_spec(),
+        scenario.workload,
+        n_events=n_events,
+        seed=seed,
+        new_feed_rate=new_feed_rate,
+    )
+    return compare_levels(scenario, events)
+
+
+def main(scenario=None) -> None:
+    if scenario is None:
+        from repro.simulation import build_scenario
+
+        scenario = build_scenario()
+    for n_events, seed in ((25, 3), (100, 5)):
+        metrics = run_fig5(scenario, n_events=n_events, seed=seed)
+        print_table(
+            [m.row() for m in metrics],
+            title=f"FIG5: PLA continuum under {n_events} evolution events (seed {seed})",
+        )
+    print(
+        "\nReading: effort_per_artifact ↓ = the paper's 'ease of PLA "
+        "elicitation' axis rising; stability ↓ = the 'stability' axis "
+        "falling; meta-reports minimize total_effort."
+    )
+
+
+# -- pytest-benchmark targets -------------------------------------------------
+
+
+def test_fig5_continuum_shape(benchmark, scenario):
+    metrics = benchmark.pedantic(
+        lambda: run_fig5(scenario, n_events=100, seed=5), rounds=1, iterations=1
+    )
+    levels = [m.level for m in metrics]
+    assert levels == ["source", "warehouse", "metareport", "report"]
+
+    ease = [m.effort_per_artifact for m in metrics]
+    assert ease == sorted(ease, reverse=True), "ease axis broken"
+
+    stability = [m.stability for m in metrics]
+    assert stability == sorted(stability, reverse=True), "stability axis broken"
+    assert stability[0] == 1.0 and stability[-1] < 0.3
+
+    over = {m.level: m.over_engineering for m in metrics}
+    assert over["source"] > over["warehouse"] >= over["metareport"]
+    assert over["report"] == 0.0
+
+    totals = {m.level: m.total_effort for m in metrics}
+    assert totals["metareport"] == min(totals.values()), "sweet spot lost"
+    main(scenario)
+
+
+def test_fig5_shape_is_seed_robust(scenario):
+    """The ordering claims must hold across several evolution streams."""
+    for seed in (1, 2, 3, 4, 5):
+        metrics = run_fig5(scenario, n_events=60, seed=seed)
+        stability = [m.stability for m in metrics]
+        assert stability == sorted(stability, reverse=True), f"seed {seed}"
+        ease = [m.effort_per_artifact for m in metrics]
+        assert ease == sorted(ease, reverse=True), f"seed {seed}"
+
+
+def test_fig5_scales_to_a_large_workload(benchmark):
+    """The sweet spot persists at 100 reports / 200 evolution events —
+    "dozens or even hundreds of reports is common" (§5)."""
+    from repro.simulation import ScenarioConfig, build_scenario
+    from repro.workloads import HealthcareConfig, generate_evolution_stream
+
+    def run():
+        big = build_scenario(
+            ScenarioConfig(
+                n_reports=100,
+                max_metareports=6,
+                healthcare=HealthcareConfig(
+                    n_patients=400, n_prescriptions=4_000
+                ),
+            )
+        )
+        events = generate_evolution_stream(
+            big.workload_spec(), big.workload,
+            n_events=200, seed=5, new_feed_rate=0.08,
+        )
+        return compare_levels(big, events)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    stability = [m.stability for m in metrics]
+    assert all(a >= b for a, b in zip(stability, stability[1:]))
+    totals = {m.level: m.total_effort for m in metrics}
+    assert totals["metareport"] == min(totals.values())
+    assert totals["report"] > 5 * totals["metareport"]  # churn dominates
+
+
+def test_fig5_shape_is_owner_robust(scenario):
+    """The continuum does not depend on who the owner happens to be:
+    novice or expert, the ease and stability orderings persist (absolute
+    costs shrink with expertise, ratios do not flip)."""
+    from repro.simulation import OwnerAgent, compare_levels
+    from repro.workloads import generate_evolution_stream
+
+    events = generate_evolution_stream(
+        scenario.workload_spec(), scenario.workload, n_events=40, seed=9,
+        new_feed_rate=0.1,
+    )
+    totals_by_expertise = {}
+    for expertise in (0.1, 0.5, 0.9):
+        # confusion_scale=0 isolates the expertise effect: confusion is a
+        # per-artifact coin flip whose single-run noise can swap adjacent
+        # levels; the ordering claim is about expected cost.
+        owner = OwnerAgent("dpo", expertise=expertise, seed=13, confusion_scale=0.0)
+        metrics = compare_levels(scenario, events, owner=owner)
+        ease = [m.effort_per_artifact for m in metrics]
+        assert ease == sorted(ease, reverse=True), f"expertise {expertise}"
+        stability = [m.stability for m in metrics]
+        assert stability == sorted(stability, reverse=True)
+        totals_by_expertise[expertise] = metrics[0].total_effort
+    # An expert owner makes every discussion cheaper.
+    assert totals_by_expertise[0.9] < totals_by_expertise[0.1]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Shared benchmark fixtures: one scenario per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import build_scenario
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return build_scenario()

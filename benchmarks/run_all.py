@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Regenerate every paper figure and ablation table in one run.
+
+Usage::
+
+    python benchmarks/run_all.py               # print everything
+    python benchmarks/run_all.py fig5 abl-mr   # a subset
+
+The per-figure assertions live in the pytest targets (``pytest
+benchmarks/``); this runner is for regenerating the tables behind
+EXPERIMENTS.md in one sitting.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+TARGETS: dict[str, str] = {
+    "fig1": "benchmarks.bench_fig1_scenario",
+    "fig2": "benchmarks.bench_fig2_source_level",
+    "fig3": "benchmarks.bench_fig3_warehouse_level",
+    "fig4": "benchmarks.bench_fig4_report_level",
+    "fig5": "benchmarks.bench_fig5_continuum",
+    "abl-mr": "benchmarks.bench_ablation_granularity",
+    "abl-cont": "benchmarks.bench_ablation_containment",
+    "abl-anon": "benchmarks.bench_ablation_anonymization",
+    "abl-pbac": "benchmarks.bench_ablation_prbac",
+    "abl-neg": "benchmarks.bench_ablation_negotiation",
+    "abl-int": "benchmarks.bench_ablation_integration",
+}
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(TARGETS)
+    unknown = [n for n in names if n not in TARGETS]
+    if unknown:
+        print(f"unknown target(s): {unknown}; choose from {sorted(TARGETS)}")
+        return 2
+    for name in names:
+        print(f"\n{'#' * 70}\n# {name}\n{'#' * 70}")
+        started = time.perf_counter()
+        module = importlib.import_module(TARGETS[name])
+        module.main()
+        print(f"\n[{name} completed in {time.perf_counter() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

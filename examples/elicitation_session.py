@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""An elicitation sitting, end to end: present → negotiate → finalize → gate.
+
+Models §5's elicitation tool session: the BI provider presents a meta-report
+(columns, sample values, provenance), negotiates the aggregation threshold
+and the patient-attribute audience with a simulated owner, files the agreed
+PLA, and immediately uses it to gate a new report.
+
+Run: python examples/elicitation_session.py
+"""
+
+import random
+
+from repro.core import (
+    AnonymizationRequirement,
+    ComplianceChecker,
+    ElicitationTool,
+    IntensionalCondition,
+    MetaReport,
+    MetaReportSet,
+    PlaRegistry,
+    analyze_coverage,
+)
+from repro.relational import Catalog, Query, View, parse_expression, parse_query
+from repro.reports import ReportDefinition
+from repro.simulation import OwnerPreferences, negotiate_audience, negotiate_threshold
+from repro.workloads import paper_prescriptions
+
+COLUMNS = ("patient", "doctor", "drug", "disease", "date")
+
+
+def main() -> None:
+    catalog = Catalog()
+    catalog.add_table(paper_prescriptions())
+    catalog.add_view(
+        View("wide", Query.from_("prescriptions").project(*COLUMNS))
+    )
+    metareports = MetaReportSet()
+    metareport = metareports.add(
+        MetaReport(
+            "mr_prescriptions",
+            Query.from_("wide").project(*COLUMNS),
+            description="everything prescription reports may draw from",
+        )
+    )
+    metareports.register_views(catalog)
+
+    # 1. Present the artifact the way the owner sees it.
+    tool = ElicitationTool(catalog=catalog)
+    print(tool.present(metareport))
+
+    # 2. Negotiate the two contentious annotations.
+    rng = random.Random(42)
+    owner = OwnerPreferences(
+        min_threshold=3,
+        forbidden_roles=frozenset({"municipality_official"}),
+        comprehension=0.9,
+    )
+    threshold = negotiate_threshold(
+        owner, opening=2, artifact_kind="metareport", rng=rng
+    )
+    print("\nThreshold negotiation:")
+    for line in threshold.transcript:
+        print(f"  {line}")
+    audience = negotiate_audience(
+        owner,
+        attribute="patient",
+        opening_roles=frozenset(
+            {"analyst", "health_director", "municipality_official"}
+        ),
+        artifact_kind="metareport",
+        rng=rng,
+    )
+    print("Audience negotiation:")
+    for line in audience.transcript:
+        print(f"  {line}")
+
+    # 3. Collect the agreed annotations and finalize the PLA.
+    tool.propose(metareport, threshold.final)
+    tool.propose(metareport, audience.final)
+    tool.propose(
+        metareport, AnonymizationRequirement("patient", "pseudonymize")
+    )
+    tool.propose(
+        metareport,
+        IntensionalCondition(
+            "disease", parse_expression("disease != 'HIV'"), "suppress_row"
+        ),
+    )
+    registry = PlaRegistry()
+    pla = tool.finalize(metareport, owner="hospital", registry=registry)
+    print("\nAgreed PLA:")
+    print(pla.describe())
+
+    # 4. Gap analysis: does the agreement cover the stated requirements?
+    coverage = analyze_coverage(metareports, list(pla.annotations))
+    print(f"\n{coverage.summary()}")
+
+    # 5. The agreement immediately gates new reports.
+    checker = ComplianceChecker(catalog=catalog, metareports=metareports)
+    report = ReportDefinition(
+        name="drug_consumption",
+        title="Drug consumption",
+        query=parse_query(
+            "SELECT drug, COUNT(*) AS n FROM mr_prescriptions GROUP BY drug"
+        ),
+        audience=frozenset({"analyst"}),
+        purpose="care/quality",
+    )
+    print(f"\nGate: {checker.check_report(report).summary()}")
+    blocked_patient = ReportDefinition(
+        name="patient_list",
+        title="Patients",
+        query=parse_query(
+            "SELECT patient, COUNT(*) AS n FROM mr_prescriptions GROUP BY patient"
+        ),
+        audience=frozenset({"municipality_official"}),
+        purpose="care/quality",
+    )
+    print(f"Gate: {checker.check_report(blocked_patient).summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — reproduction of *Engineering Privacy Requirements in Business
+Intelligence Applications* (Chiasera, Casati, Daniel, Velegrakis; SDM/VLDB
+2008).
+
+The library implements the paper's full stack: an in-memory relational
+engine with why/where-provenance, data providers with consents and
+source-side gateways, an annotated ETL pipeline, a star-schema warehouse
+with cube authorization, a report engine with evolution, the PLA model with
+the paper's five annotation kinds plus intensional conditions, meta-report
+generation and derivability-based compliance checking, enforcement
+translation, anonymization (k-anonymity, l-diversity, perturbation,
+pseudonymization), a tamper-evident audit trail, and the elicitation
+simulation behind the Fig 5 continuum.
+
+Quick start::
+
+    from repro.simulation import build_scenario
+    scenario = build_scenario()
+    report = scenario.workload[0]
+    verdict = scenario.checker.check_report(report)
+    if verdict.compliant:
+        context = scenario.subjects.context("ann", report.purpose)
+        instance = scenario.enforcer.generate(report, context, verdict)
+"""
+
+from repro import (
+    anonymize,
+    audit,
+    core,
+    etl,
+    persistence,
+    policy,
+    provenance,
+    relational,
+    reports,
+    simulation,
+    sources,
+    warehouse,
+    workloads,
+)
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    "anonymize",
+    "audit",
+    "core",
+    "etl",
+    "persistence",
+    "policy",
+    "provenance",
+    "relational",
+    "reports",
+    "simulation",
+    "sources",
+    "warehouse",
+    "workloads",
+]

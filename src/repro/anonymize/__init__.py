@@ -1,0 +1,63 @@
+"""Anonymization: k-anonymity, l-diversity, perturbation, pseudonymization."""
+
+from repro.anonymize.generalization import (
+    SUPPRESSED,
+    Hierarchy,
+    suppression_hierarchy,
+    taxonomy_hierarchy,
+    year_hierarchy,
+    zip_hierarchy,
+)
+from repro.anonymize.kanonymity import (
+    AnonymizationResult,
+    QuasiIdentifier,
+    equivalence_classes,
+    global_recoding,
+    is_k_anonymous,
+    mondrian_anonymize,
+)
+from repro.anonymize.ldiversity import (
+    DiversityReport,
+    enforce_l_diversity,
+    entropy_l_diversity,
+    is_l_diverse,
+)
+from repro.anonymize.metrics import (
+    aggregate_error,
+    average_class_size,
+    discernibility,
+    generalization_loss,
+)
+from repro.anonymize.perturbation import (
+    PerturbationReport,
+    perturb_numeric,
+    scramble_column,
+)
+from repro.anonymize.pseudonym import Pseudonymizer
+
+__all__ = [
+    "AnonymizationResult",
+    "DiversityReport",
+    "Hierarchy",
+    "PerturbationReport",
+    "Pseudonymizer",
+    "QuasiIdentifier",
+    "SUPPRESSED",
+    "aggregate_error",
+    "average_class_size",
+    "discernibility",
+    "enforce_l_diversity",
+    "entropy_l_diversity",
+    "equivalence_classes",
+    "generalization_loss",
+    "global_recoding",
+    "is_k_anonymous",
+    "is_l_diverse",
+    "mondrian_anonymize",
+    "perturb_numeric",
+    "scramble_column",
+    "suppression_hierarchy",
+    "taxonomy_hierarchy",
+    "year_hierarchy",
+    "zip_hierarchy",
+]

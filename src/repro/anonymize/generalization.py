@@ -1,0 +1,139 @@
+"""Generalization hierarchies for k-anonymity (Sweeney-style recoding).
+
+A :class:`Hierarchy` maps a concrete value to progressively coarser
+generalizations: level 0 is the value itself and the top level is full
+suppression (``*``). Hierarchies are defined either by explicit level
+functions or via the convenience constructors for the common domains of the
+healthcare scenario (zip codes, years, categorical taxonomies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import AnonymizationError
+
+__all__ = ["Hierarchy", "zip_hierarchy", "year_hierarchy", "taxonomy_hierarchy", "suppression_hierarchy"]
+
+SUPPRESSED = "*"
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """A fixed ladder of generalization functions.
+
+    ``levels[i]`` maps a raw value to its level-``i`` generalization;
+    ``levels[0]`` must be the identity (as a string) and the last level must
+    map everything to ``*``.
+    """
+
+    name: str
+    levels: tuple[Callable[[Any], str], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise AnonymizationError(
+                f"hierarchy {self.name!r} needs at least identity and suppression levels"
+            )
+
+    @property
+    def height(self) -> int:
+        """Number of generalization steps above the raw value."""
+        return len(self.levels) - 1
+
+    def generalize(self, value: Any, level: int) -> str:
+        """The level-``level`` generalization of ``value``."""
+        if value is None:
+            return SUPPRESSED
+        if not 0 <= level < len(self.levels):
+            raise AnonymizationError(
+                f"level {level} out of range for hierarchy {self.name!r} "
+                f"(height {self.height})"
+            )
+        return self.levels[level](value)
+
+    def loss(self, level: int) -> float:
+        """Normalized information loss of publishing at ``level`` (0..1)."""
+        return level / self.height
+
+
+def zip_hierarchy(digits: int = 5) -> Hierarchy:
+    """Postal-code hierarchy: drop one trailing digit per level."""
+    if digits < 1:
+        raise AnonymizationError("zip codes need at least one digit")
+
+    def level_fn(keep: int) -> Callable[[Any], str]:
+        def fn(value: Any) -> str:
+            text = str(value)
+            if keep == 0:
+                return SUPPRESSED
+            return text[:keep] + "*" * max(0, len(text) - keep)
+
+        return fn
+
+    return Hierarchy(
+        "zip", tuple(level_fn(digits - i) for i in range(digits + 1))
+    )
+
+
+def year_hierarchy(*, widths: Sequence[int] = (1, 10, 25)) -> Hierarchy:
+    """Numeric-year hierarchy: exact, then buckets of growing width, then ``*``."""
+    if not widths or widths[0] != 1:
+        raise AnonymizationError("widths must start with 1 (the identity level)")
+
+    def bucket_fn(width: int) -> Callable[[Any], str]:
+        def fn(value: Any) -> str:
+            year = int(value)
+            if width == 1:
+                return str(year)
+            lo = (year // width) * width
+            return f"{lo}-{lo + width - 1}"
+
+        return fn
+
+    levels = tuple(bucket_fn(w) for w in widths) + ((lambda _v: SUPPRESSED),)
+    return Hierarchy("year", levels)
+
+
+def taxonomy_hierarchy(
+    name: str, parents: Mapping[str, str], *, height: int | None = None
+) -> Hierarchy:
+    """Categorical hierarchy from a child→parent mapping.
+
+    Values missing from ``parents`` generalize straight to ``*``. ``height``
+    defaults to the longest parent chain plus suppression.
+    """
+
+    def chain(value: str) -> list[str]:
+        out = [value]
+        seen = {value}
+        while out[-1] in parents:
+            nxt = parents[out[-1]]
+            if nxt in seen:
+                raise AnonymizationError(f"taxonomy cycle at {nxt!r}")
+            out.append(nxt)
+            seen.add(nxt)
+        return out
+
+    max_height = height
+    if max_height is None:
+        max_height = 1 + max(
+            (len(chain(v)) - 1 for v in parents), default=0
+        )
+
+    def level_fn(level: int) -> Callable[[Any], str]:
+        def fn(value: Any) -> str:
+            if level >= max_height:
+                return SUPPRESSED
+            steps = chain(str(value))
+            return steps[min(level, len(steps) - 1)]
+
+        return fn
+
+    return Hierarchy(name, tuple(level_fn(i) for i in range(max_height + 1)))
+
+
+def suppression_hierarchy(name: str = "suppress") -> Hierarchy:
+    """The trivial hierarchy: the value, or ``*`` (for direct identifiers)."""
+    return Hierarchy(name, (lambda v: str(v), lambda _v: SUPPRESSED))

@@ -1,0 +1,295 @@
+"""k-anonymity via Mondrian multidimensional partitioning and global recoding.
+
+Two published families, both cited by the paper via Sweeney [12]:
+
+* :func:`mondrian_anonymize` — LeFevre et al.'s Mondrian: recursively split
+  the record set on the quasi-identifier with the widest (normalized) range,
+  median-cut, while every part keeps ≥ k records; publish each equivalence
+  class with QI values generalized to the class's range/value-set.
+* :func:`global_recoding` — Samarati-style single-dimensional full-domain
+  generalization: pick one hierarchy level per QI (lowest total loss first),
+  suppressing up to ``max_suppression`` records that still violate k.
+
+Output tables keep per-row provenance, so anonymized releases remain
+auditable: each published row still knows which base rows it stands for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import AnonymizationError
+from repro.anonymize.generalization import SUPPRESSED, Hierarchy
+from repro.relational.schema import Column, Schema
+from repro.relational.table import RowProvenance, Table
+from repro.relational.types import ColumnType
+
+__all__ = [
+    "QuasiIdentifier",
+    "AnonymizationResult",
+    "mondrian_anonymize",
+    "global_recoding",
+    "is_k_anonymous",
+    "equivalence_classes",
+]
+
+
+@dataclass(frozen=True)
+class QuasiIdentifier:
+    """A quasi-identifying column, optionally with a recoding hierarchy.
+
+    Numeric QIs without a hierarchy are generalized to ranges by Mondrian.
+    ``global_recoding`` requires a hierarchy for every QI.
+    """
+
+    column: str
+    hierarchy: Hierarchy | None = None
+
+
+@dataclass
+class AnonymizationResult:
+    """An anonymized release plus its bookkeeping."""
+
+    table: Table
+    k: int
+    quasi_identifiers: tuple[str, ...]
+    suppressed_rows: int = 0
+    partitions: int = 0
+    levels_used: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"k={self.k}, classes={self.partitions}, "
+            f"suppressed={self.suppressed_rows}, rows={len(self.table)}"
+        )
+
+
+def equivalence_classes(
+    table: Table, qi_columns: Sequence[str]
+) -> dict[tuple[Any, ...], list[int]]:
+    """Group row indices by their quasi-identifier combination."""
+    idx = [table.schema.index_of(c) for c in qi_columns]
+    groups: dict[tuple[Any, ...], list[int]] = {}
+    for i, row in enumerate(table.rows):
+        groups.setdefault(tuple(row[j] for j in idx), []).append(i)
+    return groups
+
+
+def is_k_anonymous(table: Table, qi_columns: Sequence[str], k: int) -> bool:
+    """Every QI combination occurs at least ``k`` times (empty table passes)."""
+    if k < 1:
+        raise AnonymizationError("k must be at least 1")
+    return all(
+        len(members) >= k
+        for members in equivalence_classes(table, qi_columns).values()
+    )
+
+
+def _generalized_schema(schema: Schema, qi_columns: set[str]) -> Schema:
+    """QI columns become strings (ranges/recoded labels); others unchanged."""
+    return Schema(
+        Column(c.name, ColumnType.STRING, True) if c.name in qi_columns else c
+        for c in schema
+    )
+
+
+# -- Mondrian -----------------------------------------------------------------
+
+
+def mondrian_anonymize(
+    table: Table,
+    quasi_identifiers: Sequence[QuasiIdentifier],
+    k: int,
+    *,
+    name: str | None = None,
+) -> AnonymizationResult:
+    """Multidimensional k-anonymization (strict Mondrian, median cut)."""
+    if k < 1:
+        raise AnonymizationError("k must be at least 1")
+    if not quasi_identifiers:
+        raise AnonymizationError("need at least one quasi-identifier")
+    qi_cols = [qi.column for qi in quasi_identifiers]
+    for c in qi_cols:
+        table.schema.column(c)
+    if len(table) and len(table) < k:
+        raise AnonymizationError(
+            f"table has {len(table)} rows; cannot be {k}-anonymous"
+        )
+
+    col_idx = {qi.column: table.schema.index_of(qi.column) for qi in quasi_identifiers}
+    numeric = {
+        qi.column: table.schema.column(qi.column).ctype
+        in (ColumnType.INT, ColumnType.FLOAT)
+        for qi in quasi_identifiers
+    }
+
+    # Domain widths for normalized-range split choice.
+    def span(members: list[int], column: str) -> float:
+        values = [table.rows[i][col_idx[column]] for i in members]
+        values = [v for v in values if v is not None]
+        if not values:
+            return 0.0
+        if numeric[column]:
+            return float(max(values) - min(values))
+        return float(len(set(values)) - 1)
+
+    domain_span = {c: span(list(range(len(table))), c) or 1.0 for c in qi_cols}
+
+    def split(members: list[int]) -> list[list[int]]:
+        if len(members) < 2 * k:
+            return [members]
+        # Widest normalized span first.
+        order = sorted(
+            qi_cols, key=lambda c: span(members, c) / domain_span[c], reverse=True
+        )
+        for column in order:
+            idx = col_idx[column]
+            keyed = sorted(
+                members,
+                key=lambda i: (table.rows[i][idx] is None, table.rows[i][idx]),
+            )
+            values = [table.rows[i][idx] for i in keyed]
+            # Median cut that keeps equal values on one side (strict Mondrian).
+            mid = len(keyed) // 2
+            median = values[mid]
+            left = [i for i in keyed if _lt(table.rows[i][idx], median)]
+            right = [i for i in keyed if not _lt(table.rows[i][idx], median)]
+            if len(left) >= k and len(right) >= k:
+                return split(left) + split(right)
+        return [members]
+
+    members_all = list(range(len(table)))
+    partitions = split(members_all) if members_all else []
+
+    schema = _generalized_schema(table.schema, set(qi_cols))
+    rows: list[tuple[Any, ...]] = []
+    provs: list[RowProvenance] = []
+    for part in partitions:
+        summaries = {c: _summarize(table, part, col_idx[c], numeric[c]) for c in qi_cols}
+        for i in part:
+            row = list(table.rows[i])
+            for c in qi_cols:
+                row[col_idx[c]] = summaries[c]
+            rows.append(tuple(row))
+            provs.append(table.provenance[i])
+    out = Table.derived(
+        name or f"{table.name}_k{k}", schema, rows, provs, provider="anonymized"
+    )
+    return AnonymizationResult(
+        table=out,
+        k=k,
+        quasi_identifiers=tuple(qi_cols),
+        partitions=len(partitions),
+    )
+
+
+def _lt(value: Any, pivot: Any) -> bool:
+    if value is None:
+        return False
+    if pivot is None:
+        return True
+    return value < pivot
+
+
+def _summarize(table: Table, members: list[int], idx: int, is_numeric: bool) -> str:
+    values = [table.rows[i][idx] for i in members if table.rows[i][idx] is not None]
+    if not values:
+        return SUPPRESSED
+    if is_numeric:
+        lo, hi = min(values), max(values)
+        return str(lo) if lo == hi else f"{lo}-{hi}"
+    distinct = sorted({str(v) for v in values})
+    return distinct[0] if len(distinct) == 1 else "{" + ",".join(distinct) + "}"
+
+
+# -- global recoding -----------------------------------------------------------
+
+
+def global_recoding(
+    table: Table,
+    quasi_identifiers: Sequence[QuasiIdentifier],
+    k: int,
+    *,
+    max_suppression: float = 0.05,
+    name: str | None = None,
+) -> AnonymizationResult:
+    """Full-domain generalization with bounded suppression.
+
+    Searches level vectors in order of total information loss; within each
+    vector, rows in undersized equivalence classes are suppressed. The first
+    vector whose suppression fraction is within ``max_suppression`` wins.
+    """
+    if k < 1:
+        raise AnonymizationError("k must be at least 1")
+    if not quasi_identifiers:
+        raise AnonymizationError("need at least one quasi-identifier")
+    for qi in quasi_identifiers:
+        if qi.hierarchy is None:
+            raise AnonymizationError(
+                f"global recoding requires a hierarchy for {qi.column!r}"
+            )
+        table.schema.column(qi.column)
+    if not 0.0 <= max_suppression <= 1.0:
+        raise AnonymizationError("max_suppression must be in [0, 1]")
+
+    qi_cols = [qi.column for qi in quasi_identifiers]
+    hierarchies = {qi.column: qi.hierarchy for qi in quasi_identifiers}
+    col_idx = {c: table.schema.index_of(c) for c in qi_cols}
+    n = len(table)
+    budget = int(max_suppression * n)
+
+    level_ranges = [range(hierarchies[c].height + 1) for c in qi_cols]
+    candidates = sorted(
+        itertools.product(*level_ranges),
+        key=lambda vec: (
+            sum(hierarchies[c].loss(v) for c, v in zip(qi_cols, vec)),
+            vec,
+        ),
+    )
+
+    for vector in candidates:
+        recoded = [
+            tuple(
+                hierarchies[c].generalize(table.rows[i][col_idx[c]], v)
+                for c, v in zip(qi_cols, vector)
+            )
+            for i in range(n)
+        ]
+        counts: dict[tuple[str, ...], int] = {}
+        for key in recoded:
+            counts[key] = counts.get(key, 0) + 1
+        suppressed = sum(
+            1 for key in recoded if counts[key] < k
+        )
+        if suppressed <= budget:
+            schema = _generalized_schema(table.schema, set(qi_cols))
+            rows: list[tuple[Any, ...]] = []
+            provs: list[RowProvenance] = []
+            for i in range(n):
+                if counts[recoded[i]] < k:
+                    continue
+                row = list(table.rows[i])
+                for c, value in zip(qi_cols, recoded[i]):
+                    row[col_idx[c]] = value
+                rows.append(tuple(row))
+                provs.append(table.provenance[i])
+            out = Table.derived(
+                name or f"{table.name}_k{k}", schema, rows, provs,
+                provider="anonymized",
+            )
+            return AnonymizationResult(
+                table=out,
+                k=k,
+                quasi_identifiers=tuple(qi_cols),
+                suppressed_rows=suppressed,
+                partitions=len(
+                    {key for key in recoded if counts[key] >= k}
+                ),
+                levels_used=dict(zip(qi_cols, vector)),
+            )
+    raise AnonymizationError(
+        f"no generalization achieves {k}-anonymity within "
+        f"{max_suppression:.0%} suppression"
+    )

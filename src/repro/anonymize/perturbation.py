@@ -1,0 +1,123 @@
+"""Data perturbation and value scrambling (paper §4, citing Verykios et al. [13]).
+
+Two warehouse-side mechanisms that alter microdata while preserving the
+quality of aggregates:
+
+* :func:`perturb_numeric` — zero-mean additive noise on numeric columns,
+  optionally post-shifted so the column mean is preserved *exactly*; the
+  statistical distribution is preserved in expectation, so aggregate reports
+  computed from perturbed data stay close to the truth.
+* :func:`scramble_column` — the "cryptographic scrambling" stand-in: a keyed
+  permutation of values *within* a column, which destroys row-level
+  attribution but preserves every column-marginal aggregate exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnonymizationError
+from repro.relational.table import Table
+from repro.relational.types import ColumnType
+
+__all__ = ["PerturbationReport", "perturb_numeric", "scramble_column"]
+
+
+@dataclass(frozen=True)
+class PerturbationReport:
+    """What a perturbation did, for EXPERIMENTS bookkeeping."""
+
+    columns: tuple[str, ...]
+    noise_scale: float
+    mean_preserved: bool
+
+
+def perturb_numeric(
+    table: Table,
+    columns: Sequence[str],
+    *,
+    noise_scale: float,
+    seed: int,
+    preserve_mean: bool = True,
+    name: str | None = None,
+) -> tuple[Table, PerturbationReport]:
+    """Add Gaussian noise ``N(0, noise_scale·σ_col)`` to numeric columns.
+
+    ``noise_scale`` is relative to each column's own standard deviation, so
+    one knob fits heterogeneous columns. With ``preserve_mean`` the residual
+    sampling error of the noise is subtracted, keeping SUM/AVG aggregates on
+    the full table exact.
+    """
+    if noise_scale < 0:
+        raise AnonymizationError("noise_scale must be non-negative")
+    for c in columns:
+        ctype = table.schema.column(c).ctype
+        if ctype not in (ColumnType.INT, ColumnType.FLOAT):
+            raise AnonymizationError(f"column {c!r} is not numeric")
+    rng = random.Random(seed)
+    rows = [list(row) for row in table.rows]
+    for c in columns:
+        idx = table.schema.index_of(c)
+        values = [row[idx] for row in rows]
+        present = [i for i, v in enumerate(values) if v is not None]
+        if not present:
+            continue
+        mean = sum(values[i] for i in present) / len(present)
+        var = sum((values[i] - mean) ** 2 for i in present) / max(1, len(present) - 1)
+        sigma = noise_scale * (var**0.5)
+        noise = [rng.gauss(0.0, sigma) for _ in present]
+        if preserve_mean and present:
+            drift = sum(noise) / len(noise)
+            noise = [n - drift for n in noise]
+        is_int = table.schema.column(c).ctype is ColumnType.INT
+        for i, n in zip(present, noise):
+            perturbed = values[i] + n
+            rows[i][idx] = round(perturbed) if is_int else perturbed
+    out = Table.derived(
+        name or f"{table.name}_perturbed",
+        table.schema,
+        [tuple(row) for row in rows],
+        list(table.provenance),
+        provider=table.provider,
+    )
+    report = PerturbationReport(
+        columns=tuple(columns),
+        noise_scale=noise_scale,
+        mean_preserved=preserve_mean,
+    )
+    return out, report
+
+
+def scramble_column(
+    table: Table,
+    column: str,
+    *,
+    seed: int,
+    name: str | None = None,
+) -> Table:
+    """Permute one column's values across rows with a keyed shuffle.
+
+    Every single-column aggregate is preserved exactly; the association
+    between the scrambled column and the rest of the row is destroyed.
+    Provenance is intentionally *kept per row position*: an auditor with the
+    key (the seed) can invert the permutation, matching the "cryptographic
+    techniques to scramble the data" role in §4.
+    """
+    idx = table.schema.index_of(column)
+    rng = random.Random(seed)
+    order = list(range(len(table.rows)))
+    rng.shuffle(order)
+    rows = []
+    for i, row in enumerate(table.rows):
+        mutated = list(row)
+        mutated[idx] = table.rows[order[i]][idx]
+        rows.append(tuple(mutated))
+    return Table.derived(
+        name or f"{table.name}_scrambled",
+        table.schema,
+        rows,
+        list(table.provenance),
+        provider=table.provider,
+    )

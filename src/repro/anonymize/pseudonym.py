@@ -1,0 +1,95 @@
+"""Deterministic pseudonymization of identifier columns.
+
+The source-level gateway (Fig 2a) and report-level anonymization
+requirements (§5 annotation kind iii) both need identity columns replaced by
+stable opaque tokens: the same patient maps to the same pseudonym everywhere
+(so joins and longitudinal analyses still work), but the mapping is
+infeasible to invert without the salt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import AnonymizationError
+from repro.relational.table import Table
+
+__all__ = ["Pseudonymizer"]
+
+
+@dataclass
+class Pseudonymizer:
+    """Keyed, prefix-tagged, deterministic pseudonym generator.
+
+    Uses HMAC-SHA256 truncated to ``digits`` hex characters. The instance
+    keeps an escrow map so an authorized auditor (holding the instance) can
+    re-identify, which is exactly the controlled re-identification path
+    dispute resolution needs.
+    """
+
+    salt: str
+    prefix: str = "anon"
+    digits: int = 8
+    _escrow: dict[str, str] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.salt:
+            raise AnonymizationError("pseudonymizer salt must be non-empty")
+        if self.digits < 4:
+            raise AnonymizationError("digits must be at least 4")
+
+    def pseudonym(self, value: object) -> str:
+        """The stable pseudonym of ``value`` (NULL-safe: None → 'anon-null')."""
+        if value is None:
+            return f"{self.prefix}-null"
+        digest = hmac.new(
+            self.salt.encode(), str(value).encode(), hashlib.sha256
+        ).hexdigest()[: self.digits]
+        token = f"{self.prefix}-{digest}"
+        self._escrow[token] = str(value)
+        return token
+
+    def reidentify(self, token: str) -> str:
+        """Escrowed inverse lookup (auditor path)."""
+        try:
+            return self._escrow[token]
+        except KeyError:
+            raise AnonymizationError(
+                f"token {token!r} not in escrow (never issued by this instance)"
+            ) from None
+
+    def apply(
+        self, table: Table, columns: Sequence[str], *, name: str | None = None
+    ) -> Table:
+        """A copy of ``table`` with the given columns pseudonymized.
+
+        Column types stay STRING-compatible: pseudonyms are strings, so the
+        output schema keeps the columns but retypes them as strings if needed.
+        """
+        from repro.relational.schema import Column, Schema
+        from repro.relational.types import ColumnType
+
+        targets = set(columns)
+        for c in targets:
+            table.schema.column(c)
+        schema = Schema(
+            Column(c.name, ColumnType.STRING, c.nullable) if c.name in targets else c
+            for c in table.schema
+        )
+        indices = [table.schema.index_of(c) for c in columns]
+        rows = []
+        for row in table.rows:
+            mutated = list(row)
+            for idx in indices:
+                mutated[idx] = self.pseudonym(row[idx])
+            rows.append(tuple(mutated))
+        return Table.derived(
+            name or f"{table.name}_pseudo",
+            schema,
+            rows,
+            list(table.provenance),
+            provider=table.provider,
+        )

@@ -1,0 +1,36 @@
+"""Auditing: tamper-evident disclosure log, violations, third-party auditor,
+retention enforcement, and dispute resolution."""
+
+from repro.audit.auditor import AuditReport, Auditor
+from repro.audit.disputes import DisputeResolver, EvidenceBundle
+from repro.audit.log import AuditLog, DisclosureRecord
+from repro.audit.retention import (
+    RetentionFinding,
+    purge_expired,
+    retention_violations,
+)
+from repro.audit.subject import (
+    SubjectAccessReport,
+    SubjectInvolvement,
+    subject_access_report,
+    subject_row_ids,
+)
+from repro.audit.violations import Severity, Violation
+
+__all__ = [
+    "AuditLog",
+    "AuditReport",
+    "Auditor",
+    "DisclosureRecord",
+    "DisputeResolver",
+    "EvidenceBundle",
+    "RetentionFinding",
+    "Severity",
+    "SubjectAccessReport",
+    "SubjectInvolvement",
+    "Violation",
+    "purge_expired",
+    "retention_violations",
+    "subject_access_report",
+    "subject_row_ids",
+]

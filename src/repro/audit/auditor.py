@@ -1,0 +1,203 @@
+"""The third-party auditor: replaying the disclosure log against the PLAs.
+
+§2: the BI solution must be auditable "by third-party auditing agencies";
+§6: "we are not aware of systems in the BI arena where privacy policies are
+tested before they are put in operation". The auditor closes the loop: given
+the disclosure log, the meta-report PLAs, and the report catalog, it
+re-derives what *should* have been allowed and flags every divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audit.log import AuditLog, DisclosureRecord
+from repro.audit.violations import Severity, Violation
+from repro.core.annotations import (
+    AggregationThreshold,
+    AttributeAccess,
+    JoinPermission,
+)
+from repro.core.compliance import ComplianceChecker
+from repro.reports.catalog import ReportCatalog
+
+__all__ = ["AuditReport", "Auditor"]
+
+
+@dataclass
+class AuditReport:
+    """Everything one audit pass found."""
+
+    violations: list[Violation] = field(default_factory=list)
+    disclosures_checked: int = 0
+    chain_intact: bool = True
+
+    @property
+    def clean(self) -> bool:
+        return self.chain_intact and not self.violations
+
+    def by_severity(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for violation in self.violations:
+            key = violation.severity.value
+            out[key] = out.get(key, 0) + 1
+        return dict(sorted(out.items()))
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.clean else "FINDINGS"
+        chain = "intact" if self.chain_intact else "BROKEN"
+        return (
+            f"audit: {status}; {self.disclosures_checked} disclosures checked, "
+            f"chain {chain}, {len(self.violations)} violation(s) {self.by_severity()}"
+        )
+
+
+@dataclass
+class Auditor:
+    """Replays disclosures against the agreed PLAs."""
+
+    checker: ComplianceChecker
+    reports: ReportCatalog
+
+    def audit(self, log: AuditLog) -> AuditReport:
+        """Full audit pass over the disclosure log."""
+        report = AuditReport(chain_intact=log.verify_chain())
+        for record in log.records:
+            report.disclosures_checked += 1
+            report.violations.extend(self._audit_record(record))
+        return report
+
+    def _audit_record(self, record: DisclosureRecord) -> list[Violation]:
+        findings: list[Violation] = []
+        try:
+            definition = self._definition_for(record)
+        except Exception:
+            findings.append(
+                Violation(
+                    severity=Severity.WARNING,
+                    kind="unknown_report",
+                    report=record.report,
+                    sequence=record.sequence,
+                    detail=(
+                        f"disclosure references report version v{record.version} "
+                        "absent from the catalog history"
+                    ),
+                )
+            )
+            return findings
+
+        # Audience: the consumer's roles must intersect the report audience.
+        if not set(record.roles) & set(definition.audience):
+            findings.append(
+                Violation(
+                    severity=Severity.CRITICAL,
+                    kind="audience",
+                    report=record.report,
+                    sequence=record.sequence,
+                    detail=(
+                        f"consumer {record.consumer!r} with roles "
+                        f"{list(record.roles)} is outside the audience "
+                        f"{sorted(definition.audience)}"
+                    ),
+                )
+            )
+
+        # Re-derive the static verdict the deployment should have obtained.
+        verdict = self.checker.check_report(definition)
+        if not verdict.compliant:
+            findings.append(
+                Violation(
+                    severity=Severity.CRITICAL,
+                    kind="static_compliance",
+                    report=record.report,
+                    sequence=record.sequence,
+                    detail=(
+                        "a non-compliant report was disclosed: "
+                        + "; ".join(str(v) for v in verdict.violations)
+                    ),
+                )
+            )
+            return findings
+
+        covering = (
+            self.checker.metareports.get(verdict.covering_metareport)
+            if verdict.covering_metareport
+            else None
+        )
+        if covering is None or covering.pla is None:
+            return findings
+
+        for annotation in covering.pla.annotations:
+            if isinstance(annotation, AggregationThreshold):
+                if record.row_count and not annotation.satisfied_by(
+                    record.min_contributors
+                ):
+                    findings.append(
+                        Violation(
+                            severity=Severity.CRITICAL,
+                            kind="aggregation_threshold",
+                            report=record.report,
+                            sequence=record.sequence,
+                            detail=(
+                                f"a delivered cell aggregates only "
+                                f"{record.min_contributors} base record(s); "
+                                f"PLA requires ≥ {annotation.min_group_size}"
+                            ),
+                        )
+                    )
+            elif isinstance(annotation, AttributeAccess):
+                if annotation.attribute in record.columns and not annotation.permits(
+                    set(record.roles)
+                ):
+                    findings.append(
+                        Violation(
+                            severity=Severity.CRITICAL,
+                            kind="attribute_access",
+                            report=record.report,
+                            sequence=record.sequence,
+                            detail=(
+                                f"attribute {annotation.attribute!r} was "
+                                f"delivered to roles {list(record.roles)}; "
+                                f"allowed: {sorted(annotation.allowed_roles)}"
+                            ),
+                        )
+                    )
+            elif isinstance(annotation, JoinPermission) and not annotation.allowed:
+                footprint = set(record.source_footprint)
+                if annotation.left in footprint and annotation.right in footprint:
+                    findings.append(
+                        Violation(
+                            severity=Severity.CRITICAL,
+                            kind="join_permission",
+                            report=record.report,
+                            sequence=record.sequence,
+                            detail=(
+                                f"delivered data combines {annotation.left} "
+                                f"with {annotation.right}"
+                            ),
+                        )
+                    )
+
+        # Obligation bookkeeping: every runtime obligation of the verdict
+        # should appear in the record's applied list.
+        applied = set(record.obligations_applied)
+        for obligation in verdict.obligations:
+            if obligation.kind == "etl_integration":
+                continue  # enforced (and logged) at the ETL layer
+            if str(obligation) not in applied:
+                findings.append(
+                    Violation(
+                        severity=Severity.WARNING,
+                        kind="missing_obligation",
+                        report=record.report,
+                        sequence=record.sequence,
+                        detail=f"obligation not recorded as applied: {obligation}",
+                    )
+                )
+        return findings
+
+    def _definition_for(self, record: DisclosureRecord):
+        for definition in self.reports.history(record.report):
+            if definition.version == record.version:
+                return definition
+        raise KeyError(record.version)

@@ -1,0 +1,138 @@
+"""Dispute resolution: evidence bundles for audit findings.
+
+§1: precision is needed "to audit and to resolve possible disputes". When
+the auditor flags a disclosure, the resolver assembles everything the
+parties need to argue the case: the disclosure record, the governing PLA
+text, the derivability attempts, and — for an auditor holding the
+pseudonym escrow — the re-identified subjects whose data was involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.anonymize.pseudonym import Pseudonymizer
+from repro.audit.log import AuditLog, DisclosureRecord
+from repro.audit.violations import Violation
+from repro.core.compliance import ComplianceChecker
+from repro.errors import ReproError
+from repro.reports.catalog import ReportCatalog
+
+__all__ = ["EvidenceBundle", "DisputeResolver"]
+
+
+@dataclass(frozen=True)
+class EvidenceBundle:
+    """Everything assembled for one disputed disclosure."""
+
+    violation: Violation
+    disclosure: DisclosureRecord
+    report_definition: str  # the query text that was agreed
+    governing_pla: str  # owner-readable PLA text, or a note if none
+    derivability_trail: tuple[str, ...]
+    reidentified_subjects: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        lines = [
+            f"DISPUTE CASE — disclosure #{self.disclosure.sequence} of "
+            f"{self.disclosure.report!r} to {self.disclosure.consumer!r}",
+            f"finding: {self.violation}",
+            f"agreed report: {self.report_definition}",
+            f"governing PLA: {self.governing_pla}",
+        ]
+        if self.derivability_trail:
+            lines.append("derivability trail:")
+            lines.extend(f"  {step}" for step in self.derivability_trail)
+        if self.reidentified_subjects:
+            lines.append(
+                "subjects involved (escrow re-identification): "
+                + ", ".join(self.reidentified_subjects)
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class DisputeResolver:
+    """Builds evidence bundles from the audit trail and the agreements."""
+
+    checker: ComplianceChecker
+    reports: ReportCatalog
+    pseudonymizer: Pseudonymizer | None = None
+    _cases: list[EvidenceBundle] = field(default_factory=list)
+
+    def build_case(
+        self,
+        violation: Violation,
+        log: AuditLog,
+        *,
+        disputed_tokens: tuple[str, ...] = (),
+    ) -> EvidenceBundle:
+        """Assemble the case for one audit finding.
+
+        ``disputed_tokens`` are pseudonyms from the delivered artifact the
+        complaining party presents; the resolver re-identifies them through
+        the escrow (auditor-only capability).
+        """
+        disclosure = self._disclosure_for(violation, log)
+        definition_text = "(report version not in catalog)"
+        pla_text = "(no covering meta-report PLA)"
+        trail: tuple[str, ...] = ()
+        try:
+            definition = next(
+                d
+                for d in self.reports.history(violation.report)
+                if d.version == disclosure.version
+            )
+            definition_text = definition.query.describe()
+            verdict = self.checker.check_report(definition)
+            trail = tuple(
+                f"{attempt.metareport}: "
+                + ("derivable" if attempt else "; ".join(attempt.reasons))
+                for attempt in verdict.derivability_attempts
+            )
+            if verdict.covering_metareport is not None:
+                covering = self.checker.metareports.get(verdict.covering_metareport)
+                if covering.pla is not None:
+                    pla_text = covering.pla.describe()
+        except (ReproError, StopIteration):
+            pass
+        bundle = EvidenceBundle(
+            violation=violation,
+            disclosure=disclosure,
+            report_definition=definition_text,
+            governing_pla=pla_text,
+            derivability_trail=trail,
+            reidentified_subjects=self._reidentify(disputed_tokens),
+        )
+        self._cases.append(bundle)
+        return bundle
+
+    def _disclosure_for(self, violation: Violation, log: AuditLog) -> DisclosureRecord:
+        for record in log.records:
+            if record.sequence == violation.sequence:
+                return record
+        raise ReproError(
+            f"violation references disclosure #{violation.sequence}, "
+            "which is not in the log"
+        )
+
+    def _reidentify(self, tokens: tuple[str, ...]) -> tuple[str, ...]:
+        """Escrow lookups for the disputed pseudonyms.
+
+        Only possible for the party holding the pseudonymizer instance —
+        exactly the controlled re-identification path the escrow models.
+        Unknown tokens are reported as such rather than dropped (a token
+        the escrow never issued is itself evidence).
+        """
+        if self.pseudonymizer is None or not tokens:
+            return ()
+        subjects = []
+        for token in tokens:
+            try:
+                subjects.append(self.pseudonymizer.reidentify(token))
+            except ReproError:
+                subjects.append(f"<unknown token {token}>")
+        return tuple(subjects)
+
+    def cases(self) -> tuple[EvidenceBundle, ...]:
+        return tuple(self._cases)

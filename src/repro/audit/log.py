@@ -1,0 +1,184 @@
+"""Append-only, hash-chained disclosure log.
+
+Every delivered report instance is recorded with what auditing needs:
+who received which columns, under which purpose, with how many contributors
+per cell, descending from which source relations. The chain hash makes the
+log tamper-evident — the property a third-party auditing agency (§2) relies
+on when the BI provider is the party under audit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.policy.subjects import AccessContext
+from repro.reports.definition import ReportInstance
+
+__all__ = ["DisclosureRecord", "AuditLog"]
+
+
+@dataclass(frozen=True)
+class DisclosureRecord:
+    """One delivered report instance, as the audit trail sees it."""
+
+    sequence: int
+    report: str
+    version: int
+    consumer: str
+    roles: tuple[str, ...]
+    purpose: str
+    columns: tuple[str, ...]
+    row_count: int
+    min_contributors: int  # smallest lineage set over delivered rows
+    source_footprint: tuple[str, ...]  # provider/table identities
+    obligations_applied: tuple[str, ...]
+    suppressed_rows: int
+    chain_hash: str = ""
+
+    def payload(self) -> str:
+        """Canonical serialization (hashed into the chain)."""
+        return "|".join(
+            [
+                str(self.sequence),
+                self.report,
+                str(self.version),
+                self.consumer,
+                ",".join(self.roles),
+                self.purpose,
+                ",".join(self.columns),
+                str(self.row_count),
+                str(self.min_contributors),
+                ",".join(self.source_footprint),
+                ",".join(self.obligations_applied),
+                str(self.suppressed_rows),
+            ]
+        )
+
+
+@dataclass
+class AuditLog:
+    """The tamper-evident ledger of all disclosures."""
+
+    records: list[DisclosureRecord] = field(default_factory=list)
+
+    GENESIS = "0" * 64
+
+    def record_instance(
+        self, instance: ReportInstance, context: AccessContext
+    ) -> DisclosureRecord:
+        """Append one delivered instance to the log."""
+        table = instance.table
+        if len(table):
+            min_contributors = min(
+                len(table.lineage_of(i)) for i in range(len(table))
+            )
+        else:
+            min_contributors = 0
+        footprint = tuple(
+            sorted(
+                {
+                    f"{rid.provider}/{rid.table}"
+                    for rid in table.all_lineage()
+                }
+            )
+        )
+        record = DisclosureRecord(
+            sequence=len(self.records),
+            report=instance.definition.name,
+            version=instance.definition.version,
+            consumer=context.user.name,
+            roles=tuple(sorted(r.name for r in context.user.roles)),
+            purpose=context.purpose.name,
+            columns=table.schema.names,
+            row_count=len(table),
+            min_contributors=min_contributors,
+            source_footprint=footprint,
+            obligations_applied=instance.obligations_applied,
+            suppressed_rows=instance.suppressed_rows,
+        )
+        chained = DisclosureRecord(
+            **{**record.__dict__, "chain_hash": self._hash(record)}
+        )
+        self.records.append(chained)
+        return chained
+
+    def _hash(self, record: DisclosureRecord) -> str:
+        previous = self.records[-1].chain_hash if self.records else self.GENESIS
+        return hashlib.sha256(
+            (previous + record.payload()).encode()
+        ).hexdigest()
+
+    def verify_chain(self) -> bool:
+        """Recompute the chain; False means the log was tampered with."""
+        previous = self.GENESIS
+        for record in self.records:
+            expected = hashlib.sha256(
+                (previous + record.payload()).encode()
+            ).hexdigest()
+            if record.chain_hash != expected:
+                return False
+            previous = record.chain_hash
+        return True
+
+    def for_report(self, report: str) -> tuple[DisclosureRecord, ...]:
+        return tuple(r for r in self.records if r.report == report)
+
+    def for_consumer(self, consumer: str) -> tuple[DisclosureRecord, ...]:
+        return tuple(r for r in self.records if r.consumer == consumer)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def last(self) -> DisclosureRecord:
+        if not self.records:
+            raise ReproError("audit log is empty")
+        return self.records[-1]
+
+    def as_table(self, *, name: str = "audit_log") -> "Table":
+        """The log as a relational table — auditors query it with the engine.
+
+        Multi-valued fields (roles, columns, footprint) are joined with
+        commas; the chain hash is included so SQL-level integrity spot
+        checks are possible.
+        """
+        from repro.relational.schema import Column, Schema
+        from repro.relational.table import Table
+        from repro.relational.types import ColumnType
+
+        schema = Schema(
+            [
+                Column("sequence", ColumnType.INT, nullable=False),
+                Column("report", ColumnType.STRING, nullable=False),
+                Column("version", ColumnType.INT, nullable=False),
+                Column("consumer", ColumnType.STRING, nullable=False),
+                Column("roles", ColumnType.STRING, nullable=False),
+                Column("purpose", ColumnType.STRING, nullable=False),
+                Column("columns", ColumnType.STRING, nullable=False),
+                Column("row_count", ColumnType.INT, nullable=False),
+                Column("min_contributors", ColumnType.INT, nullable=False),
+                Column("suppressed_rows", ColumnType.INT, nullable=False),
+                Column("source_footprint", ColumnType.STRING, nullable=False),
+                Column("chain_hash", ColumnType.STRING, nullable=False),
+            ]
+        )
+        table = Table(name, schema, provider="auditor")
+        for r in self.records:
+            table.insert(
+                (
+                    r.sequence,
+                    r.report,
+                    r.version,
+                    r.consumer,
+                    ",".join(r.roles),
+                    r.purpose,
+                    ",".join(r.columns),
+                    r.row_count,
+                    r.min_contributors,
+                    r.suppressed_rows,
+                    ",".join(r.source_footprint),
+                    r.chain_hash,
+                )
+            )
+        return table

@@ -1,0 +1,125 @@
+"""Data-subject access: which deliveries involved a given patient's data?
+
+The paper's scenario starts with the patient ("any information provided by
+or related to a patient is ... sensitive personal information"), and
+European law (Directive 95/46/EC, cited as [23]) gives the subject a right
+of access. Because every delivered row carries lineage, the question "which
+reports used my records, and how" is answerable exactly — per delivery, per
+row, per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.table import RowId, Table
+from repro.reports.definition import ReportInstance
+from repro.sources.provider import DataProvider
+
+__all__ = ["SubjectInvolvement", "SubjectAccessReport", "subject_row_ids", "subject_access_report"]
+
+
+@dataclass(frozen=True)
+class SubjectInvolvement:
+    """One delivered report instance that used the subject's records."""
+
+    report: str
+    version: int
+    consumer: str
+    rows_involving_subject: tuple[int, ...]  # indices in the delivered table
+    records_used: int  # how many of the subject's base records contributed
+
+    def describe(self) -> str:
+        return (
+            f"{self.report} v{self.version} -> {self.consumer}: "
+            f"{len(self.rows_involving_subject)} delivered row(s) computed "
+            f"from {self.records_used} of the subject's record(s)"
+        )
+
+
+@dataclass(frozen=True)
+class SubjectAccessReport:
+    """The full answer to one subject-access request."""
+
+    subject: str
+    base_records: int
+    involvements: tuple[SubjectInvolvement, ...]
+
+    @property
+    def involved_anywhere(self) -> bool:
+        return bool(self.involvements)
+
+    def describe(self) -> str:
+        lines = [
+            f"Subject-access report for {self.subject!r}: "
+            f"{self.base_records} source record(s), "
+            f"{len(self.involvements)} delivery(ies) involved"
+        ]
+        lines.extend(f"  - {inv.describe()}" for inv in self.involvements)
+        return "\n".join(lines)
+
+
+def subject_row_ids(
+    providers: list[DataProvider],
+    subject: str,
+    *,
+    subject_column: str = "patient",
+) -> frozenset[RowId]:
+    """All base RowIds holding the subject's records across the providers."""
+    out: set[RowId] = set()
+    for provider in providers:
+        for table_name in provider.table_names():
+            table = provider.table(table_name)
+            if subject_column not in table.schema:
+                continue
+            idx = table.schema.index_of(subject_column)
+            for i, row in enumerate(table.rows):
+                if row[idx] == subject:
+                    out.add(RowId(provider.name, table_name, i))
+    return frozenset(out)
+
+
+def _rows_involving(table: Table, row_ids: frozenset[RowId]) -> tuple[tuple[int, ...], int]:
+    indices = []
+    used: set[RowId] = set()
+    for i in range(len(table)):
+        overlap = table.lineage_of(i) & row_ids
+        if overlap:
+            indices.append(i)
+            used.update(overlap)
+    return tuple(indices), len(used)
+
+
+def subject_access_report(
+    subject: str,
+    providers: list[DataProvider],
+    deliveries: list[ReportInstance],
+    *,
+    subject_column: str = "patient",
+) -> SubjectAccessReport:
+    """Answer a subject-access request over a set of delivered instances.
+
+    Works on the *instances* (which carry lineage), not the audit log —
+    the log proves *that* something was disclosed, the instances prove
+    *whose data* it contained. Production deployments retain delivered
+    instances for exactly this duty.
+    """
+    row_ids = subject_row_ids(providers, subject, subject_column=subject_column)
+    involvements = []
+    for instance in deliveries:
+        indices, used = _rows_involving(instance.table, row_ids)
+        if indices:
+            involvements.append(
+                SubjectInvolvement(
+                    report=instance.definition.name,
+                    version=instance.definition.version,
+                    consumer=instance.consumer,
+                    rows_involving_subject=indices,
+                    records_used=used,
+                )
+            )
+    return SubjectAccessReport(
+        subject=subject,
+        base_records=len(row_ids),
+        involvements=tuple(involvements),
+    )

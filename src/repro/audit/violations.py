@@ -1,0 +1,33 @@
+"""Violation records produced by auditing."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Violation"]
+
+
+class Severity(enum.Enum):
+    """How bad a detected violation is."""
+
+    INFO = "info"  # irregularity worth a note (e.g. missing obligation tag)
+    WARNING = "warning"  # policy drift, no confirmed disclosure
+    CRITICAL = "critical"  # sensitive data reached an unauthorized party
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One audit finding."""
+
+    severity: Severity
+    kind: str  # e.g. "attribute_access", "aggregation_threshold", "audience"
+    report: str
+    sequence: int  # disclosure-log sequence number, -1 for static findings
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.severity.value.upper()}] {self.kind} in {self.report!r} "
+            f"(disclosure #{self.sequence}): {self.detail}"
+        )

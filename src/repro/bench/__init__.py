@@ -1,0 +1,5 @@
+"""Benchmark-harness utilities (table printing, shared setup helpers)."""
+
+from repro.bench.tables import format_table, print_series, print_table
+
+__all__ = ["format_table", "print_series", "print_table"]

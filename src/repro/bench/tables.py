@@ -1,0 +1,60 @@
+"""ASCII table/series rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "print_table", "print_series"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    title: str = "",
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict-rows as a fixed-width table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    names = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(row.get(name)) for name in names] for row in rows]
+    widths = [
+        max(len(names[i]), *(len(row[i]) for row in cells))
+        for i in range(len(names))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(n.ljust(w) for n, w in zip(names, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(
+        " | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in cells
+    )
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    title: str = "",
+    columns: Sequence[str] | None = None,
+) -> None:
+    """Print a table with a surrounding blank line (bench output style)."""
+    print()
+    print(format_table(rows, title=title, columns=columns))
+
+
+def print_series(
+    title: str, points: Sequence[tuple[Any, Any]], *, x: str = "x", y: str = "y"
+) -> None:
+    """Print an (x, y) series as a two-column table."""
+    print_table([{x: a, y: b} for a, b in points], title=title)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

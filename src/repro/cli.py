@@ -1,0 +1,245 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+Commands::
+
+    python -m repro scenario                      # build + summarize Fig 1
+    python -m repro check "SELECT drug, COUNT(*) AS n FROM wide_prescriptions GROUP BY drug" \
+        --audience analyst --purpose care/quality # compliance-check a report
+    python -m repro deliver rpt_001               # generate + render a report
+    python -m repro audit                         # deliver everything + audit
+    python -m repro gaps                          # PLA coverage analysis
+    python -m repro fig 5                         # regenerate a paper figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+ROLE_TO_USER = {
+    "analyst": "ann",
+    "auditor": "aldo",
+    "health_director": "dora",
+    "municipality_official": "mara",
+}
+
+
+def _scenario():
+    from repro.simulation import build_scenario
+
+    return build_scenario()
+
+
+def cmd_scenario(_args: argparse.Namespace) -> int:
+    scenario = _scenario()
+    print("Fig 1 scenario built.")
+    for provider in scenario.providers.values():
+        print(f"  {provider.describe()}")
+    print(f"  ETL: {scenario.flow_result.summary()}")
+    print(
+        f"  warehouse universe: {scenario.universe_name} "
+        f"{list(scenario.wide_columns)}"
+    )
+    print(f"  reports: {len(scenario.workload)}; meta-reports: {len(scenario.metareports)}")
+    verdicts = scenario.checker.check_catalog(scenario.report_catalog.all_current())
+    compliant = sum(1 for v in verdicts.values() if v.compliant)
+    print(f"  compliance: {compliant}/{len(verdicts)} deployable")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.relational import parse_query
+    from repro.reports import ReportDefinition
+
+    scenario = _scenario()
+    definition = ReportDefinition(
+        name=args.name,
+        title=args.name,
+        query=parse_query(args.sql),
+        audience=frozenset(args.audience),
+        purpose=args.purpose,
+    )
+    verdict = scenario.checker.check_report(definition)
+    print(verdict.summary())
+    for violation in verdict.violations:
+        print(f"  violation: {violation}")
+    for obligation in verdict.obligations:
+        print(f"  obligation: {obligation}")
+    return 0 if verdict.compliant else 1
+
+
+def cmd_deliver(args: argparse.Namespace) -> int:
+    from repro.errors import ComplianceError
+    from repro.reports.rendering import render_text
+
+    scenario = _scenario()
+    service = scenario.delivery_service()
+    report = scenario.report_catalog.current(args.report)
+    role = sorted(report.audience)[0]
+    try:
+        instance = service.deliver(
+            args.report, user=ROLE_TO_USER[role], purpose=report.purpose
+        )
+    except ComplianceError as exc:
+        print(f"refused: {exc}")
+        return 1
+    print(render_text(instance))
+    return 0
+
+
+def cmd_audit(_args: argparse.Namespace) -> int:
+    from repro.audit import Auditor
+
+    scenario = _scenario()
+    service = scenario.delivery_service()
+    delivered, refusals = service.deliver_all_compliant(ROLE_TO_USER)
+    print(f"delivered {len(delivered)} report(s); refused {len(refusals)}")
+    audit = Auditor(
+        checker=scenario.checker, reports=scenario.report_catalog
+    ).audit(service.audit_log)
+    print(audit.summary())
+    for violation in audit.violations:
+        print(f"  {violation}")
+    return 0 if audit.clean else 1
+
+
+def cmd_gaps(args: argparse.Namespace) -> int:
+    from repro.core.gap import analyze_coverage
+    from repro.workloads import generate_requirements
+
+    scenario = _scenario()
+    requirements = generate_requirements(args.n, seed=args.seed)
+    report = analyze_coverage(scenario.metareports, requirements)
+    print(report.summary())
+    for gap in report.gaps[: args.show]:
+        print(f"  {gap}")
+    if len(report.gaps) > args.show:
+        print(f"  ... and {len(report.gaps) - args.show} more")
+    return 0
+
+
+def cmd_save(args: argparse.Namespace) -> int:
+    from repro.persistence import save_deployment
+
+    scenario = _scenario()
+    root = save_deployment(
+        args.directory,
+        catalog=scenario.bi_catalog,
+        metareports=scenario.metareports,
+        plas=scenario.pla_registry,
+        reports=scenario.report_catalog,
+    )
+    print(f"deployment saved to {root}")
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    from repro.core import ComplianceChecker
+    from repro.persistence import load_deployment
+
+    deployment = load_deployment(args.directory)
+    checker = ComplianceChecker(
+        catalog=deployment.catalog, metareports=deployment.metareports
+    )
+    verdicts = checker.check_catalog(deployment.reports.all_current())
+    compliant = sum(1 for v in verdicts.values() if v.compliant)
+    print(
+        f"loaded {len(deployment.catalog.table_names())} table(s), "
+        f"{len(deployment.metareports)} meta-report(s), "
+        f"{len(deployment.reports)} report(s)"
+    )
+    print(f"compliance on reload: {compliant}/{len(verdicts)} deployable")
+    return 0
+
+
+_FIGS = {
+    "1": "benchmarks.bench_fig1_scenario",
+    "2": "benchmarks.bench_fig2_source_level",
+    "3": "benchmarks.bench_fig3_warehouse_level",
+    "4": "benchmarks.bench_fig4_report_level",
+    "5": "benchmarks.bench_fig5_continuum",
+}
+
+
+def cmd_fig(args: argparse.Namespace) -> int:
+    import importlib
+    import pathlib
+    import sys as _sys
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    if str(repo_root) not in _sys.path:
+        _sys.path.insert(0, str(repo_root))
+    module = importlib.import_module(_FIGS[args.number])
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Engineering Privacy Requirements in Business "
+            "Intelligence Applications' (SDM/VLDB 2008)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenario", help="build and summarize the Fig 1 scenario")
+
+    check = sub.add_parser("check", help="compliance-check a report query")
+    check.add_argument("sql", help="SQL over the warehouse/meta-report views")
+    check.add_argument("--name", default="adhoc_report")
+    check.add_argument(
+        "--audience", nargs="+", default=["analyst"],
+        choices=sorted(ROLE_TO_USER),
+    )
+    check.add_argument("--purpose", default="care/quality")
+
+    deliver = sub.add_parser("deliver", help="generate and render one report")
+    deliver.add_argument("report", help="report name, e.g. rpt_001")
+
+    sub.add_parser("audit", help="deliver all compliant reports and audit")
+
+    gaps = sub.add_parser("gaps", help="PLA coverage analysis")
+    gaps.add_argument("--n", type=int, default=100, help="requirement count")
+    gaps.add_argument("--seed", type=int, default=23)
+    gaps.add_argument("--show", type=int, default=10)
+
+    fig = sub.add_parser("fig", help="regenerate a paper figure's table")
+    fig.add_argument("number", choices=sorted(_FIGS))
+
+    save = sub.add_parser("save", help="persist the deployment to a directory")
+    save.add_argument("directory")
+
+    load = sub.add_parser("load", help="load a deployment and re-check it")
+    load.add_argument("directory")
+
+    return parser
+
+
+_HANDLERS = {
+    "scenario": cmd_scenario,
+    "check": cmd_check,
+    "deliver": cmd_deliver,
+    "audit": cmd_audit,
+    "gaps": cmd_gaps,
+    "fig": cmd_fig,
+    "save": cmd_save,
+    "load": cmd_load,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

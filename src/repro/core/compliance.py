@@ -1,0 +1,247 @@
+"""Report compliance checking against approved meta-report PLAs (§5).
+
+The checker answers, for each new or modified report: (a) is it derivable
+from an approved meta-report at all, and (b) does it satisfy every PLA
+annotation of that meta-report — either statically (audience checks, join
+prohibitions) or by emitting a *runtime obligation* the enforcement
+translator installs (aggregation thresholds, intensional conditions,
+anonymization)?
+
+Static verdicts are what make the paper's PLAs "testable": owners, auditors,
+and the BI provider can all run the checker against the report catalog
+before anything is deployed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.annotations import (
+    AggregationThreshold,
+    Annotation,
+    AnonymizationRequirement,
+    AttributeAccess,
+    IntegrationPermission,
+    IntensionalCondition,
+    JoinPermission,
+)
+from repro.core.containment import DerivabilityResult, source_columns_used
+from repro.core.metareport import MetaReport, MetaReportSet
+from repro.relational.catalog import Catalog
+from repro.reports.definition import ReportDefinition
+
+__all__ = [
+    "ComplianceViolation",
+    "RuntimeObligation",
+    "ComplianceVerdict",
+    "ComplianceChecker",
+]
+
+
+@dataclass(frozen=True)
+class ComplianceViolation:
+    """A static PLA violation: the report may not be deployed as-is."""
+
+    annotation: str  # annotation description
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.reason} [{self.annotation}]"
+
+
+@dataclass(frozen=True)
+class RuntimeObligation:
+    """An enforcement the report engine must apply at generation time."""
+
+    kind: str  # "aggregation_threshold" | "intensional" | "anonymize"
+    annotation: Annotation
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.annotation.describe()}"
+
+
+@dataclass(frozen=True)
+class ComplianceVerdict:
+    """The outcome of checking one report definition."""
+
+    report: str
+    version: int
+    compliant: bool
+    covering_metareport: str | None
+    violations: tuple[ComplianceViolation, ...] = ()
+    obligations: tuple[RuntimeObligation, ...] = ()
+    derivability_attempts: tuple[DerivabilityResult, ...] = ()
+
+    def summary(self) -> str:
+        status = "COMPLIANT" if self.compliant else "NON-COMPLIANT"
+        via = f" via {self.covering_metareport}" if self.covering_metareport else ""
+        extra = ""
+        if self.violations:
+            extra = "; " + "; ".join(str(v) for v in self.violations)
+        if self.obligations:
+            extra += f" ({len(self.obligations)} runtime obligation(s))"
+        return f"{self.report} v{self.version}: {status}{via}{extra}"
+
+
+@dataclass
+class ComplianceChecker:
+    """Checks report definitions against a meta-report set's PLAs.
+
+    ``source_identity`` maps each warehouse base table to the
+    ``provider/table`` identities in its lineage; it is computed from the
+    loaded warehouse once, which is how join-permission annotations written
+    in source vocabulary become checkable on warehouse-level queries.
+    """
+
+    catalog: Catalog
+    metareports: MetaReportSet
+    source_identity: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.source_identity:
+            self.source_identity = self._compute_source_identity()
+
+    def _compute_source_identity(self) -> dict[str, frozenset[str]]:
+        mapping: dict[str, frozenset[str]] = {}
+        for name in self.catalog.table_names():
+            table = self.catalog.table(name)
+            mapping[name] = frozenset(
+                f"{rid.provider}/{rid.table}" for rid in table.all_lineage()
+            )
+        return mapping
+
+    def source_footprint(self, report: ReportDefinition) -> frozenset[str]:
+        """``provider/table`` identities a report's data descends from."""
+        out: set[str] = set()
+        for base in self.catalog.base_relations_of_query(report.query):
+            out.update(self.source_identity.get(base, frozenset()))
+        return frozenset(out)
+
+    # -- the main entry point ------------------------------------------------
+
+    def check_report(self, report: ReportDefinition) -> ComplianceVerdict:
+        """Full compliance verdict for one report definition."""
+        covering, attempts = self.metareports.find_covering(report, self.catalog)
+        if covering is None:
+            return ComplianceVerdict(
+                report=report.name,
+                version=report.version,
+                compliant=False,
+                covering_metareport=None,
+                violations=(
+                    ComplianceViolation(
+                        annotation="derivability",
+                        reason=(
+                            "report is not derivable from any approved "
+                            "meta-report; a new elicitation round is required"
+                        ),
+                    ),
+                ),
+                derivability_attempts=attempts,
+            )
+        violations: list[ComplianceViolation] = []
+        obligations: list[RuntimeObligation] = []
+        assert covering.pla is not None  # approved implies a PLA
+        for annotation in covering.pla.annotations:
+            self._check_annotation(report, covering, annotation, violations, obligations)
+        return ComplianceVerdict(
+            report=report.name,
+            version=report.version,
+            compliant=not violations,
+            covering_metareport=covering.name,
+            violations=tuple(violations),
+            obligations=tuple(obligations),
+            derivability_attempts=attempts,
+        )
+
+    # -- per-annotation logic ------------------------------------------------
+
+    def _check_annotation(
+        self,
+        report: ReportDefinition,
+        covering: MetaReport,
+        annotation: Annotation,
+        violations: list[ComplianceViolation],
+        obligations: list[RuntimeObligation],
+    ) -> None:
+        outputs = set(report.columns() or ())
+        used = source_columns_used(report.query)
+
+        if isinstance(annotation, AttributeAccess):
+            # Displaying the attribute is access; so is *filtering or
+            # grouping* on it — "drugs of the patient named X" discloses
+            # X's data even when the name column itself is projected away.
+            touches = annotation.attribute in outputs or annotation.attribute in used
+            if touches and not annotation.permits(report.audience):
+                bad = sorted(set(report.audience) - annotation.allowed_roles)
+                how = "see" if annotation.attribute in outputs else "query by"
+                violations.append(
+                    ComplianceViolation(
+                        annotation=annotation.describe(),
+                        reason=(
+                            f"audience roles {bad} may not {how} "
+                            f"{annotation.attribute!r}"
+                        ),
+                    )
+                )
+        elif isinstance(annotation, AggregationThreshold):
+            if report.query.is_aggregate:
+                obligations.append(RuntimeObligation("aggregation_threshold", annotation))
+            elif annotation.min_group_size > 1:
+                violations.append(
+                    ComplianceViolation(
+                        annotation=annotation.describe(),
+                        reason=(
+                            "report exposes record-level rows but the PLA "
+                            f"requires aggregation over ≥ "
+                            f"{annotation.min_group_size} records"
+                        ),
+                    )
+                )
+        elif isinstance(annotation, AnonymizationRequirement):
+            if annotation.attribute in outputs or annotation.attribute in used:
+                obligations.append(RuntimeObligation("anonymize", annotation))
+        elif isinstance(annotation, JoinPermission):
+            if not annotation.allowed:
+                footprint = self.source_footprint(report)
+                if annotation.left in footprint and annotation.right in footprint:
+                    violations.append(
+                        ComplianceViolation(
+                            annotation=annotation.describe(),
+                            reason=(
+                                "report combines data from "
+                                f"{annotation.left} and {annotation.right}"
+                            ),
+                        )
+                    )
+        elif isinstance(annotation, IntegrationPermission):
+            # Integration is an ETL-time property; at the report level we can
+            # only verify the agreed direction and hand the constraint to the
+            # ETL registry (see translation.to_etl_registry).
+            if not annotation.allowed:
+                obligations.append(RuntimeObligation("etl_integration", annotation))
+        elif isinstance(annotation, IntensionalCondition):
+            relevant = (
+                annotation.attribute in outputs
+                or annotation.action == "suppress_row"
+            )
+            if relevant:
+                if report.query.is_aggregate and annotation.action == "suppress_cell":
+                    violations.append(
+                        ComplianceViolation(
+                            annotation=annotation.describe(),
+                            reason=(
+                                "cell-level intensional condition cannot be "
+                                "applied to an aggregate report; use "
+                                "suppress_row or drop the attribute"
+                            ),
+                        )
+                    )
+                else:
+                    obligations.append(RuntimeObligation("intensional", annotation))
+
+    def check_catalog(
+        self, reports: tuple[ReportDefinition, ...]
+    ) -> dict[str, ComplianceVerdict]:
+        """Verdicts for a whole report catalog (testing-before-operation)."""
+        return {report.name: self.check_report(report) for report in reports}

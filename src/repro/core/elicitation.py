@@ -1,0 +1,106 @@
+"""Elicitation sessions: the owner–provider interactions FIG5 accounts for.
+
+An :class:`ElicitationSession` walks a source owner through the artifacts of
+one engineering level, accumulating interaction cost, and yields draft PLAs.
+The owner's side (comprehension model) lives in :mod:`repro.simulation`;
+this module is the provider-side protocol and the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import ElicitationError
+from repro.core.levels import ElicitationArtifact, EngineeringLevel
+from repro.core.pla import PLA, PlaRegistry
+
+__all__ = ["OwnerModel", "SessionRecord", "ElicitationSession", "ElicitationLedger"]
+
+
+class OwnerModel(Protocol):
+    """What the session needs from a (simulated or real) source owner."""
+
+    name: str
+
+    def comprehension_cost(self, artifact: ElicitationArtifact) -> float:
+        """Interaction units spent understanding one artifact."""
+
+    def review(self, artifact: ElicitationArtifact) -> bool:
+        """Whether the owner approves annotating this artifact (False =
+        another meeting is needed; the session retries once)."""
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """Ledger entry for one completed session."""
+
+    owner: str
+    level: str
+    artifacts_reviewed: int
+    cost: float
+    trigger: str  # "initial" | "re-elicitation:<event>"
+
+
+@dataclass
+class ElicitationSession:
+    """One sitting with one owner over one level's artifacts."""
+
+    owner: OwnerModel
+    level: EngineeringLevel
+    trigger: str = "initial"
+    _finished: bool = field(default=False, repr=False)
+
+    def run(self, artifacts: list[ElicitationArtifact] | None = None) -> SessionRecord:
+        """Review the level's artifacts (or an explicit subset) once.
+
+        A rejected artifact is re-explained (costing again) — the paper's
+        "methodologies for interacting with the source owners in order to
+        quickly converge" challenge shows up here as a retry cost.
+        """
+        if self._finished:
+            raise ElicitationError("session already ran; open a new one")
+        self._finished = True
+        to_review = artifacts if artifacts is not None else self.level.artifacts()
+        cost = 0.0
+        for artifact in to_review:
+            cost += self.owner.comprehension_cost(artifact)
+            if not self.owner.review(artifact):
+                cost += self.owner.comprehension_cost(artifact)
+        return SessionRecord(
+            owner=self.owner.name,
+            level=self.level.level.value,
+            artifacts_reviewed=len(to_review),
+            cost=cost,
+            trigger=self.trigger,
+        )
+
+
+@dataclass
+class ElicitationLedger:
+    """All sessions of one deployment, plus the PLAs they produced."""
+
+    records: list[SessionRecord] = field(default_factory=list)
+    registry: PlaRegistry = field(default_factory=PlaRegistry)
+
+    def record(self, session_record: SessionRecord) -> SessionRecord:
+        self.records.append(session_record)
+        return session_record
+
+    def file_pla(self, pla: PLA) -> PLA:
+        """Register a PLA drafted during a session and approve it."""
+        self.registry.add(pla)
+        return self.registry.approve(pla.name)
+
+    def total_cost(self) -> float:
+        return sum(record.cost for record in self.records)
+
+    def cost_by_trigger(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for record in self.records:
+            key = "initial" if record.trigger == "initial" else "re-elicitation"
+            out[key] = out.get(key, 0.0) + record.cost
+        return out
+
+    def session_count(self) -> int:
+        return len(self.records)

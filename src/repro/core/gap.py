@@ -1,0 +1,154 @@
+"""PLA coverage/gap analysis: is the agreed PLA set complete?
+
+§6: "Errors in capturing the intentions of the source owners ... are
+discovered only when the system is released and it is too late." The gap
+analyzer compares what the deployed meta-report PLAs actually constrain
+against a requirement checklist (elicited or generated), and lists every
+requirement no approved annotation covers — *before* release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.annotations import (
+    AggregationThreshold,
+    Annotation,
+    AnonymizationRequirement,
+    AttributeAccess,
+    IntegrationPermission,
+    IntensionalCondition,
+    JoinPermission,
+)
+from repro.core.metareport import MetaReportSet
+
+__all__ = ["CoverageGap", "CoverageReport", "analyze_coverage"]
+
+
+@dataclass(frozen=True)
+class CoverageGap:
+    """One requirement no approved annotation covers."""
+
+    requirement: str  # the requirement's description
+    kind: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.requirement} — {self.reason}"
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """The outcome of one gap analysis."""
+
+    requirements_total: int
+    covered: int
+    gaps: tuple[CoverageGap, ...]
+
+    @property
+    def complete(self) -> bool:
+        return not self.gaps
+
+    @property
+    def coverage(self) -> float:
+        if self.requirements_total == 0:
+            return 1.0
+        return self.covered / self.requirements_total
+
+    def summary(self) -> str:
+        return (
+            f"PLA coverage: {self.covered}/{self.requirements_total} "
+            f"({self.coverage:.0%}); {len(self.gaps)} gap(s)"
+        )
+
+
+def _covers(agreed: Annotation, required: Annotation) -> bool:
+    """Does an approved annotation satisfy a required one (same kind)?
+
+    Coverage is *at least as strict*: a stricter agreed annotation covers a
+    looser requirement, never the reverse.
+    """
+    if isinstance(required, AttributeAccess) and isinstance(agreed, AttributeAccess):
+        return (
+            agreed.attribute == required.attribute
+            and agreed.allowed_roles <= required.allowed_roles
+        )
+    if isinstance(required, AggregationThreshold) and isinstance(
+        agreed, AggregationThreshold
+    ):
+        return agreed.min_group_size >= required.min_group_size
+    if isinstance(required, AnonymizationRequirement) and isinstance(
+        agreed, AnonymizationRequirement
+    ):
+        if agreed.attribute != required.attribute:
+            return False
+        if agreed.method == required.method:
+            return agreed.generalization_level >= required.generalization_level
+        # Suppression is the strictest method; it covers any requirement.
+        return agreed.method == "suppress"
+    if isinstance(required, JoinPermission) and isinstance(agreed, JoinPermission):
+        if required.allowed:
+            return True  # a permission requirement needs no constraint
+        return not agreed.allowed and agreed.pair() == required.pair()
+    if isinstance(required, IntegrationPermission) and isinstance(
+        agreed, IntegrationPermission
+    ):
+        if required.allowed:
+            return True
+        return not agreed.allowed and agreed.owner == required.owner
+    if isinstance(required, IntensionalCondition) and isinstance(
+        agreed, IntensionalCondition
+    ):
+        if agreed.attribute != required.attribute:
+            return False
+        # Conservative: conditions must match syntactically; suppress_row
+        # (drops the whole row) covers a suppress_cell requirement.
+        same_condition = str(agreed.condition) == str(required.condition)
+        stricter_action = agreed.action == required.action or (
+            agreed.action == "suppress_row" and required.action == "suppress_cell"
+        )
+        return same_condition and stricter_action
+    return False
+
+
+def analyze_coverage(
+    metareports: MetaReportSet,
+    requirements: list[Annotation],
+) -> CoverageReport:
+    """Check every requirement against the approved meta-report PLAs.
+
+    A requirement is covered if *some* approved meta-report carries an
+    annotation at least as strict. Attribute-scoped requirements on columns
+    no meta-report exposes are covered vacuously (the data is not shown at
+    all — stricter than any annotation).
+    """
+    agreed: list[Annotation] = []
+    exposed_columns: set[str] = set()
+    for metareport in metareports:
+        if not metareport.approved or metareport.pla is None:
+            continue
+        agreed.extend(metareport.pla.annotations)
+        exposed_columns.update(metareport.columns())
+
+    gaps: list[CoverageGap] = []
+    covered = 0
+    for required in requirements:
+        attribute = getattr(required, "attribute", None)
+        if attribute is not None and attribute not in exposed_columns:
+            covered += 1  # never shown anywhere: vacuously safe
+            continue
+        if any(_covers(a, required) for a in agreed):
+            covered += 1
+            continue
+        gaps.append(
+            CoverageGap(
+                requirement=required.describe(),
+                kind=required.requirement_kind,
+                reason="no approved annotation is at least this strict",
+            )
+        )
+    return CoverageReport(
+        requirements_total=len(requirements),
+        covered=covered,
+        gaps=tuple(gaps),
+    )

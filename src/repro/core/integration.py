@@ -1,0 +1,223 @@
+"""Multi-owner PLA integration (§2's second named challenge).
+
+"PLA integration. This challenge is related to the integration of multiple
+privacy requirements from different sources and checking for their
+compliance in data transformations and reporting."
+
+When several owners' PLAs attach to the same target (a meta-report over
+integrated data draws from every contributing source), their annotations
+must be combined. The rules:
+
+* **strictest wins** where annotations are ordered (thresholds take the
+  max; attribute audiences intersect; anonymization takes the stronger
+  method, suppression > pseudonymization > generalization by level);
+* **prohibitions are absolute** (a join/integration prohibition from any
+  owner stands, even if another owner permits the same pair) — but the
+  disagreement is *reported* as a conflict so the BI provider can go back
+  to the owners rather than silently override one of them;
+* **intensional conditions accumulate** (all of them must hold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.annotations import (
+    AggregationThreshold,
+    Annotation,
+    AnonymizationRequirement,
+    AttributeAccess,
+    IntegrationPermission,
+    IntensionalCondition,
+    JoinPermission,
+)
+from repro.core.pla import PLA, PlaLevel
+from repro.errors import PolicyError
+
+__all__ = ["PlaConflict", "IntegrationResult", "integrate_plas"]
+
+_METHOD_STRENGTH = {"generalize": 1, "pseudonymize": 2, "suppress": 3}
+
+
+@dataclass(frozen=True)
+class PlaConflict:
+    """Two owners disagree; the merge picked the protective side."""
+
+    kind: str
+    owners: tuple[str, ...]
+    detail: str
+    resolution: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] {' vs '.join(self.owners)}: {self.detail} "
+            f"-> {self.resolution}"
+        )
+
+
+@dataclass
+class IntegrationResult:
+    """The merged annotation set plus the disagreements found on the way."""
+
+    annotations: tuple[Annotation, ...]
+    conflicts: tuple[PlaConflict, ...]
+    owners: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.conflicts
+
+    def merged_pla(self, *, name: str, target: str) -> PLA:
+        """The integrated agreement, owned jointly (owner = 'a+b+c')."""
+        return PLA(
+            name=name,
+            owner="+".join(self.owners),
+            level=PlaLevel.METAREPORT,
+            target=target,
+            annotations=self.annotations,
+        )
+
+
+def integrate_plas(plas: list[PLA]) -> IntegrationResult:
+    """Merge several owners' PLAs for one target into one annotation set."""
+    if not plas:
+        raise PolicyError("nothing to integrate")
+    targets = {p.target for p in plas}
+    if len(targets) > 1:
+        raise PolicyError(
+            f"PLAs target different artifacts: {sorted(targets)}; integrate "
+            "per target"
+        )
+    owners = tuple(sorted({p.owner for p in plas}))
+    conflicts: list[PlaConflict] = []
+    merged: list[Annotation] = []
+
+    # -- aggregation thresholds: strictest wins ------------------------------
+    thresholds = [
+        (p.owner, a)
+        for p in plas
+        for a in p.annotations
+        if isinstance(a, AggregationThreshold)
+    ]
+    if thresholds:
+        strictest_owner, strictest = max(
+            thresholds, key=lambda pair: pair[1].min_group_size
+        )
+        sizes = {a.min_group_size for _, a in thresholds}
+        if len(sizes) > 1:
+            conflicts.append(
+                PlaConflict(
+                    kind="aggregation_threshold",
+                    owners=tuple(sorted({o for o, _ in thresholds})),
+                    detail=f"thresholds differ: {sorted(sizes)}",
+                    resolution=f"strictest wins ({strictest.min_group_size}, "
+                    f"from {strictest_owner})",
+                )
+            )
+        merged.append(strictest)
+
+    # -- attribute access: audiences intersect --------------------------------
+    by_attribute: dict[str, list[tuple[str, AttributeAccess]]] = {}
+    for p in plas:
+        for a in p.annotations:
+            if isinstance(a, AttributeAccess):
+                by_attribute.setdefault(a.attribute, []).append((p.owner, a))
+    for attribute, entries in sorted(by_attribute.items()):
+        roles = entries[0][1].allowed_roles
+        for _, annotation in entries[1:]:
+            roles = roles & annotation.allowed_roles
+        role_sets = {e[1].allowed_roles for e in entries}
+        if len(role_sets) > 1:
+            conflicts.append(
+                PlaConflict(
+                    kind="attribute_access",
+                    owners=tuple(sorted({o for o, _ in entries})),
+                    detail=f"audiences for {attribute!r} differ",
+                    resolution=f"intersection kept ({sorted(roles)})",
+                )
+            )
+        merged.append(AttributeAccess(attribute, frozenset(roles)))
+
+    # -- anonymization: stronger method wins ------------------------------------
+    by_anon: dict[str, list[tuple[str, AnonymizationRequirement]]] = {}
+    for p in plas:
+        for a in p.annotations:
+            if isinstance(a, AnonymizationRequirement):
+                by_anon.setdefault(a.attribute, []).append((p.owner, a))
+    for attribute, entries in sorted(by_anon.items()):
+        strongest_owner, strongest = max(
+            entries,
+            key=lambda pair: (
+                _METHOD_STRENGTH[pair[1].method],
+                pair[1].generalization_level,
+            ),
+        )
+        if len({(e[1].method, e[1].generalization_level) for e in entries}) > 1:
+            conflicts.append(
+                PlaConflict(
+                    kind="anonymization",
+                    owners=tuple(sorted({o for o, _ in entries})),
+                    detail=f"methods for {attribute!r} differ",
+                    resolution=f"strongest kept ({strongest.method}, "
+                    f"from {strongest_owner})",
+                )
+            )
+        merged.append(strongest)
+
+    # -- join permissions: any prohibition stands ----------------------------------
+    by_pair: dict[frozenset, list[tuple[str, JoinPermission]]] = {}
+    for p in plas:
+        for a in p.annotations:
+            if isinstance(a, JoinPermission):
+                by_pair.setdefault(a.pair(), []).append((p.owner, a))
+    for pair, entries in sorted(by_pair.items(), key=lambda kv: sorted(kv[0])):
+        verdicts = {e[1].allowed for e in entries}
+        prohibiting = [e for e in entries if not e[1].allowed]
+        if verdicts == {True}:
+            merged.append(entries[0][1])
+            continue
+        if len(verdicts) > 1:
+            conflicts.append(
+                PlaConflict(
+                    kind="join_permission",
+                    owners=tuple(sorted({o for o, _ in entries})),
+                    detail=f"{sorted(pair)}: one owner permits, another prohibits",
+                    resolution="prohibition stands",
+                )
+            )
+        merged.append(prohibiting[0][1])
+
+    # -- integration permissions: any prohibition stands, per owner --------------------
+    by_owner: dict[str, list[tuple[str, IntegrationPermission]]] = {}
+    for p in plas:
+        for a in p.annotations:
+            if isinstance(a, IntegrationPermission):
+                by_owner.setdefault(a.owner, []).append((p.owner, a))
+    for data_owner, entries in sorted(by_owner.items()):
+        verdicts = {e[1].allowed for e in entries}
+        if len(verdicts) > 1:
+            conflicts.append(
+                PlaConflict(
+                    kind="integration_permission",
+                    owners=tuple(sorted({o for o, _ in entries})),
+                    detail=f"integration of {data_owner!r} data disputed",
+                    resolution="prohibition stands",
+                )
+            )
+        merged.append(IntegrationPermission(data_owner, allowed=verdicts == {True}))
+
+    # -- intensional conditions: all accumulate (dedup by text) -------------------------
+    seen_conditions: set[tuple[str, str, str]] = set()
+    for p in plas:
+        for a in p.annotations:
+            if isinstance(a, IntensionalCondition):
+                key = (a.attribute, str(a.condition), a.action)
+                if key not in seen_conditions:
+                    seen_conditions.add(key)
+                    merged.append(a)
+
+    return IntegrationResult(
+        annotations=tuple(merged),
+        conflicts=tuple(conflicts),
+        owners=owners,
+    )

@@ -1,0 +1,180 @@
+"""Privacy Level Agreements: the unit of agreement between owner and BI provider.
+
+A PLA binds a set of annotations to a *target* artifact at one of the four
+engineering levels (source table, warehouse table/ETL, meta-report, report).
+PLAs have a lifecycle — drafted during elicitation, approved by the owner,
+possibly superseded — because §5's stability analysis is precisely about how
+often approvals must be redone.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.errors import PolicyError
+from repro.core.annotations import Annotation
+
+__all__ = ["PlaLevel", "PlaStatus", "PLA", "PlaRegistry"]
+
+
+class PlaLevel(enum.Enum):
+    """Where in the BI stack the PLA's target lives (the Fig 5 continuum)."""
+
+    SOURCE = "source"
+    WAREHOUSE = "warehouse"
+    METAREPORT = "metareport"
+    REPORT = "report"
+
+
+class PlaStatus(enum.Enum):
+    DRAFT = "draft"
+    APPROVED = "approved"
+    SUPERSEDED = "superseded"
+
+
+@dataclass(frozen=True)
+class PLA:
+    """One privacy level agreement."""
+
+    name: str
+    owner: str  # the source owner who imposes it
+    level: PlaLevel
+    target: str  # artifact name the annotations attach to
+    annotations: tuple[Annotation, ...]
+    status: PlaStatus = PlaStatus.DRAFT
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.owner or not self.target:
+            raise PolicyError("PLA name, owner, and target must be non-empty")
+        if not self.annotations:
+            raise PolicyError(f"PLA {self.name!r} carries no annotations")
+
+    def approved(self) -> "PLA":
+        """The owner signs off on this draft."""
+        return replace(self, status=PlaStatus.APPROVED)
+
+    def superseded(self) -> "PLA":
+        return replace(self, status=PlaStatus.SUPERSEDED)
+
+    def revised(self, annotations: Iterable[Annotation]) -> "PLA":
+        """A new draft version replacing these annotations (re-elicitation)."""
+        return replace(
+            self,
+            annotations=tuple(annotations),
+            status=PlaStatus.DRAFT,
+            version=self.version + 1,
+        )
+
+    def annotations_of_kind(self, kind: str) -> tuple[Annotation, ...]:
+        return tuple(a for a in self.annotations if a.requirement_kind == kind)
+
+    def describe(self) -> str:
+        lines = [
+            f"PLA {self.name!r} v{self.version} by {self.owner} on "
+            f"{self.level.value}:{self.target} [{self.status.value}]"
+        ]
+        lines.extend(f"  - {a.describe()}" for a in self.annotations)
+        return "\n".join(lines)
+
+
+@dataclass
+class PlaRegistry:
+    """All PLAs of one BI deployment, indexed by level and target."""
+
+    plas: list[PLA] = field(default_factory=list)
+
+    def add(self, pla: PLA) -> PLA:
+        if any(p.name == pla.name and p.version == pla.version for p in self.plas):
+            raise PolicyError(f"PLA {pla.name!r} v{pla.version} already registered")
+        self.plas.append(pla)
+        return pla
+
+    def approve(self, name: str) -> PLA:
+        """Mark the latest version of ``name`` approved, superseding older ones."""
+        versions = [p for p in self.plas if p.name == name]
+        if not versions:
+            raise PolicyError(f"no PLA named {name!r}")
+        latest = max(versions, key=lambda p: p.version)
+        updated = latest.approved()
+        self.plas = [
+            p.superseded()
+            if p.name == name and p.version < latest.version
+            and p.status is PlaStatus.APPROVED
+            else p
+            for p in self.plas
+        ]
+        self._replace(latest, updated)
+        return updated
+
+    def _replace(self, old: PLA, new: PLA) -> None:
+        self.plas = [new if p is old else p for p in self.plas]
+
+    def revise(self, name: str, annotations: Iterable[Annotation]) -> PLA:
+        """Create a new draft version of ``name`` (a re-elicitation outcome)."""
+        versions = [p for p in self.plas if p.name == name]
+        if not versions:
+            raise PolicyError(f"no PLA named {name!r}")
+        revised = max(versions, key=lambda p: p.version).revised(annotations)
+        return self.add(revised)
+
+    # -- queries ----------------------------------------------------------
+
+    def approved_for_target(self, level: PlaLevel, target: str) -> tuple[PLA, ...]:
+        """Approved PLAs attached to one artifact."""
+        return tuple(
+            p
+            for p in self.plas
+            if p.level is level and p.target == target
+            and p.status is PlaStatus.APPROVED
+        )
+
+    def approved_at_level(self, level: PlaLevel) -> tuple[PLA, ...]:
+        return tuple(
+            p
+            for p in self.plas
+            if p.level is level and p.status is PlaStatus.APPROVED
+        )
+
+    def by_owner(self, owner: str) -> tuple[PLA, ...]:
+        return tuple(p for p in self.plas if p.owner == owner)
+
+    def iter_annotations(
+        self, level: PlaLevel | None = None
+    ) -> Iterator[tuple[PLA, Annotation]]:
+        """All (pla, annotation) pairs from approved PLAs, optionally by level."""
+        for pla in self.plas:
+            if pla.status is not PlaStatus.APPROVED:
+                continue
+            if level is not None and pla.level is not level:
+                continue
+            for annotation in pla.annotations:
+                yield pla, annotation
+
+    def annotation_count(self, level: PlaLevel | None = None) -> int:
+        return sum(1 for _ in self.iter_annotations(level))
+
+    def requirement_kind_histogram(self) -> dict[str, int]:
+        """How many approved annotations exist per requirement kind."""
+        counts: dict[str, int] = {}
+        for _, annotation in self.iter_annotations():
+            kind = annotation.requirement_kind
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def describe(self) -> str:
+        approved = [p for p in self.plas if p.status is PlaStatus.APPROVED]
+        if not approved:
+            return "(no approved PLAs)"
+        grouped = itertools.groupby(
+            sorted(approved, key=lambda p: (p.level.value, p.target, p.name)),
+            key=lambda p: p.level,
+        )
+        lines = []
+        for level, plas in grouped:
+            lines.append(f"{level.value}:")
+            lines.extend(f"  {p.name} on {p.target} ({len(p.annotations)} annotations)" for p in plas)
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subsystems raise the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed, or an operation references unknown columns."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not conform to its column's declared type."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or cannot be executed against the catalog."""
+
+
+class ParseError(QueryError):
+    """The mini SQL parser rejected its input."""
+
+
+class CatalogError(ReproError):
+    """A named table or view is missing, duplicated, or invalid."""
+
+
+class PolicyError(ReproError):
+    """A policy, PLA, or annotation is malformed."""
+
+
+class ComplianceError(ReproError):
+    """A report or operation violates an agreed PLA.
+
+    Raised by enforcement points when ``fail_hard`` behaviour is requested;
+    auditing paths record :class:`~repro.audit.violations.Violation` records
+    instead of raising.
+    """
+
+
+class EnforcementError(ReproError):
+    """An enforcement adapter could not apply a PLA (not a violation)."""
+
+
+class AnonymizationError(ReproError):
+    """An anonymization routine received unusable input or parameters."""
+
+
+class ElicitationError(ReproError):
+    """An elicitation session was driven into an invalid state."""
+
+
+class EtlError(ReproError):
+    """An ETL flow is malformed or an operator failed."""
+
+
+class WarehouseError(ReproError):
+    """A star schema, cube, or warehouse load is invalid."""
+
+
+class ProvenanceError(ReproError):
+    """Provenance information is missing or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload generator received invalid parameters."""

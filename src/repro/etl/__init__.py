@@ -1,0 +1,69 @@
+"""ETL: staging, operators, flows, and ETL-level PLA annotations."""
+
+from repro.etl.annotations import (
+    EtlConstraint,
+    EtlPlaRegistry,
+    EtlViolation,
+    IntegrationProhibition,
+    JoinProhibition,
+    OperationRestriction,
+)
+from repro.etl.cleaning import (
+    normalize_code,
+    normalize_name,
+    strip_whitespace,
+    titlecase,
+    to_iso_date,
+)
+from repro.etl.entity_resolution import (
+    EntityCluster,
+    ResolutionResult,
+    resolve_entities,
+    rewrite_to_canonical,
+)
+from repro.etl.flow import EtlFlow, FlowResult
+from repro.etl.operators import (
+    AggregateOp,
+    DedupeOp,
+    DeriveOp,
+    EtlOperator,
+    ExtractOp,
+    FilterOp,
+    IntegrateOp,
+    JoinOp,
+    LoadOp,
+    StandardizeOp,
+)
+from repro.etl.staging import IntakeRecord, StagingArea
+
+__all__ = [
+    "AggregateOp",
+    "DedupeOp",
+    "DeriveOp",
+    "EntityCluster",
+    "EtlConstraint",
+    "EtlFlow",
+    "EtlOperator",
+    "EtlPlaRegistry",
+    "EtlViolation",
+    "ExtractOp",
+    "FilterOp",
+    "FlowResult",
+    "IntakeRecord",
+    "IntegrateOp",
+    "IntegrationProhibition",
+    "JoinOp",
+    "JoinProhibition",
+    "LoadOp",
+    "OperationRestriction",
+    "ResolutionResult",
+    "StagingArea",
+    "StandardizeOp",
+    "normalize_code",
+    "normalize_name",
+    "resolve_entities",
+    "rewrite_to_canonical",
+    "strip_whitespace",
+    "titlecase",
+    "to_iso_date",
+]

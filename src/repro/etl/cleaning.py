@@ -1,0 +1,49 @@
+"""Reusable cleaning transforms for StandardizeOp and friends."""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+from repro.relational.types import parse_date
+
+__all__ = [
+    "normalize_name",
+    "normalize_code",
+    "to_iso_date",
+    "strip_whitespace",
+    "titlecase",
+]
+
+
+def strip_whitespace(value: Any) -> Any:
+    """Trim surrounding whitespace from strings; pass others through."""
+    return value.strip() if isinstance(value, str) else value
+
+
+def titlecase(value: Any) -> Any:
+    """Title-case person names ('alice' → 'Alice')."""
+    return value.strip().title() if isinstance(value, str) else value
+
+
+def normalize_name(value: Any) -> Any:
+    """Canonical person-name form used as an entity-resolution key."""
+    if not isinstance(value, str):
+        return value
+    return " ".join(value.split()).title()
+
+
+def normalize_code(value: Any) -> Any:
+    """Canonical code form: uppercase, no spaces ('dh ' → 'DH')."""
+    if not isinstance(value, str):
+        return value
+    return "".join(value.split()).upper()
+
+
+def to_iso_date(value: Any) -> Any:
+    """Coerce strings/dates to ``datetime.date`` (accepts dd/mm/yyyy)."""
+    if isinstance(value, datetime.date):
+        return value
+    if isinstance(value, str):
+        return parse_date(value)
+    return value

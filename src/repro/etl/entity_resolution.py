@@ -1,0 +1,141 @@
+"""Entity resolution across providers — the integration step PLAs govern.
+
+The paper's §1 names entity resolution as the canonical "use data from one
+provider to clean/refine data from another" operation, and §5's annotation
+kind (v) makes it permission-gated. This module implements a deterministic
+key-based resolver: values from several tables are clustered by a normalized
+key, each cluster gets a canonical entity id, and tables can be rewritten to
+canonical ids. Cluster membership records which providers contributed, so
+integration-permission checks have the evidence they need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import EtlError
+from repro.etl.cleaning import normalize_name
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import ColumnType
+
+__all__ = ["EntityCluster", "ResolutionResult", "resolve_entities", "rewrite_to_canonical"]
+
+
+@dataclass(frozen=True)
+class EntityCluster:
+    """One resolved entity: its id, canonical value, and member evidence."""
+
+    entity_id: str
+    canonical: str
+    members: tuple[tuple[str, str], ...]  # (provider, original value)
+
+    @property
+    def providers(self) -> frozenset[str]:
+        return frozenset(provider for provider, _ in self.members)
+
+
+@dataclass
+class ResolutionResult:
+    """The output of entity resolution."""
+
+    clusters: list[EntityCluster] = field(default_factory=list)
+    by_original: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    def entity_of(self, provider: str, value: str) -> str | None:
+        """Entity id for ``value`` as seen at ``provider`` (None if unknown)."""
+        return self.by_original.get((provider, value))
+
+    def cross_provider_clusters(self) -> list[EntityCluster]:
+        """Clusters whose evidence spans more than one provider —
+        exactly the ones an integration permission must cover."""
+        return [c for c in self.clusters if len(c.providers) > 1]
+
+    def mapping_table(self, *, name: str = "entity_map") -> Table:
+        """The mapping as a relational table (loadable into staging)."""
+        schema = Schema(
+            [
+                Column("entity_id", ColumnType.STRING, nullable=False),
+                Column("provider", ColumnType.STRING, nullable=False),
+                Column("original", ColumnType.STRING, nullable=False),
+                Column("canonical", ColumnType.STRING, nullable=False),
+            ]
+        )
+        table = Table(name, schema, provider="bi_provider")
+        for cluster in self.clusters:
+            for provider, original in cluster.members:
+                table.insert((cluster.entity_id, provider, original, cluster.canonical))
+        return table
+
+
+def resolve_entities(
+    tables: Sequence[tuple[Table, str]],
+    *,
+    key_fn: Callable[[str], str] = normalize_name,
+) -> ResolutionResult:
+    """Cluster values of the named column across ``(table, column)`` pairs.
+
+    ``key_fn`` normalizes raw values into match keys; values sharing a key
+    become one entity. Canonical value = the most frequent raw form (ties
+    broken lexicographically); entity ids are stable (key-ordered).
+    """
+    if not tables:
+        raise EtlError("resolve_entities needs at least one (table, column) pair")
+    observations: dict[str, list[tuple[str, str]]] = {}
+    for table, column in tables:
+        idx = table.schema.index_of(column)
+        for row in table.rows:
+            value = row[idx]
+            if value is None:
+                continue
+            key = key_fn(str(value))
+            observations.setdefault(key, []).append((table.provider, str(value)))
+
+    result = ResolutionResult()
+    for n, key in enumerate(sorted(observations)):
+        members = observations[key]
+        counts: dict[str, int] = {}
+        for _, original in members:
+            counts[original] = counts.get(original, 0) + 1
+        canonical = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
+        distinct_members = tuple(sorted(set(members)))
+        cluster = EntityCluster(
+            entity_id=f"E{n:05d}", canonical=canonical, members=distinct_members
+        )
+        result.clusters.append(cluster)
+        for provider, original in distinct_members:
+            result.by_original[(provider, original)] = cluster.entity_id
+    return result
+
+
+def rewrite_to_canonical(
+    table: Table,
+    column: str,
+    resolution: ResolutionResult,
+    *,
+    name: str | None = None,
+) -> Table:
+    """Replace raw values in ``column`` with their cluster-canonical form.
+
+    Values that resolution never saw stay as they are (cleaning must not
+    invent data).
+    """
+    idx = table.schema.index_of(column)
+    canonical_by_entity = {c.entity_id: c.canonical for c in resolution.clusters}
+    rows = []
+    for row in table.rows:
+        mutated = list(row)
+        value = mutated[idx]
+        if value is not None:
+            entity = resolution.entity_of(table.provider, str(value))
+            if entity is not None:
+                mutated[idx] = canonical_by_entity[entity]
+        rows.append(tuple(mutated))
+    return Table.derived(
+        name or table.name,
+        table.schema,
+        rows,
+        list(table.provenance),
+        provider=table.provider,
+    )

@@ -1,0 +1,334 @@
+"""ETL operators: the typed steps an ETL flow is built from.
+
+Every operator declares its ``kind`` — the vocabulary ETL-level PLA
+annotations (Fig 3b) restrict: ``extract``, ``standardize``, ``filter``,
+``derive``, ``dedupe``, ``join``, ``integrate`` (cleaning/entity resolution
+that uses one owner's data to refine another's — §5 annotation kind v),
+``aggregate``, and ``load``.
+
+Operators are pure with respect to the catalog: ``run`` reads the declared
+inputs and returns the output table; the flow registers it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Sequence
+
+from repro.errors import EtlError
+from repro.relational import algebra
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import Expr
+from repro.relational.table import RowProvenance, Table
+
+__all__ = [
+    "EtlOperator",
+    "ExtractOp",
+    "StandardizeOp",
+    "FilterOp",
+    "DeriveOp",
+    "DedupeOp",
+    "JoinOp",
+    "IntegrateOp",
+    "AggregateOp",
+    "LoadOp",
+]
+
+
+class EtlOperator(abc.ABC):
+    """Base class: name, input table names, output table name, and a kind."""
+
+    kind: str = "abstract"
+
+    def __init__(self, name: str, inputs: Sequence[str], output: str) -> None:
+        if not name or not output:
+            raise EtlError("operator name and output must be non-empty")
+        if not inputs:
+            raise EtlError(f"operator {name!r} needs at least one input")
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.output = output
+
+    @abc.abstractmethod
+    def run(self, catalog: Catalog) -> Table:
+        """Execute against the catalog and return the output table."""
+
+    def describe(self) -> str:
+        return f"{self.kind}:{self.name} ({', '.join(self.inputs)} -> {self.output})"
+
+    def _input(self, catalog: Catalog, name: str) -> Table:
+        return catalog.table(name)
+
+
+class ExtractOp(EtlOperator):
+    """Bring an exported provider table into the staging namespace.
+
+    The table object comes from the provider (usually through its gateway);
+    extraction re-registers it under the staging name while keeping its
+    provider tag and provenance.
+    """
+
+    kind = "extract"
+
+    def __init__(self, name: str, table: Table, output: str) -> None:
+        super().__init__(name, [table.name], output)
+        self._table = table
+
+    def run(self, catalog: Catalog) -> Table:
+        staged = Table.derived(
+            self.output,
+            self._table.schema,
+            list(self._table.rows),
+            list(self._table.provenance),
+            provider=self._table.provider,
+        )
+        return staged
+
+    def _input_table(self) -> Table:
+        """The carried table (used by static flow analysis)."""
+        return self._table
+
+
+class StandardizeOp(EtlOperator):
+    """Apply per-column value transforms (date formats, casing, trimming)."""
+
+    kind = "standardize"
+
+    def __init__(
+        self,
+        name: str,
+        input_name: str,
+        output: str,
+        transforms: dict[str, Callable[[Any], Any]],
+    ) -> None:
+        super().__init__(name, [input_name], output)
+        if not transforms:
+            raise EtlError(f"standardize op {name!r} has no transforms")
+        self.transforms = dict(transforms)
+
+    def run(self, catalog: Catalog) -> Table:
+        table = self._input(catalog, self.inputs[0])
+        indices = {
+            column: table.schema.index_of(column) for column in self.transforms
+        }
+        rows = []
+        for row in table.rows:
+            mutated = list(row)
+            for column, fn in self.transforms.items():
+                idx = indices[column]
+                if mutated[idx] is not None:
+                    mutated[idx] = fn(mutated[idx])
+            rows.append(tuple(mutated))
+        return Table.derived(
+            self.output, table.schema, rows, list(table.provenance),
+            provider=table.provider,
+        )
+
+
+class FilterOp(EtlOperator):
+    """Keep rows matching a predicate."""
+
+    kind = "filter"
+
+    def __init__(self, name: str, input_name: str, output: str, predicate: Expr) -> None:
+        super().__init__(name, [input_name], output)
+        self.predicate = predicate
+
+    def run(self, catalog: Catalog) -> Table:
+        table = self._input(catalog, self.inputs[0])
+        out = algebra.select(table, self.predicate, name=self.output)
+        out.provider = table.provider
+        return out
+
+
+class DeriveOp(EtlOperator):
+    """Append computed columns."""
+
+    kind = "derive"
+
+    def __init__(
+        self,
+        name: str,
+        input_name: str,
+        output: str,
+        additions: Sequence[tuple[str, Expr]],
+    ) -> None:
+        super().__init__(name, [input_name], output)
+        if not additions:
+            raise EtlError(f"derive op {name!r} adds no columns")
+        self.additions = tuple(additions)
+
+    def run(self, catalog: Catalog) -> Table:
+        table = self._input(catalog, self.inputs[0])
+        out = algebra.extend(table, list(self.additions), name=self.output)
+        out.provider = table.provider
+        return out
+
+
+class DedupeOp(EtlOperator):
+    """Remove duplicate rows (provenance of merged rows is unioned)."""
+
+    kind = "dedupe"
+
+    def __init__(self, name: str, input_name: str, output: str) -> None:
+        super().__init__(name, [input_name], output)
+
+    def run(self, catalog: Catalog) -> Table:
+        table = self._input(catalog, self.inputs[0])
+        out = algebra.distinct(table, name=self.output)
+        out.provider = table.provider
+        return out
+
+
+class JoinOp(EtlOperator):
+    """Equi-join two staged tables — the operation Fig 3's PLAs restrict."""
+
+    kind = "join"
+
+    def __init__(
+        self,
+        name: str,
+        left: str,
+        right: str,
+        on: Sequence[tuple[str, str]],
+        output: str,
+        *,
+        how: str = "inner",
+    ) -> None:
+        super().__init__(name, [left, right], output)
+        self.on = tuple(on)
+        self.how = how
+
+    def run(self, catalog: Catalog) -> Table:
+        left = self._input(catalog, self.inputs[0])
+        right = self._input(catalog, self.inputs[1])
+        joined = algebra.join(
+            left, right, list(self.on), how=self.how, name=self.output
+        )
+        # Equi-join keys are redundant on the right side; drop the duplicate
+        # and give the left key back its plain name (ETL-tool convention).
+        drop = {f"{right.name}.{rcol}" for _, rcol in self.on}
+        restore = {f"{left.name}.{lcol}": lcol for lcol, _ in self.on}
+        specs: list[str | tuple[str, Any]] = []
+        for column in joined.schema.names:
+            if column in drop:
+                continue
+            if column in restore:
+                from repro.relational.expressions import Col
+
+                specs.append((restore[column], Col(column)))
+            else:
+                specs.append(column)
+        return algebra.project(joined, specs, name=self.output)
+
+
+class IntegrateOp(EtlOperator):
+    """Fill missing values in a target using a reference owned by someone else.
+
+    This is the §5 annotation-kind-(v) operation: "the permission to use
+    information to clean/resolve data from other owners". The reference is
+    joined on ``key`` and ``fill_column`` of the target is completed from
+    ``reference_column`` where NULL. Lineage of completed rows includes the
+    reference rows used, so integration is auditable.
+    """
+
+    kind = "integrate"
+
+    def __init__(
+        self,
+        name: str,
+        target: str,
+        reference: str,
+        output: str,
+        *,
+        key: tuple[str, str],
+        fill_column: str,
+        reference_column: str,
+    ) -> None:
+        super().__init__(name, [target, reference], output)
+        self.key = key
+        self.fill_column = fill_column
+        self.reference_column = reference_column
+
+    def run(self, catalog: Catalog) -> Table:
+        target = self._input(catalog, self.inputs[0])
+        reference = self._input(catalog, self.inputs[1])
+        fill_idx = target.schema.index_of(self.fill_column)
+        tkey_idx = target.schema.index_of(self.key[0])
+        rkey_idx = reference.schema.index_of(self.key[1])
+        rcol_idx = reference.schema.index_of(self.reference_column)
+
+        lookup: dict[Any, int] = {}
+        for j, row in enumerate(reference.rows):
+            key = row[rkey_idx]
+            if key is not None and key not in lookup:
+                lookup[key] = j
+
+        rows = []
+        provs: list[RowProvenance] = []
+        for i, row in enumerate(target.rows):
+            prov = target.provenance[i]
+            mutated = list(row)
+            if mutated[fill_idx] is None:
+                j = lookup.get(mutated[tkey_idx])
+                if j is not None:
+                    mutated[fill_idx] = reference.rows[j][rcol_idx]
+                    prov = prov.merged(
+                        RowProvenance(
+                            lineage=reference.provenance[j].lineage,
+                            where={
+                                self.fill_column: reference.provenance[j].where_of(
+                                    self.reference_column
+                                )
+                            },
+                        )
+                    )
+            rows.append(tuple(mutated))
+            provs.append(prov)
+        return Table.derived(
+            self.output, target.schema, rows, provs, provider=target.provider
+        )
+
+
+class AggregateOp(EtlOperator):
+    """Pre-aggregate during ETL (summary staging tables)."""
+
+    kind = "aggregate"
+
+    def __init__(
+        self,
+        name: str,
+        input_name: str,
+        output: str,
+        *,
+        group_by: Sequence[str],
+        aggs: Sequence[algebra.AggSpec],
+    ) -> None:
+        super().__init__(name, [input_name], output)
+        self.group_by = tuple(group_by)
+        self.aggs = tuple(aggs)
+
+    def run(self, catalog: Catalog) -> Table:
+        table = self._input(catalog, self.inputs[0])
+        return algebra.aggregate(
+            table, list(self.group_by), list(self.aggs), name=self.output
+        )
+
+
+class LoadOp(EtlOperator):
+    """Publish a staged table under its warehouse name."""
+
+    kind = "load"
+
+    def __init__(self, name: str, input_name: str, output: str) -> None:
+        super().__init__(name, [input_name], output)
+
+    def run(self, catalog: Catalog) -> Table:
+        table = self._input(catalog, self.inputs[0])
+        return Table.derived(
+            self.output,
+            table.schema,
+            list(table.rows),
+            list(table.provenance),
+            provider="warehouse",
+        )

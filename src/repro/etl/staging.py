@@ -1,0 +1,83 @@
+"""The staging area: where extracted source data lands before the warehouse.
+
+"Typically, but not necessarily, before loading the actual warehouse and in
+order to reduce the complexity of ETL, data is extracted from the data
+sources and stored in a so-called staging area" (§4). The staging area is a
+named region of the BI provider's catalog with a ``stg_<provider>_<table>``
+convention and per-table intake bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EtlError
+from repro.relational.catalog import Catalog
+from repro.relational.table import Table
+from repro.sources.filters import GatewayReport
+
+__all__ = ["StagingArea", "IntakeRecord"]
+
+
+@dataclass(frozen=True)
+class IntakeRecord:
+    """One extraction into staging: what arrived, from whom, filtered how."""
+
+    staged_name: str
+    provider: str
+    source_table: str
+    rows: int
+    gateway_report: GatewayReport | None = None
+
+
+@dataclass
+class StagingArea:
+    """Naming convention + intake ledger over a shared catalog."""
+
+    catalog: Catalog
+    prefix: str = "stg"
+    intake: list[IntakeRecord] = field(default_factory=list)
+
+    def staged_name(self, provider: str, table: str) -> str:
+        return f"{self.prefix}_{provider}_{table}"
+
+    def stage(
+        self,
+        table: Table,
+        *,
+        gateway_report: GatewayReport | None = None,
+    ) -> Table:
+        """Register an exported table under its staging name."""
+        name = self.staged_name(table.provider, table.name)
+        staged = Table.derived(
+            name,
+            table.schema,
+            list(table.rows),
+            list(table.provenance),
+            provider=table.provider,
+        )
+        self.catalog.add_table(staged, replace=True)
+        self.intake.append(
+            IntakeRecord(
+                staged_name=name,
+                provider=table.provider,
+                source_table=table.name,
+                rows=len(staged),
+                gateway_report=gateway_report,
+            )
+        )
+        return staged
+
+    def staged_tables(self) -> tuple[str, ...]:
+        """All staging-area table names currently in the catalog."""
+        return tuple(
+            name
+            for name in self.catalog.table_names()
+            if name.startswith(self.prefix + "_")
+        )
+
+    def record_for(self, staged_name: str) -> IntakeRecord:
+        for record in reversed(self.intake):
+            if record.staged_name == staged_name:
+                return record
+        raise EtlError(f"no intake record for {staged_name!r}")

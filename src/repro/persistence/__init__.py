@@ -1,0 +1,35 @@
+"""Persistence: JSON forms for PLAs/queries and whole-deployment save/load."""
+
+from repro.persistence.exprjson import (
+    PersistenceError,
+    expr_from_json,
+    expr_to_json,
+    query_from_json,
+    query_to_json,
+)
+from repro.persistence.plajson import (
+    annotation_from_json,
+    annotation_to_json,
+    pla_from_json,
+    pla_to_json,
+    report_from_json,
+    report_to_json,
+)
+from repro.persistence.store import Deployment, load_deployment, save_deployment
+
+__all__ = [
+    "Deployment",
+    "PersistenceError",
+    "annotation_from_json",
+    "annotation_to_json",
+    "expr_from_json",
+    "expr_to_json",
+    "load_deployment",
+    "pla_from_json",
+    "pla_to_json",
+    "query_from_json",
+    "query_to_json",
+    "report_from_json",
+    "report_to_json",
+    "save_deployment",
+]

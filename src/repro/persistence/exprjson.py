@@ -1,0 +1,229 @@
+"""JSON (de)serialization of expression and query ASTs.
+
+PLAs are *agreements between institutions*: they must outlive the process
+that elicited them, travel between the BI provider and auditors, and be
+diffable in reviews. This module gives every expression and query a stable
+JSON form; :mod:`repro.persistence.plajson` builds on it for annotations
+and PLAs, and :mod:`repro.persistence.store` for whole deployments.
+
+The format is versioned ("v": 1) and round-trip exact: ``load(dump(x))``
+reproduces an equal AST.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+from repro.errors import ReproError
+from repro.relational.algebra import AggSpec
+from repro.relational.expressions import (
+    And,
+    Arith,
+    Col,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Lit,
+    Not,
+    Or,
+)
+from repro.relational.query import Query
+
+__all__ = ["expr_to_json", "expr_from_json", "query_to_json", "query_from_json"]
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """Malformed persisted artifact."""
+
+
+# -- scalars -----------------------------------------------------------------
+
+
+def _value_to_json(value: Any) -> Any:
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise PersistenceError(f"unserializable literal {value!r}")
+
+
+def _value_from_json(payload: Any) -> Any:
+    if isinstance(payload, dict):
+        if set(payload) == {"$date"}:
+            return datetime.date.fromisoformat(payload["$date"])
+        raise PersistenceError(f"unknown scalar wrapper {payload!r}")
+    return payload
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+def expr_to_json(expr: Expr) -> dict[str, Any]:
+    """The JSON form of one expression."""
+    if isinstance(expr, Col):
+        return {"op": "col", "name": expr.name}
+    if isinstance(expr, Lit):
+        return {"op": "lit", "value": _value_to_json(expr.value)}
+    if isinstance(expr, Comparison):
+        return {
+            "op": "cmp",
+            "cmp": expr.op,
+            "left": expr_to_json(expr.left),
+            "right": expr_to_json(expr.right),
+        }
+    if isinstance(expr, And):
+        return {
+            "op": "and",
+            "left": expr_to_json(expr.left),
+            "right": expr_to_json(expr.right),
+        }
+    if isinstance(expr, Or):
+        return {
+            "op": "or",
+            "left": expr_to_json(expr.left),
+            "right": expr_to_json(expr.right),
+        }
+    if isinstance(expr, Not):
+        return {"op": "not", "inner": expr_to_json(expr.inner)}
+    if isinstance(expr, InList):
+        return {
+            "op": "in",
+            "target": expr_to_json(expr.target),
+            "values": [_value_to_json(v) for v in expr.values],
+        }
+    if isinstance(expr, IsNull):
+        return {
+            "op": "isnull",
+            "target": expr_to_json(expr.target),
+            "negated": expr.negated,
+        }
+    if isinstance(expr, Arith):
+        return {
+            "op": "arith",
+            "arith": expr.op,
+            "left": expr_to_json(expr.left),
+            "right": expr_to_json(expr.right),
+        }
+    raise PersistenceError(f"unserializable expression {expr!r}")
+
+
+def expr_from_json(payload: dict[str, Any]) -> Expr:
+    """Rebuild an expression from its JSON form."""
+    try:
+        op = payload["op"]
+    except (TypeError, KeyError):
+        raise PersistenceError(f"not an expression payload: {payload!r}") from None
+    if op == "col":
+        return Col(payload["name"])
+    if op == "lit":
+        return Lit(_value_from_json(payload["value"]))
+    if op == "cmp":
+        return Comparison(
+            payload["cmp"],
+            expr_from_json(payload["left"]),
+            expr_from_json(payload["right"]),
+        )
+    if op == "and":
+        return And(expr_from_json(payload["left"]), expr_from_json(payload["right"]))
+    if op == "or":
+        return Or(expr_from_json(payload["left"]), expr_from_json(payload["right"]))
+    if op == "not":
+        return Not(expr_from_json(payload["inner"]))
+    if op == "in":
+        return InList(
+            expr_from_json(payload["target"]),
+            tuple(_value_from_json(v) for v in payload["values"]),
+        )
+    if op == "isnull":
+        return IsNull(expr_from_json(payload["target"]), payload.get("negated", False))
+    if op == "arith":
+        return Arith(
+            payload["arith"],
+            expr_from_json(payload["left"]),
+            expr_from_json(payload["right"]),
+        )
+    raise PersistenceError(f"unknown expression op {op!r}")
+
+
+# -- queries --------------------------------------------------------------------
+
+
+def query_to_json(query: Query) -> dict[str, Any]:
+    """The JSON form of one query."""
+    payload: dict[str, Any] = {"v": FORMAT_VERSION, "from": query.source}
+    if query.joins:
+        payload["joins"] = [
+            {"table": j.table, "on": [list(pair) for pair in j.on], "how": j.how}
+            for j in query.joins
+        ]
+    if query.where is not None:
+        payload["where"] = expr_to_json(query.where)
+    if query.group_by:
+        payload["group_by"] = list(query.group_by)
+    if query.aggregates:
+        payload["aggregates"] = [
+            {
+                "func": a.func,
+                "column": a.column,
+                "alias": a.alias,
+                "distinct": a.distinct,
+            }
+            for a in query.aggregates
+        ]
+    if query.having is not None:
+        payload["having"] = expr_to_json(query.having)
+    if query.select:
+        payload["select"] = [
+            item
+            if isinstance(item, str)
+            else {"alias": item[0], "expr": expr_to_json(item[1])}
+            for item in query.select
+        ]
+    if query.select_distinct:
+        payload["distinct"] = True
+    if query.order:
+        payload["order"] = [[c, d] for c, d in query.order]
+    if query.limit_n is not None:
+        payload["limit"] = query.limit_n
+    return payload
+
+
+def query_from_json(payload: dict[str, Any]) -> Query:
+    """Rebuild a query from its JSON form."""
+    version = payload.get("v")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(f"unsupported query format version {version!r}")
+    query = Query.from_(payload["from"])
+    for j in payload.get("joins", ()):
+        query = query.join(
+            j["table"], [tuple(pair) for pair in j["on"]], how=j.get("how", "inner")
+        )
+    if "where" in payload:
+        query = query.filter(expr_from_json(payload["where"]))
+    if "group_by" in payload:
+        query = query.group(*payload["group_by"])
+    for a in payload.get("aggregates", ()):
+        query = query.agg(
+            AggSpec(a["func"], a["column"], a["alias"], a.get("distinct", False))
+        )
+    if "having" in payload:
+        query = query.having_(expr_from_json(payload["having"]))
+    if "select" in payload:
+        items = [
+            item
+            if isinstance(item, str)
+            else (item["alias"], expr_from_json(item["expr"]))
+            for item in payload["select"]
+        ]
+        query = query.project(*items)
+    if payload.get("distinct"):
+        query = query.distinct()
+    if "order" in payload:
+        query = query.order_by(*[(c, bool(d)) for c, d in payload["order"]])
+    if "limit" in payload:
+        query = query.limit(payload["limit"])
+    return query

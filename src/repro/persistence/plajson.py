@@ -1,0 +1,167 @@
+"""JSON (de)serialization of annotations, PLAs, and report definitions."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.annotations import (
+    AggregationThreshold,
+    Annotation,
+    AnonymizationRequirement,
+    AttributeAccess,
+    IntegrationPermission,
+    IntensionalCondition,
+    JoinPermission,
+)
+from repro.core.pla import PLA, PlaLevel, PlaStatus
+from repro.persistence.exprjson import (
+    PersistenceError,
+    expr_from_json,
+    expr_to_json,
+    query_from_json,
+    query_to_json,
+)
+from repro.reports.definition import ReportDefinition
+
+__all__ = [
+    "annotation_to_json",
+    "annotation_from_json",
+    "pla_to_json",
+    "pla_from_json",
+    "report_to_json",
+    "report_from_json",
+]
+
+
+def annotation_to_json(annotation: Annotation) -> dict[str, Any]:
+    """The JSON form of one PLA annotation."""
+    if isinstance(annotation, AttributeAccess):
+        return {
+            "kind": "attribute_access",
+            "attribute": annotation.attribute,
+            "allowed_roles": sorted(annotation.allowed_roles),
+        }
+    if isinstance(annotation, AggregationThreshold):
+        return {
+            "kind": "aggregation_threshold",
+            "min_group_size": annotation.min_group_size,
+            "scope": annotation.scope,
+        }
+    if isinstance(annotation, AnonymizationRequirement):
+        return {
+            "kind": "anonymization",
+            "attribute": annotation.attribute,
+            "method": annotation.method,
+            "generalization_level": annotation.generalization_level,
+        }
+    if isinstance(annotation, JoinPermission):
+        return {
+            "kind": "join_permission",
+            "left": annotation.left,
+            "right": annotation.right,
+            "allowed": annotation.allowed,
+        }
+    if isinstance(annotation, IntegrationPermission):
+        return {
+            "kind": "integration_permission",
+            "owner": annotation.owner,
+            "allowed": annotation.allowed,
+        }
+    if isinstance(annotation, IntensionalCondition):
+        return {
+            "kind": "intensional_condition",
+            "attribute": annotation.attribute,
+            "condition": expr_to_json(annotation.condition),
+            "action": annotation.action,
+        }
+    raise PersistenceError(f"unserializable annotation {annotation!r}")
+
+
+def annotation_from_json(payload: dict[str, Any]) -> Annotation:
+    """Rebuild an annotation from its JSON form."""
+    kind = payload.get("kind")
+    if kind == "attribute_access":
+        return AttributeAccess(
+            payload["attribute"], frozenset(payload["allowed_roles"])
+        )
+    if kind == "aggregation_threshold":
+        return AggregationThreshold(
+            payload["min_group_size"], payload.get("scope", "")
+        )
+    if kind == "anonymization":
+        return AnonymizationRequirement(
+            payload["attribute"],
+            payload["method"],
+            payload.get("generalization_level", 0),
+        )
+    if kind == "join_permission":
+        return JoinPermission(payload["left"], payload["right"], payload["allowed"])
+    if kind == "integration_permission":
+        return IntegrationPermission(payload["owner"], payload["allowed"])
+    if kind == "intensional_condition":
+        return IntensionalCondition(
+            payload["attribute"],
+            expr_from_json(payload["condition"]),
+            payload.get("action", "suppress_cell"),
+        )
+    raise PersistenceError(f"unknown annotation kind {kind!r}")
+
+
+def pla_to_json(pla: PLA) -> dict[str, Any]:
+    """The JSON form of one PLA (the inter-institution agreement artifact)."""
+    return {
+        "name": pla.name,
+        "owner": pla.owner,
+        "level": pla.level.value,
+        "target": pla.target,
+        "status": pla.status.value,
+        "version": pla.version,
+        "annotations": [annotation_to_json(a) for a in pla.annotations],
+    }
+
+
+def pla_from_json(payload: dict[str, Any]) -> PLA:
+    """Rebuild a PLA from its JSON form."""
+    try:
+        return PLA(
+            name=payload["name"],
+            owner=payload["owner"],
+            level=PlaLevel(payload["level"]),
+            target=payload["target"],
+            annotations=tuple(
+                annotation_from_json(a) for a in payload["annotations"]
+            ),
+            status=PlaStatus(payload.get("status", "draft")),
+            version=payload.get("version", 1),
+        )
+    except (KeyError, ValueError) as exc:
+        raise PersistenceError(f"malformed PLA payload: {exc}") from exc
+
+
+def report_to_json(report: ReportDefinition) -> dict[str, Any]:
+    """The JSON form of one report definition."""
+    return {
+        "name": report.name,
+        "title": report.title,
+        "query": query_to_json(report.query),
+        "audience": sorted(report.audience),
+        "purpose": report.purpose,
+        "description": report.description,
+        "version": report.version,
+    }
+
+
+def report_from_json(payload: dict[str, Any]) -> ReportDefinition:
+    """Rebuild a report definition from its JSON form."""
+    try:
+        return ReportDefinition(
+            name=payload["name"],
+            title=payload["title"],
+            query=query_from_json(payload["query"]),
+            audience=frozenset(payload["audience"]),
+            purpose=payload["purpose"],
+            description=payload.get("description", ""),
+            version=payload.get("version", 1),
+        )
+    except KeyError as exc:
+        raise PersistenceError(f"malformed report payload: missing {exc}") from exc

@@ -1,0 +1,197 @@
+"""Deployment store: save/load a PLA deployment to a directory.
+
+Layout::
+
+    <root>/
+      manifest.json           # format version + content listing
+      tables/<name>.csv       # base tables (typed-header CSV)
+      metareports.json        # meta-report definitions + attached PLAs
+      plas.json               # the full PLA registry (all versions)
+      reports.json            # report catalog (full version history)
+
+The store covers the *agreement state* — data, meta-reports, PLAs, report
+definitions. Runtime objects (enforcers, subjects, audit logs) are
+reconstructed by the application; the audit log is intentionally excluded
+because its custody rules differ (it belongs to the auditor, not the
+provider's working directory).
+
+**Limitation — lineage granularity.** CSV carries values, not provenance:
+reloaded tables are fresh *base* tables whose lineage points at themselves
+(``warehouse/<table>``), not at the original source rows. Contributor
+*counts* (aggregation thresholds) remain exact, but source-vocabulary
+join-permission checks need the original in-memory deployment or a re-run
+of the ETL. Re-running the flows against the saved source tables restores
+full lineage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.metareport import MetaReport, MetaReportSet
+from repro.core.pla import PlaRegistry
+from repro.persistence.exprjson import (
+    PersistenceError,
+    query_from_json,
+    query_to_json,
+)
+from repro.persistence.plajson import (
+    pla_from_json,
+    pla_to_json,
+    report_from_json,
+    report_to_json,
+)
+from repro.relational.catalog import Catalog
+from repro.relational.io import read_csv, write_csv
+from repro.reports.catalog import ReportCatalog
+
+__all__ = ["save_deployment", "load_deployment", "Deployment"]
+
+FORMAT_VERSION = 1
+
+
+class Deployment:
+    """The loaded agreement state of one BI deployment."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        metareports: MetaReportSet,
+        plas: PlaRegistry,
+        reports: ReportCatalog,
+    ) -> None:
+        self.catalog = catalog
+        self.metareports = metareports
+        self.plas = plas
+        self.reports = reports
+
+
+def save_deployment(
+    root: str | Path,
+    *,
+    catalog: Catalog,
+    metareports: MetaReportSet,
+    plas: PlaRegistry,
+    reports: ReportCatalog,
+) -> Path:
+    """Persist the agreement state under ``root`` (created if missing)."""
+    base = Path(root)
+    (base / "tables").mkdir(parents=True, exist_ok=True)
+
+    table_entries = []
+    for name in catalog.table_names():
+        table = catalog.table(name)
+        write_csv(table, base / "tables" / f"{name}.csv")
+        table_entries.append({"name": name, "provider": table.provider})
+
+    view_entries = [
+        {
+            "name": view_name,
+            "query": query_to_json(catalog.view(view_name).query),
+            "description": catalog.view(view_name).description,
+        }
+        for view_name in catalog.view_names()
+    ]
+
+    metareport_entries = [
+        {
+            "name": metareport.name,
+            "query": query_to_json(metareport.query),
+            "description": metareport.description,
+            "pla": metareport.pla.name if metareport.pla is not None else None,
+            "pla_version": (
+                metareport.pla.version if metareport.pla is not None else None
+            ),
+        }
+        for metareport in metareports
+    ]
+    (base / "metareports.json").write_text(
+        json.dumps(metareport_entries, indent=2)
+    )
+    (base / "plas.json").write_text(
+        json.dumps([pla_to_json(p) for p in plas.plas], indent=2)
+    )
+
+    report_entries = []
+    for name in reports.all_names_ever():
+        for definition in reports.history(name):
+            report_entries.append(report_to_json(definition))
+    (base / "reports.json").write_text(json.dumps(report_entries, indent=2))
+
+    manifest = {
+        "v": FORMAT_VERSION,
+        "tables": table_entries,
+        "views": view_entries,
+        "dropped_reports": list(reports.dropped_names()),
+    }
+    (base / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return base
+
+
+def load_deployment(root: str | Path) -> Deployment:
+    """Load the agreement state saved by :func:`save_deployment`."""
+    base = Path(root)
+    try:
+        manifest = json.loads((base / "manifest.json").read_text())
+    except FileNotFoundError:
+        raise PersistenceError(f"no deployment manifest under {base}") from None
+    if manifest.get("v") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported deployment format {manifest.get('v')!r}"
+        )
+
+    catalog = Catalog()
+    for entry in manifest["tables"]:
+        table = read_csv(
+            base / "tables" / f"{entry['name']}.csv",
+            name=entry["name"],
+            provider=entry["provider"],
+        )
+        catalog.add_table(table)
+    from repro.relational.catalog import View
+
+    for entry in manifest.get("views", ()):
+        catalog.add_view(
+            View(
+                entry["name"],
+                query_from_json(entry["query"]),
+                description=entry.get("description", ""),
+            )
+        )
+
+    plas = PlaRegistry()
+    for payload in json.loads((base / "plas.json").read_text()):
+        plas.add(pla_from_json(payload))
+
+    def latest_pla(name: str, version: int):
+        for pla in plas.plas:
+            if pla.name == name and pla.version == version:
+                return pla
+        raise PersistenceError(f"meta-report references missing PLA {name} v{version}")
+
+    metareports = MetaReportSet()
+    for entry in json.loads((base / "metareports.json").read_text()):
+        metareport = MetaReport(
+            name=entry["name"],
+            query=query_from_json(entry["query"]),
+            description=entry.get("description", ""),
+        )
+        if entry.get("pla"):
+            metareport.pla = latest_pla(entry["pla"], entry["pla_version"])
+        metareports.add(metareport)
+    metareports.register_views(catalog)
+
+    reports = ReportCatalog()
+    for payload in json.loads((base / "reports.json").read_text()):
+        definition = report_from_json(payload)
+        if definition.name in reports:
+            reports.update(definition)
+        else:
+            reports.add(definition)
+    for dropped in manifest.get("dropped_reports", ()):
+        reports.drop(dropped)
+
+    return Deployment(
+        catalog=catalog, metareports=metareports, plas=plas, reports=reports
+    )

@@ -1,0 +1,31 @@
+"""Policy substrate: subjects, P-RBAC baseline, VPD rewriting, intensional metadata."""
+
+from repro.policy.intensional import IntensionalAssociation, MetadataStore
+from repro.policy.rbac import Decision, Obligation, Permission, PRBACPolicy
+from repro.policy.subjects import (
+    AccessContext,
+    Purpose,
+    PurposeTree,
+    Role,
+    SubjectRegistry,
+    User,
+)
+from repro.policy.vpd import ColumnMask, VPDPolicy, VPDRule
+
+__all__ = [
+    "AccessContext",
+    "ColumnMask",
+    "Decision",
+    "IntensionalAssociation",
+    "MetadataStore",
+    "Obligation",
+    "PRBACPolicy",
+    "Permission",
+    "Purpose",
+    "PurposeTree",
+    "Role",
+    "SubjectRegistry",
+    "User",
+    "VPDPolicy",
+    "VPDRule",
+]

@@ -1,0 +1,109 @@
+"""Intensional associations between data and privacy metadata.
+
+Implements the mechanism of §3 (Srivastava & Velegrakis, SIGMOD 2007):
+privacy metadata lives in separate structures, and its association with data
+rows is an *intensional description* — a predicate/query — rather than an
+extensional row list. "If a new HIV patient is inserted in the database,
+his/her data is automatically associated to the privacy restriction without
+any need for additional modification."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import PolicyError
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import Expr
+from repro.relational.table import RowId, Table
+
+__all__ = ["IntensionalAssociation", "MetadataStore"]
+
+
+@dataclass(frozen=True)
+class IntensionalAssociation:
+    """Metadata bound to all rows of a table satisfying a condition.
+
+    ``condition`` may reference any column of the target table, including
+    columns never shown to consumers (the paper's hidden-HIV-column trick).
+    ``metadata`` is an arbitrary payload; PLA layers store restriction
+    descriptors in it.
+    """
+
+    name: str
+    table: str
+    condition: Expr
+    metadata: Mapping[str, Any]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PolicyError("association name must be non-empty")
+
+    def covers(self, row: Mapping[str, Any]) -> bool:
+        """Does this association apply to the given row (as a dict)?"""
+        return bool(self.condition.evaluate(row))
+
+    def matching_rows(self, table: Table) -> tuple[RowId, ...]:
+        """RowIds of ``table`` currently covered — evaluated lazily, so rows
+        inserted after the association was defined are covered automatically."""
+        if table.name != self.table:
+            raise PolicyError(
+                f"association {self.name!r} targets {self.table!r}, got {table.name!r}"
+            )
+        out = []
+        for i in range(len(table.rows)):
+            prov = table.provenance[i]
+            if self.covers(table.row_dict(i)):
+                # Base tables have singleton lineage: their own RowId.
+                out.extend(sorted(prov.lineage))
+        return tuple(out)
+
+    def describe(self) -> str:
+        return f"{self.name}: rows of {self.table} where {self.condition} -> {dict(self.metadata)}"
+
+
+@dataclass
+class MetadataStore:
+    """Registry of intensional associations, queryable per row.
+
+    The store is the "completely different tables from the data" of §3: the
+    source system's tables are untouched, and lookups are computed on demand.
+    """
+
+    associations: list[IntensionalAssociation] = field(default_factory=list)
+
+    def add(self, association: IntensionalAssociation) -> IntensionalAssociation:
+        if any(a.name == association.name for a in self.associations):
+            raise PolicyError(f"association {association.name!r} already defined")
+        self.associations.append(association)
+        return association
+
+    def for_table(self, table_name: str) -> tuple[IntensionalAssociation, ...]:
+        return tuple(a for a in self.associations if a.table == table_name)
+
+    def metadata_for_row(
+        self, table_name: str, row: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Merged metadata of every association covering ``row``.
+
+        Later associations win on key conflicts (declaration order is
+        precedence order, mirroring policy-stacking practice).
+        """
+        merged: dict[str, Any] = {}
+        for assoc in self.for_table(table_name):
+            if assoc.covers(row):
+                merged.update(assoc.metadata)
+        return merged
+
+    def covered_row_ids(self, catalog: Catalog) -> dict[str, frozenset[RowId]]:
+        """Per association name, the RowIds currently covered in ``catalog``."""
+        out: dict[str, frozenset[RowId]] = {}
+        for assoc in self.associations:
+            if assoc.table in catalog and catalog.is_table(assoc.table):
+                out[assoc.name] = frozenset(
+                    assoc.matching_rows(catalog.table(assoc.table))
+                )
+            else:
+                out[assoc.name] = frozenset()
+        return out

@@ -1,0 +1,163 @@
+"""Purpose-aware role-based access control (P-RBAC) baseline.
+
+This is the conventional mechanism the paper's §1 contrasts against:
+P3P/EPAL/XACML-style purpose authorizations and P-RBAC (Ni et al., SACMAT
+2007) permissions of the form *(role, relation, columns, purpose, context
+condition, obligations)*. It is deliberately faithful to what those languages
+can say — and therefore cannot say: nothing about aggregation thresholds
+over contributor sets, instance-specific (data-valued) conditions evaluated
+inside reports, join prohibitions across sources, or integration/cleaning
+permissions. :meth:`PRBACPolicy.can_express` makes that gap measurable
+(benchmark ABL-PBAC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import PolicyError
+from repro.policy.subjects import AccessContext, PurposeTree, Role
+
+__all__ = ["Obligation", "Permission", "Decision", "PRBACPolicy"]
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """An action the consumer must perform after access (notify, delete...)."""
+
+    action: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.action}({self.detail})" if self.detail else self.action
+
+
+@dataclass(frozen=True)
+class Permission:
+    """One P-RBAC grant: a role may read columns of a relation for a purpose.
+
+    ``context_condition`` is a predicate over *context attributes* (a
+    name→value dict describing the request environment), not over data rows —
+    this is exactly the P-RBAC notion of condition, and the root of the
+    expressiveness gap the paper points at.
+    """
+
+    role: Role
+    relation: str
+    columns: frozenset[str]  # empty set = all columns
+    purpose: str
+    context_condition: tuple[tuple[str, str], ...] = ()  # (attr, required value)
+    obligations: tuple[Obligation, ...] = ()
+
+    def covers_columns(self, requested: Iterable[str]) -> bool:
+        if not self.columns:
+            return True
+        return set(requested) <= self.columns
+
+    def condition_holds(self, context_attrs: dict[str, str]) -> bool:
+        return all(
+            context_attrs.get(attr) == value
+            for attr, value in self.context_condition
+        )
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of a policy check."""
+
+    allowed: bool
+    reason: str
+    obligations: tuple[Obligation, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+@dataclass
+class PRBACPolicy:
+    """A set of P-RBAC permissions with purpose-tree semantics."""
+
+    purposes: PurposeTree
+    permissions: list[Permission] = field(default_factory=list)
+
+    def grant(
+        self,
+        role: Role | str,
+        relation: str,
+        columns: Iterable[str] = (),
+        *,
+        purpose: str,
+        context_condition: dict[str, str] | None = None,
+        obligations: Iterable[Obligation] = (),
+    ) -> Permission:
+        """Add a permission; the purpose must be declared in the tree."""
+        if purpose not in self.purposes:
+            raise PolicyError(f"undeclared purpose {purpose!r}")
+        perm = Permission(
+            role=role if isinstance(role, Role) else Role(role),
+            relation=relation,
+            columns=frozenset(columns),
+            purpose=purpose,
+            context_condition=tuple(sorted((context_condition or {}).items())),
+            obligations=tuple(obligations),
+        )
+        self.permissions.append(perm)
+        return perm
+
+    def check(
+        self,
+        context: AccessContext,
+        relation: str,
+        columns: Iterable[str],
+        *,
+        context_attrs: dict[str, str] | None = None,
+    ) -> Decision:
+        """May ``context`` read ``columns`` of ``relation``?
+
+        A single permission must cover the whole column set (P-RBAC grants
+        are per-object, not combinable column-by-column across purposes).
+        """
+        requested = list(columns)
+        attrs = context_attrs or {}
+        for perm in self.permissions:
+            if perm.relation != relation:
+                continue
+            if not context.user.has_role(perm.role):
+                continue
+            if not self.purposes.allows(perm.purpose, context.purpose.name):
+                continue
+            if not perm.covers_columns(requested):
+                continue
+            if not perm.condition_holds(attrs):
+                continue
+            return Decision(
+                True,
+                f"permitted by grant to role {perm.role} for purpose {perm.purpose}",
+                perm.obligations,
+            )
+        return Decision(False, f"no grant covers {relation}:{sorted(requested)}")
+
+    # -- expressiveness probe (benchmark ABL-PBAC) -------------------------
+
+    #: PLA requirement kinds P-RBAC can state as directly testable checks.
+    EXPRESSIBLE_KINDS = frozenset({"attribute_access"})
+
+    #: Kinds it can gesture at via purposes/obligations but cannot *test*
+    #: against a concrete report (no data-level or lineage-level hooks).
+    APPROXIMATE_KINDS = frozenset({"integration_permission"})
+
+    @classmethod
+    def can_express(cls, requirement_kind: str) -> str:
+        """Classify a PLA requirement kind: ``testable``/``approximate``/``inexpressible``.
+
+        The five kinds are the paper's §5 annotation list:
+        ``attribute_access``, ``aggregation_threshold``, ``anonymization``,
+        ``join_permission``, ``integration_permission`` — plus
+        ``intensional_condition`` for instance-specific predicates.
+        """
+        if requirement_kind in cls.EXPRESSIBLE_KINDS:
+            return "testable"
+        if requirement_kind in cls.APPROXIMATE_KINDS:
+            return "approximate"
+        return "inexpressible"

@@ -1,0 +1,149 @@
+"""Subjects of privacy policies: users, roles, purposes, access contexts.
+
+The paper's information consumers are report users acting in roles
+(health-agency analyst, auditor, municipality official) for declared
+purposes (reimbursement, quality-of-care analysis, epidemiology...).
+Purposes form a tree, as in purpose-based access control (P-RBAC): an
+authorization for a purpose covers its sub-purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PolicyError
+
+__all__ = ["Role", "User", "Purpose", "PurposeTree", "AccessContext", "SubjectRegistry"]
+
+
+@dataclass(frozen=True)
+class Role:
+    """A named role; users hold roles, PLAs grant access to roles."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PolicyError("role name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class User:
+    """A report consumer with a set of roles."""
+
+    name: str
+    roles: frozenset[Role] = frozenset()
+
+    def has_role(self, role: Role | str) -> bool:
+        wanted = role if isinstance(role, Role) else Role(role)
+        return wanted in self.roles
+
+
+@dataclass(frozen=True)
+class Purpose:
+    """A node in the purpose tree, named by its path (e.g. ``admin/reimbursement``)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PolicyError("purpose name must be non-empty")
+
+    def is_descendant_of(self, other: "Purpose") -> bool:
+        """True if ``self`` equals ``other`` or lies under it in the tree."""
+        return self.name == other.name or self.name.startswith(other.name + "/")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class PurposeTree:
+    """Registry of declared purposes with containment queries."""
+
+    def __init__(self, purposes: list[str] | None = None) -> None:
+        self._purposes: dict[str, Purpose] = {}
+        for name in purposes or []:
+            self.declare(name)
+
+    def declare(self, name: str) -> Purpose:
+        """Declare a purpose (and implicitly its ancestors)."""
+        parts = name.split("/")
+        for i in range(1, len(parts) + 1):
+            prefix = "/".join(parts[:i])
+            self._purposes.setdefault(prefix, Purpose(prefix))
+        return self._purposes[name]
+
+    def get(self, name: str) -> Purpose:
+        try:
+            return self._purposes[name]
+        except KeyError:
+            raise PolicyError(f"undeclared purpose {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._purposes
+
+    def all_purposes(self) -> tuple[Purpose, ...]:
+        return tuple(sorted(self._purposes.values(), key=lambda p: p.name))
+
+    def allows(self, granted: str, requested: str) -> bool:
+        """Does a grant for ``granted`` cover a request for ``requested``?"""
+        return self.get(requested).is_descendant_of(self.get(granted))
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """Who is asking, and why: the evaluation context of every policy check."""
+
+    user: User
+    purpose: Purpose
+
+    def describe(self) -> str:
+        roles = ",".join(sorted(r.name for r in self.user.roles)) or "-"
+        return f"{self.user.name}[{roles}] for {self.purpose}"
+
+
+@dataclass
+class SubjectRegistry:
+    """All declared users, roles, and purposes of one BI deployment."""
+
+    purposes: PurposeTree = field(default_factory=PurposeTree)
+    _users: dict[str, User] = field(default_factory=dict)
+    _roles: dict[str, Role] = field(default_factory=dict)
+
+    def add_role(self, name: str) -> Role:
+        role = Role(name)
+        self._roles[name] = role
+        return role
+
+    def add_user(self, name: str, *roles: str) -> User:
+        for role in roles:
+            if role not in self._roles:
+                raise PolicyError(f"undeclared role {role!r} for user {name!r}")
+        user = User(name, frozenset(Role(r) for r in roles))
+        self._users[name] = user
+        return user
+
+    def user(self, name: str) -> User:
+        try:
+            return self._users[name]
+        except KeyError:
+            raise PolicyError(f"unknown user {name!r}") from None
+
+    def role(self, name: str) -> Role:
+        try:
+            return self._roles[name]
+        except KeyError:
+            raise PolicyError(f"unknown role {name!r}") from None
+
+    def context(self, user: str, purpose: str) -> AccessContext:
+        """Build an access context from registered names."""
+        return AccessContext(self.user(user), self.purposes.get(purpose))
+
+    def users(self) -> tuple[User, ...]:
+        return tuple(self._users[name] for name in sorted(self._users))
+
+    def roles(self) -> tuple[Role, ...]:
+        return tuple(self._roles[name] for name in sorted(self._roles))

@@ -1,0 +1,176 @@
+"""Virtual-Private-Database-style automatic query rewriting.
+
+The paper's §3 lists "automatic query rewriting techniques, such as those
+found in commercial databases like Oracle Virtual Private Database (VPD) or
+in the Hippocratic Database" as source-level enforcement mechanisms. This
+module implements that mechanism over our engine: per-relation row-level
+predicates (possibly context-dependent) and column masks are injected into
+every query before execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import PolicyError, QueryError
+from repro.policy.subjects import AccessContext
+from repro.relational.catalog import Catalog
+from repro.relational.engine import execute
+from repro.relational.expressions import Expr, Lit
+from repro.relational.query import Query
+from repro.relational.table import Table
+
+__all__ = ["ColumnMask", "VPDRule", "VPDPolicy"]
+
+PredicateFactory = Callable[[AccessContext], Expr | None]
+
+
+@dataclass(frozen=True)
+class ColumnMask:
+    """Replace a column's values with a constant (default NULL) on read."""
+
+    column: str
+    replacement: object = None
+
+    def as_select_item(self) -> tuple[str, Expr]:
+        return (self.column, Lit(self.replacement))
+
+
+@dataclass
+class VPDRule:
+    """Row predicate and column masks applied to one relation.
+
+    ``predicate`` may be a fixed expression or a factory called with the
+    access context (Oracle VPD's policy function); returning ``None`` means
+    "no row restriction for this context".
+    """
+
+    relation: str
+    predicate: Expr | PredicateFactory | None = None
+    masks: tuple[ColumnMask, ...] = ()
+    exempt_roles: frozenset[str] = frozenset()
+
+    def predicate_for(self, context: AccessContext) -> Expr | None:
+        if any(context.user.has_role(role) for role in self.exempt_roles):
+            return None
+        if self.predicate is None:
+            return None
+        if isinstance(self.predicate, Expr):
+            return self.predicate
+        return self.predicate(context)
+
+    def masks_for(self, context: AccessContext) -> tuple[ColumnMask, ...]:
+        if any(context.user.has_role(role) for role in self.exempt_roles):
+            return ()
+        return self.masks
+
+
+@dataclass
+class VPDPolicy:
+    """A set of VPD rules plus the rewrite/execute entry points."""
+
+    rules: dict[str, VPDRule] = field(default_factory=dict)
+
+    def add_rule(self, rule: VPDRule) -> VPDRule:
+        if rule.relation in self.rules:
+            raise PolicyError(f"VPD rule for {rule.relation!r} already exists")
+        self.rules[rule.relation] = rule
+        return rule
+
+    def rewrite(self, query: Query, catalog: Catalog, context: AccessContext) -> Query:
+        """Inject predicates/masks for every *base* relation the query touches.
+
+        Predicates attach at the outer WHERE (sound for inner joins and for
+        the FROM relation; rules over the null-extended side of a left join
+        are rejected rather than silently weakened).
+        """
+        rewritten = query
+        for position, relation in enumerate(query.referenced_relations()):
+            bases = catalog.base_relations(relation)
+            for base in sorted(bases):
+                rule = self.rules.get(base)
+                if rule is None:
+                    continue
+                if position > 0 and query.joins[position - 1].how == "left":
+                    raise QueryError(
+                        f"VPD rule on {base!r} cannot be enforced on the "
+                        "null-extended side of a LEFT JOIN; rewrite the query"
+                    )
+                predicate = rule.predicate_for(context)
+                if predicate is not None:
+                    rewritten = rewritten.filter(predicate)
+                rewritten = self._apply_masks(
+                    rewritten, rule.masks_for(context), catalog, relation
+                )
+        return rewritten
+
+    def _apply_masks(
+        self,
+        query: Query,
+        masks: tuple[ColumnMask, ...],
+        catalog: Catalog,
+        relation: str,
+    ) -> Query:
+        if not masks:
+            return query
+        masked_names = {m.column for m in masks}
+        if query.is_aggregate:
+            # Masked columns must not feed aggregates or grouping at all.
+            used = set(query.group_by) | {
+                a.column for a in query.aggregates if a.column is not None
+            }
+            blocked = used & masked_names
+            if blocked:
+                raise QueryError(
+                    f"query aggregates over masked column(s) {sorted(blocked)}"
+                )
+            return query
+        if query.select:
+            new_items = []
+            for item in query.select:
+                if isinstance(item, str) and item in masked_names:
+                    mask = next(m for m in masks if m.column == item)
+                    new_items.append(mask.as_select_item())
+                elif not isinstance(item, str) and (
+                    item[1].columns() & masked_names
+                ):
+                    raise QueryError(
+                        f"computed column {item[0]!r} reads masked column(s)"
+                    )
+                else:
+                    new_items.append(item)
+            return query.project(*new_items)
+        # SELECT *: expand to the relation's full column list, masking as we go.
+        names = self._output_names(catalog, relation)
+        items: list[str | tuple[str, Expr]] = []
+        for name in names:
+            if name in masked_names:
+                mask = next(m for m in masks if m.column == name)
+                items.append(mask.as_select_item())
+            else:
+                items.append(name)
+        return query.project(*items)
+
+    @staticmethod
+    def _output_names(catalog: Catalog, relation: str) -> tuple[str, ...]:
+        if catalog.is_table(relation):
+            return catalog.table(relation).schema.names
+        view_query = catalog.view(relation).query
+        names = view_query.output_names()
+        if names is None:
+            raise QueryError(
+                f"cannot expand SELECT * through view {relation!r} with SELECT *"
+            )
+        return names
+
+    def run(
+        self,
+        query: Query,
+        catalog: Catalog,
+        context: AccessContext,
+        *,
+        name: str | None = None,
+    ) -> Table:
+        """Rewrite then execute — the VPD enforcement point."""
+        return execute(self.rewrite(query, catalog, context), catalog, name=name)

@@ -1,0 +1,145 @@
+"""Dataset-level provenance graphs for the elicitation tool model.
+
+Section 5 of the paper envisions an elicitation GUI "which enables the BI
+provider to explain the provenance of each data element and the
+transformations/integrations it goes through". This module records that
+dataset/transformation DAG as ETL flows and report generation run, and can
+render per-element provenance explanations for a source owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ProvenanceError
+
+__all__ = ["ProvenanceGraph", "DatasetNode", "TransformNode"]
+
+
+@dataclass(frozen=True)
+class DatasetNode:
+    """A dataset (source table, staging table, warehouse table, report)."""
+
+    name: str
+    kind: str  # "source" | "staging" | "warehouse" | "metareport" | "report"
+    owner: str = ""
+
+    def label(self) -> str:
+        suffix = f" [{self.owner}]" if self.owner else ""
+        return f"{self.kind}:{self.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class TransformNode:
+    """A transformation step (ETL operator, report query)."""
+
+    name: str
+    operation: str  # e.g. "clean", "entity_resolution", "join", "aggregate"
+    detail: str = ""
+
+    def label(self) -> str:
+        return f"{self.operation}:{self.name}"
+
+
+@dataclass
+class ProvenanceGraph:
+    """A bipartite DAG of datasets and the transformations between them."""
+
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    def add_dataset(self, node: DatasetNode) -> DatasetNode:
+        self.graph.add_node(node, node_type="dataset")
+        return node
+
+    def add_transform(
+        self,
+        transform: TransformNode,
+        inputs: list[DatasetNode],
+        output: DatasetNode,
+    ) -> TransformNode:
+        """Record that ``transform`` consumed ``inputs`` and produced ``output``."""
+        if not inputs:
+            raise ProvenanceError("a transformation must have at least one input")
+        self.graph.add_node(transform, node_type="transform")
+        self.graph.add_node(output, node_type="dataset")
+        for dataset in inputs:
+            self.graph.add_node(dataset, node_type="dataset")
+            self.graph.add_edge(dataset, transform)
+        self.graph.add_edge(transform, output)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            self.graph.remove_node(transform)
+            raise ProvenanceError(
+                f"adding transform {transform.name!r} would create a cycle"
+            )
+        return transform
+
+    def dataset(self, name: str) -> DatasetNode:
+        """Find a dataset node by name."""
+        for node in self.graph.nodes:
+            if isinstance(node, DatasetNode) and node.name == name:
+                return node
+        raise ProvenanceError(f"no dataset named {name!r} in provenance graph")
+
+    def upstream_datasets(self, name: str) -> tuple[DatasetNode, ...]:
+        """All datasets the named dataset (transitively) derives from."""
+        target = self.dataset(name)
+        ancestors = nx.ancestors(self.graph, target)
+        return tuple(
+            sorted(
+                (n for n in ancestors if isinstance(n, DatasetNode)),
+                key=lambda n: (n.kind, n.name),
+            )
+        )
+
+    def downstream_datasets(self, name: str) -> tuple[DatasetNode, ...]:
+        """All datasets (transitively) derived from the named dataset."""
+        source = self.dataset(name)
+        descendants = nx.descendants(self.graph, source)
+        return tuple(
+            sorted(
+                (n for n in descendants if isinstance(n, DatasetNode)),
+                key=lambda n: (n.kind, n.name),
+            )
+        )
+
+    def transformations_between(self, source: str, target: str) -> tuple[TransformNode, ...]:
+        """Transformations on some path from ``source`` to ``target``."""
+        src = self.dataset(source)
+        dst = self.dataset(target)
+        transforms: list[TransformNode] = []
+        seen: set[TransformNode] = set()
+        for path in nx.all_simple_paths(self.graph, src, dst):
+            for node in path:
+                if isinstance(node, TransformNode) and node not in seen:
+                    seen.add(node)
+                    transforms.append(node)
+        return tuple(transforms)
+
+    def explain(self, report: str) -> str:
+        """Owner-facing explanation of where a report's data comes from.
+
+        This is the textual stand-in for the paper's elicitation GUI: it
+        lists the source datasets feeding the report and every
+        transformation applied along the way.
+        """
+        target = self.dataset(report)
+        sources = [n for n in self.upstream_datasets(report) if n.kind == "source"]
+        lines = [f"Report {target.name!r} is computed from:"]
+        for src in sources:
+            lines.append(f"  - {src.label()}")
+            for transform in self.transformations_between(src.name, report):
+                detail = f" ({transform.detail})" if transform.detail else ""
+                lines.append(f"      via {transform.label()}{detail}")
+        if len(lines) == 1:
+            lines.append("  (no recorded sources)")
+        return "\n".join(lines)
+
+    def owners_involved(self, report: str) -> frozenset[str]:
+        """Owners whose source data reaches the named report."""
+        return frozenset(
+            node.owner
+            for node in self.upstream_datasets(report)
+            if node.kind == "source" and node.owner
+        )

@@ -1,0 +1,95 @@
+"""Lineage tracing over derived tables (Cui–Widom style, annotation-carried).
+
+Because every operator in :mod:`repro.relational.algebra` propagates the
+contributing base-row set, tracing the lineage of a derived row is a lookup,
+not a recomputation. This module adds the query-side conveniences the paper's
+auditing and elicitation discussions need:
+
+* trace one output row back to the base rows per source table;
+* invert the relation: which output rows does a given base row influence
+  (the "what does the BI provider show that depends on my record" question);
+* summarize a table's base footprint per provider, which quantifies
+  *over-engineering* (constraints elicited on data the reports never touch).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ProvenanceError
+from repro.relational.table import RowId, Table
+
+__all__ = ["LineageTrace", "trace_row", "rows_influenced_by", "base_footprint"]
+
+
+@dataclass(frozen=True)
+class LineageTrace:
+    """The lineage of one derived row, grouped by ``(provider, table)``."""
+
+    row_index: int
+    by_relation: Mapping[tuple[str, str], tuple[RowId, ...]]
+
+    @property
+    def base_rows(self) -> frozenset[RowId]:
+        """All contributing base rows, ungrouped."""
+        out: set[RowId] = set()
+        for rows in self.by_relation.values():
+            out.update(rows)
+        return frozenset(out)
+
+    @property
+    def contributor_count(self) -> int:
+        """Number of distinct contributing base rows.
+
+        This is the quantity an aggregation-threshold PLA constrains ("how
+        many base elements should be present before the aggregation").
+        """
+        return len(self.base_rows)
+
+    def relations(self) -> tuple[tuple[str, str], ...]:
+        """The ``(provider, table)`` pairs this row draws from, sorted."""
+        return tuple(sorted(self.by_relation))
+
+    def describe(self) -> str:
+        """Human-readable summary for elicitation/audit displays."""
+        parts = [
+            f"{provider}/{table}: {len(rows)} row(s)"
+            for (provider, table), rows in sorted(self.by_relation.items())
+        ]
+        return f"row {self.row_index} <- " + "; ".join(parts)
+
+
+def trace_row(table: Table, row_index: int) -> LineageTrace:
+    """Trace derived row ``row_index`` of ``table`` back to its base rows."""
+    if not 0 <= row_index < len(table.rows):
+        raise ProvenanceError(
+            f"row index {row_index} out of range for table with {len(table.rows)} rows"
+        )
+    grouped: dict[tuple[str, str], list[RowId]] = defaultdict(list)
+    for row_id in sorted(table.lineage_of(row_index)):
+        grouped[(row_id.provider, row_id.table)].append(row_id)
+    return LineageTrace(
+        row_index=row_index,
+        by_relation={key: tuple(rows) for key, rows in grouped.items()},
+    )
+
+
+def rows_influenced_by(table: Table, base_row: RowId) -> tuple[int, ...]:
+    """Indices of derived rows in ``table`` whose lineage includes ``base_row``.
+
+    This answers the data subject's question: which delivered report rows
+    depend on my record? It is the primitive disclosure audits are built on.
+    """
+    return tuple(
+        i for i in range(len(table.rows)) if base_row in table.lineage_of(i)
+    )
+
+
+def base_footprint(table: Table) -> dict[tuple[str, str], int]:
+    """Per ``(provider, table)`` count of distinct base rows ``table`` uses."""
+    grouped: dict[tuple[str, str], set[RowId]] = defaultdict(set)
+    for row_id in table.all_lineage():
+        grouped[(row_id.provider, row_id.table)].add(row_id)
+    return {key: len(rows) for key, rows in sorted(grouped.items())}

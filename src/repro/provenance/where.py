@@ -1,0 +1,76 @@
+"""Where-provenance queries (Buneman/Tan style, annotation-propagated).
+
+Where-provenance answers, for a single *cell* of a derived table, which base
+cells its value was **copied** from. Values produced by computation
+(aggregates, arithmetic) are not copies; for those the engine records the
+set of base cells they *derive from* instead, and :func:`classify_cell`
+distinguishes the two cases.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ProvenanceError
+from repro.relational.table import CellRef, Table
+
+__all__ = ["CellOrigin", "CellProvenance", "where_of_cell", "classify_cell"]
+
+
+class CellOrigin(enum.Enum):
+    """How a derived cell relates to base data."""
+
+    COPIED = "copied"  # value copied verbatim from exactly one base cell
+    MERGED = "merged"  # copied from several base cells (dedup/union)
+    DERIVED = "derived"  # computed from base cells (aggregate, arithmetic)
+    OPAQUE = "opaque"  # no recorded base cells (constants, synthetics)
+
+
+@dataclass(frozen=True)
+class CellProvenance:
+    """Provenance of one derived cell."""
+
+    column: str
+    row_index: int
+    origin: CellOrigin
+    sources: tuple[CellRef, ...]
+
+    def describe(self) -> str:
+        if self.origin is CellOrigin.OPAQUE:
+            return f"{self.column}[{self.row_index}]: no base origin"
+        refs = ", ".join(str(ref) for ref in self.sources)
+        return f"{self.column}[{self.row_index}] {self.origin.value} from {refs}"
+
+
+def where_of_cell(table: Table, row_index: int, column: str) -> frozenset[CellRef]:
+    """Base cells recorded for cell ``(row_index, column)`` of ``table``."""
+    if not 0 <= row_index < len(table.rows):
+        raise ProvenanceError(
+            f"row index {row_index} out of range for table with {len(table.rows)} rows"
+        )
+    table.schema.column(column)  # raises SchemaError on unknown column
+    return table.provenance[row_index].where_of(column)
+
+
+def classify_cell(table: Table, row_index: int, column: str) -> CellProvenance:
+    """Classify one cell's relation to its base cells.
+
+    A cell is COPIED/MERGED only if its current value *equals* the recorded
+    source reference count pattern: one source ref → copied, several →
+    merged. If the engine recorded source cells but the value was produced
+    by an expression or aggregate (project/aggregate mark these the same
+    way), callers that need exactness should treat MERGED/DERIVED alike;
+    the classification here is based on ref cardinality and column identity.
+    """
+    refs = sorted(where_of_cell(table, row_index, column))
+    if not refs:
+        return CellProvenance(column, row_index, CellOrigin.OPAQUE, ())
+    same_column = all(ref.column == column.split(".")[-1] or ref.column == column for ref in refs)
+    if len(refs) == 1 and same_column:
+        origin = CellOrigin.COPIED
+    elif same_column:
+        origin = CellOrigin.MERGED
+    else:
+        origin = CellOrigin.DERIVED
+    return CellProvenance(column, row_index, origin, tuple(refs))

@@ -1,0 +1,93 @@
+"""In-memory relational engine with provenance propagation.
+
+This is the substrate every other subsystem builds on: typed schemas, tables
+whose rows carry why/where-provenance, a relational algebra, a logical query
+AST with a fluent builder, views, a catalog, an executor, and a SQL-subset
+parser.
+"""
+
+from repro.relational.algebra import (
+    AggSpec,
+    aggregate,
+    distinct,
+    extend,
+    join,
+    limit,
+    order_by,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.catalog import Catalog, View
+from repro.relational.engine import Engine, execute
+from repro.relational.io import dumps_csv, loads_csv, read_csv, write_csv
+from repro.relational.expressions import (
+    And,
+    Arith,
+    Col,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Lit,
+    Not,
+    Or,
+    col,
+    conjuncts,
+    lit,
+)
+from repro.relational.query import JoinClause, Query
+from repro.relational.schema import Column, Schema
+from repro.relational.sqlparser import parse_expression, parse_query
+from repro.relational.table import CellRef, RowId, RowProvenance, Table, make_schema
+from repro.relational.types import ColumnType, coerce_value, parse_date
+
+__all__ = [
+    "AggSpec",
+    "And",
+    "Arith",
+    "Catalog",
+    "CellRef",
+    "Col",
+    "Column",
+    "ColumnType",
+    "Comparison",
+    "Engine",
+    "Expr",
+    "InList",
+    "IsNull",
+    "JoinClause",
+    "Lit",
+    "Not",
+    "Or",
+    "Query",
+    "RowId",
+    "RowProvenance",
+    "Schema",
+    "Table",
+    "View",
+    "aggregate",
+    "coerce_value",
+    "col",
+    "conjuncts",
+    "distinct",
+    "dumps_csv",
+    "execute",
+    "extend",
+    "join",
+    "limit",
+    "lit",
+    "loads_csv",
+    "make_schema",
+    "order_by",
+    "parse_date",
+    "parse_expression",
+    "parse_query",
+    "project",
+    "read_csv",
+    "rename",
+    "select",
+    "union",
+    "write_csv",
+]

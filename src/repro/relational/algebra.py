@@ -1,0 +1,449 @@
+"""Relational algebra operators with provenance propagation.
+
+Each operator is a pure function ``Table → Table`` (or ``Table × Table →
+Table``). Lineage (why-provenance) and where-provenance flow through every
+operator per the rules of Cui–Widom lineage tracing:
+
+* ``select``/``limit``/``order``/``distinct`` keep each surviving row's
+  provenance (distinct unions the provenance of merged duplicates);
+* ``project`` keeps lineage, remaps where-provenance through column aliases
+  (computed expressions copy nothing, so their where set is the union of the
+  inputs' where sets — they *derive from* but are not *copied from*);
+* ``join`` merges the two sides' provenance per output row;
+* ``aggregate`` gives each group the union of its members' lineage — the
+  contributor set whose size an aggregation-threshold PLA constrains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import QueryError, SchemaError
+from repro.relational.expressions import Col, Expr
+from repro.relational.schema import Column, Schema
+from repro.relational.table import RowProvenance, Table
+from repro.relational.types import ColumnType
+
+__all__ = [
+    "select",
+    "project",
+    "extend",
+    "join",
+    "union",
+    "distinct",
+    "aggregate",
+    "order_by",
+    "limit",
+    "rename",
+    "AggSpec",
+    "AGGREGATE_FUNCTIONS",
+]
+
+
+def select(table: Table, predicate: Expr, *, name: str | None = None) -> Table:
+    """Rows of ``table`` satisfying ``predicate``."""
+    missing = predicate.columns() - set(table.schema.names)
+    if missing:
+        raise QueryError(f"predicate references unknown columns {sorted(missing)}")
+    rows: list[tuple[Any, ...]] = []
+    provs: list[RowProvenance] = []
+    names = table.schema.names
+    for row, prov in zip(table.rows, table.provenance):
+        if predicate.evaluate(dict(zip(names, row))):
+            rows.append(row)
+            provs.append(prov)
+    return Table.derived(name or table.name, table.schema, rows, provs)
+
+
+def project(
+    table: Table,
+    columns: Sequence[str | tuple[str, Expr]],
+    *,
+    name: str | None = None,
+) -> Table:
+    """Project to plain columns and/or computed ``(alias, expr)`` columns."""
+    out_cols: list[Column] = []
+    extractors: list[tuple[str, Expr, bool]] = []  # (alias, expr, is_copy)
+    for spec in columns:
+        if isinstance(spec, str):
+            out_cols.append(table.schema.column(spec))
+            extractors.append((spec, Col(spec), True))
+        else:
+            alias, expr = spec
+            if isinstance(expr, Col):
+                src = table.schema.column(expr.name)
+                out_cols.append(Column(alias, src.ctype, src.nullable))
+                extractors.append((alias, expr, True))
+            else:
+                out_cols.append(Column(alias, _infer_type(expr, table.schema)))
+                extractors.append((alias, expr, False))
+    schema = Schema(out_cols)
+    rows: list[tuple[Any, ...]] = []
+    provs: list[RowProvenance] = []
+    names = table.schema.names
+    for row, prov in zip(table.rows, table.provenance):
+        row_dict = dict(zip(names, row))
+        values = []
+        where: dict[str, Any] = {}
+        for alias, expr, is_copy in extractors:
+            values.append(expr.evaluate(row_dict))
+            if is_copy:
+                assert isinstance(expr, Col)
+                where[alias] = prov.where_of(expr.name)
+            else:
+                derived: set = set()
+                for src_col in expr.columns():
+                    derived.update(prov.where_of(src_col))
+                where[alias] = frozenset(derived)
+        rows.append(tuple(values))
+        provs.append(RowProvenance(lineage=prov.lineage, where=where))
+    return Table.derived(name or table.name, schema, rows, provs)
+
+
+def extend(
+    table: Table,
+    additions: Sequence[tuple[str, Expr]],
+    *,
+    name: str | None = None,
+) -> Table:
+    """Append computed columns while keeping every existing column."""
+    specs: list[str | tuple[str, Expr]] = list(table.schema.names)
+    specs.extend(additions)
+    return project(table, specs, name=name)
+
+
+def rename(table: Table, mapping: dict[str, str], *, name: str | None = None) -> Table:
+    """Rename columns per ``mapping`` (old→new)."""
+    schema = table.schema.rename(mapping)
+    provs = []
+    new_to_old = {mapping.get(c, c): c for c in table.schema.names}
+    for prov in table.provenance:
+        provs.append(prov.projected(new_to_old))
+    return Table.derived(name or table.name, schema, list(table.rows), provs)
+
+
+def join(
+    left: Table,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    *,
+    how: str = "inner",
+    name: str | None = None,
+) -> Table:
+    """Hash equi-join of ``left`` and ``right`` on ``(left_col, right_col)`` pairs.
+
+    ``how`` is ``"inner"`` or ``"left"``. Name collisions between the two
+    sides are qualified as ``<table>.<column>``.
+    """
+    if how not in ("inner", "left"):
+        raise QueryError(f"unsupported join type {how!r}")
+    if not on:
+        raise QueryError("join requires at least one equality pair")
+    for lcol, rcol in on:
+        left.schema.column(lcol)
+        right.schema.column(rcol)
+
+    schema = left.schema.concat(right.schema, disambiguate=(left.name, right.name))
+    if how == "left":
+        # Right-side columns become nullable in a left outer join.
+        n_left = len(left.schema)
+        schema = Schema(
+            list(schema.columns[:n_left])
+            + [c.as_nullable() for c in schema.columns[n_left:]]
+        )
+    collisions = set(left.schema.names) & set(right.schema.names)
+
+    right_key_idx = [right.schema.index_of(rcol) for _, rcol in on]
+    buckets: dict[tuple[Any, ...], list[int]] = {}
+    for i, row in enumerate(right.rows):
+        key = tuple(row[k] for k in right_key_idx)
+        if any(v is None for v in key):
+            continue
+        buckets.setdefault(key, []).append(i)
+
+    left_key_idx = [left.schema.index_of(lcol) for lcol, _ in on]
+    null_right = (None,) * len(right.schema)
+    rows: list[tuple[Any, ...]] = []
+    provs: list[RowProvenance] = []
+
+    def requalify(prov: RowProvenance, side: Table) -> RowProvenance:
+        if not collisions:
+            return prov
+        where = {
+            (f"{side.name}.{c}" if c in collisions else c): refs
+            for c, refs in prov.where.items()
+        }
+        return RowProvenance(lineage=prov.lineage, where=where)
+
+    for i, lrow in enumerate(left.rows):
+        key = tuple(lrow[k] for k in left_key_idx)
+        matches = [] if any(v is None for v in key) else buckets.get(key, [])
+        lprov = requalify(left.provenance[i], left)
+        if matches:
+            for j in matches:
+                rows.append(lrow + right.rows[j])
+                provs.append(lprov.merged(requalify(right.provenance[j], right)))
+        elif how == "left":
+            rows.append(lrow + null_right)
+            provs.append(lprov)
+    return Table.derived(name or f"{left.name}_{right.name}", schema, rows, provs)
+
+
+def union(first: Table, second: Table, *, name: str | None = None) -> Table:
+    """Bag union; schemas must agree on names and types (order included)."""
+    if first.schema.names != second.schema.names:
+        raise SchemaError(
+            f"union schema mismatch: {first.schema.names} vs {second.schema.names}"
+        )
+    for a, b in zip(first.schema, second.schema):
+        if a.ctype is not b.ctype:
+            raise SchemaError(f"union type mismatch on column {a.name!r}")
+    return Table.derived(
+        name or first.name,
+        first.schema,
+        list(first.rows) + list(second.rows),
+        list(first.provenance) + list(second.provenance),
+    )
+
+
+def distinct(table: Table, *, name: str | None = None) -> Table:
+    """Duplicate elimination; merged duplicates union their provenance."""
+    seen: dict[tuple[Any, ...], int] = {}
+    rows: list[tuple[Any, ...]] = []
+    provs: list[RowProvenance] = []
+    for row, prov in zip(table.rows, table.provenance):
+        if row in seen:
+            i = seen[row]
+            provs[i] = RowProvenance(
+                lineage=provs[i].lineage | prov.lineage,
+                where={
+                    c: provs[i].where_of(c) | prov.where_of(c)
+                    for c in table.schema.names
+                },
+            )
+        else:
+            seen[row] = len(rows)
+            rows.append(row)
+            provs.append(prov)
+    return Table.derived(name or table.name, table.schema, rows, provs)
+
+
+# -- aggregation ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate output: ``func(column) AS alias``.
+
+    ``column`` is ``None`` for ``COUNT(*)``. ``distinct`` applies the
+    aggregate over distinct values (``COUNT(DISTINCT col)``).
+    """
+
+    func: str
+    column: str | None
+    alias: str
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCTIONS:
+            raise QueryError(f"unknown aggregate function {self.func!r}")
+        if self.column is None and self.func != "count":
+            raise QueryError(f"{self.func}(*) is not defined; only count(*)")
+
+    def __str__(self) -> str:
+        inner = "*" if self.column is None else self.column
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.func.upper()}({inner}) AS {self.alias}"
+
+
+def _agg_count(values: list[Any]) -> int:
+    return len(values)
+
+
+def _agg_sum(values: list[Any]) -> Any:
+    vals = [v for v in values if v is not None]
+    return sum(vals) if vals else None
+
+
+def _agg_avg(values: list[Any]) -> Any:
+    vals = [v for v in values if v is not None]
+    return sum(vals) / len(vals) if vals else None
+
+
+def _agg_min(values: list[Any]) -> Any:
+    vals = [v for v in values if v is not None]
+    return min(vals) if vals else None
+
+
+def _agg_max(values: list[Any]) -> Any:
+    vals = [v for v in values if v is not None]
+    return max(vals) if vals else None
+
+
+AGGREGATE_FUNCTIONS: dict[str, Callable[[list[Any]], Any]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+_AGG_RESULT_TYPE = {
+    "count": ColumnType.INT,
+    "avg": ColumnType.FLOAT,
+}
+
+
+def aggregate(
+    table: Table,
+    group_by: Sequence[str],
+    aggs: Sequence[AggSpec],
+    *,
+    name: str | None = None,
+) -> Table:
+    """GROUP BY with lineage: each output row's lineage is the union over its group.
+
+    With an empty ``group_by`` the whole input forms one group (even when the
+    input is empty, matching SQL's scalar-aggregate semantics).
+    """
+    for g in group_by:
+        table.schema.column(g)
+    for spec in aggs:
+        if spec.column is not None:
+            table.schema.column(spec.column)
+
+    group_idx = [table.schema.index_of(g) for g in group_by]
+    groups: dict[tuple[Any, ...], list[int]] = {}
+    order: list[tuple[Any, ...]] = []
+    for i, row in enumerate(table.rows):
+        key = tuple(row[k] for k in group_idx)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(i)
+    if not group_by and not groups:
+        groups[()] = []
+        order.append(())
+
+    out_cols = [table.schema.column(g) for g in group_by]
+    for spec in aggs:
+        if spec.func in _AGG_RESULT_TYPE:
+            ctype = _AGG_RESULT_TYPE[spec.func]
+        elif spec.column is not None:
+            ctype = table.schema.column(spec.column).ctype
+        else:
+            ctype = ColumnType.INT
+        out_cols.append(Column(spec.alias, ctype))
+    schema = Schema(out_cols)
+
+    rows: list[tuple[Any, ...]] = []
+    provs: list[RowProvenance] = []
+    for key in order:
+        members = groups[key]
+        values = list(key)
+        lineage: set = set()
+        where: dict[str, frozenset] = {}
+        for g in group_by:
+            refs: set = set()
+            for i in members:
+                refs.update(table.provenance[i].where_of(g))
+            where[g] = frozenset(refs)
+        for i in members:
+            lineage.update(table.provenance[i].lineage)
+        for spec in aggs:
+            if spec.column is None:
+                col_values: list[Any] = [1] * len(members)
+                agg_where: frozenset = frozenset()
+            else:
+                idx = table.schema.index_of(spec.column)
+                col_values = [table.rows[i][idx] for i in members]
+                refs = set()
+                for i in members:
+                    refs.update(table.provenance[i].where_of(spec.column))
+                agg_where = frozenset(refs)
+            if spec.distinct:
+                seen_vals: list[Any] = []
+                for v in col_values:
+                    if v not in seen_vals:
+                        seen_vals.append(v)
+                col_values = seen_vals
+            values.append(AGGREGATE_FUNCTIONS[spec.func](col_values))
+            where[spec.alias] = agg_where
+        rows.append(tuple(values))
+        provs.append(RowProvenance(lineage=frozenset(lineage), where=where))
+    return Table.derived(name or table.name, schema, rows, provs)
+
+
+def order_by(
+    table: Table,
+    keys: Sequence[tuple[str, bool]],
+    *,
+    name: str | None = None,
+) -> Table:
+    """Stable sort by ``(column, descending)`` keys; NULLs sort last."""
+    indices = list(range(len(table.rows)))
+    for colname, descending in reversed(keys):
+        idx = table.schema.index_of(colname)
+
+        def sort_key(i: int, idx: int = idx) -> tuple[int, Any]:
+            v = table.rows[i][idx]
+            return (1, None) if v is None else (0, v)
+
+        # NULLs must sort last in both directions, so sort non-NULLs only.
+        nones = [i for i in indices if table.rows[i][idx] is None]
+        rest = [i for i in indices if table.rows[i][idx] is not None]
+        rest.sort(key=sort_key, reverse=descending)
+        indices = rest + nones
+    return Table.derived(
+        name or table.name,
+        table.schema,
+        [table.rows[i] for i in indices],
+        [table.provenance[i] for i in indices],
+    )
+
+
+def limit(table: Table, n: int, *, name: str | None = None) -> Table:
+    """First ``n`` rows."""
+    if n < 0:
+        raise QueryError("limit must be non-negative")
+    return Table.derived(
+        name or table.name, table.schema, table.rows[:n], table.provenance[:n]
+    )
+
+
+def _infer_type(expr: Expr, schema: Schema) -> ColumnType:
+    """Best-effort result type for a computed expression."""
+    from repro.relational.expressions import (
+        And,
+        Arith,
+        Comparison,
+        InList,
+        IsNull,
+        Lit,
+        Not,
+        Or,
+    )
+
+    if isinstance(expr, Col):
+        return schema.column(expr.name).ctype
+    if isinstance(expr, Lit):
+        if isinstance(expr.value, bool):
+            return ColumnType.BOOL
+        if isinstance(expr.value, int):
+            return ColumnType.INT
+        if isinstance(expr.value, float):
+            return ColumnType.FLOAT
+        return ColumnType.STRING
+    if isinstance(expr, (Comparison, And, Or, Not, InList, IsNull)):
+        return ColumnType.BOOL
+    if isinstance(expr, Arith):
+        if expr.op == "/":
+            return ColumnType.FLOAT
+        left = _infer_type(expr.left, schema)
+        right = _infer_type(expr.right, schema)
+        if ColumnType.FLOAT in (left, right):
+            return ColumnType.FLOAT
+        return ColumnType.INT
+    return ColumnType.STRING

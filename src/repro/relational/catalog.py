@@ -1,0 +1,153 @@
+"""Catalog: the namespace of base tables and views a query runs against."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import CatalogError
+from repro.relational.query import Query
+from repro.relational.table import Table
+
+__all__ = ["View", "Catalog"]
+
+
+class View:
+    """A named, stored query definition.
+
+    Views are the paper's §3 source-level access-control mechanism ("disallow
+    access to the base tables but define views on top of them") and the
+    representation of meta-reports over the warehouse.
+    """
+
+    def __init__(self, name: str, query: Query, *, description: str = "") -> None:
+        if not name:
+            raise CatalogError("view name must be non-empty")
+        self.name = name
+        self.query = query
+        self.description = description
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"View({self.name!r}, {self.query.describe()!r})"
+
+
+class Catalog:
+    """A flat namespace of base tables and views.
+
+    Tables and views share the namespace (a query's FROM may name either).
+    The catalog detects view-definition cycles at registration time.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, View] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def add_table(self, table: Table, *, replace: bool = False) -> Table:
+        """Register a base table under its own name."""
+        self._check_name_free(table.name, replace=replace)
+        self._views.pop(table.name, None)
+        self._tables[table.name] = table
+        return table
+
+    def add_view(self, view: View, *, replace: bool = False) -> View:
+        """Register a view; rejects definitions that would cycle."""
+        self._check_name_free(view.name, replace=replace)
+        self._check_acyclic(view)
+        self._tables.pop(view.name, None)
+        self._views[view.name] = view
+        return view
+
+    def drop(self, name: str) -> None:
+        """Remove a table or view; missing names raise :class:`CatalogError`."""
+        if name in self._tables:
+            del self._tables[name]
+        elif name in self._views:
+            del self._views[name]
+        else:
+            raise CatalogError(f"no table or view named {name!r}")
+
+    def _check_name_free(self, name: str, *, replace: bool) -> None:
+        if not replace and (name in self._tables or name in self._views):
+            raise CatalogError(f"name {name!r} already registered")
+
+    def _check_acyclic(self, view: View) -> None:
+        seen = {view.name}
+        frontier = list(view.query.referenced_relations())
+        while frontier:
+            name = frontier.pop()
+            if name in seen and name == view.name:
+                raise CatalogError(f"view {view.name!r} would reference itself")
+            if name in seen:
+                continue
+            seen.add(name)
+            nested = self._views.get(name)
+            if nested is not None:
+                frontier.extend(nested.query.referenced_relations())
+
+    # -- lookup -------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables or name in self._views
+
+    def table(self, name: str) -> Table:
+        """The base table named ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no base table named {name!r}") from None
+
+    def view(self, name: str) -> View:
+        """The view named ``name``."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise CatalogError(f"no view named {name!r}") from None
+
+    def is_view(self, name: str) -> bool:
+        return name in self._views
+
+    def is_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._views))
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    # -- analysis -------------------------------------------------------------
+
+    def base_relations(self, name: str) -> frozenset[str]:
+        """Transitive closure of base tables a table/view name resolves to."""
+        if name in self._tables:
+            return frozenset([name])
+        if name not in self._views:
+            raise CatalogError(f"no table or view named {name!r}")
+        out: set[str] = set()
+        frontier = [name]
+        visited: set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            if current in self._tables:
+                out.add(current)
+            elif current in self._views:
+                frontier.extend(self._views[current].query.referenced_relations())
+            else:
+                raise CatalogError(
+                    f"view chain references unknown relation {current!r}"
+                )
+        return frozenset(out)
+
+    def base_relations_of_query(self, query: Query) -> frozenset[str]:
+        """Transitive base tables referenced anywhere in ``query``."""
+        out: set[str] = set()
+        for name in query.referenced_relations():
+            out.update(self.base_relations(name))
+        return frozenset(out)

@@ -1,0 +1,91 @@
+"""Query executor: evaluates a :class:`~repro.relational.query.Query` against
+a :class:`~repro.relational.catalog.Catalog`, with full provenance flow.
+
+Views are expanded by recursive execution (no materialization), so the
+provenance of a view's output reaches all the way down to base rows — which
+is what report-level PLA auditing needs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.relational import algebra
+from repro.relational.catalog import Catalog
+from repro.relational.query import Query, _ensure_select_consistency
+from repro.relational.table import Table
+
+__all__ = ["execute", "Engine"]
+
+_MAX_VIEW_DEPTH = 32
+
+
+def execute(query: Query, catalog: Catalog, *, name: str | None = None) -> Table:
+    """Run ``query`` against ``catalog`` and return a derived table."""
+    return _execute(query, catalog, depth=0, name=name)
+
+
+def _resolve(name: str, catalog: Catalog, depth: int) -> Table:
+    if depth > _MAX_VIEW_DEPTH:
+        raise QueryError(f"view nesting deeper than {_MAX_VIEW_DEPTH}; cycle?")
+    if catalog.is_table(name):
+        return catalog.table(name)
+    if catalog.is_view(name):
+        view = catalog.view(name)
+        return _execute(view.query, catalog, depth=depth + 1, name=name)
+    raise QueryError(f"unknown relation {name!r}")
+
+
+def _execute(query: Query, catalog: Catalog, *, depth: int, name: str | None) -> Table:
+    _ensure_select_consistency(query)
+    current = _resolve(query.source, catalog, depth)
+
+    for clause in query.joins:
+        right = _resolve(clause.table, catalog, depth)
+        current = algebra.join(current, right, clause.on, how=clause.how)
+
+    if query.where is not None:
+        current = algebra.select(current, query.where)
+
+    if query.is_aggregate:
+        current = algebra.aggregate(current, query.group_by, query.aggregates)
+        if query.having is not None:
+            current = algebra.select(current, query.having)
+    elif query.having is not None:
+        raise QueryError("HAVING requires GROUP BY or aggregates")
+
+    if query.select:
+        current = algebra.project(current, list(query.select))
+
+    if query.select_distinct:
+        current = algebra.distinct(current)
+
+    if query.order:
+        current = algebra.order_by(current, list(query.order))
+
+    if query.limit_n is not None:
+        current = algebra.limit(current, query.limit_n)
+
+    if name is not None:
+        current.name = name
+    return current
+
+
+class Engine:
+    """Thin convenience wrapper pairing a catalog with the executor.
+
+    Enforcement layers (VPD, source gateways) subclass or wrap this to
+    intercept queries before execution.
+    """
+
+    def __init__(self, catalog: Catalog | None = None) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+
+    def run(self, query: Query, *, name: str | None = None) -> Table:
+        """Execute ``query`` against this engine's catalog."""
+        return execute(query, self.catalog, name=name)
+
+    def sql(self, text: str, *, name: str | None = None) -> Table:
+        """Parse and execute a SQL-subset string."""
+        from repro.relational.sqlparser import parse_query
+
+        return self.run(parse_query(text), name=name)

@@ -1,0 +1,406 @@
+"""Scalar and boolean expression AST evaluated over row dictionaries.
+
+Expressions appear in selection predicates, computed projections, PLA
+intensional conditions, and VPD rewrite predicates. The AST is deliberately
+small and closed so the containment checker (:mod:`repro.core.containment`)
+can reason about predicate implication.
+
+Boolean evaluation follows SQL's **three-valued logic**: comparisons with a
+NULL operand yield UNKNOWN (Python ``None``), and AND/OR/NOT follow the
+Kleene tables. Filters keep a row only when the predicate is definitely
+True, so UNKNOWN excludes — the safe polarity for privacy conditions:
+``NOT (disease = 'HIV')`` does *not* disclose a row whose disease is
+unrecorded.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import QueryError
+
+__all__ = [
+    "Expr",
+    "Col",
+    "Lit",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "InList",
+    "IsNull",
+    "Arith",
+    "col",
+    "lit",
+    "conjuncts",
+]
+
+
+class Expr:
+    """Base class for all expressions."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        """Names of all columns referenced by this expression."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Expr":
+        """A copy with column names rewritten per ``mapping`` (old→new)."""
+        raise NotImplementedError
+
+    # Boolean combinators, so predicates compose fluently:
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """Reference to a column by name."""
+
+    name: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise QueryError(f"row has no column {self.name!r}") from None
+
+    def columns(self) -> frozenset[str]:
+        return frozenset([self.name])
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Col":
+        return Col(mapping.get(self.name, self.name))
+
+    # Comparison builders so ``col("age") >= lit(18)`` reads naturally.
+    def __eq__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("=", self, _as_expr(other))
+
+    def __ne__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("!=", self, _as_expr(other))
+
+    def __lt__(self, other: object) -> "Comparison":
+        return Comparison("<", self, _as_expr(other))
+
+    def __le__(self, other: object) -> "Comparison":
+        return Comparison("<=", self, _as_expr(other))
+
+    def __gt__(self, other: object) -> "Comparison":
+        return Comparison(">", self, _as_expr(other))
+
+    def __ge__(self, other: object) -> "Comparison":
+        return Comparison(">=", self, _as_expr(other))
+
+    def __hash__(self) -> int:
+        return hash(("Col", self.name))
+
+    def is_in(self, values: Any) -> "InList":
+        return InList(self, tuple(values))
+
+    def is_null(self) -> "IsNull":
+        return IsNull(self)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A literal constant."""
+
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Lit":
+        return self
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+NEGATED_OP = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+FLIPPED_OP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _ast_eq(a: Any, b: Any) -> bool:
+    """Structural equality of sub-expressions.
+
+    ``Col.__eq__`` is overloaded as the DSL's comparison builder (it returns
+    a Comparison, which is truthy), so composite nodes must NOT compare
+    children with ``==`` — they use this helper, and define their own
+    ``__eq__`` in terms of it.
+    """
+    if isinstance(a, Col) or isinstance(b, Col):
+        return isinstance(a, Col) and isinstance(b, Col) and a.name == b.name
+    return a == b
+
+
+class _StructuralEq:
+    """Mixin: field-wise structural equality + a stable hash.
+
+    Used by every composite expression node. ``__eq__`` compares the
+    dataclass fields via :func:`_ast_eq`; the hash is derived from the
+    node's rendering, which is injective enough for AST workloads.
+    """
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        from dataclasses import fields
+
+        for spec in fields(self):  # type: ignore[arg-type]
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, tuple) and isinstance(theirs, tuple):
+                if len(mine) != len(theirs) or not all(
+                    _ast_eq(x, y) for x, y in zip(mine, theirs)
+                ):
+                    return False
+            elif not _ast_eq(mine, theirs):
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, str(self)))
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(_StructuralEq, Expr):
+    """A binary comparison; NULL on either side yields UNKNOWN (``None``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool | None:
+        lhs = self.left.evaluate(row)
+        rhs = self.right.evaluate(row)
+        if lhs is None or rhs is None:
+            return None
+        try:
+            return _COMPARATORS[self.op](lhs, rhs)
+        except TypeError as exc:
+            raise QueryError(
+                f"cannot compare {lhs!r} {self.op} {rhs!r}"
+            ) from exc
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Comparison":
+        return Comparison(
+            self.op, self.left.substitute(mapping), self.right.substitute(mapping)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+def _kleene(value: Any) -> bool | None:
+    """Normalize an evaluated operand to Kleene True/False/UNKNOWN."""
+    if value is None:
+        return None
+    return bool(value)
+
+
+@dataclass(frozen=True, eq=False)
+class And(_StructuralEq, Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool | None:
+        lhs = _kleene(self.left.evaluate(row))
+        rhs = _kleene(self.right.evaluate(row))
+        if lhs is False or rhs is False:
+            return False
+        if lhs is None or rhs is None:
+            return None
+        return True
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def substitute(self, mapping: Mapping[str, str]) -> "And":
+        return And(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True, eq=False)
+class Or(_StructuralEq, Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool | None:
+        lhs = _kleene(self.left.evaluate(row))
+        rhs = _kleene(self.right.evaluate(row))
+        if lhs is True or rhs is True:
+            return True
+        if lhs is None or rhs is None:
+            return None
+        return False
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Or":
+        return Or(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True, eq=False)
+class Not(_StructuralEq, Expr):
+    inner: Expr
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool | None:
+        value = _kleene(self.inner.evaluate(row))
+        if value is None:
+            return None
+        return not value
+
+    def columns(self) -> frozenset[str]:
+        return self.inner.columns()
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Not":
+        return Not(self.inner.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"NOT ({self.inner})"
+
+
+@dataclass(frozen=True, eq=False)
+class InList(_StructuralEq, Expr):
+    """``expr IN (v1, v2, ...)`` over literal values."""
+
+    target: Expr
+    values: tuple[Any, ...]
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool | None:
+        value = self.target.evaluate(row)
+        if value is None:
+            return None  # SQL: NULL IN (...) is UNKNOWN
+        return value in self.values
+
+    def columns(self) -> frozenset[str]:
+        return self.target.columns()
+
+    def substitute(self, mapping: Mapping[str, str]) -> "InList":
+        return InList(self.target.substitute(mapping), self.values)
+
+    def __str__(self) -> str:
+        return f"{self.target} IN {self.values!r}"
+
+
+@dataclass(frozen=True, eq=False)
+class IsNull(_StructuralEq, Expr):
+    target: Expr
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        is_null = self.target.evaluate(row) is None
+        return not is_null if self.negated else is_null
+
+    def columns(self) -> frozenset[str]:
+        return self.target.columns()
+
+    def substitute(self, mapping: Mapping[str, str]) -> "IsNull":
+        return IsNull(self.target.substitute(mapping), self.negated)
+
+    def __str__(self) -> str:
+        return f"{self.target} IS {'NOT ' if self.negated else ''}NULL"
+
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+@dataclass(frozen=True, eq=False)
+class Arith(_StructuralEq, Expr):
+    """Binary arithmetic; NULL-propagating."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise QueryError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        lhs = self.left.evaluate(row)
+        rhs = self.right.evaluate(row)
+        if lhs is None or rhs is None:
+            return None
+        if self.op == "/" and rhs == 0:
+            return None
+        return _ARITH_OPS[self.op](lhs, rhs)
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Arith":
+        return Arith(
+            self.op, self.left.substitute(mapping), self.right.substitute(mapping)
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+def col(name: str) -> Col:
+    """Shorthand for :class:`Col`."""
+    return Col(name)
+
+
+def lit(value: Any) -> Lit:
+    """Shorthand for :class:`Lit`."""
+    return Lit(value)
+
+
+def _as_expr(value: object) -> Expr:
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+def conjuncts(expr: Expr | None) -> Iterator[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return
+    if isinstance(expr, And):
+        yield from conjuncts(expr.left)
+        yield from conjuncts(expr.right)
+    else:
+        yield expr

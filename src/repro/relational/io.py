@@ -1,0 +1,191 @@
+"""CSV import/export for tables — the wire format providers exchange.
+
+The paper's premise is data "gathered and exchanged electronically" between
+institutions; flat files are how that exchange actually happens. Export
+writes an optional typed header (``name:type``) so re-import recovers the
+schema exactly; import without a typed header infers column types from the
+data.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import io
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.errors import SchemaError
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import ColumnType, parse_date
+
+__all__ = ["write_csv", "read_csv", "dumps_csv", "loads_csv"]
+
+_NULL = ""
+
+
+def _serialize(value: Any) -> str:
+    if value is None:
+        return _NULL
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return str(value)
+
+
+def write_csv(table: Table, target: str | Path | TextIO, *, typed_header: bool = True) -> None:
+    """Write ``table`` as CSV; NULL becomes the empty field."""
+    close = False
+    if isinstance(target, (str, Path)):
+        handle: TextIO = open(target, "w", newline="")
+        close = True
+    else:
+        handle = target
+    try:
+        writer = csv.writer(handle)
+        if typed_header:
+            writer.writerow(
+                f"{c.name}:{c.ctype.value}{'' if c.nullable else '!'}"
+                for c in table.schema
+            )
+        else:
+            writer.writerow(table.schema.names)
+        for row in table.rows:
+            writer.writerow(_serialize(v) for v in row)
+    finally:
+        if close:
+            handle.close()
+
+
+def dumps_csv(table: Table, *, typed_header: bool = True) -> str:
+    """The CSV text of ``table``."""
+    buffer = io.StringIO()
+    write_csv(table, buffer, typed_header=typed_header)
+    return buffer.getvalue()
+
+
+def _parse_header(cells: list[str]) -> Schema | None:
+    """A schema if the header is typed (every cell is ``name:type[!]``)."""
+    columns = []
+    type_names = {t.value for t in ColumnType}
+    for cell in cells:
+        if ":" not in cell:
+            return None
+        name, _, type_part = cell.rpartition(":")
+        nullable = not type_part.endswith("!")
+        type_name = type_part.rstrip("!")
+        if type_name not in type_names or not name:
+            return None
+        columns.append(Column(name, ColumnType(type_name), nullable))
+    return Schema(columns)
+
+
+def _infer_type(values: list[str]) -> ColumnType:
+    """Best-fitting type for a column's non-empty string values."""
+    from repro.errors import TypeMismatchError
+
+    present = [v for v in values if v != _NULL]
+    if not present:
+        return ColumnType.STRING
+    if all(v in ("true", "false") for v in present):
+        return ColumnType.BOOL
+    try:
+        for v in present:
+            int(v)
+        return ColumnType.INT
+    except ValueError:
+        pass
+    try:
+        for v in present:
+            float(v)
+        return ColumnType.FLOAT
+    except ValueError:
+        pass
+    try:
+        for v in present:
+            parse_date(v)
+        return ColumnType.DATE
+    except TypeMismatchError:
+        pass
+    return ColumnType.STRING
+
+
+def _deserialize(cell: str, ctype: ColumnType) -> Any:
+    if cell == _NULL:
+        return None
+    if ctype is ColumnType.BOOL:
+        return cell == "true"
+    if ctype is ColumnType.INT:
+        return int(cell)
+    if ctype is ColumnType.FLOAT:
+        return float(cell)
+    if ctype is ColumnType.DATE:
+        return parse_date(cell)
+    return cell
+
+
+def read_csv(
+    source: str | Path | TextIO,
+    *,
+    name: str,
+    provider: str = "local",
+    schema: Schema | None = None,
+) -> Table:
+    """Read a CSV into a fresh base table.
+
+    Priority for the schema: explicit ``schema`` argument, then a typed
+    header, then inference over the data rows.
+    """
+    close = False
+    if isinstance(source, (str, Path)):
+        handle: TextIO = open(source, newline="")
+        close = True
+    else:
+        handle = source
+    try:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError("CSV input is empty (no header row)") from None
+        records = list(reader)
+    finally:
+        if close:
+            handle.close()
+
+    if schema is None:
+        schema = _parse_header(header)
+    if schema is None:
+        names = header
+        columns = []
+        for i, column_name in enumerate(names):
+            values = [row[i] if i < len(row) else _NULL for row in records]
+            columns.append(Column(column_name, _infer_type(values)))
+        schema = Schema(columns)
+    if len(schema) != len(header):
+        raise SchemaError(
+            f"CSV has {len(header)} columns, schema expects {len(schema)}"
+        )
+
+    table = Table(name, schema, provider=provider)
+    for row in records:
+        if len(row) != len(schema):
+            raise SchemaError(
+                f"CSV row has {len(row)} fields, expected {len(schema)}: {row!r}"
+            )
+        table.insert(
+            tuple(
+                _deserialize(cell, column.ctype)
+                for cell, column in zip(row, schema)
+            )
+        )
+    return table
+
+
+def loads_csv(
+    text: str, *, name: str, provider: str = "local", schema: Schema | None = None
+) -> Table:
+    """Read a table from CSV text."""
+    return read_csv(io.StringIO(text), name=name, provider=provider, schema=schema)

@@ -1,0 +1,217 @@
+"""Logical query AST with a fluent builder.
+
+A :class:`Query` is a declarative SELECT-FROM-JOIN-WHERE-GROUP BY-HAVING-
+ORDER BY-LIMIT block over named tables/views in a catalog. Queries are
+immutable; builder methods return modified copies, so a base query can be
+specialized safely (this is how VPD rewriting and meta-report derivation
+work).
+
+Evaluation order (matching SQL): FROM/JOIN → WHERE → GROUP BY/aggregates →
+HAVING → SELECT projection → DISTINCT → ORDER BY → LIMIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Union
+
+from repro.errors import QueryError
+from repro.relational.algebra import AggSpec
+from repro.relational.expressions import And, Expr
+
+__all__ = ["Query", "JoinClause", "SelectItem"]
+
+SelectItem = Union[str, tuple[str, Expr]]
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """One JOIN step: join the named table/view on equality pairs."""
+
+    table: str
+    on: tuple[tuple[str, str], ...]
+    how: str = "inner"
+
+    def __post_init__(self) -> None:
+        if self.how not in ("inner", "left"):
+            raise QueryError(f"unsupported join type {self.how!r}")
+        if not self.on:
+            raise QueryError("join clause requires at least one equality pair")
+
+    def __str__(self) -> str:
+        conds = " AND ".join(f"{l} = {r}" for l, r in self.on)
+        kind = "JOIN" if self.how == "inner" else "LEFT JOIN"
+        return f"{kind} {self.table} ON {conds}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """Immutable logical query over catalog names."""
+
+    source: str
+    joins: tuple[JoinClause, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[AggSpec, ...] = ()
+    having: Expr | None = None
+    select: tuple[SelectItem, ...] = ()
+    select_distinct: bool = False
+    order: tuple[tuple[str, bool], ...] = ()
+    limit_n: int | None = None
+
+    # -- builder ----------------------------------------------------------
+
+    @classmethod
+    def from_(cls, source: str) -> "Query":
+        """Start a query over the named table or view."""
+        if not source:
+            raise QueryError("query source must be a non-empty name")
+        return cls(source=source)
+
+    def join(
+        self,
+        table: str,
+        on: Sequence[tuple[str, str]],
+        *,
+        how: str = "inner",
+    ) -> "Query":
+        """Add a join against ``table`` on ``(left_col, right_col)`` pairs."""
+        clause = JoinClause(table, tuple((l, r) for l, r in on), how)
+        return replace(self, joins=self.joins + (clause,))
+
+    def filter(self, predicate: Expr) -> "Query":
+        """AND a predicate into the WHERE clause."""
+        combined = predicate if self.where is None else And(self.where, predicate)
+        return replace(self, where=combined)
+
+    def group(self, *columns: str) -> "Query":
+        """Set GROUP BY columns."""
+        return replace(self, group_by=tuple(columns))
+
+    def agg(self, *specs: AggSpec) -> "Query":
+        """Add aggregate outputs (requires or implies grouping)."""
+        return replace(self, aggregates=self.aggregates + tuple(specs))
+
+    def having_(self, predicate: Expr) -> "Query":
+        """AND a predicate on the aggregate output (HAVING)."""
+        combined = predicate if self.having is None else And(self.having, predicate)
+        return replace(self, having=combined)
+
+    def project(self, *items: SelectItem) -> "Query":
+        """Set the SELECT list (plain names and/or ``(alias, expr)`` pairs)."""
+        return replace(self, select=tuple(items))
+
+    def distinct(self) -> "Query":
+        """Request duplicate elimination on the final output."""
+        return replace(self, select_distinct=True)
+
+    def order_by(self, *keys: str | tuple[str, bool]) -> "Query":
+        """Set ORDER BY keys; a bare name sorts ascending."""
+        normalized = tuple(
+            (k, False) if isinstance(k, str) else (k[0], bool(k[1])) for k in keys
+        )
+        return replace(self, order=normalized)
+
+    def limit(self, n: int) -> "Query":
+        """Keep only the first ``n`` rows."""
+        if n < 0:
+            raise QueryError("limit must be non-negative")
+        return replace(self, limit_n=n)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True if this query groups or aggregates."""
+        return bool(self.group_by or self.aggregates)
+
+    def referenced_relations(self) -> tuple[str, ...]:
+        """Names of the FROM table and every joined table, in order."""
+        return (self.source,) + tuple(j.table for j in self.joins)
+
+    def output_names(self) -> tuple[str, ...] | None:
+        """Output column names if statically determinable, else ``None``.
+
+        The result is ``None`` only for a bare ``SELECT *`` (no projection,
+        no aggregation), whose width depends on the catalog.
+        """
+        if self.select:
+            return tuple(
+                item if isinstance(item, str) else item[0] for item in self.select
+            )
+        if self.is_aggregate:
+            return self.group_by + tuple(a.alias for a in self.aggregates)
+        return None
+
+    def columns_used(self) -> frozenset[str]:
+        """Every column name mentioned anywhere in the query."""
+        used: set[str] = set()
+        for clause in self.joins:
+            for l, r in clause.on:
+                used.add(l)
+                used.add(r)
+        if self.where is not None:
+            used.update(self.where.columns())
+        used.update(self.group_by)
+        for spec in self.aggregates:
+            if spec.column is not None:
+                used.add(spec.column)
+        if self.having is not None:
+            used.update(self.having.columns())
+        for item in self.select:
+            if isinstance(item, str):
+                used.add(item)
+            else:
+                used.update(item[1].columns())
+        for colname, _ in self.order:
+            used.add(colname)
+        return frozenset(used)
+
+    def describe(self) -> str:
+        """Compact SQL-like rendering for logs and elicitation displays."""
+        parts = []
+        if self.select:
+            sel = ", ".join(
+                item if isinstance(item, str) else f"{item[1]} AS {item[0]}"
+                for item in self.select
+            )
+        elif self.is_aggregate:
+            sel = ", ".join(
+                list(self.group_by) + [str(a) for a in self.aggregates]
+            )
+        else:
+            sel = "*"
+        distinct = "DISTINCT " if self.select_distinct else ""
+        parts.append(f"SELECT {distinct}{sel}")
+        parts.append(f"FROM {self.source}")
+        parts.extend(str(j) for j in self.joins)
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append(f"GROUP BY {', '.join(self.group_by)}")
+        if self.having is not None:
+            parts.append(f"HAVING {self.having}")
+        if self.order:
+            keys = ", ".join(f"{c}{' DESC' if d else ''}" for c, d in self.order)
+            parts.append(f"ORDER BY {keys}")
+        if self.limit_n is not None:
+            parts.append(f"LIMIT {self.limit_n}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def _ensure_select_consistency(query: Query) -> None:
+    """Validate that a projection over an aggregate uses only its outputs."""
+    if not (query.select and query.is_aggregate):
+        return
+    available = set(query.group_by) | {a.alias for a in query.aggregates}
+    for item in query.select:
+        cols = {item} if isinstance(item, str) else set(item[1].columns())
+        unknown = cols - available
+        if unknown:
+            raise QueryError(
+                f"SELECT references {sorted(unknown)} which are neither "
+                "GROUP BY columns nor aggregate aliases"
+            )

@@ -1,0 +1,396 @@
+"""A small SQL-subset parser producing :class:`~repro.relational.query.Query`.
+
+Supported grammar (case-insensitive keywords)::
+
+    SELECT [DISTINCT] * | item, item, ...
+    FROM name
+    [LEFT] JOIN name ON a = b [AND c = d ...]        (zero or more)
+    [WHERE <boolean expression>]
+    [GROUP BY col, col, ...]
+    [HAVING <boolean expression>]
+    [ORDER BY col [DESC], ...]
+    [LIMIT n]
+
+Items are expressions with an optional ``AS alias``, or aggregates
+``COUNT(*) | COUNT([DISTINCT] col) | SUM/AVG/MIN/MAX(col)``. Expressions
+support comparisons, ``AND/OR/NOT``, ``IN (...)``, ``IS [NOT] NULL``,
+arithmetic, string/number/date/bool literals, and dotted column names.
+
+The same expression grammar parses PLA intensional conditions, so source
+owners' predicates ("disease != 'HIV'") and queries share one syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ParseError
+from repro.relational.algebra import AGGREGATE_FUNCTIONS, AggSpec
+from repro.relational.expressions import (
+    Arith,
+    Col,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Lit,
+    Not,
+)
+from repro.relational.query import Query
+from repro.relational.types import parse_date
+
+__all__ = ["parse_query", "parse_expression"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>\d+\.\d+|\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<op><=|>=|!=|<>|=|<|>|\+|-|\*|/|\(|\)|,)
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)*)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "distinct", "from", "join", "left", "on", "where", "group",
+    "by", "having", "order", "limit", "and", "or", "not", "in", "is",
+    "null", "as", "asc", "desc", "true", "false", "date",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # number | string | op | ident | keyword | end
+    text: str
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize near {remainder[:20]!r}")
+        pos = match.end()
+        if match.lastgroup == "ident":
+            word = match.group("ident")
+            if word.lower() in _KEYWORDS:
+                tokens.append(_Token("keyword", word.lower()))
+            else:
+                tokens.append(_Token("ident", word))
+        elif match.lastgroup == "op":
+            op = match.group("op")
+            tokens.append(_Token("op", "!=" if op == "<>" else op))
+        elif match.lastgroup == "number":
+            tokens.append(_Token("number", match.group("number")))
+        else:
+            tokens.append(_Token("string", match.group("string")))
+    tokens.append(_Token("end", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> _Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.pos]
+        if token.kind != "end":
+            self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise ParseError(f"expected {want!r}, found {self.peek().text!r}")
+        return token
+
+    # -- query ---------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect("keyword", "select")
+        distinct = self.accept("keyword", "distinct") is not None
+        star = self.accept("op", "*") is not None
+        items: list[tuple[str | None, Expr | AggSpec]] = []
+        if not star:
+            items.append(self._select_item())
+            while self.accept("op", ","):
+                items.append(self._select_item())
+        self.expect("keyword", "from")
+        source = self.expect("ident").text
+        query = Query.from_(source)
+
+        while True:
+            if self.accept("keyword", "left"):
+                self.expect("keyword", "join")
+                query = self._join(query, how="left")
+            elif self.accept("keyword", "join"):
+                query = self._join(query, how="inner")
+            else:
+                break
+
+        if self.accept("keyword", "where"):
+            query = query.filter(self.parse_expression())
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            cols = [self._column_name()]
+            while self.accept("op", ","):
+                cols.append(self._column_name())
+            query = query.group(*cols)
+        # Attach aggregates and the projection derived from the select list.
+        query = self._apply_select(query, items, star)
+        if self.accept("keyword", "having"):
+            query = query.having_(self.parse_expression())
+        if self.accept("keyword", "order"):
+            self.expect("keyword", "by")
+            keys: list[tuple[str, bool]] = [self._order_key()]
+            while self.accept("op", ","):
+                keys.append(self._order_key())
+            query = query.order_by(*keys)
+        if self.accept("keyword", "limit"):
+            query = query.limit(int(self.expect("number").text))
+        if distinct:
+            query = query.distinct()
+        self.expect("end")
+        return query
+
+    def _join(self, query: Query, *, how: str) -> Query:
+        table = self.expect("ident").text
+        self.expect("keyword", "on")
+        pairs = [self._join_pair()]
+        while self.accept("keyword", "and"):
+            pairs.append(self._join_pair())
+        return query.join(table, pairs, how=how)
+
+    def _join_pair(self) -> tuple[str, str]:
+        left = self._column_name()
+        self.expect("op", "=")
+        right = self._column_name()
+        return (left, right)
+
+    def _column_name(self) -> str:
+        # "date" is a keyword (DATE '...' literals) but also a perfectly
+        # normal column name — the paper's Prescriptions table has one.
+        if self.peek().kind == "keyword" and self.peek().text == "date":
+            self.advance()
+            return "date"
+        return self.expect("ident").text
+
+    def _order_key(self) -> tuple[str, bool]:
+        name = self._column_name()
+        if self.accept("keyword", "desc"):
+            return (name, True)
+        self.accept("keyword", "asc")
+        return (name, False)
+
+    def _select_item(self) -> tuple[str | None, Expr | AggSpec]:
+        token = self.peek()
+        if (
+            token.kind == "ident"
+            and token.text.lower() in AGGREGATE_FUNCTIONS
+            and self.peek(1).kind == "op"
+            and self.peek(1).text == "("
+        ):
+            spec = self._aggregate(token.text.lower())
+            alias = self._alias()
+            if alias is not None:
+                spec = AggSpec(spec.func, spec.column, alias, spec.distinct)
+            return (spec.alias, spec)
+        expr = self.parse_expression()
+        return (self._alias(), expr)
+
+    def _alias(self) -> str | None:
+        if self.accept("keyword", "as"):
+            return self.expect("ident").text
+        return None
+
+    def _aggregate(self, func: str) -> AggSpec:
+        self.advance()  # function name
+        self.expect("op", "(")
+        distinct = self.accept("keyword", "distinct") is not None
+        if self.accept("op", "*"):
+            column: str | None = None
+        else:
+            column = self._column_name()
+        self.expect("op", ")")
+        default_alias = f"{func}_all" if column is None else f"{func}_{column.replace('.', '_')}"
+        return AggSpec(func, column, default_alias, distinct)
+
+    def _apply_select(
+        self,
+        query: Query,
+        items: list[tuple[str | None, Expr | AggSpec]],
+        star: bool,
+    ) -> Query:
+        if star:
+            return query
+        aggs = [item for _, item in items if isinstance(item, AggSpec)]
+        if aggs:
+            query = query.agg(*aggs)
+        projection: list[str | tuple[str, Expr]] = []
+        for alias, item in items:
+            if isinstance(item, AggSpec):
+                projection.append(item.alias)
+            elif isinstance(item, Col) and alias is None:
+                projection.append(item.name)
+            else:
+                projection.append((alias or _default_alias(item), item))
+        return query.project(*projection)
+
+    # -- expressions ---------------------------------------------------------
+    # Precedence: OR < AND < NOT < comparison/IN/IS < add < mul < unary < atom
+
+    def parse_expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self.accept("keyword", "or"):
+            left = left | self._and_expr()
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self.accept("keyword", "and"):
+            left = left & self._not_expr()
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self.accept("keyword", "not"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        token = self.peek()
+        if token.kind == "op" and token.text in ("=", "!=", "<", "<=", ">", ">="):
+            op = self.advance().text
+            return Comparison(op, left, self._additive())
+        if self.accept("keyword", "in"):
+            self.expect("op", "(")
+            values = [self._literal_value()]
+            while self.accept("op", ","):
+                values.append(self._literal_value())
+            self.expect("op", ")")
+            return InList(left, tuple(values))
+        if self.accept("keyword", "is"):
+            negated = self.accept("keyword", "not") is not None
+            self.expect("keyword", "null")
+            return IsNull(left, negated)
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                op = self.advance().text
+                left = Arith(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("*", "/"):
+                op = self.advance().text
+                left = Arith(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self.accept("op", "-"):
+            inner = self._unary()
+            if isinstance(inner, Lit) and isinstance(inner.value, (int, float)):
+                return Lit(-inner.value)
+            return Arith("-", Lit(0), inner)
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        if token.kind in ("number", "string"):
+            return Lit(self._literal_value())
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self.advance()
+            return Lit(token.text == "true")
+        if token.kind == "keyword" and token.text == "null":
+            self.advance()
+            return Lit(None)
+        if token.kind == "keyword" and token.text == "date":
+            self.advance()
+            if self.peek().kind == "string":
+                return Lit(parse_date(_unquote(self.advance().text)))
+            return Col("date")  # bare "date" is the column, not a literal
+        if token.kind == "ident":
+            return Col(self.advance().text)
+        raise ParseError(f"unexpected token {token.text!r}")
+
+    def _literal_value(self) -> Any:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "string":
+            self.advance()
+            return _unquote(token.text)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self.advance()
+            return token.text == "true"
+        if token.kind == "keyword" and token.text == "date":
+            self.advance()
+            return parse_date(_unquote(self.expect("string").text))
+        if token.kind == "op" and token.text == "-":
+            self.advance()
+            value = self._literal_value()
+            if not isinstance(value, (int, float)):
+                raise ParseError("unary minus applies only to numbers")
+            return -value
+        raise ParseError(f"expected literal, found {token.text!r}")
+
+
+def _unquote(raw: str) -> str:
+    return raw[1:-1].replace("''", "'")
+
+
+def _default_alias(expr: Expr) -> str:
+    if isinstance(expr, Col):
+        return expr.name
+    return "expr"
+
+
+def parse_query(text: str) -> Query:
+    """Parse a SQL-subset SELECT statement into a :class:`Query`."""
+    return _Parser(text).parse_query()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone boolean/scalar expression (PLA conditions etc.)."""
+    parser = _Parser(text)
+    expr = parser.parse_expression()
+    parser.expect("end")
+    return expr

@@ -1,0 +1,268 @@
+"""In-memory tables with per-row why-provenance and per-cell where-provenance.
+
+Every base-table row carries a stable :class:`RowId` naming its owner
+(provider), table, and ordinal. Relational operators propagate:
+
+* **why-provenance** (*lineage*): the set of base ``RowId`` s a derived row
+  depends on — exactly what aggregation-threshold PLAs and third-party
+  auditing need (Cui & Widom style lineage);
+* **where-provenance**: for each output cell, the set of base cells it was
+  *copied* from (Buneman/Tan style), which powers the elicitation tool's
+  "where does this report value come from" display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational.schema import Column, Schema
+from repro.relational.types import ColumnType, coerce_value
+
+__all__ = ["RowId", "CellRef", "RowProvenance", "Table", "EMPTY_LINEAGE"]
+
+
+@dataclass(frozen=True, order=True)
+class RowId:
+    """Globally unique identity of a base-table row."""
+
+    provider: str
+    table: str
+    ordinal: int
+
+    def __str__(self) -> str:
+        return f"{self.provider}/{self.table}#{self.ordinal}"
+
+
+@dataclass(frozen=True, order=True)
+class CellRef:
+    """A single base cell: a row identity plus a column name."""
+
+    row: RowId
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.row}.{self.column}"
+
+
+EMPTY_LINEAGE: frozenset[RowId] = frozenset()
+_EMPTY_WHERE: Mapping[str, frozenset[CellRef]] = {}
+
+
+@dataclass(frozen=True)
+class RowProvenance:
+    """Provenance carried by one (derived) row."""
+
+    lineage: frozenset[RowId] = EMPTY_LINEAGE
+    where: Mapping[str, frozenset[CellRef]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.where is None:
+            object.__setattr__(self, "where", _EMPTY_WHERE)
+
+    @classmethod
+    def for_base_row(cls, row_id: RowId, schema: Schema) -> "RowProvenance":
+        """Provenance of a freshly inserted base row: itself, cell by cell."""
+        where = {
+            col.name: frozenset([CellRef(row_id, col.name)]) for col in schema
+        }
+        return cls(lineage=frozenset([row_id]), where=where)
+
+    def where_of(self, column: str) -> frozenset[CellRef]:
+        """Base cells the value in ``column`` was copied from (may be empty)."""
+        return self.where.get(column, frozenset())
+
+    def merged(self, other: "RowProvenance") -> "RowProvenance":
+        """Combine provenance of two rows joined into one output row."""
+        where = dict(self.where)
+        where.update(other.where)
+        return RowProvenance(lineage=self.lineage | other.lineage, where=where)
+
+    def projected(self, mapping: Mapping[str, str]) -> "RowProvenance":
+        """Provenance after projecting/renaming: ``mapping`` is new→old name."""
+        where = {
+            new: self.where[old]
+            for new, old in mapping.items()
+            if old in self.where
+        }
+        return RowProvenance(lineage=self.lineage, where=where)
+
+
+class Table:
+    """A schema-typed bag of rows with parallel provenance.
+
+    Rows are stored as tuples in schema order. ``provenance[i]`` is the
+    :class:`RowProvenance` of ``rows[i]``. Tables are mutable only through
+    :meth:`insert`; relational operators construct new tables.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        provider: str = "local",
+    ) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self.provider = provider
+        self.rows: list[tuple[Any, ...]] = []
+        self.provenance: list[RowProvenance] = []
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[Any] | Mapping[str, Any]],
+        *,
+        provider: str = "local",
+    ) -> "Table":
+        """Build a base table, assigning fresh :class:`RowId` s to every row."""
+        table = cls(name, schema, provider=provider)
+        for row in rows:
+            table.insert(row)
+        return table
+
+    @classmethod
+    def derived(
+        cls,
+        name: str,
+        schema: Schema,
+        rows: Sequence[tuple[Any, ...]],
+        provenance: Sequence[RowProvenance],
+        *,
+        provider: str = "derived",
+    ) -> "Table":
+        """Build a derived table from pre-computed rows and provenance."""
+        if len(rows) != len(provenance):
+            raise SchemaError("rows and provenance lists must have equal length")
+        table = cls(name, schema, provider=provider)
+        table.rows = list(rows)
+        table.provenance = list(provenance)
+        return table
+
+    def insert(self, row: Sequence[Any] | Mapping[str, Any]) -> RowId:
+        """Insert one row (sequence in schema order, or a name→value mapping).
+
+        Values are coerced to the column types; a fresh :class:`RowId` is
+        assigned and returned.
+        """
+        if isinstance(row, Mapping):
+            values = [row.get(col.name) for col in self.schema]
+        else:
+            if len(row) != len(self.schema):
+                raise SchemaError(
+                    f"row has {len(row)} values, schema has {len(self.schema)}"
+                )
+            values = list(row)
+        coerced = []
+        for value, col in zip(values, self.schema):
+            coerced_value = coerce_value(value, col.ctype)
+            if coerced_value is None and not col.nullable:
+                raise TypeMismatchError(
+                    f"NULL in non-nullable column {col.name!r} of {self.name!r}"
+                )
+            coerced.append(coerced_value)
+        row_id = RowId(self.provider, self.name, len(self.rows))
+        self.rows.append(tuple(coerced))
+        self.provenance.append(RowProvenance.for_base_row(row_id, self.schema))
+        return row_id
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> list[RowId]:
+        """Insert several rows; returns their :class:`RowId` s."""
+        return [self.insert(row) for row in rows]
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def row_dict(self, i: int) -> dict[str, Any]:
+        """Row ``i`` as a column-name→value dict."""
+        return dict(zip(self.schema.names, self.rows[i]))
+
+    def iter_dicts(self) -> Iterator[dict[str, Any]]:
+        """Iterate rows as dicts (handy for tests and report rendering)."""
+        names = self.schema.names
+        for row in self.rows:
+            yield dict(zip(names, row))
+
+    def column_values(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        idx = self.schema.index_of(name)
+        return [row[idx] for row in self.rows]
+
+    def lineage_of(self, i: int) -> frozenset[RowId]:
+        """Why-provenance (contributing base rows) of row ``i``."""
+        return self.provenance[i].lineage
+
+    def all_lineage(self) -> frozenset[RowId]:
+        """Union of the lineage of every row (the table's base footprint)."""
+        out: set[RowId] = set()
+        for prov in self.provenance:
+            out.update(prov.lineage)
+        return frozenset(out)
+
+    def distinct_values(self, name: str) -> set[Any]:
+        """Set of distinct non-NULL values in ``name``."""
+        return {v for v in self.column_values(name) if v is not None}
+
+    # -- convenience ---------------------------------------------------------
+
+    def filter_rows(self, keep: Callable[[dict[str, Any]], bool], *, name: str | None = None) -> "Table":
+        """A derived table keeping rows where ``keep(row_dict)`` is true."""
+        rows: list[tuple[Any, ...]] = []
+        provs: list[RowProvenance] = []
+        names = self.schema.names
+        for row, prov in zip(self.rows, self.provenance):
+            if keep(dict(zip(names, row))):
+                rows.append(row)
+                provs.append(prov)
+        return Table.derived(name or self.name, self.schema, rows, provs)
+
+    def head(self, n: int = 5) -> list[dict[str, Any]]:
+        """First ``n`` rows as dicts, for display."""
+        return [self.row_dict(i) for i in range(min(n, len(self.rows)))]
+
+    def pretty(self, limit: int = 10) -> str:
+        """ASCII rendering of up to ``limit`` rows (for examples and docs)."""
+        names = self.schema.names
+        shown = [tuple(str(v) if v is not None else "NULL" for v in row) for row in self.rows[:limit]]
+        widths = [
+            max(len(names[i]), *(len(row[i]) for row in shown)) if shown else len(names[i])
+            for i in range(len(names))
+        ]
+        header = " | ".join(name.ljust(w) for name, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [header, sep]
+        lines.extend(
+            " | ".join(val.ljust(w) for val, w in zip(row, widths)) for row in shown
+        )
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, {len(self.rows)} rows, schema={self.schema.describe()})"
+
+
+def make_schema(*specs: tuple[str, ColumnType] | tuple[str, ColumnType, bool]) -> Schema:
+    """Shorthand schema constructor: ``make_schema(("a", INT), ("b", STRING, False))``."""
+    cols = []
+    for spec in specs:
+        if len(spec) == 2:
+            name, ctype = spec  # type: ignore[misc]
+            cols.append(Column(name, ctype))
+        else:
+            name, ctype, nullable = spec  # type: ignore[misc]
+            cols.append(Column(name, ctype, nullable))
+    return Schema(cols)

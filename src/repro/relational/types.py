@@ -1,0 +1,129 @@
+"""Column types and value coercion for the in-memory relational engine.
+
+The engine supports a small, closed set of scalar types sufficient for the
+paper's healthcare/business-intelligence scenario: strings, integers, floats,
+booleans, and calendar dates. ``None`` represents SQL NULL for nullable
+columns.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+__all__ = ["ColumnType", "coerce_value", "check_value", "parse_date"]
+
+
+class ColumnType(enum.Enum):
+    """Scalar types supported by the engine."""
+
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    DATE = "date"
+
+    def python_types(self) -> tuple[type, ...]:
+        """Python classes accepted for this column type."""
+        return _PYTHON_TYPES[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_PYTHON_TYPES: dict[ColumnType, tuple[type, ...]] = {
+    ColumnType.STRING: (str,),
+    ColumnType.INT: (int,),
+    ColumnType.FLOAT: (float, int),
+    ColumnType.BOOL: (bool,),
+    ColumnType.DATE: (datetime.date,),
+}
+
+_DATE_FORMATS = ("%Y-%m-%d", "%d/%m/%Y")
+
+
+def parse_date(text: str) -> datetime.date:
+    """Parse a date from ISO (``2007-02-12``) or paper-style (``12/02/2007``).
+
+    The paper's figures write dates as ``dd/mm/yyyy``; the generator and the
+    SQL parser accept both.
+    """
+    for fmt in _DATE_FORMATS:
+        try:
+            return datetime.datetime.strptime(text, fmt).date()
+        except ValueError:
+            continue
+    raise TypeMismatchError(f"cannot parse date from {text!r}")
+
+
+def coerce_value(value: Any, ctype: ColumnType) -> Any:
+    """Coerce ``value`` to ``ctype``, raising :class:`TypeMismatchError`.
+
+    ``None`` passes through (nullability is checked at the schema layer).
+    Strings are parsed for INT/FLOAT/BOOL/DATE columns, ints are widened for
+    FLOAT columns; everything else must already match.
+    """
+    if value is None:
+        return None
+    if ctype is ColumnType.BOOL:
+        # bool is a subclass of int; handle it before INT to avoid silently
+        # storing True as 1 in integer columns and vice versa.
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "yes", "1"):
+                return True
+            if lowered in ("false", "no", "0"):
+                return False
+        raise TypeMismatchError(f"cannot coerce {value!r} to BOOL")
+    if isinstance(value, bool):
+        raise TypeMismatchError(f"boolean {value!r} not allowed in {ctype} column")
+    if ctype is ColumnType.STRING:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"cannot coerce {value!r} to STRING")
+    if ctype is ColumnType.INT:
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise TypeMismatchError(f"cannot coerce {value!r} to INT") from exc
+        raise TypeMismatchError(f"cannot coerce {value!r} to INT")
+    if ctype is ColumnType.FLOAT:
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise TypeMismatchError(f"cannot coerce {value!r} to FLOAT") from exc
+        raise TypeMismatchError(f"cannot coerce {value!r} to FLOAT")
+    if ctype is ColumnType.DATE:
+        if isinstance(value, datetime.datetime):
+            return value.date()
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            return parse_date(value)
+        raise TypeMismatchError(f"cannot coerce {value!r} to DATE")
+    raise TypeMismatchError(f"unknown column type {ctype!r}")  # pragma: no cover
+
+
+def check_value(value: Any, ctype: ColumnType, *, nullable: bool = True) -> None:
+    """Validate that ``value`` is already a legal instance of ``ctype``."""
+    if value is None:
+        if not nullable:
+            raise TypeMismatchError(f"NULL not allowed in non-nullable {ctype} column")
+        return
+    if ctype is not ColumnType.BOOL and isinstance(value, bool):
+        raise TypeMismatchError(f"boolean {value!r} not allowed in {ctype} column")
+    if not isinstance(value, ctype.python_types()):
+        raise TypeMismatchError(f"{value!r} is not a valid {ctype} value")

@@ -1,0 +1,24 @@
+"""Reports: definitions, generation engine, versioned catalog, evolution."""
+
+from repro.reports.catalog import ReportCatalog
+from repro.reports.definition import ReportDefinition, ReportInstance
+from repro.reports.delivery import DeliveryService, RefusalRecord
+from repro.reports.diff import ReportDiff, diff_definitions
+from repro.reports.engine import ReportEngine
+from repro.reports.evolution import EvolutionEvent, EvolutionKind, apply_event
+from repro.reports.rendering import render_text
+
+__all__ = [
+    "DeliveryService",
+    "EvolutionEvent",
+    "EvolutionKind",
+    "RefusalRecord",
+    "ReportCatalog",
+    "ReportDefinition",
+    "ReportDiff",
+    "ReportEngine",
+    "ReportInstance",
+    "apply_event",
+    "diff_definitions",
+    "render_text",
+]

@@ -1,0 +1,91 @@
+"""The report catalog: current versions plus full history.
+
+"BI reports are in constant evolution. It is very common to add new reports
+or modify existing ones" (§2). The catalog keeps every version so the
+stability analysis (FIG5) can replay evolution streams and ask, per change,
+whether existing PLA approvals still cover the new version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.reports.definition import ReportDefinition
+
+__all__ = ["ReportCatalog"]
+
+
+@dataclass
+class ReportCatalog:
+    """Versioned registry of report definitions."""
+
+    _history: dict[str, list[ReportDefinition]] = field(default_factory=dict)
+    _dropped: set[str] = field(default_factory=set)
+
+    def add(self, definition: ReportDefinition) -> ReportDefinition:
+        """Register a brand-new report (version 1)."""
+        if definition.name in self._history and definition.name not in self._dropped:
+            raise ReproError(f"report {definition.name!r} already exists")
+        self._dropped.discard(definition.name)
+        self._history.setdefault(definition.name, []).append(definition)
+        return definition
+
+    def update(self, definition: ReportDefinition) -> ReportDefinition:
+        """Register a new version of an existing report."""
+        history = self._history.get(definition.name)
+        if not history or definition.name in self._dropped:
+            raise ReproError(f"report {definition.name!r} does not exist")
+        if definition.version <= history[-1].version:
+            raise ReproError(
+                f"new version {definition.version} must exceed "
+                f"{history[-1].version} for report {definition.name!r}"
+            )
+        history.append(definition)
+        return definition
+
+    def drop(self, name: str) -> None:
+        """Retire a report (history is kept for auditing)."""
+        if name not in self._history or name in self._dropped:
+            raise ReproError(f"report {name!r} does not exist")
+        self._dropped.add(name)
+
+    def current(self, name: str) -> ReportDefinition:
+        """The live version of ``name``."""
+        if name in self._dropped or name not in self._history:
+            raise ReproError(f"report {name!r} does not exist")
+        return self._history[name][-1]
+
+    def history(self, name: str) -> tuple[ReportDefinition, ...]:
+        """Every version ever registered under ``name`` (dropped included)."""
+        if name not in self._history:
+            raise ReproError(f"report {name!r} was never registered")
+        return tuple(self._history[name])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._history and name not in self._dropped
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def names(self) -> tuple[str, ...]:
+        """Names of live reports, sorted."""
+        return tuple(
+            sorted(name for name in self._history if name not in self._dropped)
+        )
+
+    def all_names_ever(self) -> tuple[str, ...]:
+        """Every name with history, dropped included (for audit/persistence)."""
+        return tuple(sorted(self._history))
+
+    def dropped_names(self) -> tuple[str, ...]:
+        """Names currently retired."""
+        return tuple(sorted(self._dropped))
+
+    def all_current(self) -> tuple[ReportDefinition, ...]:
+        """Live definitions, sorted by name."""
+        return tuple(self.current(name) for name in self.names())
+
+    def total_versions(self) -> int:
+        """Total definitions across all histories — an evolution-volume metric."""
+        return sum(len(h) for h in self._history.values())

@@ -1,0 +1,123 @@
+"""The BI provider's serving layer: check → enforce → deliver → log.
+
+One object ties the lifecycle together so applications (and the CLI) cannot
+accidentally skip a step: every delivery re-checks compliance against the
+current meta-report PLAs, runs the enforcer, and appends to the audit log.
+Rejected requests are logged too (as refusals) — §2's monitoring
+requirement covers attempts, not just successes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ComplianceError
+from repro.core.compliance import ComplianceChecker
+from repro.core.translation import ReportLevelEnforcer
+from repro.policy.subjects import AccessContext, SubjectRegistry
+from repro.reports.catalog import ReportCatalog
+from repro.reports.definition import ReportInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (audit → reports)
+    from repro.audit.log import AuditLog
+
+
+def _new_audit_log() -> "AuditLog":
+    from repro.audit.log import AuditLog
+
+    return AuditLog()
+
+__all__ = ["RefusalRecord", "DeliveryService"]
+
+
+@dataclass(frozen=True)
+class RefusalRecord:
+    """A delivery request that was refused, and why."""
+
+    report: str
+    consumer: str
+    purpose: str
+    reason: str
+
+
+@dataclass
+class DeliveryService:
+    """Checked, enforced, audited report delivery."""
+
+    reports: ReportCatalog
+    checker: ComplianceChecker
+    enforcer: ReportLevelEnforcer
+    subjects: SubjectRegistry
+    audit_log: "AuditLog" = field(default_factory=_new_audit_log)
+    refusals: list[RefusalRecord] = field(default_factory=list)
+
+    def deliver(
+        self, report_name: str, *, user: str, purpose: str
+    ) -> ReportInstance:
+        """Deliver the current version of ``report_name`` to ``user``.
+
+        Raises :class:`ComplianceError` on any refusal; the refusal is
+        recorded either way.
+        """
+        context = self.subjects.context(user, purpose)
+        try:
+            definition = self.reports.current(report_name)
+        except Exception as exc:
+            self._refuse(report_name, context, f"unknown report: {exc}")
+            raise ComplianceError(f"unknown report {report_name!r}") from exc
+        verdict = self.checker.check_report(definition)
+        if not verdict.compliant:
+            reason = "; ".join(str(v) for v in verdict.violations)
+            self._refuse(report_name, context, reason)
+            raise ComplianceError(
+                f"report {report_name!r} is not compliant: {reason}"
+            )
+        try:
+            instance = self.enforcer.generate(definition, context, verdict)
+        except ComplianceError as exc:
+            self._refuse(report_name, context, str(exc))
+            raise
+        self.audit_log.record_instance(instance, context)
+        return instance
+
+    def deliver_all_compliant(
+        self, role_to_user: dict[str, str]
+    ) -> tuple[list[ReportInstance], list[RefusalRecord]]:
+        """Deliver every live report to its audience's first role's user.
+
+        Returns delivered instances and the refusals accumulated during the
+        sweep (non-compliant reports do not raise here).
+        """
+        delivered: list[ReportInstance] = []
+        before = len(self.refusals)
+        for definition in self.reports.all_current():
+            role = sorted(definition.audience)[0]
+            user = role_to_user.get(role)
+            if user is None:
+                self.refusals.append(
+                    RefusalRecord(
+                        report=definition.name,
+                        consumer=f"<no user for role {role}>",
+                        purpose=definition.purpose,
+                        reason="no deliverable consumer for the audience",
+                    )
+                )
+                continue
+            try:
+                delivered.append(
+                    self.deliver(definition.name, user=user, purpose=definition.purpose)
+                )
+            except ComplianceError:
+                continue  # refusal already recorded
+        return delivered, self.refusals[before:]
+
+    def _refuse(self, report: str, context: AccessContext, reason: str) -> None:
+        self.refusals.append(
+            RefusalRecord(
+                report=report,
+                consumer=context.user.name,
+                purpose=context.purpose.name,
+                reason=reason,
+            )
+        )

@@ -1,0 +1,123 @@
+"""Report-version diffing: show the owner only what changed.
+
+Re-elicitation cost is driven by what the owner must re-review; when a
+report evolves, the honest unit of discussion is the *delta* — the columns
+that appeared or vanished, the predicate that moved, the audience that
+widened. §6's "methodologies for interacting with the source owners in
+order to quickly converge" starts with not re-reading the unchanged parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.reports.definition import ReportDefinition
+
+__all__ = ["ReportDiff", "diff_definitions"]
+
+
+@dataclass(frozen=True)
+class ReportDiff:
+    """The changes between two versions of one report."""
+
+    report: str
+    old_version: int
+    new_version: int
+    columns_added: tuple[str, ...] = ()
+    columns_removed: tuple[str, ...] = ()
+    predicate_changed: bool = False
+    old_predicate: str = ""
+    new_predicate: str = ""
+    grouping_added: tuple[str, ...] = ()
+    grouping_removed: tuple[str, ...] = ()
+    audience_added: tuple[str, ...] = ()
+    audience_removed: tuple[str, ...] = ()
+    purpose_changed: bool = False
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing owner-visible changed."""
+        return not (
+            self.columns_added
+            or self.columns_removed
+            or self.predicate_changed
+            or self.grouping_added
+            or self.grouping_removed
+            or self.audience_added
+            or self.audience_removed
+            or self.purpose_changed
+        )
+
+    @property
+    def elements_touched(self) -> int:
+        """Size of the delta — what a re-elicitation session must cover."""
+        return (
+            len(self.columns_added)
+            + len(self.columns_removed)
+            + (1 if self.predicate_changed else 0)
+            + len(self.grouping_added)
+            + len(self.grouping_removed)
+            + len(self.audience_added)
+            + len(self.audience_removed)
+            + (1 if self.purpose_changed else 0)
+        )
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return f"{self.report}: no owner-visible change"
+        parts = []
+        if self.columns_added:
+            parts.append(f"+cols {list(self.columns_added)}")
+        if self.columns_removed:
+            parts.append(f"-cols {list(self.columns_removed)}")
+        if self.predicate_changed:
+            parts.append(
+                f"filter: {self.old_predicate or '(none)'} -> "
+                f"{self.new_predicate or '(none)'}"
+            )
+        if self.grouping_added:
+            parts.append(f"+group {list(self.grouping_added)}")
+        if self.grouping_removed:
+            parts.append(f"-group {list(self.grouping_removed)}")
+        if self.audience_added:
+            parts.append(f"+audience {list(self.audience_added)}")
+        if self.audience_removed:
+            parts.append(f"-audience {list(self.audience_removed)}")
+        if self.purpose_changed:
+            parts.append("purpose changed")
+        return (
+            f"{self.report} v{self.old_version} -> v{self.new_version}: "
+            + "; ".join(parts)
+        )
+
+
+def diff_definitions(old: ReportDefinition, new: ReportDefinition) -> ReportDiff:
+    """The owner-facing delta between two versions of one report."""
+    if old.name != new.name:
+        raise ReproError(
+            f"diffing different reports ({old.name!r} vs {new.name!r})"
+        )
+    old_columns = set(old.columns() or ())
+    new_columns = set(new.columns() or ())
+    old_predicate = str(old.query.where) if old.query.where is not None else ""
+    new_predicate = str(new.query.where) if new.query.where is not None else ""
+    return ReportDiff(
+        report=old.name,
+        old_version=old.version,
+        new_version=new.version,
+        columns_added=tuple(sorted(new_columns - old_columns)),
+        columns_removed=tuple(sorted(old_columns - new_columns)),
+        predicate_changed=old_predicate != new_predicate,
+        old_predicate=old_predicate,
+        new_predicate=new_predicate,
+        grouping_added=tuple(
+            sorted(set(new.query.group_by) - set(old.query.group_by))
+        ),
+        grouping_removed=tuple(
+            sorted(set(old.query.group_by) - set(new.query.group_by))
+        ),
+        audience_added=tuple(sorted(new.audience - old.audience)),
+        audience_removed=tuple(sorted(old.audience - new.audience)),
+        purpose_changed=old.purpose != new.purpose,
+    )

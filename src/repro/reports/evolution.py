@@ -1,0 +1,165 @@
+"""Report evolution events: the change stream robustness is measured against.
+
+Each event mutates the report catalog the way real BI maintenance does:
+new reports, new columns, changed filters, changed grouping, audience
+changes, and retirements. Events are data, so an evolution stream can be
+generated once and replayed against every PLA-engineering level (FIG5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError
+from repro.relational.expressions import Expr
+from repro.relational.query import Query
+from repro.reports.catalog import ReportCatalog
+from repro.reports.definition import ReportDefinition
+
+__all__ = ["EvolutionKind", "EvolutionEvent", "apply_event"]
+
+
+class EvolutionKind(enum.Enum):
+    """The change taxonomy of §2's robustness challenge."""
+
+    ADD_REPORT = "add_report"
+    ADD_COLUMN = "add_column"
+    REMOVE_COLUMN = "remove_column"
+    CHANGE_FILTER = "change_filter"
+    CHANGE_GROUPING = "change_grouping"
+    CHANGE_AUDIENCE = "change_audience"
+    DROP_REPORT = "drop_report"
+
+
+@dataclass(frozen=True)
+class EvolutionEvent:
+    """One catalog change.
+
+    Payload by kind:
+      ADD_REPORT       definition=ReportDefinition
+      ADD_COLUMN       column=str (a warehouse/meta-report column)
+      REMOVE_COLUMN    column=str
+      CHANGE_FILTER    predicate=Expr (replaces the WHERE clause)
+      CHANGE_GROUPING  column=str (added to GROUP BY)
+      CHANGE_AUDIENCE  audience=frozenset[str]
+      DROP_REPORT      (no payload)
+    """
+
+    kind: EvolutionKind
+    report: str
+    definition: ReportDefinition | None = None
+    column: str | None = None
+    predicate: Expr | None = None
+    audience: frozenset[str] | None = None
+
+    def describe(self) -> str:
+        detail: Any = ""
+        if self.kind is EvolutionKind.ADD_REPORT and self.definition is not None:
+            detail = self.definition.describe()
+        elif self.column is not None:
+            detail = self.column
+        elif self.predicate is not None:
+            detail = str(self.predicate)
+        elif self.audience is not None:
+            detail = sorted(self.audience)
+        return f"{self.kind.value}({self.report}{', ' + str(detail) if detail else ''})"
+
+
+def apply_event(catalog: ReportCatalog, event: EvolutionEvent) -> ReportDefinition | None:
+    """Apply ``event`` to ``catalog``; returns the new definition (None on drop)."""
+    if event.kind is EvolutionKind.ADD_REPORT:
+        if event.definition is None:
+            raise ReproError("ADD_REPORT event carries no definition")
+        return catalog.add(event.definition)
+    if event.kind is EvolutionKind.DROP_REPORT:
+        catalog.drop(event.report)
+        return None
+
+    current = catalog.current(event.report)
+    if event.kind is EvolutionKind.ADD_COLUMN:
+        if event.column is None:
+            raise ReproError("ADD_COLUMN event carries no column")
+        updated = current.with_query(_add_column(current.query, event.column))
+    elif event.kind is EvolutionKind.REMOVE_COLUMN:
+        if event.column is None:
+            raise ReproError("REMOVE_COLUMN event carries no column")
+        updated = current.with_query(_remove_column(current.query, event.column))
+    elif event.kind is EvolutionKind.CHANGE_FILTER:
+        if event.predicate is None:
+            raise ReproError("CHANGE_FILTER event carries no predicate")
+        updated = current.with_query(_replace_filter(current.query, event.predicate))
+    elif event.kind is EvolutionKind.CHANGE_GROUPING:
+        if event.column is None:
+            raise ReproError("CHANGE_GROUPING event carries no column")
+        updated = current.with_query(_add_grouping(current.query, event.column))
+    elif event.kind is EvolutionKind.CHANGE_AUDIENCE:
+        if event.audience is None:
+            raise ReproError("CHANGE_AUDIENCE event carries no audience")
+        updated = current.with_audience(event.audience)
+    else:  # pragma: no cover - exhaustive over the enum
+        raise ReproError(f"unhandled evolution kind {event.kind!r}")
+    return catalog.update(updated)
+
+
+def _add_column(query: Query, column: str) -> Query:
+    from dataclasses import replace
+
+    if query.is_aggregate:
+        # Adding a column to an aggregate report means grouping by it too.
+        if column in query.group_by:
+            return query
+        grouped = replace(query, group_by=query.group_by + (column,))
+        if grouped.select:
+            return grouped.project(column, *grouped.select)
+        return grouped
+    if query.select and column not in query.output_names():
+        return query.project(*query.select, column)
+    return query
+
+
+def _remove_column(query: Query, column: str) -> Query:
+    from dataclasses import replace
+
+    if query.is_aggregate and column in query.group_by:
+        reduced = replace(
+            query, group_by=tuple(g for g in query.group_by if g != column)
+        )
+        if reduced.select:
+            kept = tuple(
+                item
+                for item in reduced.select
+                if (item if isinstance(item, str) else item[0]) != column
+            )
+            reduced = replace(reduced, select=kept)
+        return reduced
+    if query.select:
+        kept = tuple(
+            item
+            for item in query.select
+            if (item if isinstance(item, str) else item[0]) != column
+        )
+        if not kept:
+            raise ReproError("cannot remove the last column of a report")
+        return replace(query, select=kept)
+    raise ReproError(f"query has no explicit column {column!r} to remove")
+
+
+def _replace_filter(query: Query, predicate: Expr) -> Query:
+    from dataclasses import replace
+
+    return replace(query, where=predicate)
+
+
+def _add_grouping(query: Query, column: str) -> Query:
+    from dataclasses import replace
+
+    if not query.is_aggregate:
+        raise ReproError("CHANGE_GROUPING applies only to aggregate reports")
+    if column in query.group_by:
+        return query
+    grouped = replace(query, group_by=query.group_by + (column,))
+    if grouped.select:
+        return grouped.project(column, *grouped.select)
+    return grouped

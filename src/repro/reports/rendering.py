@@ -1,0 +1,37 @@
+"""Textual rendering of delivered report instances.
+
+Reports go to "managers and officials" (§1), not engineers: the rendering
+carries the title, audience/purpose header, the data, and an enforcement
+footer so a consumer (or an auditor reading the artifact later) can see what
+was applied — the transparency the paper's testability argument rests on.
+"""
+
+from __future__ import annotations
+
+from repro.reports.definition import ReportInstance
+
+__all__ = ["render_text"]
+
+
+def render_text(instance: ReportInstance, *, max_rows: int = 25) -> str:
+    """Human-facing text artifact of one delivered report."""
+    definition = instance.definition
+    header = [
+        definition.title,
+        "=" * len(definition.title),
+        f"report: {definition.name} v{definition.version}  "
+        f"audience: {', '.join(sorted(definition.audience))}  "
+        f"purpose: {definition.purpose}",
+        f"delivered to: {instance.consumer}",
+        "",
+    ]
+    body = instance.table.pretty(limit=max_rows)
+    footer = ["", f"{len(instance.table)} row(s)"]
+    if instance.suppressed_rows:
+        footer.append(
+            f"{instance.suppressed_rows} row(s) suppressed by privacy enforcement"
+        )
+    if instance.obligations_applied:
+        footer.append("privacy enforcement applied:")
+        footer.extend(f"  - {o}" for o in instance.obligations_applied)
+    return "\n".join(header) + body + "\n".join(footer)

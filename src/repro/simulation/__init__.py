@@ -1,0 +1,41 @@
+"""Simulation: owner agents, the Fig-1 scenario builder, level comparison."""
+
+from repro.simulation.comparison import LevelMetrics, build_levels, compare_levels
+from repro.simulation.negotiation import (
+    NegotiationOutcome,
+    OwnerPreferences,
+    convergence_experiment,
+    negotiate_audience,
+    negotiate_threshold,
+)
+from repro.simulation.owner import OwnerAgent
+from repro.simulation.scenario import (
+    AUDIENCES,
+    PURPOSES,
+    ROLES,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+    extend_with_exams_mart,
+    standard_annotations,
+)
+
+__all__ = [
+    "AUDIENCES",
+    "LevelMetrics",
+    "NegotiationOutcome",
+    "OwnerAgent",
+    "OwnerPreferences",
+    "PURPOSES",
+    "ROLES",
+    "Scenario",
+    "ScenarioConfig",
+    "build_levels",
+    "build_scenario",
+    "compare_levels",
+    "convergence_experiment",
+    "extend_with_exams_mart",
+    "negotiate_audience",
+    "negotiate_threshold",
+    "standard_annotations",
+]

@@ -1,0 +1,172 @@
+"""Negotiation-to-convergence: §6's open methodology question, simulated.
+
+"...defining methodologies for interacting with the source owners in order
+to quickly converge to a set of PLAs." We model the simplest realistic
+protocol: the BI provider proposes annotation parameters (thresholds,
+role sets); the owner, holding private sensitivity preferences, accepts or
+counter-proposes stricter ones; the provider concedes toward the owner's
+position; repeat until agreement. The experiment measures convergence
+rounds per artifact — which shrinks with the owner's comprehension of the
+artifact, reproducing the intuition that concrete artifacts (reports,
+meta-reports) converge faster than abstract ones (source schemas).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ElicitationError
+from repro.core.annotations import AggregationThreshold, AttributeAccess
+from repro.core.levels import COMPREHENSION_WEIGHTS
+
+__all__ = ["OwnerPreferences", "NegotiationOutcome", "negotiate_threshold", "negotiate_audience", "convergence_experiment"]
+
+
+@dataclass(frozen=True)
+class OwnerPreferences:
+    """The owner's private position (never revealed directly)."""
+
+    min_threshold: int = 5  # will not accept aggregation floors below this
+    forbidden_roles: frozenset[str] = frozenset()  # must never see sensitive attrs
+    # How reliably the owner recognizes an acceptable proposal in an
+    # artifact of a given comprehension weight; misunderstanding adds rounds.
+    comprehension: float = 0.7
+
+
+@dataclass
+class NegotiationOutcome:
+    """The transcript of one negotiated annotation."""
+
+    accepted: bool
+    rounds: int
+    final: object = None
+    transcript: list[str] = field(default_factory=list)
+
+
+def negotiate_threshold(
+    owner: OwnerPreferences,
+    *,
+    opening: int,
+    artifact_kind: str,
+    rng: random.Random,
+    max_rounds: int = 12,
+) -> NegotiationOutcome:
+    """Provider proposes a group-size floor; owner pushes it up to taste.
+
+    Misunderstanding (probability grows with the artifact's comprehension
+    weight and the owner's confusion) makes the owner reject even acceptable
+    offers — the mechanism that makes source-level discussions slow.
+    """
+    weight = COMPREHENSION_WEIGHTS[artifact_kind]
+    p_misread = max(0.0, min(0.9, (1.0 - owner.comprehension) * (weight / 4.0)))
+    proposal = opening
+    outcome = NegotiationOutcome(accepted=False, rounds=0)
+    for _ in range(max_rounds):
+        outcome.rounds += 1
+        outcome.transcript.append(f"provider: threshold >= {proposal}?")
+        understands = rng.random() >= p_misread
+        acceptable = proposal >= owner.min_threshold
+        if acceptable and understands:
+            outcome.accepted = True
+            outcome.final = AggregationThreshold(proposal)
+            outcome.transcript.append("owner: agreed")
+            return outcome
+        # Counter-proposal: the owner asks for more protection. A confused
+        # owner over-asks (the over-engineering mechanism, §3).
+        bump = 1 if understands else rng.randint(2, 5)
+        proposal = max(proposal + bump, owner.min_threshold if understands else proposal + bump)
+        outcome.transcript.append(f"owner: not enough, propose {proposal}")
+    outcome.transcript.append("no agreement within the meeting")
+    return outcome
+
+
+def negotiate_audience(
+    owner: OwnerPreferences,
+    *,
+    attribute: str,
+    opening_roles: frozenset[str],
+    artifact_kind: str,
+    rng: random.Random,
+    max_rounds: int = 8,
+) -> NegotiationOutcome:
+    """Provider proposes an audience for an attribute; owner prunes it."""
+    weight = COMPREHENSION_WEIGHTS[artifact_kind]
+    p_misread = max(0.0, min(0.9, (1.0 - owner.comprehension) * (weight / 4.0)))
+    roles = set(opening_roles)
+    outcome = NegotiationOutcome(accepted=False, rounds=0)
+    for _ in range(max_rounds):
+        outcome.rounds += 1
+        outcome.transcript.append(
+            f"provider: {attribute!r} visible to {sorted(roles)}?"
+        )
+        understands = rng.random() >= p_misread
+        offending = roles & owner.forbidden_roles
+        if not offending and understands:
+            outcome.accepted = True
+            outcome.final = AttributeAccess(attribute, frozenset(roles))
+            outcome.transcript.append("owner: agreed")
+            return outcome
+        if offending:
+            removed = sorted(offending)[0]
+            roles.discard(removed)
+            outcome.transcript.append(f"owner: remove {removed!r}")
+        elif not understands:
+            # Confused owner removes a legitimate role "to be safe".
+            if roles:
+                removed = sorted(roles)[rng.randrange(len(roles))]
+                roles.discard(removed)
+                outcome.transcript.append(
+                    f"owner: unsure, remove {removed!r} to be safe"
+                )
+        if not roles:
+            outcome.transcript.append("owner: nobody may see it")
+            outcome.accepted = True
+            outcome.final = AttributeAccess(attribute, frozenset())
+            return outcome
+    return outcome
+
+
+def convergence_experiment(
+    *,
+    seed: int = 29,
+    trials: int = 200,
+    owner_comprehension: float = 0.7,
+) -> list[dict]:
+    """Mean convergence rounds per artifact kind (the §6 methodology metric).
+
+    Expected shape: rounds grow with the artifact's comprehension weight —
+    discussing thresholds over a source schema takes more meetings than
+    over a concrete report.
+    """
+    if trials <= 0:
+        raise ElicitationError("trials must be positive")
+    rng = random.Random(seed)
+    rows = []
+    for kind in ("source_table", "warehouse_table", "metareport", "report"):
+        total_rounds = 0
+        agreed = 0
+        over_asks = 0
+        for _ in range(trials):
+            owner = OwnerPreferences(
+                min_threshold=rng.randint(3, 8),
+                comprehension=owner_comprehension,
+            )
+            outcome = negotiate_threshold(
+                owner, opening=2, artifact_kind=kind, rng=rng
+            )
+            total_rounds += outcome.rounds
+            if outcome.accepted:
+                agreed += 1
+                assert isinstance(outcome.final, AggregationThreshold)
+                if outcome.final.min_group_size > owner.min_threshold:
+                    over_asks += 1
+        rows.append(
+            {
+                "artifact_kind": kind,
+                "mean_rounds": total_rounds / trials,
+                "agreement_rate": agreed / trials,
+                "over_asked_fraction": over_asks / max(1, agreed),
+            }
+        )
+    return rows

@@ -1,0 +1,54 @@
+"""Simulated source owners for elicitation-cost experiments.
+
+The paper's owners are humans in meetings; we model the properties its
+arguments rely on: owners understand concrete reports easily, warehouse
+schemas with effort, and raw source schemas poorly ("the managers in charge
+of privacy are unaware of the details and the meaning of the data in the
+tables"). An owner's ``expertise`` scales cost; confusion (needing a second
+explanation) grows with artifact complexity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ElicitationError
+from repro.core.levels import COMPREHENSION_WEIGHTS, ElicitationArtifact
+
+__all__ = ["OwnerAgent"]
+
+
+@dataclass
+class OwnerAgent:
+    """A deterministic simulated source owner (implements ``OwnerModel``)."""
+
+    name: str
+    expertise: float = 0.5  # 0 = privacy manager with no schema knowledge
+    seed: int = 42
+    confusion_scale: float = 0.08  # chance of needing a re-explanation, per weight unit
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.expertise <= 1.0:
+            raise ElicitationError("expertise must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def comprehension_cost(self, artifact: ElicitationArtifact) -> float:
+        """Interaction units to understand one artifact.
+
+        Base cost is the artifact's weight × element count; low expertise
+        inflates it (up to 2×).
+        """
+        return artifact.effort() * (2.0 - self.expertise)
+
+    def review(self, artifact: ElicitationArtifact) -> bool:
+        """Whether the artifact is approved on the first pass.
+
+        Confusion probability grows with the artifact kind's comprehension
+        weight and shrinks with expertise — a source owner rarely needs a
+        report re-explained, but source tables often take two meetings.
+        """
+        weight = COMPREHENSION_WEIGHTS[artifact.kind]
+        p_confused = min(0.9, self.confusion_scale * weight * (1.5 - self.expertise))
+        return self._rng.random() >= p_confused

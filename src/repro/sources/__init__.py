@@ -1,0 +1,16 @@
+"""Data sources: providers, patient consents, and the source-side gateway."""
+
+from repro.sources.consent import ConsentAgreement, ConsentRegistry
+from repro.sources.filters import CellPolicy, GatewayReport, SourceGateway
+from repro.sources.provider import DataProvider, ProviderKind, TrustPosture
+
+__all__ = [
+    "CellPolicy",
+    "ConsentAgreement",
+    "ConsentRegistry",
+    "DataProvider",
+    "GatewayReport",
+    "ProviderKind",
+    "SourceGateway",
+    "TrustPosture",
+]

@@ -1,0 +1,93 @@
+"""Patient consent agreements (the innermost PLA ring of Fig 1).
+
+"As patients visit a health-care center, they sign a consent agreement
+specifying how their personal information can be treated." Consents are the
+ground truth the Policies metadata table of Fig 2(b) encodes; this module
+models them as objects and converts between the two forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PolicyError
+from repro.relational.table import Table
+from repro.workloads.healthcare import POLICIES_SCHEMA
+
+__all__ = ["ConsentAgreement", "ConsentRegistry"]
+
+
+@dataclass(frozen=True)
+class ConsentAgreement:
+    """One patient's signed consent.
+
+    ``show_name``/``show_disease`` mirror the paper's Policies columns;
+    ``allowed_purposes`` restricts downstream use (empty = any declared
+    purpose); ``retention_days`` bounds storage at the BI provider.
+    """
+
+    patient: str
+    show_name: bool
+    show_disease: bool
+    allowed_purposes: frozenset[str] = frozenset()
+    retention_days: int | None = None
+
+    def permits_purpose(self, purpose: str) -> bool:
+        """True if the consent covers ``purpose`` (prefix semantics)."""
+        if not self.allowed_purposes:
+            return True
+        return any(
+            purpose == granted or purpose.startswith(granted + "/")
+            for granted in self.allowed_purposes
+        )
+
+
+@dataclass
+class ConsentRegistry:
+    """All consents a provider holds, with a default for unknown patients.
+
+    The safe default is deny-everything: a patient with no recorded consent
+    discloses nothing — sources "going for the first option" (§3) enforce
+    conservatively.
+    """
+
+    agreements: dict[str, ConsentAgreement] = field(default_factory=dict)
+    default: ConsentAgreement = ConsentAgreement(
+        patient="<default>", show_name=False, show_disease=False
+    )
+
+    def add(self, agreement: ConsentAgreement) -> ConsentAgreement:
+        if agreement.patient in self.agreements:
+            raise PolicyError(f"consent for {agreement.patient!r} already recorded")
+        self.agreements[agreement.patient] = agreement
+        return agreement
+
+    def for_patient(self, patient: str) -> ConsentAgreement:
+        return self.agreements.get(patient, self.default)
+
+    def __len__(self) -> int:
+        return len(self.agreements)
+
+    # -- conversions to/from the Fig 2(b) Policies metadata table ----------
+
+    @classmethod
+    def from_policies_table(cls, policies: Table) -> "ConsentRegistry":
+        """Build a registry from a ``policies(patient, show_name, show_disease)`` table."""
+        registry = cls()
+        for row in policies.iter_dicts():
+            registry.add(
+                ConsentAgreement(
+                    patient=row["patient"],
+                    show_name=bool(row["show_name"]),
+                    show_disease=bool(row["show_disease"]),
+                )
+            )
+        return registry
+
+    def to_policies_table(self, *, provider: str = "consent_registry") -> Table:
+        """Materialize the registry as the paper's Policies metadata table."""
+        table = Table("policies", POLICIES_SCHEMA, provider=provider)
+        for patient in sorted(self.agreements):
+            consent = self.agreements[patient]
+            table.insert((patient, consent.show_name, consent.show_disease))
+        return table

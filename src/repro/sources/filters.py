@@ -1,0 +1,220 @@
+"""The source-side data filter / anonymization gateway of Fig 2(a).
+
+When a provider's posture is SOURCE_ENFORCES, every table it exports to the
+BI provider passes through this gateway, which applies — in order:
+
+1. **consent purpose check** — rows of subjects whose consent does not cover
+   the requesting purpose are dropped;
+2. **cell policies** driven by the consent flags (the Fig 2(b) Policies
+   metadata): pseudonymize or suppress individual cells;
+3. **intensional restrictions** from the provider's
+   :class:`~repro.policy.intensional.MetadataStore` (e.g. "rows where
+   disease = 'HIV' must not leave with identity attached");
+4. an optional **k-anonymization** pass over declared quasi-identifiers.
+
+The gateway reports exactly what it did, which the audit layer replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import EnforcementError
+from repro.anonymize.kanonymity import QuasiIdentifier, mondrian_anonymize
+from repro.anonymize.pseudonym import Pseudonymizer
+from repro.policy.subjects import AccessContext
+from repro.relational.table import RowProvenance, Table
+from repro.sources.provider import DataProvider
+
+__all__ = ["CellPolicy", "GatewayReport", "SourceGateway"]
+
+_ACTIONS = ("pseudonymize", "suppress")
+
+
+@dataclass(frozen=True)
+class CellPolicy:
+    """Cell-level rule bound to a consent flag.
+
+    When the subject's consent flag named ``consent_flag`` is false, the
+    value in ``column`` is pseudonymized or suppressed (set to NULL). The
+    subject is identified by ``subject_column``.
+    """
+
+    column: str
+    consent_flag: str  # attribute of ConsentAgreement, e.g. "show_name"
+    action: str = "pseudonymize"
+    subject_column: str = "patient"
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise EnforcementError(
+                f"unknown cell action {self.action!r}; expected one of {_ACTIONS}"
+            )
+
+
+@dataclass
+class GatewayReport:
+    """What one export did — input to auditing and the FIG2 benchmark."""
+
+    table: str
+    rows_in: int = 0
+    rows_out: int = 0
+    rows_dropped_purpose: int = 0
+    rows_dropped_intensional: int = 0
+    cells_pseudonymized: int = 0
+    cells_suppressed: int = 0
+    k_anonymized: bool = False
+
+    def summary(self) -> str:
+        return (
+            f"{self.table}: {self.rows_in}->{self.rows_out} rows "
+            f"(purpose-dropped {self.rows_dropped_purpose}, "
+            f"intensionally-dropped {self.rows_dropped_intensional}); "
+            f"cells pseudonymized {self.cells_pseudonymized}, "
+            f"suppressed {self.cells_suppressed}"
+            + ("; k-anonymized" if self.k_anonymized else "")
+        )
+
+
+@dataclass
+class SourceGateway:
+    """Fig 2(a)'s "data filter / anonymization" box for one provider."""
+
+    provider: DataProvider
+    cell_policies: list[CellPolicy] = field(default_factory=list)
+    pseudonymizer: Pseudonymizer | None = None
+    k_anonymity: tuple[tuple[QuasiIdentifier, ...], int] | None = None
+    l_diversity: tuple[str, int] | None = None  # (sensitive column, l)
+    enforce_purpose: bool = True
+
+    def add_cell_policy(self, policy: CellPolicy) -> CellPolicy:
+        self.cell_policies.append(policy)
+        return policy
+
+    def require_k_anonymity(
+        self, quasi_identifiers: Sequence[QuasiIdentifier], k: int
+    ) -> None:
+        """Enable the final k-anonymization pass on exported tables."""
+        self.k_anonymity = (tuple(quasi_identifiers), k)
+
+    def require_l_diversity(self, sensitive: str, l: int) -> None:
+        """Also require distinct l-diversity on the sensitive column.
+
+        Applied on top of the k-anonymization pass (it suppresses whole
+        equivalence classes, so the k guarantee is preserved). Requires
+        :meth:`require_k_anonymity` to be configured too.
+        """
+        if self.k_anonymity is None:
+            raise EnforcementError(
+                "l-diversity at the gateway requires a k-anonymity pass; "
+                "call require_k_anonymity first"
+            )
+        self.l_diversity = (sensitive, l)
+
+    # -- export ---------------------------------------------------------------
+
+    def export_table(
+        self, table_name: str, context: AccessContext
+    ) -> tuple[Table, GatewayReport]:
+        """Export one table to the BI provider under ``context``."""
+        table = self.provider.table(table_name)
+        report = GatewayReport(table=table_name, rows_in=len(table))
+        policies = [p for p in self.cell_policies if p.column in table.schema]
+
+        rows: list[tuple] = []
+        provs: list[RowProvenance] = []
+        for i in range(len(table)):
+            row_dict = table.row_dict(i)
+            # 1. purpose check against the subject's consent
+            subject = self._subject_of(row_dict, policies)
+            if self.enforce_purpose and subject is not None:
+                consent = self.provider.consents.for_patient(subject)
+                if not consent.permits_purpose(context.purpose.name):
+                    report.rows_dropped_purpose += 1
+                    continue
+            # 3 (checked early so dropped rows skip cell work):
+            # intensional restrictions
+            metadata = self.provider.metadata.metadata_for_row(table_name, row_dict)
+            if metadata.get("deny_row"):
+                report.rows_dropped_intensional += 1
+                continue
+            # 2. consent-flag cell policies
+            mutated = list(table.rows[i])
+            for policy in policies:
+                if subject is None:
+                    continue
+                consent = self.provider.consents.for_patient(
+                    row_dict.get(policy.subject_column, subject)
+                )
+                if getattr(consent, policy.consent_flag, False):
+                    continue
+                idx = table.schema.index_of(policy.column)
+                if mutated[idx] is None:
+                    continue
+                mutated[idx] = self._apply_action(policy.action, mutated[idx], report)
+            # intensional column masks
+            for column in metadata.get("mask_columns", ()):  # type: ignore[union-attr]
+                if column in table.schema:
+                    idx = table.schema.index_of(column)
+                    if mutated[idx] is not None:
+                        mutated[idx] = None
+                        report.cells_suppressed += 1
+            rows.append(tuple(mutated))
+            provs.append(table.provenance[i])
+
+        exported = self._retype_for_policies(table, policies, rows, provs)
+        # 4. k-anonymization (and optional l-diversity) pass
+        if self.k_anonymity is not None:
+            qis, k = self.k_anonymity
+            applicable = [qi for qi in qis if qi.column in exported.schema]
+            if applicable and len(exported):
+                result = mondrian_anonymize(exported, applicable, k)
+                if self.l_diversity is not None:
+                    sensitive, l = self.l_diversity
+                    if sensitive in result.table.schema:
+                        from repro.anonymize.ldiversity import enforce_l_diversity
+
+                        result = enforce_l_diversity(result, sensitive, l)
+                exported = result.table
+                report.k_anonymized = True
+        report.rows_out = len(exported)
+        return exported, report
+
+    def _subject_of(self, row: dict, policies: list[CellPolicy]) -> str | None:
+        for policy in policies:
+            subject = row.get(policy.subject_column)
+            if subject is not None:
+                return str(subject)
+        return str(row["patient"]) if "patient" in row and row["patient"] else None
+
+    def _apply_action(self, action: str, value: object, report: GatewayReport) -> object:
+        if action == "pseudonymize":
+            if self.pseudonymizer is None:
+                raise EnforcementError(
+                    "cell policy requires pseudonymization but the gateway "
+                    "has no Pseudonymizer"
+                )
+            report.cells_pseudonymized += 1
+            return self.pseudonymizer.pseudonym(value)
+        report.cells_suppressed += 1
+        return None
+
+    @staticmethod
+    def _retype_for_policies(
+        table: Table,
+        policies: list[CellPolicy],
+        rows: list[tuple],
+        provs: list[RowProvenance],
+    ) -> Table:
+        """Suppression makes policy columns nullable in the exported schema."""
+        from repro.relational.schema import Column, Schema
+
+        suppressible = {p.column for p in policies if p.action == "suppress"}
+        schema = Schema(
+            Column(c.name, c.ctype, True) if c.name in suppressible else c
+            for c in table.schema
+        )
+        return Table.derived(
+            table.name, schema, rows, provs, provider=table.provider
+        )

@@ -1,0 +1,86 @@
+"""Data providers: the institutions of Fig 1 and their trust posture.
+
+A provider owns tables, consents, and a source-level PLA. Section 3
+distinguishes two postures: the source enforces its own PLA before releasing
+anything (``SOURCE_ENFORCES``, "smaller organizations always going for the
+first option"), or it releases everything along with the PLA and trusts the
+BI provider to enforce (``BI_ENFORCES``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError, PolicyError
+from repro.policy.intensional import MetadataStore
+from repro.relational.catalog import Catalog
+from repro.relational.table import Table
+from repro.sources.consent import ConsentRegistry
+
+__all__ = ["TrustPosture", "ProviderKind", "DataProvider"]
+
+
+class TrustPosture(enum.Enum):
+    """Who enforces the source's PLA on exported data."""
+
+    SOURCE_ENFORCES = "source_enforces"
+    BI_ENFORCES = "bi_enforces"
+
+
+class ProviderKind(enum.Enum):
+    """The institution types of the paper's Fig 1 scenario."""
+
+    HOSPITAL = "hospital"
+    LABORATORY = "laboratory"
+    FAMILY_DOCTOR = "family_doctor"
+    MUNICIPALITY = "municipality"
+    HEALTH_AGENCY = "health_agency"
+
+
+@dataclass
+class DataProvider:
+    """One data source: its tables, consents, and privacy metadata."""
+
+    name: str
+    kind: ProviderKind
+    posture: TrustPosture = TrustPosture.SOURCE_ENFORCES
+    catalog: Catalog = field(default_factory=Catalog)
+    consents: ConsentRegistry = field(default_factory=ConsentRegistry)
+    metadata: MetadataStore = field(default_factory=MetadataStore)
+    it_skill: float = 0.5  # drives posture choice in scenario builders (§3)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PolicyError("provider name must be non-empty")
+        if not 0.0 <= self.it_skill <= 1.0:
+            raise PolicyError("it_skill must be in [0, 1]")
+
+    def add_table(self, table: Table) -> Table:
+        """Register a table; its provider tag must match this provider."""
+        if table.provider != self.name:
+            raise CatalogError(
+                f"table {table.name!r} is tagged provider={table.provider!r}, "
+                f"expected {self.name!r}"
+            )
+        return self.catalog.add_table(table)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def table_names(self) -> tuple[str, ...]:
+        return self.catalog.table_names()
+
+    @classmethod
+    def posture_for_skill(cls, it_skill: float) -> TrustPosture:
+        """The paper's observed rule: low-IT-skill sources self-enforce."""
+        return (
+            TrustPosture.BI_ENFORCES if it_skill >= 0.7 else TrustPosture.SOURCE_ENFORCES
+        )
+
+    def describe(self) -> str:
+        tables = ", ".join(self.table_names()) or "(no tables)"
+        return (
+            f"{self.name} ({self.kind.value}, {self.posture.value}, "
+            f"{len(self.consents)} consents): {tables}"
+        )

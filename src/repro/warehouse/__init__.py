@@ -1,0 +1,33 @@
+"""Data warehouse: star schemas, cubes, cube authorization, privacy metadata."""
+
+from repro.warehouse.authorization import CubeAuthorizationRule, CubeAuthorizer
+from repro.warehouse.cube import Cube, CubeQuery
+from repro.warehouse.enforcement import WarehouseEnforcer
+from repro.warehouse.metadata import (
+    ColumnAnnotation,
+    PrivacyMetadataRegistry,
+    TableAnnotation,
+)
+from repro.warehouse.star import (
+    Dimension,
+    StarSchema,
+    build_date_dimension,
+    build_dimension,
+    build_fact,
+)
+
+__all__ = [
+    "ColumnAnnotation",
+    "Cube",
+    "CubeAuthorizationRule",
+    "CubeAuthorizer",
+    "CubeQuery",
+    "Dimension",
+    "PrivacyMetadataRegistry",
+    "StarSchema",
+    "TableAnnotation",
+    "WarehouseEnforcer",
+    "build_date_dimension",
+    "build_dimension",
+    "build_fact",
+]

@@ -1,0 +1,127 @@
+"""Data-cube operations over a star schema: roll-up, drill-down, slice, dice.
+
+The cube is logical: every operation compiles to a query over the star's
+wide view and runs through the provenance-carrying engine, so each cell of
+every aggregate knows its contributor set — the hook fine-grained cube
+authorization (Wang et al. [14]) and aggregation-threshold PLAs need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import WarehouseError
+from repro.relational.algebra import AggSpec
+from repro.relational.catalog import Catalog
+from repro.relational.engine import execute
+from repro.relational.expressions import Expr
+from repro.relational.query import Query
+from repro.relational.table import Table
+from repro.warehouse.star import StarSchema
+
+__all__ = ["Cube", "CubeQuery"]
+
+
+@dataclass(frozen=True)
+class CubeQuery:
+    """A logical cube request: group-by attributes, measures, slice predicate."""
+
+    group_by: tuple[str, ...]
+    measures: tuple[AggSpec, ...]
+    slice_predicate: Expr | None = None
+
+    def describe(self) -> str:
+        parts = [f"by ({', '.join(self.group_by) or 'ALL'})"]
+        parts.append(f"measures ({', '.join(str(m) for m in self.measures)})")
+        if self.slice_predicate is not None:
+            parts.append(f"where {self.slice_predicate}")
+        return " ".join(parts)
+
+
+class Cube:
+    """OLAP operations over one star schema."""
+
+    def __init__(self, star: StarSchema, catalog: Catalog) -> None:
+        self.star = star
+        self.catalog = catalog
+        if star.wide_view_name() not in catalog:
+            star.register(catalog)
+
+    # -- core -------------------------------------------------------------
+
+    def compile(self, cube_query: CubeQuery) -> Query:
+        """Compile a cube request to an engine query over the wide view."""
+        for attr in cube_query.group_by:
+            self.star.attribute_dimension(attr)  # validates the attribute
+        query = Query.from_(self.star.wide_view_name())
+        if cube_query.slice_predicate is not None:
+            query = query.filter(cube_query.slice_predicate)
+        query = query.group(*cube_query.group_by).agg(*cube_query.measures)
+        return query
+
+    def evaluate(self, cube_query: CubeQuery, *, name: str = "cube_result") -> Table:
+        """Run a cube request."""
+        return execute(self.compile(cube_query), self.catalog, name=name)
+
+    # -- OLAP verbs ----------------------------------------------------------
+
+    def rollup(
+        self,
+        cube_query: CubeQuery,
+        attribute: str,
+    ) -> CubeQuery:
+        """Coarsen: replace ``attribute`` with the next level of its dimension
+        (or drop it entirely at the top)."""
+        dim = self.star.attribute_dimension(attribute)
+        level = dim.level_of(attribute)
+        if attribute not in cube_query.group_by:
+            raise WarehouseError(f"{attribute!r} is not in the current group-by")
+        if level + 1 < len(dim.levels):
+            replacement: tuple[str, ...] = tuple(
+                dim.levels[level + 1] if g == attribute else g
+                for g in cube_query.group_by
+            )
+        else:
+            replacement = tuple(g for g in cube_query.group_by if g != attribute)
+        return CubeQuery(replacement, cube_query.measures, cube_query.slice_predicate)
+
+    def drilldown(self, cube_query: CubeQuery, attribute: str) -> CubeQuery:
+        """Refine: replace ``attribute`` with the next finer level."""
+        dim = self.star.attribute_dimension(attribute)
+        level = dim.level_of(attribute)
+        if attribute not in cube_query.group_by:
+            raise WarehouseError(f"{attribute!r} is not in the current group-by")
+        if level == 0:
+            raise WarehouseError(f"{attribute!r} is already the finest level")
+        replacement = tuple(
+            dim.levels[level - 1] if g == attribute else g
+            for g in cube_query.group_by
+        )
+        return CubeQuery(replacement, cube_query.measures, cube_query.slice_predicate)
+
+    def slice(self, cube_query: CubeQuery, predicate: Expr) -> CubeQuery:
+        """Restrict the cube to cells satisfying ``predicate``."""
+        combined = (
+            predicate
+            if cube_query.slice_predicate is None
+            else cube_query.slice_predicate & predicate
+        )
+        return CubeQuery(cube_query.group_by, cube_query.measures, combined)
+
+    def dice(self, cube_query: CubeQuery, *attributes: str) -> CubeQuery:
+        """Project the group-by down to ``attributes`` (must be a subset)."""
+        missing = set(attributes) - set(cube_query.group_by)
+        if missing:
+            raise WarehouseError(f"dice attributes not in group-by: {sorted(missing)}")
+        return CubeQuery(
+            tuple(a for a in cube_query.group_by if a in attributes),
+            cube_query.measures,
+            cube_query.slice_predicate,
+        )
+
+    def base_query(
+        self, group_by: Sequence[str], measures: Sequence[AggSpec]
+    ) -> CubeQuery:
+        """Convenience constructor for the finest-grain starting request."""
+        return CubeQuery(tuple(group_by), tuple(measures))

@@ -1,0 +1,153 @@
+"""Warehouse-level enforcement: executing queries under DWH privacy metadata.
+
+§4's mechanism, made operational: the annotations of a
+:class:`~repro.warehouse.metadata.PrivacyMetadataRegistry` (field
+sensitivity/role limits, table purpose limits, join permissions, aggregation
+floors, intensional row rules) gate and shape every query a consumer runs
+against the warehouse. This is the enforcement point a deployment gets when
+PLAs are engineered at the warehouse level instead of on reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ComplianceError
+from repro.policy.subjects import AccessContext
+from repro.relational.catalog import Catalog
+from repro.relational.engine import execute
+from repro.relational.query import Query
+from repro.relational.table import Table
+from repro.warehouse.metadata import PrivacyMetadataRegistry
+
+__all__ = ["WarehouseEnforcer"]
+
+
+@dataclass
+class WarehouseEnforcer:
+    """Gates warehouse queries against the DWH privacy metadata."""
+
+    catalog: Catalog
+    metadata: PrivacyMetadataRegistry
+
+    # -- static gate ---------------------------------------------------------
+
+    def check(self, query: Query, context: AccessContext) -> list[str]:
+        """Reasons the query is not allowed (empty = admissible)."""
+        reasons: list[str] = []
+        relations = query.referenced_relations()
+        base_tables: set[str] = set()
+        for relation in relations:
+            base_tables |= set(self.catalog.base_relations(relation))
+
+        # Table-level purpose restrictions.
+        for table in sorted(base_tables):
+            annotation = self.metadata.table_annotation(table)
+            if annotation is not None and not annotation.permits_purpose(
+                context.purpose.name
+            ):
+                reasons.append(
+                    f"table {table!r} may not be used for purpose "
+                    f"{context.purpose.name!r}"
+                )
+
+        # Join permissions between every referenced base-table pair.
+        tables = sorted(base_tables)
+        for i, left in enumerate(tables):
+            for right in tables[i + 1 :]:
+                if not self.metadata.join_permitted(left, right):
+                    reasons.append(
+                        f"joining {left!r} with {right!r} is not permitted"
+                    )
+
+        # Column-level role limits on everything the query touches.
+        from repro.core.containment import source_columns_used
+
+        used = source_columns_used(query)
+        roles = {role.name for role in context.user.roles}
+        for table in sorted(base_tables):
+            for column in used:
+                annotation = self.metadata.column_annotation(table, column)
+                if annotation is None:
+                    continue
+                if not any(annotation.permits_role(role) for role in roles):
+                    reasons.append(
+                        f"column {table}.{column} is restricted to roles "
+                        f"{sorted(annotation.allowed_roles)}"
+                    )
+
+        # Record-level exposure of sensitive columns requires aggregation.
+        floor = self.metadata.min_aggregation_for(base_tables)
+        if floor > 1 and not query.is_aggregate:
+            outputs = query.output_names()
+            if outputs is None or any(
+                column in self._all_sensitive(base_tables) for column in outputs
+            ):
+                reasons.append(
+                    f"record-level access requires aggregation over ≥ {floor} "
+                    "records for these tables"
+                )
+        return reasons
+
+    def _all_sensitive(self, tables: set[str]) -> set[str]:
+        out: set[str] = set()
+        for table in tables:
+            out.update(self.metadata.sensitive_columns(table))
+        return out
+
+    # -- guarded execution ------------------------------------------------------
+
+    def run(
+        self, query: Query, context: AccessContext, *, name: str = "dwh_result"
+    ) -> tuple[Table, int]:
+        """Check, execute, apply row rules and aggregation floors.
+
+        Returns ``(table, suppressed_rows)``. Raises
+        :class:`ComplianceError` when the static gate rejects the query.
+        """
+        reasons = self.check(query, context)
+        if reasons:
+            raise ComplianceError(
+                "warehouse metadata rejects the query: " + "; ".join(reasons)
+            )
+        result = execute(query, self.catalog, name=name)
+        base_tables = {
+            t
+            for relation in query.referenced_relations()
+            for t in self.catalog.base_relations(relation)
+        }
+        keep: list[int] = []
+        floor = self.metadata.min_aggregation_for(base_tables)
+        names = result.schema.names
+        # Row rules apply only when their condition columns are visible in
+        # the output (aggregates hide them; the aggregation floor is the
+        # protection at that grain).
+        applicable_rules = [
+            rule
+            for rule in self.metadata.row_rules
+            if rule.table in base_tables
+            and rule.condition.columns() <= set(names)
+        ]
+        for i in range(len(result)):
+            row = dict(zip(names, result.rows[i]))
+            restricted = False
+            for rule in applicable_rules:
+                if rule.covers(row) and rule.metadata.get("deny_row"):
+                    restricted = True
+                    break
+            if restricted:
+                continue
+            if query.is_aggregate and len(result.lineage_of(i)) < floor:
+                continue
+            keep.append(i)
+        suppressed = len(result) - len(keep)
+        if not suppressed:
+            return result, 0
+        filtered = Table.derived(
+            name,
+            result.schema,
+            [result.rows[i] for i in keep],
+            [result.provenance[i] for i in keep],
+            provider="warehouse",
+        )
+        return filtered, suppressed

@@ -1,0 +1,273 @@
+"""Star-schema modeling: dimensions with surrogate keys, fact tables, wide views.
+
+The BI provider "extracts, integrates and transforms data that is then
+loaded on a data warehouse". We model the warehouse as a classic star:
+dimension tables built from distinct attribute combinations (surrogate
+integer keys), fact tables holding measures plus dimension keys, and a
+denormalized wide view — which is exactly the raw material §5's
+meta-reports are cut from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import WarehouseError
+from repro.relational.catalog import Catalog, View
+from repro.relational.query import Query
+from repro.relational.schema import Column, Schema
+from repro.relational.table import RowProvenance, Table
+from repro.relational.types import ColumnType
+
+__all__ = [
+    "Dimension",
+    "StarSchema",
+    "build_date_dimension",
+    "build_dimension",
+    "build_fact",
+]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A dimension table plus its level ordering (fine → coarse)."""
+
+    name: str
+    key: str  # surrogate key column, "<name>_id"
+    table: Table
+    levels: tuple[str, ...]  # attribute columns, finest first
+
+    def level_of(self, attribute: str) -> int:
+        """Position of ``attribute`` in the fine→coarse level order."""
+        try:
+            return self.levels.index(attribute)
+        except ValueError:
+            raise WarehouseError(
+                f"{attribute!r} is not a level of dimension {self.name!r}"
+            ) from None
+
+
+def build_dimension(
+    name: str,
+    source: Table,
+    attributes: Sequence[str],
+    *,
+    levels: Sequence[str] | None = None,
+) -> Dimension:
+    """Build a dimension from the distinct attribute combinations of ``source``.
+
+    Surrogate keys are dense integers in first-seen order. ``levels``
+    defaults to the attribute order given (finest first).
+
+    Dimension rows keep *where-provenance* (the base cells their attribute
+    values were copied from, for elicitation displays) but carry **empty
+    lineage**: a dimension member is reference data, not a record. This
+    keeps contributor counts honest — joining the fact to its dimensions
+    must not inflate an aggregate cell's lineage with every source row that
+    ever exhibited the member (which would also leak rows from *other*
+    groups into a cell's contributor set).
+    """
+    if not attributes:
+        raise WarehouseError(f"dimension {name!r} needs at least one attribute")
+    for attr in attributes:
+        source.schema.column(attr)
+    key_column = f"{name}_id"
+    schema = Schema(
+        [Column(key_column, ColumnType.INT, nullable=False)]
+        + [source.schema.column(a) for a in attributes]
+    )
+    indices = [source.schema.index_of(a) for a in attributes]
+    seen: dict[tuple[Any, ...], int] = {}
+    rows: list[tuple[Any, ...]] = []
+    provs: list[RowProvenance] = []
+    for i, row in enumerate(source.rows):
+        combo = tuple(row[j] for j in indices)
+        if combo in seen:
+            k = seen[combo]
+            provs[k] = RowProvenance(
+                lineage=provs[k].lineage,
+                where={
+                    a: provs[k].where_of(a) | source.provenance[i].where_of(a)
+                    for a in attributes
+                },
+            )
+            continue
+        key = len(rows)
+        seen[combo] = key
+        where = {
+            a: source.provenance[i].where_of(a) for a in attributes
+        }
+        rows.append((key,) + combo)
+        provs.append(RowProvenance(lineage=frozenset(), where=where))
+    table = Table.derived(f"dim_{name}", schema, rows, provs, provider="warehouse")
+    return Dimension(
+        name=name,
+        key=key_column,
+        table=table,
+        levels=tuple(levels) if levels is not None else tuple(attributes),
+    )
+
+
+def build_date_dimension(
+    name: str,
+    source: Table,
+    date_column: str,
+) -> tuple[Dimension, Table]:
+    """A calendar dimension with the classic day → month → year roll-up.
+
+    Derives ``<date>_month``/``<date>_year`` attributes from a DATE column
+    of ``source`` and returns both the dimension and a copy of ``source``
+    extended with those attributes (fact building needs the derived columns
+    present on the source side for key lookups).
+    """
+    column = source.schema.column(date_column)
+    if column.ctype is not ColumnType.DATE:
+        raise WarehouseError(f"{date_column!r} is not a DATE column")
+    month, year = f"{date_column}_month", f"{date_column}_year"
+
+    extended_schema = Schema(
+        list(source.schema.columns)
+        + [
+            Column(month, ColumnType.STRING, column.nullable),
+            Column(year, ColumnType.INT, column.nullable),
+        ]
+    )
+    idx = source.schema.index_of(date_column)
+    rows = []
+    for row in source.rows:
+        value = row[idx]
+        if value is None:
+            rows.append(row + (None, None))
+        else:
+            rows.append(row + (f"{value.year:04d}-{value.month:02d}", value.year))
+    extended = Table.derived(
+        source.name,
+        extended_schema,
+        rows,
+        list(source.provenance),
+        provider=source.provider,
+    )
+    dimension = build_dimension(
+        name,
+        extended,
+        [date_column, month, year],
+        levels=[date_column, month, year],
+    )
+    return dimension, extended
+
+
+def build_fact(
+    name: str,
+    source: Table,
+    dimensions: Sequence[tuple[Dimension, dict[str, str]]],
+    measures: Sequence[str],
+    *,
+    degenerate: Sequence[str] = (),
+) -> Table:
+    """Build a fact table from ``source``.
+
+    ``dimensions`` pairs each dimension with a mapping
+    *source column → dimension attribute* used to look up surrogate keys.
+    ``measures`` are numeric columns copied through; ``degenerate`` columns
+    are carried on the fact without a dimension (dates, flags).
+    Rows whose dimension lookup fails are rejected — the warehouse load is
+    not allowed to silently drop or invent facts.
+    """
+    for m in measures:
+        source.schema.column(m)
+    fact_columns = [Column(d.key, ColumnType.INT, nullable=False) for d, _ in dimensions]
+    fact_columns += [source.schema.column(c) for c in degenerate]
+    fact_columns += [source.schema.column(m) for m in measures]
+    schema = Schema(fact_columns)
+
+    lookups = []
+    for dim, mapping in dimensions:
+        attr_idx = {
+            a: dim.table.schema.index_of(a) for a in mapping.values()
+        }
+        key_idx = dim.table.schema.index_of(dim.key)
+        index: dict[tuple[Any, ...], int] = {}
+        for row in dim.table.rows:
+            combo = tuple(row[attr_idx[a]] for a in mapping.values())
+            index[combo] = row[key_idx]
+        src_idx = [source.schema.index_of(c) for c in mapping.keys()]
+        lookups.append((dim, src_idx, index))
+
+    degen_idx = [source.schema.index_of(c) for c in degenerate]
+    measure_idx = [source.schema.index_of(m) for m in measures]
+
+    rows: list[tuple[Any, ...]] = []
+    provs: list[RowProvenance] = []
+    for i, row in enumerate(source.rows):
+        keys = []
+        for dim, src_idx, index in lookups:
+            combo = tuple(row[j] for j in src_idx)
+            if combo not in index:
+                raise WarehouseError(
+                    f"fact {name!r}: no {dim.name} member for {combo!r}"
+                )
+            keys.append(index[combo])
+        values = tuple(keys) + tuple(row[j] for j in degen_idx) + tuple(
+            row[j] for j in measure_idx
+        )
+        rows.append(values)
+        provs.append(source.provenance[i])
+    return Table.derived(f"fact_{name}", schema, rows, provs, provider="warehouse")
+
+
+@dataclass
+class StarSchema:
+    """A fact table with its dimensions, registered into a catalog."""
+
+    name: str
+    fact: Table
+    dimensions: list[Dimension] = field(default_factory=list)
+
+    def register(self, catalog: Catalog) -> None:
+        """Register fact, dimensions, and the denormalized wide view."""
+        catalog.add_table(self.fact, replace=True)
+        for dim in self.dimensions:
+            catalog.add_table(dim.table, replace=True)
+        catalog.add_view(self.wide_view(), replace=True)
+
+    def dimension(self, name: str) -> Dimension:
+        for dim in self.dimensions:
+            if dim.name == name:
+                return dim
+        raise WarehouseError(f"star {self.name!r} has no dimension {name!r}")
+
+    def attribute_dimension(self, attribute: str) -> Dimension:
+        """The dimension owning ``attribute`` as a level."""
+        for dim in self.dimensions:
+            if attribute in dim.levels:
+                return dim
+        raise WarehouseError(f"no dimension carries attribute {attribute!r}")
+
+    def wide_view_name(self) -> str:
+        return f"wide_{self.name}"
+
+    def wide_query(self) -> Query:
+        """The denormalization join: fact ⋈ every dimension."""
+        query = Query.from_(self.fact.name)
+        for dim in self.dimensions:
+            query = query.join(dim.table.name, [(dim.key, dim.key)])
+        return query
+
+    def wide_view(self) -> View:
+        """The wide view — the universe meta-reports are carved from."""
+        # Project away surrogate keys: owners discuss attributes, not keys.
+        attributes: list[str] = []
+        for dim in self.dimensions:
+            attributes.extend(dim.levels)
+        non_key = [
+            c.name
+            for c in self.fact.schema
+            if not any(c.name == d.key for d in self.dimensions)
+        ]
+        query = self.wide_query().project(*(attributes + non_key))
+        return View(
+            self.wide_view_name(),
+            query,
+            description=f"denormalized view of star {self.name!r}",
+        )

@@ -1,0 +1,46 @@
+"""Synthetic workloads: healthcare data, report workloads, PLA requirements."""
+
+from repro.workloads.distributions import (
+    partition_sizes,
+    sample_date,
+    weighted_choice,
+    zipf_choice,
+)
+from repro.workloads.healthcare import (
+    DRUG_COSTS,
+    DRUG_DISEASES,
+    HealthcareConfig,
+    HealthcareData,
+    generate,
+    paper_drugcost,
+    paper_familydoctor,
+    paper_policies,
+    paper_prescriptions,
+)
+from repro.workloads.pla_workload import REQUIREMENT_MIX, generate_requirements
+from repro.workloads.reports_workload import (
+    WorkloadSpec,
+    generate_evolution_stream,
+    generate_report_workload,
+)
+
+__all__ = [
+    "DRUG_COSTS",
+    "DRUG_DISEASES",
+    "HealthcareConfig",
+    "HealthcareData",
+    "REQUIREMENT_MIX",
+    "WorkloadSpec",
+    "generate",
+    "generate_evolution_stream",
+    "generate_report_workload",
+    "generate_requirements",
+    "paper_drugcost",
+    "paper_familydoctor",
+    "paper_policies",
+    "paper_prescriptions",
+    "partition_sizes",
+    "sample_date",
+    "weighted_choice",
+    "zipf_choice",
+]

@@ -1,0 +1,65 @@
+"""Seeded sampling helpers shared by the workload generators.
+
+All generators in :mod:`repro.workloads` draw from a ``random.Random`` seeded
+explicitly, so every experiment is reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+from repro.errors import WorkloadError
+
+__all__ = ["zipf_choice", "weighted_choice", "sample_date", "partition_sizes"]
+
+T = TypeVar("T")
+
+
+def zipf_choice(rng: random.Random, items: Sequence[T], *, s: float = 1.2) -> T:
+    """Pick one item with a Zipf(s) popularity skew over list position.
+
+    Realistic BI workloads are skewed: a few drugs/reports dominate. The
+    first items of ``items`` are the most popular.
+    """
+    if not items:
+        raise WorkloadError("cannot sample from an empty sequence")
+    weights = [1.0 / (rank**s) for rank in range(1, len(items) + 1)]
+    return rng.choices(list(items), weights=weights, k=1)[0]
+
+
+def weighted_choice(rng: random.Random, table: dict[T, float]) -> T:
+    """Pick one key of ``table`` with probability proportional to its value."""
+    if not table:
+        raise WorkloadError("cannot sample from an empty weight table")
+    items = list(table.items())
+    return rng.choices(
+        [key for key, _ in items], weights=[w for _, w in items], k=1
+    )[0]
+
+
+def sample_date(rng: random.Random, year_lo: int = 2007, year_hi: int = 2008) -> str:
+    """An ISO date string uniformly within [year_lo, year_hi].
+
+    Returned as a string; table insertion coerces it to a date. Day is capped
+    at 28 so every (year, month) combination is valid.
+    """
+    if year_lo > year_hi:
+        raise WorkloadError("year_lo must not exceed year_hi")
+    year = rng.randint(year_lo, year_hi)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def partition_sizes(total: int, parts: int, rng: random.Random) -> list[int]:
+    """Split ``total`` into ``parts`` non-negative sizes, roughly even ±jitter."""
+    if parts <= 0:
+        raise WorkloadError("parts must be positive")
+    if total < 0:
+        raise WorkloadError("total must be non-negative")
+    base = total // parts
+    sizes = [base] * parts
+    for _ in range(total - base * parts):
+        sizes[rng.randrange(parts)] += 1
+    return sizes

@@ -1,0 +1,433 @@
+"""Synthetic healthcare scenario generator (the paper's Fig 1 world).
+
+The paper's running example is a Trentino healthcare BI outsourcing scenario:
+hospitals, medical laboratories, family doctors, and a municipality provide
+patient data (under consent agreements) to a BI provider that builds reports
+for a health agency. Real data is obviously unavailable, so this module
+generates a deterministic synthetic equivalent, including the exact toy
+tables printed in the paper's Figures 2–4 (Prescriptions, Policies,
+FamilyDoctor, DrugCost) as fixtures.
+
+Schemas (provider → tables):
+
+* ``hospital``: ``prescriptions(patient, doctor, drug, disease, date)``
+* ``municipality``: ``familydoctor(patient, doctor)``,
+  ``residents(patient, zip, birth_year, gender)``
+* ``laboratory``: ``exams(patient, exam_type, result, date)``
+* ``health_agency``: ``drugcost(drug, cost)``
+* consent registry (source-level policy metadata, Fig 2b):
+  ``policies(patient, show_name, show_disease)``
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import ColumnType
+from repro.workloads.distributions import sample_date, weighted_choice, zipf_choice
+
+__all__ = [
+    "HealthcareConfig",
+    "HealthcareData",
+    "generate",
+    "paper_prescriptions",
+    "paper_policies",
+    "paper_familydoctor",
+    "paper_drugcost",
+    "DRUG_COSTS",
+    "DRUG_DISEASES",
+    "PRESCRIPTIONS_SCHEMA",
+    "POLICIES_SCHEMA",
+    "FAMILYDOCTOR_SCHEMA",
+    "DRUGCOST_SCHEMA",
+    "RESIDENTS_SCHEMA",
+    "EXAMS_SCHEMA",
+    "ADMISSIONS_SCHEMA",
+    "BILLING_SCHEMA",
+    "STAFF_SCHEMA",
+    "EQUIPMENT_SCHEMA",
+]
+
+# Drug catalogue. The five paper drugs come first (with the paper's costs,
+# Fig 3); the rest extend the catalogue for larger workloads.
+DRUG_COSTS: dict[str, int] = {
+    "DD": 50,
+    "DM": 10,
+    "DH": 60,
+    "DV": 30,
+    "DR": 10,
+    "DA": 25,
+    "DB": 15,
+    "DC": 45,
+    "DE": 20,
+    "DF": 35,
+}
+
+# Disease each drug treats; DH/DV treat HIV as in the paper's figures.
+DRUG_DISEASES: dict[str, str] = {
+    "DD": "depression",
+    "DM": "diabetes",
+    "DH": "HIV",
+    "DV": "HIV",
+    "DR": "asthma",
+    "DA": "hypertension",
+    "DB": "flu",
+    "DC": "cancer",
+    "DE": "diabetes",
+    "DF": "asthma",
+}
+
+SENSITIVE_DISEASES = frozenset({"HIV", "depression", "cancer"})
+
+_DISEASE_WEIGHTS = {
+    "asthma": 0.24,
+    "diabetes": 0.20,
+    "hypertension": 0.18,
+    "flu": 0.16,
+    "HIV": 0.08,
+    "depression": 0.08,
+    "cancer": 0.06,
+}
+
+_EXAM_TYPES = ("blood_panel", "hiv_test", "glucose", "xray", "cholesterol")
+
+PRESCRIPTIONS_SCHEMA = Schema(
+    [
+        Column("patient", ColumnType.STRING, nullable=False),
+        Column("doctor", ColumnType.STRING),
+        Column("drug", ColumnType.STRING, nullable=False),
+        Column("disease", ColumnType.STRING, nullable=False),
+        Column("date", ColumnType.DATE, nullable=False),
+    ]
+)
+
+POLICIES_SCHEMA = Schema(
+    [
+        Column("patient", ColumnType.STRING, nullable=False),
+        Column("show_name", ColumnType.BOOL, nullable=False),
+        Column("show_disease", ColumnType.BOOL, nullable=False),
+    ]
+)
+
+FAMILYDOCTOR_SCHEMA = Schema(
+    [
+        Column("patient", ColumnType.STRING, nullable=False),
+        Column("doctor", ColumnType.STRING, nullable=False),
+    ]
+)
+
+DRUGCOST_SCHEMA = Schema(
+    [
+        Column("drug", ColumnType.STRING, nullable=False),
+        Column("cost", ColumnType.INT, nullable=False),
+    ]
+)
+
+RESIDENTS_SCHEMA = Schema(
+    [
+        Column("patient", ColumnType.STRING, nullable=False),
+        Column("zip", ColumnType.STRING, nullable=False),
+        Column("birth_year", ColumnType.INT, nullable=False),
+        Column("gender", ColumnType.STRING, nullable=False),
+    ]
+)
+
+EXAMS_SCHEMA = Schema(
+    [
+        Column("patient", ColumnType.STRING, nullable=False),
+        Column("exam_type", ColumnType.STRING, nullable=False),
+        Column("result", ColumnType.FLOAT),
+        Column("date", ColumnType.DATE, nullable=False),
+    ]
+)
+
+ADMISSIONS_SCHEMA = Schema(
+    [
+        Column("patient", ColumnType.STRING, nullable=False),
+        Column("ward", ColumnType.STRING, nullable=False),
+        Column("admit_date", ColumnType.DATE, nullable=False),
+        Column("discharge_date", ColumnType.DATE),
+    ]
+)
+
+BILLING_SCHEMA = Schema(
+    [
+        Column("patient", ColumnType.STRING, nullable=False),
+        Column("amount", ColumnType.FLOAT, nullable=False),
+        Column("status", ColumnType.STRING, nullable=False),
+        Column("insurer", ColumnType.STRING),
+    ]
+)
+
+STAFF_SCHEMA = Schema(
+    [
+        Column("doctor", ColumnType.STRING, nullable=False),
+        Column("department", ColumnType.STRING, nullable=False),
+        Column("hire_year", ColumnType.INT, nullable=False),
+    ]
+)
+
+EQUIPMENT_SCHEMA = Schema(
+    [
+        Column("device", ColumnType.STRING, nullable=False),
+        Column("calibrated", ColumnType.BOOL, nullable=False),
+        Column("last_service", ColumnType.DATE),
+    ]
+)
+
+_GIVEN_NAMES = (
+    "Alice", "Bob", "Chris", "Math", "Dana", "Elio", "Furio", "Gaia",
+    "Hana", "Ivo", "Jana", "Karl", "Lia", "Marta", "Nino", "Olga",
+    "Piero", "Rita", "Sara", "Tino",
+)
+
+_DOCTOR_NAMES = (
+    "Luis", "Anne", "Mark", "Nadia", "Otto", "Pia", "Remo", "Silvia",
+    "Teo", "Ugo", "Vera", "Walter",
+)
+
+
+@dataclass(frozen=True)
+class HealthcareConfig:
+    """Parameters for the synthetic healthcare world."""
+
+    n_patients: int = 200
+    n_doctors: int = 12
+    n_prescriptions: int = 1000
+    n_exams: int = 400
+    seed: int = 7
+    missing_doctor_rate: float = 0.05  # the paper's Chris row has no doctor
+    consent_show_name_rate: float = 0.7
+    consent_show_disease_rate: float = 0.25
+    zip_codes: tuple[str, ...] = ("38100", "38121", "38122", "38123")
+
+    def __post_init__(self) -> None:
+        if self.n_patients <= 0 or self.n_doctors <= 0:
+            raise WorkloadError("need at least one patient and one doctor")
+        if self.n_prescriptions < 0 or self.n_exams < 0:
+            raise WorkloadError("row counts must be non-negative")
+        if not 0.0 <= self.missing_doctor_rate <= 1.0:
+            raise WorkloadError("missing_doctor_rate must be in [0, 1]")
+
+
+@dataclass
+class HealthcareData:
+    """All generated tables, keyed the way providers hold them."""
+
+    config: HealthcareConfig
+    prescriptions: Table
+    policies: Table
+    familydoctor: Table
+    drugcost: Table
+    residents: Table
+    exams: Table
+    # Tables the providers hold but the BI application never extracts —
+    # the substrate of §3's over-engineering risk ("the source may have a
+    # large and complex database, the BI provider may only need a part").
+    admissions: Table | None = None
+    billing: Table | None = None
+    staff: Table | None = None
+    equipment: Table | None = None
+    patients: list[str] = field(default_factory=list)
+    doctors: list[str] = field(default_factory=list)
+
+    def all_tables(self) -> dict[str, Table]:
+        """Name → table for catalog registration (exported tables only)."""
+        return {
+            "prescriptions": self.prescriptions,
+            "policies": self.policies,
+            "familydoctor": self.familydoctor,
+            "drugcost": self.drugcost,
+            "residents": self.residents,
+            "exams": self.exams,
+        }
+
+    def unexported_tables(self) -> dict[str, Table]:
+        """Provider-held tables that never reach the BI pipeline."""
+        out: dict[str, Table] = {}
+        for name in ("admissions", "billing", "staff", "equipment"):
+            table = getattr(self, name)
+            if table is not None:
+                out[name] = table
+        return out
+
+
+def _patient_names(n: int) -> list[str]:
+    """First patients carry the paper's names; the rest are synthetic."""
+    names = list(_GIVEN_NAMES[: min(n, len(_GIVEN_NAMES))])
+    names.extend(f"Pat{i:04d}" for i in range(len(names), n))
+    return names
+
+
+def _doctor_names(n: int) -> list[str]:
+    names = list(_DOCTOR_NAMES[: min(n, len(_DOCTOR_NAMES))])
+    names.extend(f"Doc{i:03d}" for i in range(len(names), n))
+    return names
+
+
+def generate(config: HealthcareConfig | None = None) -> HealthcareData:
+    """Generate the full synthetic healthcare world deterministically."""
+    cfg = config if config is not None else HealthcareConfig()
+    rng = random.Random(cfg.seed)
+    patients = _patient_names(cfg.n_patients)
+    doctors = _doctor_names(cfg.n_doctors)
+
+    # Each patient has one dominant disease; prescriptions mostly follow it.
+    patient_disease = {p: weighted_choice(rng, _DISEASE_WEIGHTS) for p in patients}
+    drugs_by_disease: dict[str, list[str]] = {}
+    for drug, disease in DRUG_DISEASES.items():
+        drugs_by_disease.setdefault(disease, []).append(drug)
+
+    prescriptions = Table("prescriptions", PRESCRIPTIONS_SCHEMA, provider="hospital")
+    for _ in range(cfg.n_prescriptions):
+        patient = zipf_choice(rng, patients)
+        disease = patient_disease[patient]
+        drug = rng.choice(drugs_by_disease[disease])
+        doctor = None if rng.random() < cfg.missing_doctor_rate else rng.choice(doctors)
+        prescriptions.insert(
+            (patient, doctor, drug, disease, sample_date(rng))
+        )
+
+    policies = Table("policies", POLICIES_SCHEMA, provider="consent_registry")
+    for patient in patients:
+        show_name = rng.random() < cfg.consent_show_name_rate
+        # Patients with sensitive diseases almost never consent to disease
+        # disclosure, which is what makes the intensional HIV rule binding.
+        sensitive = patient_disease[patient] in SENSITIVE_DISEASES
+        show_disease = (not sensitive) and rng.random() < cfg.consent_show_disease_rate
+        policies.insert((patient, show_name, show_disease))
+
+    familydoctor = Table("familydoctor", FAMILYDOCTOR_SCHEMA, provider="municipality")
+    for patient in patients:
+        familydoctor.insert((patient, rng.choice(doctors)))
+
+    drugcost = Table("drugcost", DRUGCOST_SCHEMA, provider="health_agency")
+    for drug, cost in DRUG_COSTS.items():
+        drugcost.insert((drug, cost))
+
+    residents = Table("residents", RESIDENTS_SCHEMA, provider="municipality")
+    for patient in patients:
+        residents.insert(
+            (
+                patient,
+                rng.choice(cfg.zip_codes),
+                rng.randint(1930, 2000),
+                rng.choice(("F", "M")),
+            )
+        )
+
+    exams = Table("exams", EXAMS_SCHEMA, provider="laboratory")
+    for _ in range(cfg.n_exams):
+        patient = zipf_choice(rng, patients)
+        exam_type = (
+            "hiv_test"
+            if patient_disease[patient] == "HIV" and rng.random() < 0.5
+            else rng.choice(_EXAM_TYPES)
+        )
+        result = round(rng.uniform(0.0, 200.0), 1)
+        exams.insert((patient, exam_type, result, sample_date(rng)))
+
+    admissions = Table("admissions", ADMISSIONS_SCHEMA, provider="hospital")
+    wards = ("cardiology", "oncology", "general", "pediatrics")
+    for _ in range(cfg.n_patients // 2):
+        patient = zipf_choice(rng, patients)
+        admissions.insert(
+            (patient, rng.choice(wards), sample_date(rng), sample_date(rng))
+        )
+
+    billing = Table("billing", BILLING_SCHEMA, provider="hospital")
+    for _ in range(cfg.n_patients):
+        billing.insert(
+            (
+                zipf_choice(rng, patients),
+                round(rng.uniform(20.0, 2000.0), 2),
+                rng.choice(("paid", "pending", "disputed")),
+                rng.choice(("INPS", "Azimut", None)),
+            )
+        )
+
+    staff = Table("staff", STAFF_SCHEMA, provider="hospital")
+    for doctor in doctors:
+        staff.insert(
+            (doctor, rng.choice(("medicine", "surgery", "radiology")),
+             rng.randint(1985, 2007))
+        )
+
+    equipment = Table("equipment", EQUIPMENT_SCHEMA, provider="laboratory")
+    for n in range(10):
+        equipment.insert((f"DEV{n:02d}", rng.random() < 0.8, sample_date(rng)))
+
+    return HealthcareData(
+        config=cfg,
+        prescriptions=prescriptions,
+        policies=policies,
+        familydoctor=familydoctor,
+        drugcost=drugcost,
+        residents=residents,
+        exams=exams,
+        admissions=admissions,
+        billing=billing,
+        staff=staff,
+        equipment=equipment,
+        patients=patients,
+        doctors=doctors,
+    )
+
+
+# -- the paper's literal figure tables, as fixtures --------------------------
+
+
+def paper_prescriptions() -> Table:
+    """The Prescriptions table exactly as printed in Figures 2–4."""
+    table = Table("prescriptions", PRESCRIPTIONS_SCHEMA, provider="hospital")
+    table.insert_many(
+        [
+            ("Alice", "Luis", "DH", "HIV", "12/02/2007"),
+            ("Chris", None, "DV", "HIV", "10/03/2007"),
+            ("Bob", "Anne", "DR", "asthma", "10/08/2007"),
+            ("Math", "Mark", "DM", "diabetes", "15/10/2007"),
+            ("Alice", "Luis", "DR", "asthma", "15/04/2008"),
+        ]
+    )
+    return table
+
+
+def paper_policies() -> Table:
+    """The Policies metadata table from Figure 2(b)."""
+    table = Table("policies", POLICIES_SCHEMA, provider="consent_registry")
+    table.insert_many(
+        [
+            ("Alice", True, False),
+            ("Bob", True, False),
+            ("Math", False, False),
+            ("Chris", True, True),
+        ]
+    )
+    return table
+
+
+def paper_familydoctor() -> Table:
+    """The FamilyDoctor table from Figure 3."""
+    table = Table("familydoctor", FAMILYDOCTOR_SCHEMA, provider="municipality")
+    table.insert_many(
+        [
+            ("Alice", "Luis"),
+            ("Chris", "Anne"),
+            ("Bob", "Anne"),
+            ("Math", "Mark"),
+        ]
+    )
+    return table
+
+
+def paper_drugcost() -> Table:
+    """The DrugCost table from Figure 3."""
+    table = Table("drugcost", DRUGCOST_SCHEMA, provider="health_agency")
+    table.insert_many(
+        [("DD", 50), ("DM", 10), ("DH", 60), ("DV", 30), ("DR", 10)]
+    )
+    return table

@@ -1,0 +1,255 @@
+"""Report-workload and evolution-stream generators.
+
+"Having dozens or even hundreds of reports is common even in relatively
+small applications" (§5). The generator produces a skewed mix of aggregate
+and detail reports over a wide-view universe; the evolution generator
+produces the change stream (§2's robustness challenge) replayed by FIG5.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.relational.algebra import AggSpec
+from repro.relational.expressions import Col, Lit
+from repro.relational.query import Query
+from repro.reports.definition import ReportDefinition
+from repro.reports.evolution import EvolutionEvent, EvolutionKind
+from repro.workloads.distributions import weighted_choice, zipf_choice
+
+__all__ = ["WorkloadSpec", "generate_report_workload", "generate_evolution_stream"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic report workload over one universe view."""
+
+    universe: str  # view name reports select FROM
+    categorical: tuple[str, ...]  # group-by / filter candidates
+    measures: tuple[str, ...]  # numeric columns for SUM/AVG
+    detail_columns: tuple[str, ...]  # columns detail reports may show
+    audiences: tuple[frozenset[str], ...]  # audience candidates
+    purposes: tuple[str, ...]
+    filter_values: dict[str, tuple] = None  # type: ignore[assignment]
+    n_reports: int = 30
+    aggregate_fraction: float = 0.7
+    seed: int = 11
+    #: Columns a *future data feed* would add (outside today's warehouse).
+    #: Only evolution streams with ``new_feed_rate > 0`` use them.
+    new_feed_columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.categorical or not self.measures:
+            raise WorkloadError("workload needs categorical and measure columns")
+        if not 0.0 <= self.aggregate_fraction <= 1.0:
+            raise WorkloadError("aggregate_fraction must be in [0, 1]")
+        if self.filter_values is None:
+            object.__setattr__(self, "filter_values", {})
+
+
+def generate_report_workload(spec: WorkloadSpec) -> list[ReportDefinition]:
+    """Deterministically generate ``spec.n_reports`` report definitions."""
+    rng = random.Random(spec.seed)
+    reports: list[ReportDefinition] = []
+    for n in range(spec.n_reports):
+        name = f"rpt_{n:03d}"
+        audience = rng.choice(list(spec.audiences))
+        purpose = rng.choice(list(spec.purposes))
+        if rng.random() < spec.aggregate_fraction:
+            definition = _aggregate_report(spec, rng, name, audience, purpose)
+        else:
+            definition = _detail_report(spec, rng, name, audience, purpose)
+        reports.append(definition)
+    return reports
+
+
+def _maybe_filter(spec: WorkloadSpec, rng: random.Random, query: Query) -> Query:
+    if spec.filter_values and rng.random() < 0.5:
+        column = rng.choice(sorted(spec.filter_values))
+        value = rng.choice(list(spec.filter_values[column]))
+        from repro.relational.expressions import Comparison
+
+        return query.filter(Comparison("=", Col(column), Lit(value)))
+    return query
+
+
+def _aggregate_report(
+    spec: WorkloadSpec,
+    rng: random.Random,
+    name: str,
+    audience: frozenset[str],
+    purpose: str,
+) -> ReportDefinition:
+    n_groups = 1 if rng.random() < 0.6 else 2
+    group_by: list[str] = []
+    while len(group_by) < n_groups:
+        candidate = zipf_choice(rng, spec.categorical)
+        if candidate not in group_by:
+            group_by.append(candidate)
+    measure = zipf_choice(rng, spec.measures)
+    aggs = [AggSpec("count", None, "n_records")]
+    if rng.random() < 0.8:
+        func = weighted_choice(rng, {"sum": 0.6, "avg": 0.4})
+        aggs.append(AggSpec(func, measure, f"{func}_{measure}"))
+    query = Query.from_(spec.universe)
+    query = _maybe_filter(spec, rng, query)
+    query = query.group(*group_by).agg(*aggs)
+    query = query.project(*group_by, *(a.alias for a in aggs))
+    return ReportDefinition(
+        name=name,
+        title=f"{' x '.join(group_by)} summary",
+        query=query,
+        audience=audience,
+        purpose=purpose,
+        description=f"aggregate report by {group_by}",
+    )
+
+
+def _detail_report(
+    spec: WorkloadSpec,
+    rng: random.Random,
+    name: str,
+    audience: frozenset[str],
+    purpose: str,
+) -> ReportDefinition:
+    n_columns = rng.randint(2, max(2, min(4, len(spec.detail_columns))))
+    columns: list[str] = []
+    while len(columns) < n_columns:
+        candidate = zipf_choice(rng, spec.detail_columns)
+        if candidate not in columns:
+            columns.append(candidate)
+    query = Query.from_(spec.universe)
+    query = _maybe_filter(spec, rng, query)
+    query = query.project(*columns)
+    return ReportDefinition(
+        name=name,
+        title=f"{', '.join(columns)} detail",
+        query=query,
+        audience=audience,
+        purpose=purpose,
+        description=f"detail report showing {columns}",
+    )
+
+
+_EVENT_WEIGHTS = {
+    EvolutionKind.ADD_REPORT: 0.30,
+    EvolutionKind.ADD_COLUMN: 0.20,
+    EvolutionKind.CHANGE_FILTER: 0.18,
+    EvolutionKind.CHANGE_GROUPING: 0.12,
+    EvolutionKind.CHANGE_AUDIENCE: 0.12,
+    EvolutionKind.DROP_REPORT: 0.08,
+}
+
+
+def generate_evolution_stream(
+    spec: WorkloadSpec,
+    existing: list[ReportDefinition],
+    *,
+    n_events: int,
+    seed: int = 17,
+    new_feed_rate: float = 0.0,
+) -> list[EvolutionEvent]:
+    """A deterministic stream of ``n_events`` catalog changes.
+
+    The stream is *consistent*: it tracks which reports are live (and
+    whether they aggregate) so every event is applicable when replayed in
+    order against a catalog seeded with ``existing``.
+
+    With ``new_feed_rate > 0`` (and ``spec.new_feed_columns`` set), some
+    ADD_REPORT events request a column from a data feed the warehouse does
+    not carry yet — these reports cannot execute against today's universe,
+    so streams with new feeds are for *coverage/stability analysis only*.
+    """
+    rng = random.Random(seed)
+    live: dict[str, ReportDefinition] = {r.name: r for r in existing}
+    next_id = len(existing)
+    events: list[EvolutionEvent] = []
+    while len(events) < n_events:
+        kind = weighted_choice(rng, _EVENT_WEIGHTS)
+        if kind is EvolutionKind.ADD_REPORT:
+            name = f"rpt_{next_id:03d}"
+            next_id += 1
+            audience = rng.choice(list(spec.audiences))
+            purpose = rng.choice(list(spec.purposes))
+            if rng.random() < spec.aggregate_fraction:
+                definition = _aggregate_report(spec, rng, name, audience, purpose)
+            else:
+                definition = _detail_report(spec, rng, name, audience, purpose)
+            if spec.new_feed_columns and rng.random() < new_feed_rate:
+                feed_column = rng.choice(list(spec.new_feed_columns))
+                definition = definition.with_query(
+                    definition.query.project(
+                        *(definition.query.select or ()), feed_column
+                    )
+                    if not definition.query.is_aggregate
+                    else definition.query.group(
+                        *definition.query.group_by, feed_column
+                    ).project(
+                        feed_column, *(definition.query.select or ())
+                    )
+                )
+            live[name] = definition
+            events.append(
+                EvolutionEvent(kind=kind, report=name, definition=definition)
+            )
+            continue
+        if not live:
+            continue
+        target_name = rng.choice(sorted(live))
+        target = live[target_name]
+        if kind is EvolutionKind.DROP_REPORT:
+            del live[target_name]
+            events.append(EvolutionEvent(kind=kind, report=target_name))
+        elif kind is EvolutionKind.ADD_COLUMN:
+            candidates = [
+                c
+                for c in (spec.categorical + spec.detail_columns)
+                if c not in (target.columns() or ())
+            ]
+            if not candidates:
+                continue
+            column = rng.choice(sorted(set(candidates)))
+            events.append(
+                EvolutionEvent(kind=kind, report=target_name, column=column)
+            )
+            live[target_name] = target.with_query(target.query)  # bump version proxy
+        elif kind is EvolutionKind.CHANGE_FILTER:
+            if not spec.filter_values:
+                continue
+            column = rng.choice(sorted(spec.filter_values))
+            value = rng.choice(list(spec.filter_values[column]))
+            from repro.relational.expressions import Comparison
+
+            events.append(
+                EvolutionEvent(
+                    kind=kind,
+                    report=target_name,
+                    predicate=Comparison("=", Col(column), Lit(value)),
+                )
+            )
+        elif kind is EvolutionKind.CHANGE_GROUPING:
+            if not target.query.is_aggregate:
+                continue
+            candidates = [
+                c for c in spec.categorical if c not in target.query.group_by
+            ]
+            if not candidates:
+                continue
+            events.append(
+                EvolutionEvent(
+                    kind=kind,
+                    report=target_name,
+                    column=rng.choice(sorted(candidates)),
+                )
+            )
+        elif kind is EvolutionKind.CHANGE_AUDIENCE:
+            audience = rng.choice(list(spec.audiences))
+            if audience == target.audience:
+                continue
+            events.append(
+                EvolutionEvent(kind=kind, report=target_name, audience=audience)
+            )
+            live[target_name] = target.with_audience(audience)
+    return events

@@ -1,0 +1,303 @@
+"""Unit tests for the anonymization subsystem."""
+
+import statistics
+
+import pytest
+
+from repro.errors import AnonymizationError
+from repro.anonymize import (
+    Pseudonymizer,
+    QuasiIdentifier,
+    SUPPRESSED,
+    aggregate_error,
+    average_class_size,
+    discernibility,
+    enforce_l_diversity,
+    entropy_l_diversity,
+    equivalence_classes,
+    generalization_loss,
+    global_recoding,
+    is_k_anonymous,
+    is_l_diverse,
+    mondrian_anonymize,
+    perturb_numeric,
+    scramble_column,
+    suppression_hierarchy,
+    taxonomy_hierarchy,
+    year_hierarchy,
+    zip_hierarchy,
+)
+from repro.relational.table import Table, make_schema
+from repro.relational.types import ColumnType
+from repro.workloads import healthcare
+
+
+@pytest.fixture
+def residents():
+    data = healthcare.generate(
+        healthcare.HealthcareConfig(n_patients=120, n_prescriptions=0, n_exams=0)
+    )
+    return data.residents
+
+
+class TestHierarchies:
+    def test_zip_levels(self):
+        h = zip_hierarchy()
+        assert h.generalize("38121", 0) == "38121"
+        assert h.generalize("38121", 2) == "381**"
+        assert h.generalize("38121", 5) == SUPPRESSED
+
+    def test_year_buckets(self):
+        h = year_hierarchy(widths=(1, 10, 25))
+        assert h.generalize(1987, 0) == "1987"
+        assert h.generalize(1987, 1) == "1980-1989"
+        assert h.generalize(1987, 2) == "1975-1999"
+        assert h.generalize(1987, 3) == SUPPRESSED
+
+    def test_taxonomy(self):
+        h = taxonomy_hierarchy(
+            "disease", {"HIV": "infectious", "flu": "infectious"}
+        )
+        assert h.generalize("HIV", 1) == "infectious"
+        assert h.generalize("HIV", h.height) == SUPPRESSED
+
+    def test_taxonomy_cycle_rejected(self):
+        h = taxonomy_hierarchy("bad", {"a": "b", "b": "a"}, height=2)
+        with pytest.raises(AnonymizationError):
+            h.generalize("a", 1)
+
+    def test_suppression_hierarchy(self):
+        h = suppression_hierarchy()
+        assert h.generalize("Alice", 0) == "Alice"
+        assert h.generalize("Alice", 1) == SUPPRESSED
+
+    def test_loss_normalized(self):
+        h = zip_hierarchy()
+        assert h.loss(0) == 0.0 and h.loss(h.height) == 1.0
+
+    def test_none_is_suppressed(self):
+        assert zip_hierarchy().generalize(None, 0) == SUPPRESSED
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(AnonymizationError):
+            zip_hierarchy().generalize("38121", 99)
+
+
+class TestMondrian:
+    def test_result_is_k_anonymous(self, residents):
+        qis = [QuasiIdentifier("zip"), QuasiIdentifier("birth_year")]
+        for k in (2, 5, 10):
+            result = mondrian_anonymize(residents, qis, k)
+            assert is_k_anonymous(result.table, ["zip", "birth_year"], k)
+            assert len(result.table) == len(residents)  # no suppression
+
+    def test_numeric_ranges_produced(self, residents):
+        result = mondrian_anonymize(
+            residents, [QuasiIdentifier("birth_year")], 10
+        )
+        values = set(result.table.column_values("birth_year"))
+        assert any("-" in v for v in values)
+
+    def test_higher_k_coarser(self, residents):
+        qis = [QuasiIdentifier("zip"), QuasiIdentifier("birth_year")]
+        small = mondrian_anonymize(residents, qis, 2)
+        large = mondrian_anonymize(residents, qis, 20)
+        assert large.partitions <= small.partitions
+
+    def test_provenance_preserved(self, residents):
+        result = mondrian_anonymize(residents, [QuasiIdentifier("zip")], 5)
+        assert result.table.all_lineage() == residents.all_lineage()
+
+    def test_too_small_table_rejected(self):
+        schema = make_schema(("x", ColumnType.INT))
+        t = Table.from_rows("t", schema, [(1,), (2,)])
+        with pytest.raises(AnonymizationError):
+            mondrian_anonymize(t, [QuasiIdentifier("x")], 5)
+
+    def test_k_below_one_rejected(self, residents):
+        with pytest.raises(AnonymizationError):
+            mondrian_anonymize(residents, [QuasiIdentifier("zip")], 0)
+
+    def test_empty_qis_rejected(self, residents):
+        with pytest.raises(AnonymizationError):
+            mondrian_anonymize(residents, [], 5)
+
+
+class TestGlobalRecoding:
+    def test_result_is_k_anonymous_within_budget(self, residents):
+        qis = [
+            QuasiIdentifier("zip", zip_hierarchy()),
+            QuasiIdentifier("birth_year", year_hierarchy()),
+        ]
+        result = global_recoding(residents, qis, 5, max_suppression=0.1)
+        assert is_k_anonymous(result.table, ["zip", "birth_year"], 5)
+        assert result.suppressed_rows <= 0.1 * len(residents)
+        assert result.levels_used  # some level vector was chosen
+
+    def test_missing_hierarchy_rejected(self, residents):
+        with pytest.raises(AnonymizationError):
+            global_recoding(residents, [QuasiIdentifier("zip")], 5)
+
+    def test_impossible_budget_raises(self):
+        # 3 distinct rows, k=2, no suppression allowed, identity-only level
+        schema = make_schema(("name", ColumnType.STRING))
+        t = Table.from_rows("t", schema, [("a",), ("b",), ("c",)])
+        qis = [QuasiIdentifier("name", suppression_hierarchy())]
+        # suppression level (height 1) makes everything '*', so it succeeds:
+        result = global_recoding(t, qis, 2, max_suppression=0.0)
+        assert set(result.table.column_values("name")) == {SUPPRESSED}
+
+
+class TestLDiversity:
+    def test_distinct_l_diversity_report(self, residents):
+        result = mondrian_anonymize(
+            residents, [QuasiIdentifier("birth_year")], 10
+        )
+        report = is_l_diverse(result.table, ["birth_year"], "gender", 2)
+        assert report.classes_total == result.partitions
+        assert report.min_distinct >= 1
+
+    def test_enforce_drops_failing_classes(self, residents):
+        result = mondrian_anonymize(
+            residents, [QuasiIdentifier("zip"), QuasiIdentifier("birth_year")], 2
+        )
+        enforced = enforce_l_diversity(result, "gender", 2)
+        report = is_l_diverse(
+            enforced.table, ["zip", "birth_year"], "gender", 2
+        )
+        assert report.satisfied
+
+    def test_entropy_l_diversity(self, residents):
+        result = mondrian_anonymize(residents, [QuasiIdentifier("zip")], 30)
+        # entropy-2 is stronger than distinct-2
+        if entropy_l_diversity(result.table, ["zip"], "gender", 2):
+            assert is_l_diverse(result.table, ["zip"], "gender", 2).satisfied
+
+    def test_invalid_l_rejected(self, residents):
+        with pytest.raises(AnonymizationError):
+            is_l_diverse(residents, ["zip"], "gender", 0)
+
+
+class TestPerturbation:
+    def _exams(self):
+        data = healthcare.generate(
+            healthcare.HealthcareConfig(n_patients=50, n_prescriptions=0, n_exams=300)
+        )
+        return data.exams
+
+    def test_mean_preserved_exactly(self):
+        exams = self._exams()
+        perturbed, report = perturb_numeric(
+            exams, ["result"], noise_scale=0.2, seed=1
+        )
+        original = [v for v in exams.column_values("result") if v is not None]
+        mutated = [v for v in perturbed.column_values("result") if v is not None]
+        assert report.mean_preserved
+        assert statistics.mean(original) == pytest.approx(statistics.mean(mutated))
+
+    def test_values_actually_change(self):
+        exams = self._exams()
+        perturbed, _ = perturb_numeric(exams, ["result"], noise_scale=0.2, seed=1)
+        assert perturbed.column_values("result") != exams.column_values("result")
+
+    def test_zero_noise_is_identity(self):
+        exams = self._exams()
+        perturbed, _ = perturb_numeric(exams, ["result"], noise_scale=0.0, seed=1)
+        assert perturbed.column_values("result") == pytest.approx(
+            exams.column_values("result")
+        )
+
+    def test_non_numeric_rejected(self):
+        exams = self._exams()
+        with pytest.raises(AnonymizationError):
+            perturb_numeric(exams, ["exam_type"], noise_scale=0.1, seed=1)
+
+    def test_scramble_preserves_marginal(self):
+        exams = self._exams()
+        scrambled = scramble_column(exams, "result", seed=5)
+        assert sorted(
+            v for v in scrambled.column_values("result") if v is not None
+        ) == sorted(v for v in exams.column_values("result") if v is not None)
+
+    def test_scramble_is_keyed(self):
+        exams = self._exams()
+        a = scramble_column(exams, "result", seed=5)
+        b = scramble_column(exams, "result", seed=6)
+        assert a.column_values("result") != b.column_values("result")
+
+
+class TestPseudonymizer:
+    def test_deterministic_and_stable(self):
+        p = Pseudonymizer(salt="s")
+        assert p.pseudonym("Alice") == p.pseudonym("Alice")
+        assert p.pseudonym("Alice") != p.pseudonym("Bob")
+
+    def test_salt_changes_mapping(self):
+        assert (
+            Pseudonymizer(salt="a").pseudonym("Alice")
+            != Pseudonymizer(salt="b").pseudonym("Alice")
+        )
+
+    def test_escrow_reidentification(self):
+        p = Pseudonymizer(salt="s")
+        token = p.pseudonym("Alice")
+        assert p.reidentify(token) == "Alice"
+        with pytest.raises(AnonymizationError):
+            p.reidentify("anon-ffffffff")
+
+    def test_apply_retypes_and_rewrites(self, prescriptions):
+        p = Pseudonymizer(salt="s")
+        out = p.apply(prescriptions, ["patient"])
+        assert all(str(v).startswith("anon-") for v in out.column_values("patient"))
+        assert out.schema.column("patient").ctype is ColumnType.STRING
+
+    def test_null_safe(self):
+        p = Pseudonymizer(salt="s")
+        assert p.pseudonym(None) == "anon-null"
+
+    def test_empty_salt_rejected(self):
+        with pytest.raises(AnonymizationError):
+            Pseudonymizer(salt="")
+
+
+class TestMetrics:
+    def test_discernibility_bounds(self, residents):
+        n = len(residents)
+        identity = discernibility(residents, ["patient"])
+        assert identity == n  # all singletons
+        result = mondrian_anonymize(residents, [QuasiIdentifier("zip")], 30)
+        assert n <= discernibility(result.table, ["zip"]) <= n * n
+
+    def test_average_class_size_at_least_k(self, residents):
+        result = mondrian_anonymize(residents, [QuasiIdentifier("birth_year")], 10)
+        assert average_class_size(result.table, ["birth_year"]) >= 10
+
+    def test_generalization_loss_monotone_in_k(self, residents):
+        qis = [QuasiIdentifier("zip"), QuasiIdentifier("birth_year")]
+        loss = {
+            k: generalization_loss(
+                residents, mondrian_anonymize(residents, qis, k).table,
+                ["zip", "birth_year"],
+            )
+            for k in (2, 20)
+        }
+        assert loss[2] <= loss[20] <= 1.0
+
+    def test_aggregate_error_zero_on_identity(self, residents):
+        assert aggregate_error(
+            residents, residents, group_column="zip", value_column="birth_year"
+        ) == 0.0
+
+    def test_aggregate_error_counts_lost_groups(self):
+        schema = make_schema(("g", ColumnType.STRING), ("v", ColumnType.INT))
+        truth = Table.from_rows("t", schema, [("a", 10), ("b", 20)])
+        release = Table.from_rows("r", schema, [("a", 10)])
+        assert aggregate_error(
+            truth, release, group_column="g", value_column="v"
+        ) == pytest.approx(0.5)
+
+    def test_equivalence_classes(self):
+        schema = make_schema(("g", ColumnType.STRING))
+        t = Table.from_rows("t", schema, [("a",), ("a",), ("b",)])
+        classes = equivalence_classes(t, ["g"])
+        assert {k[0]: len(v) for k, v in classes.items()} == {"a": 2, "b": 1}

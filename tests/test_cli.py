@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def shared_scenario():
+    """Patch the CLI's scenario builder to reuse one instance (speed)."""
+    from repro.simulation import build_scenario
+
+    return build_scenario()
+
+
+@pytest.fixture(autouse=True)
+def _reuse_scenario(monkeypatch, shared_scenario):
+    monkeypatch.setattr("repro.cli._scenario", lambda: shared_scenario)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_scenario(self, capsys):
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "compliance:" in out and "meta-reports: 4" in out
+
+    def test_check_compliant(self, capsys):
+        code = main(
+            [
+                "check",
+                "SELECT drug, COUNT(*) AS n FROM wide_prescriptions GROUP BY drug",
+            ]
+        )
+        assert code == 0
+        assert "COMPLIANT" in capsys.readouterr().out
+
+    def test_check_non_compliant_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "check",
+                "SELECT patient, drug FROM wide_prescriptions",
+                "--audience",
+                "municipality_official",
+            ]
+        )
+        assert code == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_check_bad_sql_is_error(self, capsys):
+        assert main(["check", "SELECT FROM"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_deliver(self, capsys):
+        code = main(["deliver", "rpt_001"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivered to:" in out
+
+    def test_deliver_unknown_report(self, capsys):
+        assert main(["deliver", "rpt_999"]) == 2
+
+    def test_audit(self, capsys):
+        assert main(["audit"]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_gaps(self, capsys):
+        assert main(["gaps", "--n", "40", "--show", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PLA coverage:" in out
+
+    def test_fig_runs_a_bench_main(self, capsys):
+        assert main(["fig", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG3" in out
+
+    def test_save_and_load_roundtrip(self, capsys, tmp_path):
+        target = str(tmp_path / "deploy")
+        assert main(["save", target]) == 0
+        assert main(["load", target]) == 0
+        out = capsys.readouterr().out
+        assert "deployment saved" in out
+        assert "compliance on reload:" in out
+
+    def test_load_missing_directory_errors(self, capsys, tmp_path):
+        assert main(["load", str(tmp_path / "ghost")]) == 2
+        assert "error:" in capsys.readouterr().err

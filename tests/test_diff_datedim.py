@@ -1,0 +1,130 @@
+"""Tests for report diffing and the calendar dimension."""
+
+import pytest
+
+from repro.errors import ReproError, WarehouseError
+from repro.relational import Catalog, parse_expression, parse_query
+from repro.relational.algebra import AggSpec
+from repro.reports import EvolutionEvent, EvolutionKind, ReportCatalog, ReportDefinition, apply_event, diff_definitions
+from repro.warehouse import Cube, StarSchema, build_date_dimension, build_fact
+from repro.workloads import paper_prescriptions
+
+
+def base_report(version=1):
+    return ReportDefinition(
+        "r", "t",
+        parse_query("SELECT drug, COUNT(*) AS n FROM wide GROUP BY drug"),
+        frozenset({"analyst"}), "care",
+        version=version,
+    )
+
+
+class TestReportDiff:
+    def test_identical_versions_empty(self):
+        diff = diff_definitions(base_report(), base_report(version=2))
+        assert diff.is_empty
+        assert diff.elements_touched == 0
+        assert "no owner-visible change" in diff.describe()
+
+    def test_column_and_grouping_changes(self):
+        catalog = ReportCatalog()
+        catalog.add(base_report())
+        updated = apply_event(
+            catalog,
+            EvolutionEvent(
+                kind=EvolutionKind.ADD_COLUMN, report="r", column="disease"
+            ),
+        )
+        diff = diff_definitions(base_report(), updated)
+        assert diff.columns_added == ("disease",)
+        assert diff.grouping_added == ("disease",)
+        assert diff.elements_touched == 2
+        assert "+cols ['disease']" in diff.describe()
+
+    def test_predicate_change(self):
+        old = base_report()
+        new = old.with_query(old.query.filter(parse_expression("disease != 'HIV'")))
+        diff = diff_definitions(old, new)
+        assert diff.predicate_changed
+        assert "HIV" in diff.new_predicate
+        assert diff.old_predicate == ""
+
+    def test_audience_change(self):
+        old = base_report()
+        new = old.with_audience(frozenset({"analyst", "auditor"}))
+        diff = diff_definitions(old, new)
+        assert diff.audience_added == ("auditor",)
+        assert diff.audience_removed == ()
+
+    def test_different_reports_rejected(self):
+        other = ReportDefinition(
+            "other", "t", base_report().query, frozenset({"analyst"}), "care"
+        )
+        with pytest.raises(ReproError):
+            diff_definitions(base_report(), other)
+
+
+class TestDateDimension:
+    @pytest.fixture
+    def cube(self):
+        presc = paper_prescriptions()
+        dim_date, extended = build_date_dimension("day", presc, "date")
+        fact = build_fact(
+            "rx",
+            extended,
+            [
+                (
+                    dim_date,
+                    {
+                        "date": "date",
+                        "date_month": "date_month",
+                        "date_year": "date_year",
+                    },
+                )
+            ],
+            measures=[],
+            degenerate=["patient", "drug"],
+        )
+        star = StarSchema("rx", fact, [dim_date])
+        catalog = Catalog()
+        star.register(catalog)
+        return Cube(star, catalog)
+
+    def test_levels(self, cube):
+        assert cube.star.dimension("day").levels == (
+            "date", "date_month", "date_year",
+        )
+
+    def test_yearly_rollup(self, cube):
+        cq = cube.base_query(["date_year"], [AggSpec("count", None, "n")])
+        out = cube.evaluate(cq)
+        assert dict(out.rows) == {2007: 4, 2008: 1}
+
+    def test_drilldown_to_month(self, cube):
+        cq = cube.base_query(["date_year"], [AggSpec("count", None, "n")])
+        monthly = cube.drilldown(cq, "date_year")
+        out = cube.evaluate(monthly)
+        assert dict(out.rows)["2007-02"] == 1
+        assert len(out) == 5
+
+    def test_rollup_chain_day_to_year(self, cube):
+        cq = cube.base_query(["date"], [AggSpec("count", None, "n")])
+        month = cube.rollup(cq, "date")
+        assert month.group_by == ("date_month",)
+        year = cube.rollup(month, "date_month")
+        assert year.group_by == ("date_year",)
+
+    def test_non_date_column_rejected(self):
+        presc = paper_prescriptions()
+        with pytest.raises(WarehouseError):
+            build_date_dimension("bad", presc, "drug")
+
+    def test_null_dates_supported(self):
+        from repro.relational import Table, make_schema
+        from repro.relational.types import ColumnType
+
+        schema = make_schema(("d", ColumnType.DATE))
+        table = Table.from_rows("t", schema, [("2007-02-12",), (None,)])
+        dim_date, extended = build_date_dimension("day", table, "d")
+        nulls = [r for r in extended.iter_dicts() if r["d"] is None]
+        assert nulls and nulls[0]["d_year"] is None and nulls[0]["d_month"] is None

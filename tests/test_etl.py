@@ -1,0 +1,328 @@
+"""Unit and integration tests for ETL operators, flows, and PLA annotations."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ComplianceError, EtlError, PolicyError
+from repro.etl import (
+    AggregateOp,
+    DedupeOp,
+    DeriveOp,
+    EtlFlow,
+    EtlPlaRegistry,
+    ExtractOp,
+    FilterOp,
+    IntegrateOp,
+    IntegrationProhibition,
+    JoinOp,
+    JoinProhibition,
+    LoadOp,
+    OperationRestriction,
+    StagingArea,
+    StandardizeOp,
+    normalize_code,
+    normalize_name,
+    resolve_entities,
+    rewrite_to_canonical,
+    strip_whitespace,
+    titlecase,
+    to_iso_date,
+)
+from repro.provenance import ProvenanceGraph
+from repro.relational import Catalog
+from repro.relational.algebra import AggSpec
+from repro.relational.expressions import col, lit
+from repro.relational.table import Table, make_schema
+from repro.relational.types import ColumnType
+
+
+class TestCleaningHelpers:
+    def test_strip_and_title(self):
+        assert strip_whitespace("  x ") == "x"
+        assert titlecase(" alice ") == "Alice"
+        assert strip_whitespace(5) == 5
+
+    def test_normalize_name(self):
+        assert normalize_name("  alice   b ") == "Alice B"
+
+    def test_normalize_code(self):
+        assert normalize_code(" dh ") == "DH"
+
+    def test_to_iso_date(self):
+        assert to_iso_date("12/02/2007") == datetime.date(2007, 2, 12)
+        d = datetime.date(2007, 2, 12)
+        assert to_iso_date(d) is d
+
+
+class TestOperators:
+    def test_extract_keeps_provider_and_provenance(self, prescriptions):
+        op = ExtractOp("x", prescriptions, "staged")
+        out = op.run(Catalog())
+        assert out.provider == "hospital"
+        assert out.all_lineage() == prescriptions.all_lineage()
+
+    def test_standardize(self, prescriptions):
+        cat = Catalog()
+        cat.add_table(ExtractOp("x", prescriptions, "s").run(cat))
+        op = StandardizeOp("std", "s", "out", {"drug": str.lower})
+        out = op.run(cat)
+        assert set(out.column_values("drug")) == {"dh", "dv", "dr", "dm"}
+
+    def test_standardize_requires_transforms(self):
+        with pytest.raises(EtlError):
+            StandardizeOp("std", "s", "out", {})
+
+    def test_filter_and_derive(self, prescriptions):
+        cat = Catalog()
+        cat.add_table(ExtractOp("x", prescriptions, "s").run(cat))
+        filtered = FilterOp("f", "s", "f_out", col("disease") == "asthma").run(cat)
+        assert len(filtered) == 2
+        cat.add_table(filtered)
+        derived = DeriveOp("d", "f_out", "d_out", [("is_dr", col("drug") == lit("DR"))]).run(cat)
+        assert all(row[-1] is True for row in derived.rows)
+
+    def test_dedupe(self):
+        schema = make_schema(("a", ColumnType.INT))
+        t = Table.from_rows("t", schema, [(1,), (1,), (2,)], provider="p")
+        cat = Catalog()
+        cat.add_table(t)
+        out = DedupeOp("d", "t", "out").run(cat)
+        assert len(out) == 2
+
+    def test_join_drops_duplicate_key(self, prescriptions, drugcost):
+        cat = Catalog()
+        cat.add_table(ExtractOp("a", prescriptions, "p").run(cat))
+        cat.add_table(ExtractOp("b", drugcost, "c").run(cat))
+        out = JoinOp("j", "p", "c", [("drug", "drug")], "joined").run(cat)
+        assert out.schema.names == (
+            "patient", "doctor", "drug", "disease", "date", "cost",
+        )
+        assert len(out) == 5
+
+    def test_integrate_fills_missing_and_records_lineage(
+        self, prescriptions, familydoctor
+    ):
+        cat = Catalog()
+        cat.add_table(ExtractOp("a", prescriptions, "p").run(cat))
+        cat.add_table(ExtractOp("b", familydoctor, "fd").run(cat))
+        out = IntegrateOp(
+            "fill", "p", "fd", "filled",
+            key=("patient", "patient"),
+            fill_column="doctor",
+            reference_column="doctor",
+        ).run(cat)
+        chris = [r for r in out.iter_dicts() if r["patient"] == "Chris"][0]
+        assert chris["doctor"] == "Anne"  # filled from familydoctor
+        chris_idx = [i for i, r in enumerate(out.iter_dicts()) if r["patient"] == "Chris"][0]
+        providers = {rid.provider for rid in out.lineage_of(chris_idx)}
+        assert providers == {"hospital", "municipality"}
+
+    def test_integrate_does_not_overwrite(self, prescriptions, familydoctor):
+        cat = Catalog()
+        cat.add_table(ExtractOp("a", prescriptions, "p").run(cat))
+        cat.add_table(ExtractOp("b", familydoctor, "fd").run(cat))
+        out = IntegrateOp(
+            "fill", "p", "fd", "filled",
+            key=("patient", "patient"),
+            fill_column="doctor",
+            reference_column="doctor",
+        ).run(cat)
+        bob = [r for r in out.iter_dicts() if r["patient"] == "Bob"][0]
+        assert bob["doctor"] == "Anne"  # was already set, unchanged
+
+    def test_aggregate_op(self, prescriptions):
+        cat = Catalog()
+        cat.add_table(ExtractOp("a", prescriptions, "p").run(cat))
+        out = AggregateOp(
+            "agg", "p", "out", group_by=["drug"], aggs=[AggSpec("count", None, "n")]
+        ).run(cat)
+        assert len(out) == 4
+
+    def test_load_tags_warehouse(self, prescriptions):
+        cat = Catalog()
+        cat.add_table(ExtractOp("a", prescriptions, "p").run(cat))
+        out = LoadOp("l", "p", "dwh_p").run(cat)
+        assert out.provider == "warehouse"
+        assert {r.provider for r in out.all_lineage()} == {"hospital"}
+
+
+class TestFlow:
+    def _flow(self, prescriptions, familydoctor, drugcost):
+        flow = EtlFlow("f")
+        flow.add(ExtractOp("x1", prescriptions, "p"))
+        flow.add(ExtractOp("x2", familydoctor, "fd"))
+        flow.add(ExtractOp("x3", drugcost, "c"))
+        flow.add(
+            IntegrateOp(
+                "fill", "p", "fd", "filled",
+                key=("patient", "patient"),
+                fill_column="doctor",
+                reference_column="doctor",
+            )
+        )
+        flow.add(JoinOp("j", "filled", "c", [("drug", "drug")], "joined"))
+        flow.add(LoadOp("load", "joined", "dwh"))
+        return flow
+
+    def test_flow_runs_and_registers(self, prescriptions, familydoctor, drugcost):
+        flow = self._flow(prescriptions, familydoctor, drugcost)
+        result = flow.run()
+        assert result.clean
+        assert len(result.executed) == 6
+        assert "dwh" in result.catalog
+
+    def test_duplicate_output_rejected(self, prescriptions):
+        flow = EtlFlow("f")
+        flow.add(ExtractOp("x1", prescriptions, "p"))
+        with pytest.raises(EtlError):
+            flow.add(ExtractOp("x2", prescriptions, "p"))
+
+    def test_missing_input_rejected(self):
+        flow = EtlFlow("f")
+        flow.add(DedupeOp("d", "absent", "out"))
+        with pytest.raises(EtlError):
+            flow.run()
+
+    def test_provenance_graph_populated(
+        self, prescriptions, familydoctor, drugcost
+    ):
+        flow = self._flow(prescriptions, familydoctor, drugcost)
+        graph = ProvenanceGraph()
+        flow.run(graph=graph)
+        ups = graph.upstream_datasets("dwh")
+        names = {n.name for n in ups}
+        assert {"p", "fd", "c", "filled", "joined"} <= names
+
+    def test_join_prohibition_skips_and_cascades(
+        self, prescriptions, familydoctor, drugcost
+    ):
+        flow = self._flow(prescriptions, familydoctor, drugcost)
+        pla = EtlPlaRegistry()
+        pla.add(
+            JoinProhibition(
+                "no-mix", "municipality",
+                "municipality/familydoctor", "health_agency/drugcost",
+            )
+        )
+        result = flow.run(pla=pla)
+        assert not result.clean
+        assert "j" in result.skipped and "load" in result.skipped
+        assert "dwh" not in result.catalog  # privacy by construction
+
+    def test_strict_mode_raises(self, prescriptions, familydoctor, drugcost):
+        flow = self._flow(prescriptions, familydoctor, drugcost)
+        pla = EtlPlaRegistry()
+        pla.add(
+            JoinProhibition(
+                "no-mix", "municipality",
+                "municipality/familydoctor", "health_agency/drugcost",
+            )
+        )
+        with pytest.raises(ComplianceError):
+            flow.run(pla=pla, strict=True)
+
+    def test_integration_prohibition(self, prescriptions, familydoctor):
+        flow = EtlFlow("f")
+        flow.add(ExtractOp("x1", prescriptions, "p"))
+        flow.add(ExtractOp("x2", familydoctor, "fd"))
+        flow.add(
+            IntegrateOp(
+                "fill", "p", "fd", "filled",
+                key=("patient", "patient"),
+                fill_column="doctor",
+                reference_column="doctor",
+            )
+        )
+        pla = EtlPlaRegistry()
+        pla.add(IntegrationProhibition("no-muni-er", "municipality"))
+        result = flow.run(pla=pla)
+        assert [v.constraint for v in result.violations] == ["no-muni-er"]
+        assert "fill" in result.skipped
+
+    def test_operation_restriction(self, prescriptions):
+        flow = EtlFlow("f")
+        flow.add(ExtractOp("x1", prescriptions, "p"))
+        flow.add(
+            AggregateOp(
+                "agg", "p", "out", group_by=["drug"],
+                aggs=[AggSpec("count", None, "n")],
+            )
+        )
+        pla = EtlPlaRegistry()
+        pla.add(
+            OperationRestriction(
+                "no-agg", "hospital", "hospital/prescriptions",
+                {"aggregate"},
+            )
+        )
+        result = flow.run(pla=pla)
+        assert not result.clean and "agg" in result.skipped
+
+    def test_duplicate_constraint_rejected(self):
+        pla = EtlPlaRegistry()
+        pla.add(IntegrationProhibition("x", "a"))
+        with pytest.raises(PolicyError):
+            pla.add(IntegrationProhibition("x", "b"))
+
+
+class TestStagingArea:
+    def test_stage_naming_and_intake(self, prescriptions):
+        cat = Catalog()
+        staging = StagingArea(cat)
+        staged = staging.stage(prescriptions)
+        assert staged.name == "stg_hospital_prescriptions"
+        assert staging.staged_tables() == ("stg_hospital_prescriptions",)
+        record = staging.record_for("stg_hospital_prescriptions")
+        assert record.rows == 5 and record.provider == "hospital"
+
+    def test_missing_record_raises(self):
+        staging = StagingArea(Catalog())
+        with pytest.raises(EtlError):
+            staging.record_for("nope")
+
+
+class TestEntityResolution:
+    def test_clusters_by_normalized_key(self):
+        schema = make_schema(("patient", ColumnType.STRING))
+        a = Table.from_rows("a", schema, [("alice b",), ("BOB",)], provider="p1")
+        b = Table.from_rows("b", schema, [("Alice B",), ("bob",), ("Carol",)], provider="p2")
+        result = resolve_entities([(a, "patient"), (b, "patient")])
+        assert len(result.clusters) == 3
+        assert result.entity_of("p1", "alice b") == result.entity_of("p2", "Alice B")
+
+    def test_cross_provider_clusters(self):
+        schema = make_schema(("patient", ColumnType.STRING))
+        a = Table.from_rows("a", schema, [("Alice",)], provider="p1")
+        b = Table.from_rows("b", schema, [("alice",), ("Solo",)], provider="p2")
+        result = resolve_entities([(a, "patient"), (b, "patient")])
+        cross = result.cross_provider_clusters()
+        assert len(cross) == 1 and cross[0].providers == {"p1", "p2"}
+
+    def test_canonical_is_most_frequent(self):
+        schema = make_schema(("patient", ColumnType.STRING))
+        a = Table.from_rows(
+            "a", schema, [("alice",), ("alice",), ("Alice",)], provider="p1"
+        )
+        result = resolve_entities([(a, "patient")])
+        assert result.clusters[0].canonical == "alice"
+
+    def test_rewrite_to_canonical(self):
+        schema = make_schema(("patient", ColumnType.STRING))
+        a = Table.from_rows("a", schema, [("alice",), ("ALICE",)], provider="p1")
+        result = resolve_entities([(a, "patient")])
+        rewritten = rewrite_to_canonical(a, "patient", result)
+        values = set(rewritten.column_values("patient"))
+        assert len(values) == 1
+
+    def test_mapping_table(self):
+        schema = make_schema(("patient", ColumnType.STRING))
+        a = Table.from_rows("a", schema, [("Alice",)], provider="p1")
+        result = resolve_entities([(a, "patient")])
+        mapping = result.mapping_table()
+        assert mapping.schema.names == ("entity_id", "provider", "original", "canonical")
+        assert len(mapping) == 1
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(EtlError):
+            resolve_entities([])

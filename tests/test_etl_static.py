@@ -1,0 +1,123 @@
+"""Tests for design-time (static) ETL flow checking — §6's design-time half."""
+
+import pytest
+
+from repro.etl import (
+    AggregateOp,
+    EtlFlow,
+    EtlPlaRegistry,
+    ExtractOp,
+    IntegrateOp,
+    IntegrationProhibition,
+    JoinOp,
+    JoinProhibition,
+    LoadOp,
+    OperationRestriction,
+)
+from repro.relational import Catalog
+from repro.relational.algebra import AggSpec
+from repro.workloads import paper_drugcost, paper_familydoctor, paper_prescriptions
+
+
+def laundering_flow() -> EtlFlow:
+    flow = EtlFlow("f")
+    flow.add(ExtractOp("x1", paper_prescriptions(), "p"))
+    flow.add(ExtractOp("x2", paper_familydoctor(), "fd"))
+    flow.add(ExtractOp("x3", paper_drugcost(), "c"))
+    flow.add(
+        IntegrateOp(
+            "fill", "p", "fd", "filled",
+            key=("patient", "patient"),
+            fill_column="doctor",
+            reference_column="doctor",
+        )
+    )
+    flow.add(JoinOp("j", "filled", "c", [("drug", "drug")], "joined"))
+    flow.add(LoadOp("load", "joined", "dwh"))
+    return flow
+
+
+def prohibition() -> EtlPlaRegistry:
+    registry = EtlPlaRegistry()
+    registry.add(
+        JoinProhibition(
+            "no-mix", "municipality",
+            "municipality/familydoctor", "health_agency/drugcost",
+        )
+    )
+    return registry
+
+
+class TestStaticFootprints:
+    def test_footprints_flow_through_operators(self):
+        footprints = laundering_flow().static_footprints()
+        assert footprints["p"] == frozenset({"hospital/prescriptions"})
+        assert footprints["filled"] == frozenset(
+            {"hospital/prescriptions", "municipality/familydoctor"}
+        )
+        assert footprints["joined"] >= footprints["filled"] | footprints["c"]
+
+    def test_catalog_inputs_included(self):
+        catalog = Catalog()
+        catalog.add_table(paper_prescriptions())
+        flow = EtlFlow("f")
+        flow.add(
+            AggregateOp(
+                "agg", "prescriptions", "out",
+                group_by=["drug"], aggs=[AggSpec("count", None, "n")],
+            )
+        )
+        footprints = flow.static_footprints(catalog)
+        assert footprints["out"] == frozenset({"hospital/prescriptions"})
+
+
+class TestPrecheck:
+    def test_finds_laundered_join_without_running(self):
+        violations = laundering_flow().precheck(prohibition())
+        assert [v.operator for v in violations] == ["j"]
+        assert "familydoctor" in violations[0].message
+
+    def test_clean_flow_passes(self):
+        flow = EtlFlow("f")
+        flow.add(ExtractOp("x1", paper_prescriptions(), "p"))
+        flow.add(
+            AggregateOp(
+                "agg", "p", "out", group_by=["drug"],
+                aggs=[AggSpec("count", None, "n")],
+            )
+        )
+        assert flow.precheck(prohibition()) == []
+
+    def test_integration_prohibition_static(self):
+        flow = laundering_flow()
+        registry = EtlPlaRegistry()
+        registry.add(IntegrationProhibition("no-muni-er", "municipality"))
+        violations = flow.precheck(registry)
+        assert [v.operator for v in violations] == ["fill"]
+
+    def test_operation_restriction_static(self):
+        flow = EtlFlow("f")
+        flow.add(ExtractOp("x1", paper_prescriptions(), "p"))
+        flow.add(
+            AggregateOp(
+                "agg", "p", "out", group_by=["drug"],
+                aggs=[AggSpec("count", None, "n")],
+            )
+        )
+        registry = EtlPlaRegistry()
+        registry.add(
+            OperationRestriction(
+                "no-agg", "hospital", "hospital/prescriptions", {"aggregate"}
+            )
+        )
+        violations = flow.precheck(registry)
+        assert [v.operator for v in violations] == ["agg"]
+
+    def test_static_agrees_with_runtime(self):
+        """Design-time and runtime checks must flag the same operators."""
+        flow = laundering_flow()
+        registry = prohibition()
+        static_ops = {v.operator for v in flow.precheck(registry)}
+        runtime = laundering_flow().run(Catalog(), pla=registry)
+        runtime_ops = {v.operator for v in runtime.violations}
+        assert static_ops == runtime_ops

@@ -1,0 +1,169 @@
+"""Integration tests for the exams-mart extension and cross-source PLAs."""
+
+import pytest
+
+from repro.core import (
+    PLA,
+    AggregationThreshold,
+    ComplianceChecker,
+    JoinPermission,
+    MetaReport,
+    MetaReportSet,
+    PlaLevel,
+    PlaRegistry,
+)
+from repro.errors import ComplianceError
+from repro.relational import Query, View, parse_query
+from repro.reports import ReportDefinition
+from repro.simulation import extend_with_exams_mart
+
+
+@pytest.fixture(scope="module")
+def extended():
+    from repro.simulation import build_scenario
+
+    scenario = build_scenario()
+    outcome = extend_with_exams_mart(scenario)
+    return scenario, outcome
+
+
+class TestEtlPath:
+    def test_prohibited_flow_blocked_before_materialization(self, extended):
+        scenario, outcome = extended
+        result = outcome["prohibited_result"]
+        assert not result.clean
+        assert "join_res" in result.skipped and "load_bad" in result.skipped
+        assert "dwh_exams_res" not in result.catalog
+        assert all("residents" in str(v) for v in result.violations)
+
+    def test_legitimate_mart_loads_clean(self, extended):
+        scenario, outcome = extended
+        assert outcome["legit_result"].clean
+        exams = scenario.bi_catalog.table("dwh_exams")
+        assert {rid.provider for rid in exams.all_lineage()} == {"laboratory"}
+
+    def test_exams_star_queryable(self, extended):
+        scenario, _ = extended
+        from repro.relational import execute
+
+        out = execute(
+            parse_query(
+                "SELECT exam_type, COUNT(*) AS n FROM wide_exams GROUP BY exam_type"
+            ),
+            scenario.bi_catalog,
+        )
+        assert len(out) >= 2
+
+
+class TestReportLevelJoinProhibition:
+    """A covering meta-report exists, but the report's lineage spans the
+    prohibited pair — the JoinPermission annotation must fire."""
+
+    @pytest.fixture
+    def cross_checker(self, extended):
+        scenario, _ = extended
+        # A universe that (legitimately from a schema standpoint) joins the
+        # exams mart with the prescriptions mart — whose lineage includes
+        # the municipality residents registry.
+        scenario.bi_catalog.add_view(
+            View(
+                "cross_universe",
+                Query.from_("dwh_exams")
+                .join("dwh_prescriptions", [("patient", "patient")])
+                .project("exam_type", "result", "disease", "zip"),
+            ),
+            replace=True,
+        )
+        metareports = MetaReportSet()
+        metareport = MetaReport(
+            "mr_cross",
+            Query.from_("cross_universe").project(
+                "exam_type", "result", "disease", "zip"
+            ),
+        )
+        registry = PlaRegistry()
+        pla = PLA(
+            "pla_cross", "municipality", PlaLevel.METAREPORT, "mr_cross",
+            (
+                AggregationThreshold(2),
+                JoinPermission(
+                    "municipality/residents", "laboratory/exams", allowed=False
+                ),
+            ),
+        )
+        registry.add(pla)
+        metareport.attach_pla(registry.approve("pla_cross"))
+        metareports.add(metareport)
+        metareports.register_views(scenario.bi_catalog)
+        return scenario, ComplianceChecker(
+            catalog=scenario.bi_catalog, metareports=metareports
+        )
+
+    def test_cross_source_report_flagged(self, cross_checker):
+        scenario, checker = cross_checker
+        report = ReportDefinition(
+            "exam_by_zip", "t",
+            parse_query(
+                "SELECT zip, COUNT(*) AS n FROM mr_cross GROUP BY zip"
+            ),
+            frozenset({"analyst"}), "care/quality",
+        )
+        verdict = checker.check_report(report)
+        assert not verdict.compliant
+        assert any("combines data" in str(v) for v in verdict.violations)
+
+    def test_footprint_sees_through_marts(self, cross_checker):
+        scenario, checker = cross_checker
+        report = ReportDefinition(
+            "exam_by_zip", "t",
+            parse_query("SELECT zip, COUNT(*) AS n FROM mr_cross GROUP BY zip"),
+            frozenset({"analyst"}), "care/quality",
+        )
+        footprint = checker.source_footprint(report)
+        assert "municipality/residents" in footprint
+        assert "laboratory/exams" in footprint
+
+
+class TestPurposeEnforcement:
+    def test_wrong_purpose_blocked_at_generation(self, extended):
+        scenario, _ = extended
+        verdicts = scenario.checker.check_catalog(
+            scenario.report_catalog.all_current()
+        )
+        name, verdict = next(
+            (n, v) for n, v in sorted(verdicts.items()) if v.compliant
+        )
+        report = scenario.report_catalog.current(name)
+        role = sorted(report.audience)[0]
+        user = {
+            "analyst": "ann",
+            "auditor": "aldo",
+            "health_director": "dora",
+            "municipality_official": "mara",
+        }[role]
+        wrong_purpose = next(
+            p
+            for p in ("care/quality", "admin/reimbursement", "research/epidemiology")
+            if p != report.purpose and not p.startswith(report.purpose + "/")
+        )
+        context = scenario.subjects.context(user, wrong_purpose)
+        with pytest.raises(ComplianceError, match="purpose"):
+            scenario.enforcer.generate(report, context, verdict)
+
+    def test_sub_purpose_is_allowed(self, extended):
+        scenario, _ = extended
+        scenario.subjects.purposes.declare("care/quality/followup")
+        verdicts = scenario.checker.check_catalog(
+            scenario.report_catalog.all_current()
+        )
+        for name, verdict in sorted(verdicts.items()):
+            report = scenario.report_catalog.current(name)
+            if not verdict.compliant or report.purpose != "care/quality":
+                continue
+            if "analyst" not in report.audience:
+                continue
+            context = scenario.subjects.context("ann", "care/quality/followup")
+            instance = scenario.enforcer.generate(report, context, verdict)
+            assert instance.consumer == "ann"
+            return
+        pytest.skip("no compliant analyst care/quality report in workload")

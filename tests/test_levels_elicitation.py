@@ -1,0 +1,202 @@
+"""Tests for the engineering-level adapters, sessions, and owner agents."""
+
+import pytest
+
+from repro.errors import ElicitationError
+from repro.core import (
+    COMPREHENSION_WEIGHTS,
+    TESTABILITY,
+    ElicitationArtifact,
+    ElicitationLedger,
+    ElicitationSession,
+    MetaReportLevel,
+    PLA,
+    AggregationThreshold,
+    PlaLevel,
+    ReportLevel,
+    SourceLevel,
+    WarehouseLevel,
+)
+from repro.reports import EvolutionEvent, EvolutionKind
+from repro.simulation import OwnerAgent, build_levels, compare_levels
+from repro.workloads import generate_evolution_stream
+
+
+class TestWeightsAndTestability:
+    def test_weight_ordering_matches_paper(self):
+        w = COMPREHENSION_WEIGHTS
+        assert w["source_table"] > w["etl_flow"] > w["warehouse_table"] > w["metareport"] > w["report"]
+
+    def test_source_cannot_test_thresholds(self):
+        assert TESTABILITY[PlaLevel.SOURCE]["aggregation_threshold"] == 0.0
+        assert TESTABILITY[PlaLevel.METAREPORT]["aggregation_threshold"] == 1.0
+
+    def test_metareport_fully_testable(self):
+        assert all(v == 1.0 for v in TESTABILITY[PlaLevel.METAREPORT].values())
+
+
+class TestArtifact:
+    def test_effort_scales_with_elements(self):
+        small = ElicitationArtifact("report", "r", 2)
+        large = ElicitationArtifact("report", "r", 10)
+        assert large.effort() == 5 * small.effort()
+
+
+class TestOwnerAgent:
+    def test_expertise_reduces_cost(self):
+        artifact = ElicitationArtifact("source_table", "t", 5)
+        novice = OwnerAgent("n", expertise=0.0)
+        expert = OwnerAgent("e", expertise=1.0)
+        assert novice.comprehension_cost(artifact) == 2 * expert.comprehension_cost(artifact)
+
+    def test_review_is_deterministic_per_seed(self):
+        artifact = ElicitationArtifact("source_table", "t", 5)
+        a = [OwnerAgent("o", seed=3).review(artifact) for _ in range(1)]
+        b = [OwnerAgent("o", seed=3).review(artifact) for _ in range(1)]
+        assert a == b
+
+    def test_invalid_expertise_rejected(self):
+        with pytest.raises(ElicitationError):
+            OwnerAgent("o", expertise=2.0)
+
+
+class TestSession:
+    def test_session_cost_accumulates(self):
+        owner = OwnerAgent("o", expertise=1.0, confusion_scale=0.0)
+        level = ReportLevel([])
+        session = ElicitationSession(owner, level)
+        record = session.run(
+            [ElicitationArtifact("report", "a", 3), ElicitationArtifact("report", "b", 2)]
+        )
+        assert record.cost == pytest.approx(5.0)  # weight 1.0 × (3+2) × 1.0
+        assert record.artifacts_reviewed == 2
+
+    def test_confusion_doubles_artifact_cost(self):
+        confused = OwnerAgent("o", expertise=0.0, confusion_scale=1.0)  # always confused
+        level = ReportLevel([])
+        record = ElicitationSession(confused, level).run(
+            [ElicitationArtifact("report", "a", 1)]
+        )
+        assert record.cost == pytest.approx(4.0)  # 2 passes × cost 2.0
+
+    def test_session_single_use(self):
+        owner = OwnerAgent("o")
+        session = ElicitationSession(owner, ReportLevel([]))
+        session.run([])
+        with pytest.raises(ElicitationError):
+            session.run([])
+
+    def test_ledger_totals(self):
+        owner = OwnerAgent("o", confusion_scale=0.0, expertise=1.0)
+        ledger = ElicitationLedger()
+        level = ReportLevel([])
+        ledger.record(ElicitationSession(owner, level).run([ElicitationArtifact("report", "a", 1)]))
+        ledger.record(
+            ElicitationSession(owner, level, trigger="re-elicitation:x").run(
+                [ElicitationArtifact("report", "a", 1)]
+            )
+        )
+        assert ledger.total_cost() == pytest.approx(2.0)
+        assert ledger.cost_by_trigger() == {"initial": 1.0, "re-elicitation": 1.0}
+        assert ledger.session_count() == 2
+
+    def test_ledger_files_and_approves_pla(self):
+        ledger = ElicitationLedger()
+        pla = PLA("p", "o", PlaLevel.REPORT, "r", (AggregationThreshold(2),))
+        approved = ledger.file_pla(pla)
+        assert approved.status.value == "approved"
+
+
+class TestLevelCoverage:
+    def test_source_level_covers_everything(self, scenario):
+        source = build_levels(scenario)[0]
+        assert isinstance(source, SourceLevel)
+        events = generate_evolution_stream(
+            scenario.workload_spec(), scenario.workload, n_events=10, seed=1
+        )
+        assert all(source.covers_event(e) for e in events)
+
+    def test_report_level_covers_only_drops(self, scenario):
+        report_level = build_levels(scenario)[3]
+        assert isinstance(report_level, ReportLevel)
+        drop = EvolutionEvent(kind=EvolutionKind.DROP_REPORT, report="rpt_000")
+        add_col = EvolutionEvent(
+            kind=EvolutionKind.ADD_COLUMN, report="rpt_000", column="drug"
+        )
+        assert report_level.covers_event(drop)
+        assert not report_level.covers_event(add_col)
+
+    def test_warehouse_covers_known_columns_only(self, scenario):
+        warehouse = build_levels(scenario)[1]
+        assert isinstance(warehouse, WarehouseLevel)
+        known = EvolutionEvent(
+            kind=EvolutionKind.ADD_COLUMN, report="rpt_000", column="drug"
+        )
+        unknown = EvolutionEvent(
+            kind=EvolutionKind.ADD_COLUMN, report="rpt_000", column="exam_type"
+        )
+        assert warehouse.covers_event(known)
+        assert not warehouse.covers_event(unknown)
+        # Re-elicitation extends the approved schema:
+        warehouse.note_event(unknown)
+        assert warehouse.covers_event(unknown)
+
+    def test_metareport_covers_via_derivability(self, scenario):
+        metareport = build_levels(scenario)[2]
+        assert isinstance(metareport, MetaReportLevel)
+        covered = EvolutionEvent(
+            kind=EvolutionKind.ADD_COLUMN, report="rpt_000", column="drug"
+        )
+        assert metareport.covers_event(covered)
+
+    def test_reelicitation_artifacts_kinds(self, scenario):
+        levels = build_levels(scenario)
+        event = EvolutionEvent(
+            kind=EvolutionKind.ADD_COLUMN, report="rpt_000", column="drug"
+        )
+        kinds = [level.reelicitation_artifacts(event)[0].kind for level in levels]
+        assert kinds == ["source_table", "warehouse_table", "metareport", "report"]
+
+
+class TestFig5Shape:
+    """The headline reproduction: the Fig 5 continuum as measured numbers."""
+
+    @pytest.fixture(scope="class")
+    def metrics(self, scenario):
+        events = generate_evolution_stream(
+            scenario.workload_spec(),
+            scenario.workload,
+            n_events=40,
+            seed=7,
+            new_feed_rate=0.1,
+        )
+        return compare_levels(scenario, events)
+
+    def test_order_is_source_to_report(self, metrics):
+        assert [m.level for m in metrics] == [
+            "source", "warehouse", "metareport", "report",
+        ]
+
+    def test_ease_of_elicitation_increases(self, metrics):
+        per_artifact = [m.effort_per_artifact for m in metrics]
+        assert per_artifact == sorted(per_artifact, reverse=True)
+
+    def test_stability_decreases(self, metrics):
+        stability = [m.stability for m in metrics]
+        assert stability == sorted(stability, reverse=True)
+        assert stability[0] == 1.0  # source PLAs survive report churn
+        assert stability[-1] < 0.3  # report PLAs almost never do
+
+    def test_over_engineering_highest_at_source(self, metrics):
+        over = {m.level: m.over_engineering for m in metrics}
+        assert over["source"] > over["warehouse"] >= over["metareport"]
+        assert over["report"] == 0.0
+
+    def test_metareport_minimizes_total_effort(self, metrics):
+        totals = {m.level: m.total_effort for m in metrics}
+        assert totals["metareport"] == min(totals.values())
+
+    def test_metareport_testability_is_full(self, metrics):
+        by_level = {m.level: m.testability for m in metrics}
+        assert by_level["metareport"] == 1.0
+        assert by_level["source"] < by_level["warehouse"]

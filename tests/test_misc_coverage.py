@@ -1,0 +1,189 @@
+"""Targeted tests for smaller utilities and less-traveled branches."""
+
+import pytest
+
+from repro.bench import format_table, print_series, print_table
+from repro.core import ElicitationTool, MetaReport
+from repro.core.translation import to_vpd_policy
+from repro.policy import Decision, Obligation
+from repro.provenance import DatasetNode, ProvenanceGraph, TransformNode
+from repro.relational import Query, Table, make_schema
+from repro.relational.types import ColumnType
+
+
+class TestBenchTables:
+    def test_format_basic(self):
+        text = format_table(
+            [{"a": 1, "b": "x"}, {"a": 2, "b": None}], title="T"
+        )
+        assert "T" in text and "===" not in text.splitlines()[0]
+        assert "-" in text  # NULL placeholder
+        assert "a" in text and "b" in text
+
+    def test_format_float_rounding(self):
+        text = format_table([{"v": 1.23456}])
+        assert "1.235" in text
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_print_helpers(self, capsys):
+        print_table([{"a": 1}], title="t")
+        print_series("s", [(1, 2)], x="k", y="v")
+        out = capsys.readouterr().out
+        assert "t" in out and "k" in out and "v" in out
+
+
+class TestPolicyBits:
+    def test_decision_truthiness(self):
+        assert Decision(True, "ok")
+        assert not Decision(False, "no")
+
+    def test_obligation_str(self):
+        assert str(Obligation("notify")) == "notify"
+        assert str(Obligation("delete", "after 30d")) == "delete(after 30d)"
+
+
+class TestVpdProjectionBranches:
+    def test_empty_role_attribute_access_becomes_mask(self):
+        from repro.core import PLA, AttributeAccess, PlaLevel
+
+        pla = PLA(
+            "p", "o", PlaLevel.SOURCE, "t",
+            (AttributeAccess("secret", frozenset()),),
+        )
+        policy = to_vpd_policy([pla])
+        assert [m.column for m in policy.rules["t"].masks] == ["secret"]
+
+    def test_roleful_attribute_access_not_masked(self):
+        from repro.core import PLA, AttributeAccess, PlaLevel
+
+        pla = PLA(
+            "p", "o", PlaLevel.SOURCE, "t",
+            (AttributeAccess("col", frozenset({"analyst"})),),
+        )
+        policy = to_vpd_policy([pla])
+        assert policy.rules["t"].masks == ()
+
+
+class TestProvenanceGraphBranches:
+    def test_multi_path_transformations_deduped(self):
+        graph = ProvenanceGraph()
+        src = DatasetNode("s", "source", owner="o")
+        mid_a = DatasetNode("a", "staging")
+        mid_b = DatasetNode("b", "staging")
+        out = DatasetNode("r", "report")
+        split = TransformNode("split", "copy")
+        graph.add_transform(split, [src], mid_a)
+        graph.add_transform(TransformNode("split2", "copy"), [src], mid_b)
+        graph.add_transform(TransformNode("merge", "union"), [mid_a], out)
+        graph.add_transform(TransformNode("merge2", "union"), [mid_b], out)
+        transforms = graph.transformations_between("s", "r")
+        names = [t.name for t in transforms]
+        assert len(names) == len(set(names)) == 4
+
+    def test_explain_no_sources(self):
+        graph = ProvenanceGraph()
+        graph.add_dataset(DatasetNode("lonely", "report"))
+        assert "no recorded sources" in graph.explain("lonely")
+
+
+class TestElicitationToolProvenanceBranch:
+    def test_present_with_graph_lists_sources(self, paper_catalog):
+        graph = ProvenanceGraph()
+        src = DatasetNode("prescriptions", "source", owner="hospital")
+        wide = DatasetNode("nohiv", "metareport")
+        graph.add_transform(TransformNode("view", "project"), [src], wide)
+        tool = ElicitationTool(catalog=paper_catalog, provenance=graph)
+        metareport = MetaReport(
+            "nohiv_mr",
+            Query.from_("nohiv").project("patient", "drug"),
+        )
+        text = tool.present(metareport)
+        assert "nohiv_mr" in text and "patient" in text
+
+
+class TestTableOddities:
+    def test_head(self):
+        schema = make_schema(("a", ColumnType.INT))
+        t = Table.from_rows("t", schema, [(i,) for i in range(10)])
+        assert t.head(3) == [{"a": 0}, {"a": 1}, {"a": 2}]
+
+    def test_empty_pretty(self):
+        schema = make_schema(("a", ColumnType.INT))
+        t = Table("t", schema)
+        assert "a" in t.pretty()
+
+    def test_rename_identity(self):
+        from repro.relational import rename
+
+        schema = make_schema(("a", ColumnType.INT))
+        t = Table.from_rows("t", schema, [(1,)])
+        out = rename(t, {})
+        assert out.schema.names == ("a",) and out.rows == t.rows
+
+
+class TestRenderingNoSuppression:
+    def test_footer_without_enforcement(self, paper_catalog):
+        from repro.policy import SubjectRegistry
+        from repro.relational import parse_query
+        from repro.reports import ReportDefinition, ReportEngine, render_text
+
+        subjects = SubjectRegistry()
+        subjects.purposes.declare("care")
+        subjects.add_role("analyst")
+        subjects.add_user("ann", "analyst")
+        engine = ReportEngine(paper_catalog)
+        definition = ReportDefinition(
+            "plain", "Plain",
+            parse_query("SELECT patient FROM prescriptions"),
+            frozenset({"analyst"}), "care",
+        )
+        text = render_text(engine.generate(definition, subjects.context("ann", "care")))
+        assert "suppressed" not in text
+        assert "privacy enforcement applied" not in text
+        assert "5 row(s)" in text
+
+
+class TestApiDocInSync:
+    def test_api_md_matches_generator(self, tmp_path, monkeypatch):
+        import importlib.util
+        import pathlib
+        import shutil
+
+        root = pathlib.Path(__file__).parent.parent
+        generator = root / "docs" / "generate_api.py"
+        committed = (root / "docs" / "API.md").read_text()
+        workdir = tmp_path / "docs"
+        workdir.mkdir()
+        shutil.copy(generator, workdir / "generate_api.py")
+        spec = importlib.util.spec_from_file_location(
+            "generate_api", workdir / "generate_api.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        assert spec.loader is not None
+        spec.loader.exec_module(module)
+        module.main()
+        regenerated = (workdir / "API.md").read_text()
+        assert regenerated == committed, (
+            "docs/API.md is stale; run python docs/generate_api.py"
+        )
+
+
+class TestOwnerAgentBounds:
+    def test_confusion_probability_capped(self):
+        from repro.core import ElicitationArtifact
+        from repro.simulation import OwnerAgent
+
+        artifact = ElicitationArtifact("source_table", "t", 1)
+        # Even a hopeless owner approves eventually: probability ≤ 0.9.
+        results = [
+            OwnerAgent("h", expertise=0.0, confusion_scale=10.0, seed=s).review(artifact)
+            for s in range(200)
+        ]
+        assert any(results)

@@ -1,0 +1,113 @@
+"""Unit tests for the negotiation/convergence simulation."""
+
+import random
+
+import pytest
+
+from repro.errors import ElicitationError
+from repro.core import AggregationThreshold, AttributeAccess
+from repro.simulation import (
+    OwnerPreferences,
+    convergence_experiment,
+    negotiate_audience,
+    negotiate_threshold,
+)
+
+
+class TestThresholdNegotiation:
+    def test_perfect_comprehension_converges_in_two_rounds(self):
+        rng = random.Random(1)
+        owner = OwnerPreferences(min_threshold=5, comprehension=1.0)
+        outcome = negotiate_threshold(
+            owner, opening=2, artifact_kind="report", rng=rng
+        )
+        assert outcome.accepted
+        # Round 1: 2 rejected, owner counters at 5; round 2: accepted.
+        assert outcome.rounds == 2
+        assert isinstance(outcome.final, AggregationThreshold)
+        assert outcome.final.min_group_size == 5
+
+    def test_opening_at_or_above_minimum_accepts_immediately(self):
+        rng = random.Random(1)
+        owner = OwnerPreferences(min_threshold=3, comprehension=1.0)
+        outcome = negotiate_threshold(
+            owner, opening=5, artifact_kind="report", rng=rng
+        )
+        assert outcome.accepted and outcome.rounds == 1
+        assert outcome.final.min_group_size == 5
+
+    def test_transcript_records_exchange(self):
+        rng = random.Random(1)
+        owner = OwnerPreferences(min_threshold=4, comprehension=1.0)
+        outcome = negotiate_threshold(
+            owner, opening=2, artifact_kind="report", rng=rng
+        )
+        assert any("provider:" in line for line in outcome.transcript)
+        assert outcome.transcript[-1] == "owner: agreed"
+
+    def test_confusion_inflates_rounds(self):
+        def mean_rounds(comprehension: float) -> float:
+            rng = random.Random(11)
+            total = 0
+            for _ in range(300):
+                owner = OwnerPreferences(
+                    min_threshold=5, comprehension=comprehension
+                )
+                total += negotiate_threshold(
+                    owner, opening=2, artifact_kind="source_table", rng=rng
+                ).rounds
+            return total / 300
+
+        assert mean_rounds(0.2) > mean_rounds(1.0)
+
+
+class TestAudienceNegotiation:
+    def test_forbidden_roles_always_removed(self):
+        rng = random.Random(3)
+        owner = OwnerPreferences(
+            forbidden_roles=frozenset({"guest", "vendor"}), comprehension=1.0
+        )
+        outcome = negotiate_audience(
+            owner,
+            attribute="patient",
+            opening_roles=frozenset({"analyst", "guest", "vendor"}),
+            artifact_kind="metareport",
+            rng=rng,
+        )
+        assert outcome.accepted
+        assert isinstance(outcome.final, AttributeAccess)
+        assert outcome.final.allowed_roles == frozenset({"analyst"})
+
+    def test_empty_audience_is_valid_outcome(self):
+        rng = random.Random(3)
+        owner = OwnerPreferences(
+            forbidden_roles=frozenset({"analyst"}), comprehension=1.0
+        )
+        outcome = negotiate_audience(
+            owner,
+            attribute="patient",
+            opening_roles=frozenset({"analyst"}),
+            artifact_kind="report",
+            rng=rng,
+        )
+        assert outcome.accepted
+        assert outcome.final.allowed_roles == frozenset()
+
+
+class TestConvergenceExperiment:
+    def test_deterministic(self):
+        assert convergence_experiment(seed=5, trials=50) == convergence_experiment(
+            seed=5, trials=50
+        )
+
+    def test_shape_source_slowest(self):
+        rows = {r["artifact_kind"]: r for r in convergence_experiment(trials=300)}
+        assert rows["source_table"]["mean_rounds"] >= rows["report"]["mean_rounds"]
+        assert (
+            rows["source_table"]["over_asked_fraction"]
+            > rows["report"]["over_asked_fraction"]
+        )
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(ElicitationError):
+            convergence_experiment(trials=0)

@@ -1,0 +1,228 @@
+"""Tests for JSON serialization and deployment save/load."""
+
+import datetime
+
+import pytest
+
+from repro.core import (
+    PLA,
+    AggregationThreshold,
+    AnonymizationRequirement,
+    AttributeAccess,
+    ComplianceChecker,
+    IntegrationPermission,
+    IntensionalCondition,
+    JoinPermission,
+    PlaLevel,
+    PlaStatus,
+)
+from repro.persistence import (
+    PersistenceError,
+    annotation_from_json,
+    annotation_to_json,
+    expr_from_json,
+    expr_to_json,
+    load_deployment,
+    pla_from_json,
+    pla_to_json,
+    query_from_json,
+    query_to_json,
+    report_from_json,
+    report_to_json,
+    save_deployment,
+)
+from repro.relational import parse_expression, parse_query
+from repro.reports import ReportDefinition
+
+
+EXPRESSIONS = [
+    "a = 1",
+    "a != 'x'",
+    "a > 1.5 AND b < 3",
+    "a IN (1, 2, 3) OR NOT c = 'y'",
+    "a IS NOT NULL",
+    "a + b * 2 > 10",
+    "d >= DATE '2007-02-12'",
+]
+
+
+class TestExprJson:
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_roundtrip(self, text):
+        expr = parse_expression(text)
+        back = expr_from_json(expr_to_json(expr))
+        assert str(back) == str(expr)
+
+    def test_date_literal_roundtrip(self):
+        expr = parse_expression("d = DATE '2007-02-12'")
+        back = expr_from_json(expr_to_json(expr))
+        row = {"d": datetime.date(2007, 2, 12)}
+        assert back.evaluate(row) and expr.evaluate(row)
+
+    def test_semantics_preserved(self):
+        expr = parse_expression("a > 1 AND b IN ('x', 'y')")
+        back = expr_from_json(expr_to_json(expr))
+        for row in ({"a": 2, "b": "x"}, {"a": 0, "b": "x"}, {"a": 2, "b": "z"}):
+            assert back.evaluate(row) == expr.evaluate(row)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(PersistenceError):
+            expr_from_json({"op": "xor"})
+
+    def test_not_a_payload_rejected(self):
+        with pytest.raises(PersistenceError):
+            expr_from_json("a = 1")  # type: ignore[arg-type]
+
+
+QUERIES = [
+    "SELECT * FROM t",
+    "SELECT a, b AS bee FROM t WHERE a > 1",
+    "SELECT a, COUNT(*) AS n, SUM(b) AS s FROM t GROUP BY a HAVING n > 1",
+    "SELECT DISTINCT a FROM t JOIN u ON x = y LEFT JOIN v ON p = q "
+    "ORDER BY a DESC LIMIT 5",
+    "SELECT a * 2 AS doubled FROM t",
+    "SELECT COUNT(DISTINCT a) AS kinds FROM t",
+]
+
+
+class TestQueryJson:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_roundtrip_describe_stable(self, sql):
+        query = parse_query(sql)
+        back = query_from_json(query_to_json(query))
+        assert back.describe() == query.describe()
+        assert back == query
+
+    def test_version_checked(self):
+        payload = query_to_json(parse_query("SELECT a FROM t"))
+        payload["v"] = 99
+        with pytest.raises(PersistenceError):
+            query_from_json(payload)
+
+
+ANNOTATIONS = [
+    AttributeAccess("patient", frozenset({"director", "analyst"})),
+    AggregationThreshold(5, scope="patient"),
+    AnonymizationRequirement("zip", "generalize", 2),
+    JoinPermission("a/x", "b/y", False),
+    IntegrationPermission("muni", True),
+    IntensionalCondition(
+        "result", parse_expression("disease != 'HIV'"), "suppress_cell"
+    ),
+]
+
+
+class TestPlaJson:
+    @pytest.mark.parametrize("annotation", ANNOTATIONS, ids=lambda a: a.requirement_kind)
+    def test_annotation_roundtrip(self, annotation):
+        back = annotation_from_json(annotation_to_json(annotation))
+        assert back.describe() == annotation.describe()
+        assert back.requirement_kind == annotation.requirement_kind
+
+    def test_pla_roundtrip_preserves_status_and_version(self):
+        pla = PLA(
+            "p", "hospital", PlaLevel.METAREPORT, "mr",
+            tuple(ANNOTATIONS), status=PlaStatus.APPROVED, version=3,
+        )
+        back = pla_from_json(pla_to_json(pla))
+        assert back.status is PlaStatus.APPROVED
+        assert back.version == 3
+        assert back.describe() == pla.describe()
+
+    def test_report_roundtrip(self):
+        report = ReportDefinition(
+            "r", "Title",
+            parse_query("SELECT a, COUNT(*) AS n FROM t GROUP BY a"),
+            frozenset({"analyst", "auditor"}), "care/quality",
+            description="d", version=2,
+        )
+        back = report_from_json(report_to_json(report))
+        assert back == report
+
+    def test_malformed_pla_rejected(self):
+        with pytest.raises(PersistenceError):
+            pla_from_json({"name": "p"})
+
+    def test_unknown_annotation_kind_rejected(self):
+        with pytest.raises(PersistenceError):
+            annotation_from_json({"kind": "telepathy"})
+
+
+class TestDeploymentStore:
+    def test_full_roundtrip_scenario(self, tmp_path, scenario):
+        root = save_deployment(
+            tmp_path / "deploy",
+            catalog=scenario.bi_catalog,
+            metareports=scenario.metareports,
+            plas=scenario.pla_registry,
+            reports=scenario.report_catalog,
+        )
+        loaded = load_deployment(root)
+
+        # Same tables, same data.
+        assert loaded.catalog.table_names() == scenario.bi_catalog.table_names()
+        original = scenario.bi_catalog.table("dwh_prescriptions")
+        restored = loaded.catalog.table("dwh_prescriptions")
+        assert restored.rows == original.rows
+
+        # Same meta-reports with approved PLAs.
+        assert len(loaded.metareports) == len(scenario.metareports)
+        assert all(m.approved for m in loaded.metareports)
+
+        # Same report catalog (names + current versions).
+        assert loaded.reports.names() == scenario.report_catalog.names()
+        for name in loaded.reports.names():
+            assert (
+                loaded.reports.current(name).query.describe()
+                == scenario.report_catalog.current(name).query.describe()
+            )
+
+    def test_loaded_deployment_checks_identically(self, tmp_path, scenario):
+        root = save_deployment(
+            tmp_path / "deploy",
+            catalog=scenario.bi_catalog,
+            metareports=scenario.metareports,
+            plas=scenario.pla_registry,
+            reports=scenario.report_catalog,
+        )
+        loaded = load_deployment(root)
+        checker = ComplianceChecker(
+            catalog=loaded.catalog, metareports=loaded.metareports
+        )
+        original = {
+            name: verdict.compliant
+            for name, verdict in scenario.checker.check_catalog(
+                scenario.report_catalog.all_current()
+            ).items()
+        }
+        reloaded = {
+            name: verdict.compliant
+            for name, verdict in checker.check_catalog(
+                loaded.reports.all_current()
+            ).items()
+        }
+        assert reloaded == original
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_deployment(tmp_path / "nope")
+
+    def test_dropped_reports_survive(self, tmp_path, scenario):
+        from repro.reports import ReportCatalog
+
+        reports = ReportCatalog()
+        reports.add(scenario.workload[0])
+        reports.add(scenario.workload[1])
+        reports.drop(scenario.workload[0].name)
+        root = save_deployment(
+            tmp_path / "d2",
+            catalog=scenario.bi_catalog,
+            metareports=scenario.metareports,
+            plas=scenario.pla_registry,
+            reports=reports,
+        )
+        loaded = load_deployment(root)
+        assert scenario.workload[0].name not in loaded.reports
+        assert scenario.workload[1].name in loaded.reports
+        # History of the dropped report is retained for auditing.
+        assert loaded.reports.history(scenario.workload[0].name)

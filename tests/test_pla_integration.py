@@ -1,0 +1,236 @@
+"""Tests for multi-owner PLA integration (§2's integration challenge)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.core import (
+    PLA,
+    AggregationThreshold,
+    AnonymizationRequirement,
+    AttributeAccess,
+    IntegrationPermission,
+    IntensionalCondition,
+    JoinPermission,
+    PlaLevel,
+    integrate_plas,
+)
+from repro.relational import parse_expression
+
+
+def pla(owner, *annotations, target="mr"):
+    return PLA(
+        name=f"pla_{owner}",
+        owner=owner,
+        level=PlaLevel.METAREPORT,
+        target=target,
+        annotations=tuple(annotations),
+    )
+
+
+class TestThresholds:
+    def test_strictest_wins_and_conflict_reported(self):
+        result = integrate_plas(
+            [
+                pla("hospital", AggregationThreshold(5)),
+                pla("municipality", AggregationThreshold(10)),
+            ]
+        )
+        thresholds = [
+            a for a in result.annotations if isinstance(a, AggregationThreshold)
+        ]
+        assert thresholds == [AggregationThreshold(10)]
+        assert len(result.conflicts) == 1
+        assert result.conflicts[0].kind == "aggregation_threshold"
+        assert "strictest wins" in result.conflicts[0].resolution
+
+    def test_agreement_is_clean(self):
+        result = integrate_plas(
+            [
+                pla("hospital", AggregationThreshold(5)),
+                pla("municipality", AggregationThreshold(5)),
+            ]
+        )
+        assert result.clean
+
+
+class TestAttributeAccess:
+    def test_audiences_intersect(self):
+        result = integrate_plas(
+            [
+                pla(
+                    "hospital",
+                    AttributeAccess("patient", frozenset({"analyst", "director"})),
+                ),
+                pla(
+                    "municipality",
+                    AttributeAccess("patient", frozenset({"director", "official"})),
+                ),
+            ]
+        )
+        access = [a for a in result.annotations if isinstance(a, AttributeAccess)]
+        assert access[0].allowed_roles == frozenset({"director"})
+        assert any(c.kind == "attribute_access" for c in result.conflicts)
+
+    def test_different_attributes_both_kept(self):
+        result = integrate_plas(
+            [
+                pla("hospital", AttributeAccess("patient", frozenset({"a"}))),
+                pla("lab", AttributeAccess("result", frozenset({"b"}))),
+            ]
+        )
+        assert result.clean
+        attributes = {
+            a.attribute
+            for a in result.annotations
+            if isinstance(a, AttributeAccess)
+        }
+        assert attributes == {"patient", "result"}
+
+
+class TestAnonymization:
+    def test_stronger_method_wins(self):
+        result = integrate_plas(
+            [
+                pla("hospital", AnonymizationRequirement("patient", "pseudonymize")),
+                pla("municipality", AnonymizationRequirement("patient", "suppress")),
+            ]
+        )
+        anon = [
+            a
+            for a in result.annotations
+            if isinstance(a, AnonymizationRequirement)
+        ]
+        assert anon[0].method == "suppress"
+        assert any(c.kind == "anonymization" for c in result.conflicts)
+
+    def test_generalization_levels_ordered(self):
+        result = integrate_plas(
+            [
+                pla("a", AnonymizationRequirement("zip", "generalize", 1)),
+                pla("b", AnonymizationRequirement("zip", "generalize", 3)),
+            ]
+        )
+        anon = [
+            a
+            for a in result.annotations
+            if isinstance(a, AnonymizationRequirement)
+        ]
+        assert anon[0].generalization_level == 3
+
+
+class TestProhibitions:
+    def test_join_prohibition_stands_over_permission(self):
+        result = integrate_plas(
+            [
+                pla("hospital", JoinPermission("m/res", "l/exams", True)),
+                pla("municipality", JoinPermission("m/res", "l/exams", False)),
+            ]
+        )
+        joins = [a for a in result.annotations if isinstance(a, JoinPermission)]
+        assert len(joins) == 1 and not joins[0].allowed
+        assert any(c.kind == "join_permission" for c in result.conflicts)
+        assert "prohibition stands" in str(result.conflicts[0])
+
+    def test_agreeing_permissions_clean(self):
+        result = integrate_plas(
+            [
+                pla("a", JoinPermission("x/t", "y/u", True)),
+                pla("b", JoinPermission("y/u", "x/t", True)),  # order-insensitive
+            ]
+        )
+        assert result.clean
+
+    def test_integration_permission_dispute(self):
+        result = integrate_plas(
+            [
+                pla("hospital", IntegrationPermission("municipality", True)),
+                pla("municipality", IntegrationPermission("municipality", False)),
+            ]
+        )
+        perms = [
+            a for a in result.annotations if isinstance(a, IntegrationPermission)
+        ]
+        assert len(perms) == 1 and not perms[0].allowed
+
+
+class TestIntensional:
+    def test_conditions_accumulate_and_dedupe(self):
+        hiv = IntensionalCondition(
+            "disease", parse_expression("disease != 'HIV'"), "suppress_row"
+        )
+        cancer = IntensionalCondition(
+            "disease", parse_expression("disease != 'cancer'"), "suppress_row"
+        )
+        result = integrate_plas(
+            [pla("hospital", hiv), pla("lab", hiv, cancer)]
+        )
+        conditions = [
+            a for a in result.annotations if isinstance(a, IntensionalCondition)
+        ]
+        assert len(conditions) == 2
+        assert result.clean
+
+
+class TestMergedPla:
+    def test_merged_pla_joint_ownership(self):
+        result = integrate_plas(
+            [
+                pla("hospital", AggregationThreshold(5)),
+                pla("municipality", AggregationThreshold(5)),
+            ]
+        )
+        merged = result.merged_pla(name="joint", target="mr")
+        assert merged.owner == "hospital+municipality"
+        assert merged.target == "mr"
+
+    def test_mismatched_targets_rejected(self):
+        with pytest.raises(PolicyError):
+            integrate_plas(
+                [
+                    pla("a", AggregationThreshold(5), target="mr_0"),
+                    pla("b", AggregationThreshold(5), target="mr_1"),
+                ]
+            )
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(PolicyError):
+            integrate_plas([])
+
+    def test_merged_pla_enforces_end_to_end(self, paper_catalog):
+        """The integrated agreement drives the normal compliance pipeline."""
+        from repro.core import ComplianceChecker, MetaReport, MetaReportSet, PlaRegistry
+        from repro.relational import Query, parse_query
+        from repro.reports import ReportDefinition
+
+        result = integrate_plas(
+            [
+                pla("hospital", AggregationThreshold(2)),
+                pla(
+                    "municipality",
+                    AggregationThreshold(3),
+                    AttributeAccess("patient", frozenset({"director"})),
+                ),
+            ]
+        )
+        metareport = MetaReport(
+            "mr",
+            Query.from_("prescriptions").project("patient", "drug", "disease"),
+        )
+        registry = PlaRegistry()
+        merged = result.merged_pla(name="joint", target="mr")
+        registry.add(merged)
+        metareport.attach_pla(registry.approve("joint"))
+        metareports = MetaReportSet()
+        metareports.add(metareport)
+        metareports.register_views(paper_catalog)
+        checker = ComplianceChecker(catalog=paper_catalog, metareports=metareports)
+        verdict = checker.check_report(
+            ReportDefinition(
+                "r", "t",
+                parse_query("SELECT patient, COUNT(*) AS n FROM mr GROUP BY patient"),
+                frozenset({"analyst"}), "care",
+            )
+        )
+        # The municipality's stricter audience rule survived the merge.
+        assert not verdict.compliant
+        assert any("may not see 'patient'" in str(v) for v in verdict.violations)

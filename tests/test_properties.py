@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covered invariants:
+
+* algebra laws: selection cascades/commutes, projection narrows, join
+  lineage is the union of its inputs, distinct is idempotent;
+* lineage safety: every derived row's lineage points at existing base rows;
+* k-anonymity post-conditions for arbitrary tables and k;
+* pseudonym consistency (injective on observed values, deterministic);
+* predicate-implication soundness: implication certified ⇒ no witness row
+  satisfies the stronger predicate while failing the weaker;
+* containment soundness: certified Q1 ⊆ Q2 ⇒ Q1's answers ⊆ Q2's answers
+  on arbitrary generated instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize import (
+    Pseudonymizer,
+    QuasiIdentifier,
+    is_k_anonymous,
+    mondrian_anonymize,
+)
+from repro.core import is_contained, predicate_implies
+from repro.relational import Catalog, algebra, execute, parse_query
+from repro.relational.expressions import And, Col, Comparison, Expr, Lit
+from repro.relational.table import Table, make_schema
+from repro.relational.types import ColumnType
+
+SCHEMA = make_schema(
+    ("g", ColumnType.STRING),
+    ("x", ColumnType.INT),
+    ("y", ColumnType.INT),
+)
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=-50, max_value=50),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def table_of(rows) -> Table:
+    return Table.from_rows("t", SCHEMA, rows, provider="p")
+
+
+predicate_strategy = st.builds(
+    lambda column, op, value: Comparison(op, Col(column), Lit(value)),
+    st.sampled_from(["x", "y"]),
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    st.integers(min_value=-30, max_value=30),
+)
+
+conjunction_strategy = st.lists(predicate_strategy, min_size=1, max_size=3).map(
+    lambda parts: parts[0]
+    if len(parts) == 1
+    else And(parts[0], And(parts[1], parts[2]) if len(parts) == 3 else parts[1])
+)
+
+
+class TestAlgebraLaws:
+    @given(rows=rows_strategy, p=predicate_strategy, q=predicate_strategy)
+    def test_selection_cascade_commutes(self, rows, p, q):
+        t = table_of(rows)
+        ab = algebra.select(algebra.select(t, p), q)
+        ba = algebra.select(algebra.select(t, q), p)
+        both = algebra.select(t, And(p, q))
+        assert ab.rows == both.rows
+        assert sorted(ba.rows) == sorted(ab.rows)
+
+    @given(rows=rows_strategy)
+    def test_projection_narrows_schema_keeps_cardinality(self, rows):
+        t = table_of(rows)
+        out = algebra.project(t, ["g", "x"])
+        assert len(out) == len(t)
+        assert out.schema.names == ("g", "x")
+
+    @given(rows=rows_strategy)
+    def test_distinct_idempotent(self, rows):
+        t = table_of(rows)
+        once = algebra.distinct(t)
+        twice = algebra.distinct(once)
+        assert once.rows == twice.rows
+        assert len({tuple(r) for r in t.rows}) == len(once)
+
+    @given(rows=rows_strategy, other=rows_strategy)
+    def test_join_lineage_is_union_of_sides(self, rows, other):
+        left = table_of(rows)
+        right = Table.from_rows(
+            "u",
+            make_schema(("g", ColumnType.STRING), ("z", ColumnType.INT)),
+            [(g, x) for g, x, _ in other],
+            provider="q",
+        )
+        out = algebra.join(left, right, [("g", "g")])
+        for i in range(len(out)):
+            lineage = out.lineage_of(i)
+            assert any(r.provider == "p" for r in lineage)
+            assert any(r.provider == "q" for r in lineage)
+
+    @given(rows=rows_strategy)
+    def test_aggregate_lineage_partitions_input(self, rows):
+        t = table_of(rows)
+        out = algebra.aggregate(
+            t, ["g"], [algebra.AggSpec("count", None, "n")]
+        )
+        union = set()
+        total = 0
+        for i in range(len(out)):
+            lineage = out.lineage_of(i)
+            assert not (union & lineage)  # groups are disjoint
+            union |= lineage
+            total += out.rows[i][out.schema.index_of("n")]
+        assert union == set(t.all_lineage())
+        assert total == len(t)
+
+    @given(rows=rows_strategy)
+    def test_derived_lineage_points_to_base(self, rows):
+        t = table_of(rows)
+        out = algebra.select(t, Comparison(">", Col("x"), Lit(0)))
+        valid = t.all_lineage()
+        for i in range(len(out)):
+            assert out.lineage_of(i) <= valid
+
+
+class TestAnonymityProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=30)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(["381a", "381b", "382a", "382b"]),
+                st.integers(min_value=1940, max_value=2000),
+                st.integers(min_value=0, max_value=1),
+            ),
+            min_size=10,
+            max_size=60,
+        ),
+        k=st.integers(min_value=2, max_value=5),
+    )
+    def test_mondrian_always_k_anonymous(self, rows, k):
+        schema = make_schema(
+            ("zip", ColumnType.STRING),
+            ("birth_year", ColumnType.INT),
+            ("flag", ColumnType.INT),
+        )
+        t = Table.from_rows("t", schema, rows, provider="p")
+        result = mondrian_anonymize(
+            t, [QuasiIdentifier("zip"), QuasiIdentifier("birth_year")], k
+        )
+        assert is_k_anonymous(result.table, ["zip", "birth_year"], k)
+        assert len(result.table) == len(t)
+        assert result.table.all_lineage() == t.all_lineage()
+
+
+class TestPseudonymProperties:
+    @given(values=st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=30))
+    def test_deterministic_and_injective_on_sample(self, values):
+        p = Pseudonymizer(salt="prop")
+        tokens = {v: p.pseudonym(v) for v in values}
+        # deterministic
+        assert all(p.pseudonym(v) == t for v, t in tokens.items())
+        # injective on the observed sample (collisions at 8 hex chars are
+        # astronomically unlikely at this scale)
+        assert len(set(tokens.values())) == len(set(values))
+        # escrow inverts
+        assert all(p.reidentify(t) == str(v) for v, t in tokens.items())
+
+
+class TestImplicationSoundness:
+    @given(
+        stronger=conjunction_strategy,
+        weaker=conjunction_strategy,
+        rows=rows_strategy,
+    )
+    def test_no_witness_when_certified(self, stronger, weaker, rows):
+        if not predicate_implies(stronger, weaker):
+            return
+        for g, x, y in rows:
+            row = {"g": g, "x": x, "y": y}
+            if stronger.evaluate(row):
+                assert weaker.evaluate(row), (
+                    f"implication unsound: {stronger} => {weaker} on {row}"
+                )
+
+
+class TestContainmentSoundness:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=40)
+    @given(
+        rows=rows_strategy,
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_certified_containment_holds_on_instances(self, rows, seed):
+        rng = random.Random(seed)
+        cat = Catalog()
+        cat.add_table(table_of(rows))
+
+        def random_query():
+            ops = ["<", "<=", ">", ">=", "=", "!="]
+            conjuncts = []
+            for _ in range(rng.randint(0, 2)):
+                conjuncts.append(
+                    f"{rng.choice(['x', 'y'])} {rng.choice(ops)} {rng.randint(-20, 20)}"
+                )
+            where = f" WHERE {' AND '.join(conjuncts)}" if conjuncts else ""
+            return parse_query(f"SELECT g, x FROM t{where}")
+
+        q1, q2 = random_query(), random_query()
+        if not is_contained(q1, q2, cat):
+            return
+        out1 = {tuple(r) for r in execute(q1, cat).rows}
+        out2 = {tuple(r) for r in execute(q2, cat).rows}
+        assert out1 <= out2

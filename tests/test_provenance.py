@@ -1,0 +1,145 @@
+"""Unit tests for lineage tracing, where-provenance, and provenance graphs."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance import (
+    CellOrigin,
+    DatasetNode,
+    ProvenanceGraph,
+    TransformNode,
+    base_footprint,
+    classify_cell,
+    rows_influenced_by,
+    trace_row,
+    where_of_cell,
+)
+from repro.relational import execute, parse_query
+from repro.relational.table import RowId
+
+
+class TestLineageTrace:
+    def test_trace_aggregate_row(self, paper_catalog):
+        out = execute(
+            parse_query("SELECT drug, COUNT(*) AS n FROM prescriptions GROUP BY drug"),
+            paper_catalog,
+        )
+        dr_index = [i for i in range(len(out)) if out.rows[i][0] == "DR"][0]
+        trace = trace_row(out, dr_index)
+        assert trace.contributor_count == 2
+        assert trace.relations() == (("hospital", "prescriptions"),)
+        assert "2 row(s)" in trace.describe()
+
+    def test_trace_join_row_spans_relations(self, paper_catalog):
+        out = execute(
+            parse_query(
+                "SELECT patient, cost FROM prescriptions JOIN drugcost ON drug = drug"
+            ),
+            paper_catalog,
+        )
+        trace = trace_row(out, 0)
+        assert ("hospital", "prescriptions") in trace.relations()
+        assert ("health_agency", "drugcost") in trace.relations()
+
+    def test_out_of_range_raises(self, prescriptions):
+        with pytest.raises(ProvenanceError):
+            trace_row(prescriptions, 99)
+
+    def test_rows_influenced_by(self, paper_catalog):
+        out = execute(
+            parse_query("SELECT drug, COUNT(*) AS n FROM prescriptions GROUP BY drug"),
+            paper_catalog,
+        )
+        alice_first = RowId("hospital", "prescriptions", 0)
+        influenced = rows_influenced_by(out, alice_first)
+        assert len(influenced) == 1
+        assert out.rows[influenced[0]][0] == "DH"
+
+    def test_base_footprint(self, paper_catalog):
+        out = execute(
+            parse_query(
+                "SELECT patient, cost FROM prescriptions JOIN drugcost ON drug = drug"
+            ),
+            paper_catalog,
+        )
+        footprint = base_footprint(out)
+        assert footprint[("hospital", "prescriptions")] == 5
+        assert footprint[("health_agency", "drugcost")] == 4  # DD never matched
+
+
+class TestWhereProvenance:
+    def test_copied_cell(self, paper_catalog):
+        out = execute(parse_query("SELECT patient FROM prescriptions"), paper_catalog)
+        refs = where_of_cell(out, 0, "patient")
+        assert len(refs) == 1
+        cell = classify_cell(out, 0, "patient")
+        assert cell.origin is CellOrigin.COPIED
+
+    def test_aggregate_cell_is_opaque_or_derived(self, paper_catalog):
+        out = execute(
+            parse_query("SELECT drug, COUNT(*) AS n FROM prescriptions GROUP BY drug"),
+            paper_catalog,
+        )
+        cell = classify_cell(out, 0, "n")
+        assert cell.origin is CellOrigin.OPAQUE  # COUNT(*) copies nothing
+
+    def test_merged_cell_after_distinct(self, paper_catalog):
+        out = execute(
+            parse_query("SELECT DISTINCT patient FROM prescriptions"), paper_catalog
+        )
+        alice = [i for i in range(len(out)) if out.rows[i][0] == "Alice"][0]
+        cell = classify_cell(out, alice, "patient")
+        assert cell.origin is CellOrigin.MERGED
+        assert len(cell.sources) == 2
+
+    def test_unknown_row_raises(self, prescriptions):
+        with pytest.raises(ProvenanceError):
+            where_of_cell(prescriptions, 50, "patient")
+
+
+class TestProvenanceGraph:
+    def _graph(self):
+        g = ProvenanceGraph()
+        src = DatasetNode("prescriptions", "source", owner="hospital")
+        stg = DatasetNode("stg_prescriptions", "staging", owner="hospital")
+        rpt = DatasetNode("drug_report", "report")
+        g.add_transform(TransformNode("extract", "extract"), [src], stg)
+        g.add_transform(TransformNode("aggregate", "aggregate"), [stg], rpt)
+        return g, src, rpt
+
+    def test_upstream_downstream(self):
+        g, src, rpt = self._graph()
+        ups = g.upstream_datasets("drug_report")
+        assert any(n.name == "prescriptions" for n in ups)
+        downs = g.downstream_datasets("prescriptions")
+        assert any(n.name == "drug_report" for n in downs)
+
+    def test_transformations_between(self):
+        g, _, _ = self._graph()
+        transforms = g.transformations_between("prescriptions", "drug_report")
+        assert [t.operation for t in transforms] == ["extract", "aggregate"]
+
+    def test_explain_mentions_sources_and_ops(self):
+        g, _, _ = self._graph()
+        text = g.explain("drug_report")
+        assert "source:prescriptions [hospital]" in text
+        assert "aggregate" in text
+
+    def test_owners_involved(self):
+        g, _, _ = self._graph()
+        assert g.owners_involved("drug_report") == frozenset({"hospital"})
+
+    def test_cycle_rejected(self):
+        g, src, rpt = self._graph()
+        with pytest.raises(ProvenanceError):
+            g.add_transform(TransformNode("loop", "copy"), [rpt], src)
+
+    def test_empty_inputs_rejected(self):
+        g = ProvenanceGraph()
+        with pytest.raises(ProvenanceError):
+            g.add_transform(TransformNode("x", "copy"), [], DatasetNode("d", "report"))
+
+    def test_unknown_dataset_raises(self):
+        g = ProvenanceGraph()
+        with pytest.raises(ProvenanceError):
+            g.dataset("nope")

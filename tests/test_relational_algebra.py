@@ -1,0 +1,208 @@
+"""Unit tests for the relational algebra operators and their provenance rules."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.relational import algebra
+from repro.relational.algebra import AggSpec
+from repro.relational.expressions import Arith, col, lit
+from repro.relational.table import RowId, Table, make_schema
+from repro.relational.types import ColumnType
+
+
+def presc():
+    schema = make_schema(
+        ("patient", ColumnType.STRING),
+        ("drug", ColumnType.STRING),
+        ("cost", ColumnType.INT),
+    )
+    return Table.from_rows(
+        "p",
+        schema,
+        [("Alice", "DH", 60), ("Bob", "DR", 10), ("Alice", "DR", 10)],
+        provider="h",
+    )
+
+
+def costs():
+    schema = make_schema(("drug", ColumnType.STRING), ("price", ColumnType.INT))
+    return Table.from_rows("c", schema, [("DH", 60), ("DR", 10)], provider="a")
+
+
+class TestSelect:
+    def test_filters_rows(self):
+        out = algebra.select(presc(), col("cost") > 20)
+        assert [r[0] for r in out.rows] == ["Alice"]
+
+    def test_keeps_provenance(self):
+        out = algebra.select(presc(), col("patient") == "Bob")
+        assert out.lineage_of(0) == frozenset([RowId("h", "p", 1)])
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(QueryError):
+            algebra.select(presc(), col("nope") > 1)
+
+
+class TestProject:
+    def test_plain_columns(self):
+        out = algebra.project(presc(), ["drug", "cost"])
+        assert out.schema.names == ("drug", "cost")
+
+    def test_computed_column_type_inference(self):
+        out = algebra.project(
+            presc(), ["patient", ("double_cost", Arith("*", col("cost"), lit(2)))]
+        )
+        assert out.schema.column("double_cost").ctype is ColumnType.INT
+        assert out.rows[0][1] == 120
+
+    def test_copy_keeps_where_provenance(self):
+        out = algebra.project(presc(), [("who", col("patient"))])
+        refs = out.provenance[0].where_of("who")
+        assert {r.column for r in refs} == {"patient"}
+
+    def test_computed_column_where_is_derived_union(self):
+        out = algebra.project(
+            presc(), [("x", Arith("+", col("cost"), lit(1)))]
+        )
+        refs = out.provenance[0].where_of("x")
+        assert {r.column for r in refs} == {"cost"}
+
+    def test_extend_keeps_existing(self):
+        out = algebra.extend(presc(), [("flag", col("cost") > 20)])
+        assert out.schema.names == ("patient", "drug", "cost", "flag")
+        assert out.rows[0][3] is True
+
+
+class TestRename:
+    def test_rename_columns_and_where(self):
+        out = algebra.rename(presc(), {"patient": "person"})
+        assert "person" in out.schema
+        refs = out.provenance[0].where_of("person")
+        assert {r.column for r in refs} == {"patient"}
+
+
+class TestJoin:
+    def test_inner_join_matches(self):
+        out = algebra.join(presc(), costs(), [("drug", "drug")])
+        assert len(out) == 3
+        # collision on "drug" gets qualified
+        assert "p.drug" in out.schema and "c.drug" in out.schema
+
+    def test_join_merges_lineage(self):
+        out = algebra.join(presc(), costs(), [("drug", "drug")])
+        providers = {r.provider for r in out.lineage_of(0)}
+        assert providers == {"h", "a"}
+
+    def test_left_join_keeps_unmatched(self):
+        extra = presc()
+        extra.insert(("Zed", "DX", 5))
+        out = algebra.join(extra, costs(), [("drug", "drug")], how="left")
+        assert len(out) == 4
+        zed = [r for r in out.rows if r[0] == "Zed"][0]
+        assert zed[-1] is None  # price is NULL
+
+    def test_null_keys_never_match(self):
+        left = presc()
+        left.insert((None, None, 1))
+        out = algebra.join(left, costs(), [("drug", "drug")])
+        assert len(out) == 3
+
+    def test_bad_join_type_rejected(self):
+        with pytest.raises(QueryError):
+            algebra.join(presc(), costs(), [("drug", "drug")], how="full")
+
+    def test_empty_on_rejected(self):
+        with pytest.raises(QueryError):
+            algebra.join(presc(), costs(), [])
+
+
+class TestUnionDistinct:
+    def test_union_concatenates(self):
+        out = algebra.union(presc(), presc())
+        assert len(out) == 6
+
+    def test_union_schema_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            algebra.union(presc(), costs())
+
+    def test_distinct_merges_duplicates_and_provenance(self):
+        doubled = algebra.union(presc(), presc())
+        out = algebra.distinct(doubled)
+        assert len(out) == 3
+        # each kept row's lineage unions both duplicates (same base ids here)
+        assert all(len(out.lineage_of(i)) == 1 for i in range(3))
+
+
+class TestAggregate:
+    def test_group_by_with_count_and_sum(self):
+        out = algebra.aggregate(
+            presc(),
+            ["patient"],
+            [AggSpec("count", None, "n"), AggSpec("sum", "cost", "total")],
+        )
+        by_patient = {r[0]: (r[1], r[2]) for r in out.rows}
+        assert by_patient == {"Alice": (2, 70), "Bob": (1, 10)}
+
+    def test_group_lineage_is_union_of_members(self):
+        out = algebra.aggregate(presc(), ["patient"], [AggSpec("count", None, "n")])
+        alice = [i for i in range(len(out)) if out.rows[i][0] == "Alice"][0]
+        assert len(out.lineage_of(alice)) == 2
+
+    def test_global_aggregate_on_empty_input(self):
+        empty = Table("e", presc().schema, provider="h")
+        out = algebra.aggregate(empty, [], [AggSpec("count", None, "n")])
+        assert out.rows == [(0,)]
+
+    def test_avg_min_max(self):
+        out = algebra.aggregate(
+            presc(),
+            [],
+            [
+                AggSpec("avg", "cost", "avg"),
+                AggSpec("min", "cost", "lo"),
+                AggSpec("max", "cost", "hi"),
+            ],
+        )
+        avg, lo, hi = out.rows[0]
+        assert (round(avg, 2), lo, hi) == (26.67, 10, 60)
+
+    def test_count_distinct(self):
+        out = algebra.aggregate(
+            presc(), [], [AggSpec("count", "drug", "kinds", distinct=True)]
+        )
+        assert out.rows[0][0] == 2
+
+    def test_sum_of_all_nulls_is_null(self):
+        schema = make_schema(("v", ColumnType.INT))
+        t = Table.from_rows("t", schema, [(None,), (None,)])
+        out = algebra.aggregate(t, [], [AggSpec("sum", "v", "s")])
+        assert out.rows[0][0] is None
+
+    def test_count_star_requires_count(self):
+        with pytest.raises(QueryError):
+            AggSpec("sum", None, "bad")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError):
+            AggSpec("median", "cost", "m")
+
+
+class TestOrderLimit:
+    def test_order_asc_desc(self):
+        out = algebra.order_by(presc(), [("cost", True), ("patient", False)])
+        assert [r[2] for r in out.rows] == [60, 10, 10]
+
+    def test_nulls_sort_last(self):
+        t = presc()
+        t.insert(("Nil", "DX", None))
+        out = algebra.order_by(t, [("cost", False)])
+        assert out.rows[-1][2] is None
+        out_desc = algebra.order_by(t, [("cost", True)])
+        assert out_desc.rows[-1][2] is None
+
+    def test_limit(self):
+        assert len(algebra.limit(presc(), 2)) == 2
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryError):
+            algebra.limit(presc(), -1)

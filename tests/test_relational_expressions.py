@@ -1,0 +1,160 @@
+"""Unit tests for the expression AST."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.expressions import (
+    Arith,
+    Col,
+    Comparison,
+    InList,
+    IsNull,
+    Lit,
+    Not,
+    col,
+    conjuncts,
+    lit,
+)
+
+
+ROW = {"age": 30, "name": "Ada", "score": None}
+
+
+class TestAtoms:
+    def test_col_evaluates(self):
+        assert col("age").evaluate(ROW) == 30
+
+    def test_col_missing_raises(self):
+        with pytest.raises(QueryError):
+            col("missing").evaluate(ROW)
+
+    def test_lit_evaluates(self):
+        assert lit(7).evaluate(ROW) == 7
+
+    def test_columns_sets(self):
+        expr = (col("age") > 10) & (col("name") == "Ada")
+        assert expr.columns() == frozenset({"age", "name"})
+
+
+class TestComparison:
+    def test_operators(self):
+        assert (col("age") > 10).evaluate(ROW)
+        assert (col("age") >= 30).evaluate(ROW)
+        assert (col("age") < 31).evaluate(ROW)
+        assert (col("age") <= 30).evaluate(ROW)
+        assert (col("age") == 30).evaluate(ROW)
+        assert (col("age") != 31).evaluate(ROW)
+
+    def test_null_comparisons_false(self):
+        assert not (col("score") > 0).evaluate(ROW)
+        assert not (col("score") == None).evaluate(ROW)  # noqa: E711
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(QueryError):
+            (col("name") > 10).evaluate(ROW)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("~~", Col("a"), Lit(1))
+
+
+class TestBoolean:
+    def test_and_or_not(self):
+        t = col("age") > 0
+        f = col("age") > 100
+        assert (t & t).evaluate(ROW)
+        assert not (t & f).evaluate(ROW)
+        assert (t | f).evaluate(ROW)
+        assert Not(f).evaluate(ROW)
+
+    def test_in_list(self):
+        assert InList(col("name"), ("Ada", "Bo")).evaluate(ROW)
+        assert not InList(col("name"), ("Bo",)).evaluate(ROW)
+
+    def test_in_list_null_is_false(self):
+        assert not InList(col("score"), (None, 1)).evaluate(ROW)
+
+    def test_is_null(self):
+        assert IsNull(col("score")).evaluate(ROW)
+        assert not IsNull(col("age")).evaluate(ROW)
+        assert IsNull(col("age"), negated=True).evaluate(ROW)
+
+
+class TestArith:
+    def test_basic_math(self):
+        assert Arith("+", col("age"), lit(5)).evaluate(ROW) == 35
+        assert Arith("*", col("age"), lit(2)).evaluate(ROW) == 60
+
+    def test_null_propagates(self):
+        assert Arith("+", col("score"), lit(1)).evaluate(ROW) is None
+
+    def test_division_by_zero_is_null(self):
+        assert Arith("/", col("age"), lit(0)).evaluate(ROW) is None
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(QueryError):
+            Arith("%", Col("a"), Lit(2))
+
+
+class TestSubstitute:
+    def test_substitute_renames_columns(self):
+        expr = (col("a") > 1) & InList(col("b"), (1, 2)) | IsNull(col("c"))
+        renamed = expr.substitute({"a": "x", "c": "z"})
+        assert renamed.columns() == frozenset({"x", "b", "z"})
+
+    def test_substitute_preserves_semantics(self):
+        expr = col("a") > 1
+        renamed = expr.substitute({"a": "x"})
+        assert renamed.evaluate({"x": 5})
+
+
+class TestStructuralEquality:
+    """Regression: ``Col.__eq__`` is the DSL's comparison builder, so
+    composite nodes define their own structural equality — two predicates
+    over *different columns* must never compare equal."""
+
+    def test_different_columns_not_equal(self):
+        from repro.relational import parse_expression as P
+
+        assert P("a > 1") != P("b > 1")
+        assert P("a IN (1, 2)") != P("b IN (1, 2)")
+        assert P("a IS NULL") != P("b IS NULL")
+        assert P("NOT a = 1") != P("NOT b = 1")
+        assert P("a + 1 > 2") != P("b + 1 > 2")
+        assert P("a > 1 AND c = 2") != P("b > 1 AND c = 2")
+        assert P("a > 1 OR c = 2") != P("b > 1 OR c = 2")
+
+    def test_identical_predicates_equal_and_hash_alike(self):
+        from repro.relational import parse_expression as P
+
+        left, right = P("a > 1 AND b IN (1, 2)"), P("a > 1 AND b IN (1, 2)")
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_queries_with_different_predicates_differ(self):
+        from repro.relational import parse_query
+
+        q1 = parse_query("SELECT x FROM t WHERE a > 1")
+        q2 = parse_query("SELECT x FROM t WHERE b > 1")
+        assert q1 != q2
+        assert q1 == parse_query("SELECT x FROM t WHERE a > 1")
+
+    def test_cross_type_comparison_is_unequal(self):
+        from repro.relational import parse_expression as P
+
+        assert P("a > 1") != P("a IS NULL")
+        assert P("a > 1") != "a > 1"
+
+
+class TestConjuncts:
+    def test_flattens_nested_ands(self):
+        expr = ((col("a") > 1) & (col("b") > 2)) & (col("c") > 3)
+        parts = list(conjuncts(expr))
+        assert len(parts) == 3
+
+    def test_or_is_single_conjunct(self):
+        expr = (col("a") > 1) | (col("b") > 2)
+        assert len(list(conjuncts(expr))) == 1
+
+    def test_none_yields_nothing(self):
+        assert list(conjuncts(None)) == []

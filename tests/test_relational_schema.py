@@ -1,0 +1,96 @@
+"""Unit tests for Schema and Column."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Column, Schema
+from repro.relational.types import ColumnType
+
+
+def simple_schema() -> Schema:
+    return Schema(
+        [
+            Column("a", ColumnType.INT, nullable=False),
+            Column("b", ColumnType.STRING),
+        ]
+    )
+
+
+class TestSchemaBasics:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("x", ColumnType.INT), Column("x", ColumnType.STRING)])
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.INT)
+
+    def test_names_and_len(self):
+        schema = simple_schema()
+        assert schema.names == ("a", "b")
+        assert len(schema) == 2
+
+    def test_contains(self):
+        schema = simple_schema()
+        assert "a" in schema and "z" not in schema
+
+    def test_column_lookup(self):
+        schema = simple_schema()
+        assert schema.column("a").ctype is ColumnType.INT
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_index_of(self):
+        schema = simple_schema()
+        assert schema.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+
+    def test_has_all(self):
+        schema = simple_schema()
+        assert schema.has_all(["a", "b"])
+        assert not schema.has_all(["a", "z"])
+
+
+class TestSchemaOperations:
+    def test_project_reorders(self):
+        schema = simple_schema().project(["b", "a"])
+        assert schema.names == ("b", "a")
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            simple_schema().project(["z"])
+
+    def test_rename(self):
+        schema = simple_schema().rename({"a": "alpha"})
+        assert schema.names == ("alpha", "b")
+        assert schema.column("alpha").nullable is False
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            simple_schema().rename({"z": "zeta"})
+
+    def test_concat_disjoint(self):
+        other = Schema([Column("c", ColumnType.FLOAT)])
+        combined = simple_schema().concat(other)
+        assert combined.names == ("a", "b", "c")
+
+    def test_concat_collision_without_qualifiers_raises(self):
+        with pytest.raises(SchemaError):
+            simple_schema().concat(simple_schema())
+
+    def test_concat_collision_with_qualifiers(self):
+        combined = simple_schema().concat(
+            simple_schema(), disambiguate=("l", "r")
+        )
+        assert combined.names == ("l.a", "l.b", "r.a", "r.b")
+
+    def test_as_nullable(self):
+        col = Column("a", ColumnType.INT, nullable=False)
+        assert col.as_nullable().nullable is True
+        nullable = Column("b", ColumnType.INT, nullable=True)
+        assert nullable.as_nullable() is nullable
+
+    def test_describe_mentions_types(self):
+        text = simple_schema().describe()
+        assert "a: int NOT NULL" in text and "b: string" in text

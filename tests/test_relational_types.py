@@ -1,0 +1,87 @@
+"""Unit tests for column types and coercion."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import ColumnType, check_value, coerce_value, parse_date
+
+
+class TestParseDate:
+    def test_iso_format(self):
+        assert parse_date("2007-02-12") == datetime.date(2007, 2, 12)
+
+    def test_paper_format(self):
+        # the figures write 12/02/2007 for 12 February 2007
+        assert parse_date("12/02/2007") == datetime.date(2007, 2, 12)
+
+    def test_garbage_raises(self):
+        with pytest.raises(TypeMismatchError):
+            parse_date("yesterday")
+
+
+class TestCoerce:
+    def test_none_passes_through(self):
+        assert coerce_value(None, ColumnType.INT) is None
+
+    def test_int_from_string(self):
+        assert coerce_value("42", ColumnType.INT) == 42
+
+    def test_int_from_whole_float(self):
+        assert coerce_value(42.0, ColumnType.INT) == 42
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(4.5, ColumnType.INT)
+
+    def test_float_widens_int(self):
+        value = coerce_value(3, ColumnType.FLOAT)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_from_string(self):
+        assert coerce_value("3.5", ColumnType.FLOAT) == 3.5
+
+    def test_string_rejects_number(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(7, ColumnType.STRING)
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(True, ColumnType.INT)
+
+    def test_bool_from_words(self):
+        assert coerce_value("yes", ColumnType.BOOL) is True
+        assert coerce_value("No", ColumnType.BOOL) is False
+
+    def test_bool_rejects_other_strings(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("maybe", ColumnType.BOOL)
+
+    def test_date_from_string_both_formats(self):
+        assert coerce_value("2008-04-15", ColumnType.DATE) == datetime.date(2008, 4, 15)
+        assert coerce_value("15/04/2008", ColumnType.DATE) == datetime.date(2008, 4, 15)
+
+    def test_date_from_datetime(self):
+        dt = datetime.datetime(2008, 4, 15, 13, 30)
+        assert coerce_value(dt, ColumnType.DATE) == datetime.date(2008, 4, 15)
+
+
+class TestCheckValue:
+    def test_null_in_non_nullable_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            check_value(None, ColumnType.STRING, nullable=False)
+
+    def test_null_in_nullable_ok(self):
+        check_value(None, ColumnType.STRING, nullable=True)
+
+    def test_bool_rejected_in_int_column(self):
+        with pytest.raises(TypeMismatchError):
+            check_value(True, ColumnType.INT)
+
+    def test_int_accepted_in_float_column(self):
+        check_value(3, ColumnType.FLOAT)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            check_value("hello", ColumnType.INT)

@@ -1,0 +1,205 @@
+"""Tests for retention enforcement and dispute resolution."""
+
+import datetime
+
+import pytest
+
+from repro.anonymize import Pseudonymizer
+from repro.audit import (
+    AuditLog,
+    Auditor,
+    DisputeResolver,
+    purge_expired,
+    retention_violations,
+)
+from repro.core import (
+    PLA,
+    AggregationThreshold,
+    ComplianceChecker,
+    MetaReport,
+    MetaReportSet,
+    PlaLevel,
+    PlaRegistry,
+)
+from repro.errors import ReproError
+from repro.policy import SubjectRegistry
+from repro.relational import Catalog, Query, Table, View, make_schema, parse_query
+from repro.relational.types import ColumnType
+from repro.reports import ReportCatalog, ReportDefinition, ReportEngine
+from repro.sources import ConsentAgreement, ConsentRegistry
+
+AS_OF = datetime.date(2008, 12, 31)
+
+
+@pytest.fixture
+def consents():
+    registry = ConsentRegistry()
+    registry.add(
+        ConsentAgreement("Alice", True, True, retention_days=30)
+    )
+    registry.add(ConsentAgreement("Bob", True, True, retention_days=10_000))
+    registry.add(ConsentAgreement("Chris", True, True))  # no limit
+    return registry
+
+
+@pytest.fixture
+def visits():
+    schema = make_schema(
+        ("patient", ColumnType.STRING), ("date", ColumnType.DATE)
+    )
+    return Table.from_rows(
+        "visits",
+        schema,
+        [
+            ("Alice", "2008-01-01"),  # way past 30 days by AS_OF
+            ("Alice", "2008-12-20"),  # within 30 days
+            ("Bob", "2007-01-01"),  # within 10000 days
+            ("Chris", "2000-01-01"),  # unlimited retention
+        ],
+        provider="hospital",
+    )
+
+
+class TestRetention:
+    def test_violations_found(self, visits, consents):
+        findings = retention_violations(
+            visits, consents,
+            subject_column="patient", date_column="date", as_of=AS_OF,
+        )
+        assert len(findings) == 1
+        assert findings[0].subject == "Alice"
+        assert findings[0].overdue_days > 300
+        assert "retention" in findings[0].describe()
+
+    def test_default_limit_applies_only_to_unlimited_consents(self, visits, consents):
+        findings = retention_violations(
+            visits, consents,
+            subject_column="patient", date_column="date", as_of=AS_OF,
+            default_days=365,
+        )
+        subjects = {f.subject for f in findings}
+        # Chris (no explicit limit) now falls under the 365-day default;
+        # Bob's explicit 10000-day consent overrides the default.
+        assert subjects == {"Alice", "Chris"}
+
+    def test_purge_expired(self, visits, consents):
+        purged, count = purge_expired(
+            visits, consents,
+            subject_column="patient", date_column="date", as_of=AS_OF,
+        )
+        assert count == 1
+        assert len(purged) == 3
+        remaining = retention_violations(
+            purged, consents,
+            subject_column="patient", date_column="date", as_of=AS_OF,
+        )
+        assert remaining == []
+
+    def test_unknown_subject_uses_default_consent(self, consents):
+        schema = make_schema(
+            ("patient", ColumnType.STRING), ("date", ColumnType.DATE)
+        )
+        t = Table.from_rows("t", schema, [("Ghost", "2000-01-01")])
+        findings = retention_violations(
+            t, consents,
+            subject_column="patient", date_column="date", as_of=AS_OF,
+            default_days=100,
+        )
+        assert len(findings) == 1
+
+    def test_null_subject_flagged_conservatively(self, consents):
+        schema = make_schema(
+            ("patient", ColumnType.STRING), ("date", ColumnType.DATE)
+        )
+        t = Table.from_rows("t", schema, [(None, "2008-12-30")])
+        assert retention_violations(
+            t, consents,
+            subject_column="patient", date_column="date", as_of=AS_OF,
+        ) == []
+        assert len(
+            retention_violations(
+                t, consents,
+                subject_column="patient", date_column="date", as_of=AS_OF,
+                default_days=30,
+            )
+        ) == 1
+
+
+class TestDisputes:
+    @pytest.fixture
+    def world(self):
+        cat = Catalog()
+        schema = make_schema(
+            ("patient", ColumnType.STRING),
+            ("drug", ColumnType.STRING),
+            ("cost", ColumnType.INT),
+        )
+        rows = [("Alice", "DR", 10), ("Bob", "DR", 10), ("Math", "DM", 10)]
+        cat.add_table(Table.from_rows("base", schema, rows, provider="hospital"))
+        cat.add_view(View("wide", Query.from_("base").project("patient", "drug", "cost")))
+        mrs = MetaReportSet()
+        mr = MetaReport("mr", Query.from_("wide").project("patient", "drug", "cost"))
+        registry = PlaRegistry()
+        pla = PLA("p", "hospital", PlaLevel.METAREPORT, "mr", (AggregationThreshold(2),))
+        registry.add(pla)
+        mr.attach_pla(registry.approve("p"))
+        mrs.add(mr)
+        mrs.register_views(cat)
+        checker = ComplianceChecker(catalog=cat, metareports=mrs)
+        subjects = SubjectRegistry()
+        subjects.purposes.declare("care")
+        subjects.add_role("analyst")
+        subjects.add_user("ann", "analyst")
+        reports = ReportCatalog()
+        report = ReportDefinition(
+            "by_drug", "t",
+            parse_query("SELECT drug, COUNT(*) AS n FROM wide GROUP BY drug"),
+            frozenset({"analyst"}), "care",
+        )
+        reports.add(report)
+        return cat, checker, subjects, reports, report
+
+    def _violating_log(self, cat, subjects, report):
+        rogue = ReportEngine(cat)
+        ctx = subjects.context("ann", "care")
+        log = AuditLog()
+        log.record_instance(rogue.generate(report, ctx), ctx)
+        return log
+
+    def test_case_bundle_contents(self, world):
+        cat, checker, subjects, reports, report = world
+        log = self._violating_log(cat, subjects, report)
+        audit = Auditor(checker=checker, reports=reports).audit(log)
+        assert audit.violations
+        resolver = DisputeResolver(checker=checker, reports=reports)
+        case = resolver.build_case(audit.violations[0], log)
+        assert case.disclosure.report == "by_drug"
+        assert "GROUP BY drug" in case.report_definition
+        assert "aggregates must combine" in case.governing_pla
+        assert case.derivability_trail  # at least the covering attempt
+        assert "DISPUTE CASE" in case.describe()
+        assert resolver.cases() == (case,)
+
+    def test_escrow_reidentification(self, world):
+        cat, checker, subjects, reports, report = world
+        log = self._violating_log(cat, subjects, report)
+        audit = Auditor(checker=checker, reports=reports).audit(log)
+        pseudonymizer = Pseudonymizer(salt="s")
+        token = pseudonymizer.pseudonym("Alice")
+        resolver = DisputeResolver(
+            checker=checker, reports=reports, pseudonymizer=pseudonymizer
+        )
+        case = resolver.build_case(
+            audit.violations[0], log, disputed_tokens=(token, "anon-deadbeef")
+        )
+        assert case.reidentified_subjects[0] == "Alice"
+        assert "unknown token" in case.reidentified_subjects[1]
+
+    def test_missing_disclosure_raises(self, world):
+        cat, checker, subjects, reports, report = world
+        from repro.audit import Severity, Violation
+
+        resolver = DisputeResolver(checker=checker, reports=reports)
+        ghost = Violation(Severity.CRITICAL, "x", "by_drug", 99, "no such record")
+        with pytest.raises(ReproError):
+            resolver.build_case(ghost, AuditLog())

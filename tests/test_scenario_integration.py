@@ -1,0 +1,165 @@
+"""End-to-end integration tests over the full Fig-1 scenario."""
+
+import pytest
+
+from repro.audit import AuditLog, Auditor
+from repro.core import PlaStatus
+from repro.reports import ReportEngine
+
+
+ROLE_TO_USER = {
+    "analyst": "ann",
+    "auditor": "aldo",
+    "health_director": "dora",
+    "municipality_official": "mara",
+}
+
+
+def context_for(scenario, report):
+    role = sorted(report.audience)[0]
+    return scenario.subjects.context(ROLE_TO_USER[role], report.purpose)
+
+
+class TestScenarioConstruction:
+    def test_providers_present(self, scenario):
+        assert set(scenario.providers) == {
+            "hospital", "municipality", "laboratory", "health_agency",
+        }
+
+    def test_etl_flow_ran_clean(self, scenario):
+        assert scenario.flow_result.clean
+        assert "dwh_prescriptions" in scenario.bi_catalog
+
+    def test_warehouse_wide_view_registered(self, scenario):
+        assert scenario.universe_name in scenario.bi_catalog
+        assert set(scenario.wide_columns) >= {"drug", "disease", "patient", "cost"}
+
+    def test_integration_filled_missing_doctors(self, scenario):
+        wide = scenario.bi_catalog.table("dwh_prescriptions")
+        assert all(v is not None for v in wide.column_values("doctor"))
+
+    def test_warehouse_lineage_reaches_sources(self, scenario):
+        wide = scenario.bi_catalog.table("dwh_prescriptions")
+        providers = {rid.provider for rid in wide.all_lineage()}
+        assert {"hospital", "municipality", "health_agency"} <= providers
+
+    def test_metareports_approved(self, scenario):
+        assert len(scenario.metareports) == scenario.config.max_metareports
+        assert all(m.approved for m in scenario.metareports)
+        assert all(
+            m.pla is not None and m.pla.status is PlaStatus.APPROVED
+            for m in scenario.metareports
+        )
+
+    def test_workload_mostly_covered(self, scenario):
+        verdicts = scenario.checker.check_catalog(
+            scenario.report_catalog.all_current()
+        )
+        covered = sum(
+            1 for v in verdicts.values() if v.covering_metareport is not None
+        )
+        assert covered == len(verdicts)  # every report derivable from some MR
+
+    def test_provenance_graph_explains_warehouse(self, scenario):
+        text = scenario.provenance.explain("dwh_prescriptions")
+        assert "hospital" in text and "integrate" in text
+
+
+class TestEndToEndDelivery:
+    def test_compliant_reports_generate_and_audit_clean(self, scenario):
+        verdicts = scenario.checker.check_catalog(
+            scenario.report_catalog.all_current()
+        )
+        log = AuditLog()
+        generated = 0
+        for name, verdict in verdicts.items():
+            if not verdict.compliant:
+                continue
+            report = scenario.report_catalog.current(name)
+            ctx = context_for(scenario, report)
+            instance = scenario.enforcer.generate(report, ctx, verdict)
+            log.record_instance(instance, ctx)
+            generated += 1
+        assert generated >= 10
+        audit = Auditor(
+            checker=scenario.checker, reports=scenario.report_catalog
+        ).audit(log)
+        assert audit.chain_intact
+        assert audit.clean, audit.summary()
+
+    def test_no_hiv_rows_in_any_delivered_report(self, scenario):
+        """The intensional PLA: HIV rows never reach a consumer."""
+        verdicts = scenario.checker.check_catalog(
+            scenario.report_catalog.all_current()
+        )
+        for name, verdict in verdicts.items():
+            if not verdict.compliant:
+                continue
+            report = scenario.report_catalog.current(name)
+            instance = scenario.enforcer.generate(
+                report, context_for(scenario, report), verdict
+            )
+            if "disease" in instance.table.schema:
+                assert "HIV" not in instance.table.column_values("disease")
+
+    def test_aggregation_threshold_holds_in_deliveries(self, scenario):
+        k = scenario.config.aggregation_threshold
+        verdicts = scenario.checker.check_catalog(
+            scenario.report_catalog.all_current()
+        )
+        checked = 0
+        for name, verdict in verdicts.items():
+            report = scenario.report_catalog.current(name)
+            if not verdict.compliant or not report.query.is_aggregate:
+                continue
+            instance = scenario.enforcer.generate(
+                report, context_for(scenario, report), verdict
+            )
+            for i in range(len(instance.table)):
+                assert len(instance.table.lineage_of(i)) >= k
+            checked += 1
+        assert checked >= 5
+
+    def test_patient_columns_are_pseudonymized(self, scenario):
+        """A compliant patient-level aggregate must deliver pseudonyms only."""
+        from repro.relational import parse_query
+        from repro.reports import ReportDefinition
+
+        report = ReportDefinition(
+            name="per_patient_probe",
+            title="Prescriptions per patient",
+            query=parse_query(
+                f"SELECT patient, COUNT(*) AS n FROM {scenario.universe_name} "
+                "GROUP BY patient"
+            ),
+            audience=frozenset({"analyst"}),
+            purpose="care/quality",
+        )
+        verdict = scenario.checker.check_report(report)
+        assert verdict.compliant, verdict.summary()
+        instance = scenario.enforcer.generate(
+            report, scenario.subjects.context("ann", "care/quality"), verdict
+        )
+        assert len(instance.table) > 0
+        for value in instance.table.column_values("patient"):
+            assert str(value).startswith("anon-")
+
+    def test_rogue_delivery_is_caught_by_audit(self, scenario):
+        """Skipping enforcement must be detectable from the log alone."""
+        rogue = ReportEngine(scenario.bi_catalog)
+        log = AuditLog()
+        for report in scenario.report_catalog.all_current():
+            if not report.query.is_aggregate:
+                continue
+            ctx = context_for(scenario, report)
+            try:
+                instance = rogue.generate(report, ctx)
+            except Exception:
+                continue
+            log.record_instance(instance, ctx)
+            break
+        assert len(log) == 1
+        audit = Auditor(
+            checker=scenario.checker, reports=scenario.report_catalog
+        ).audit(log)
+        assert not audit.clean

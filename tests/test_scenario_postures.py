@@ -1,0 +1,95 @@
+"""Tests for scenario configuration variants, including the §3 trust postures."""
+
+import pytest
+
+from repro.simulation import ScenarioConfig, build_scenario
+from repro.sources import TrustPosture
+from repro.workloads import HealthcareConfig
+
+
+@pytest.fixture(scope="module")
+def enforced_scenario():
+    return build_scenario(ScenarioConfig(source_enforces=True))
+
+
+class TestSourceEnforcesPosture:
+    def test_posture_recorded(self, enforced_scenario):
+        assert (
+            enforced_scenario.providers["hospital"].posture
+            is TrustPosture.SOURCE_ENFORCES
+        )
+
+    def test_no_hiv_rows_reach_the_warehouse(self, enforced_scenario):
+        wide = enforced_scenario.bi_catalog.table("dwh_prescriptions")
+        assert "HIV" not in wide.column_values("disease")
+
+    def test_unconsenting_names_pseudonymized_before_bi(self, enforced_scenario):
+        wide = enforced_scenario.bi_catalog.table("dwh_prescriptions")
+        consents = enforced_scenario.providers["hospital"].consents
+        raw_patients = set(enforced_scenario.data.patients)
+        for value in wide.distinct_values("patient"):
+            if value in raw_patients:
+                assert consents.for_patient(value).show_name
+
+    def test_integration_degrades_measurably(self, enforced_scenario):
+        """Pseudonymized patients cannot be joined with the municipality
+        registry — the §3 cost of source-side anonymization."""
+        wide = enforced_scenario.bi_catalog.table("dwh_prescriptions")
+        null_zip = sum(1 for v in wide.column_values("zip") if v is None)
+        assert null_zip > 0
+        # Exactly the pseudonymized rows lack demographics:
+        anon_rows = sum(
+            1
+            for row in wide.iter_dicts()
+            if str(row["patient"]).startswith("anon-")
+        )
+        assert null_zip == anon_rows
+
+    def test_gateway_intake_ledger_populated(self, enforced_scenario):
+        records = enforced_scenario.staging.intake
+        assert records and records[0].gateway_report is not None
+        assert records[0].gateway_report.cells_pseudonymized > 0
+
+    def test_workload_still_checkable(self, enforced_scenario):
+        verdicts = enforced_scenario.checker.check_catalog(
+            enforced_scenario.report_catalog.all_current()
+        )
+        assert any(v.compliant for v in verdicts.values())
+
+
+class TestConfigVariants:
+    def test_small_scenario_builds(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                healthcare=HealthcareConfig(
+                    n_patients=40, n_prescriptions=150, n_exams=50, seed=2
+                ),
+                n_reports=10,
+                max_metareports=2,
+                seed=3,
+            )
+        )
+        assert len(scenario.workload) == 10
+        assert len(scenario.metareports) <= 2
+        assert scenario.flow_result.clean
+
+    def test_threshold_config_propagates(self):
+        scenario = build_scenario(ScenarioConfig(aggregation_threshold=9))
+        from repro.core import AggregationThreshold
+
+        for metareport in scenario.metareports:
+            assert metareport.pla is not None
+            thresholds = [
+                a
+                for a in metareport.pla.annotations
+                if isinstance(a, AggregationThreshold)
+            ]
+            assert thresholds and thresholds[0].min_group_size == 9
+
+    def test_deterministic_build(self):
+        a = build_scenario(ScenarioConfig(seed=5))
+        b = build_scenario(ScenarioConfig(seed=5))
+        assert [r.name for r in a.workload] == [r.name for r in b.workload]
+        assert a.bi_catalog.table("dwh_prescriptions").rows == b.bi_catalog.table(
+            "dwh_prescriptions"
+        ).rows

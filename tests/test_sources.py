@@ -1,0 +1,210 @@
+"""Unit tests for providers, consents, and the source gateway (Fig 2)."""
+
+import pytest
+
+from repro.errors import CatalogError, EnforcementError, PolicyError
+from repro.anonymize import Pseudonymizer, QuasiIdentifier, is_k_anonymous
+from repro.policy import IntensionalAssociation, SubjectRegistry
+from repro.relational import parse_expression
+from repro.sources import (
+    CellPolicy,
+    ConsentAgreement,
+    ConsentRegistry,
+    DataProvider,
+    ProviderKind,
+    SourceGateway,
+    TrustPosture,
+)
+from repro.workloads import healthcare
+
+
+@pytest.fixture
+def subjects():
+    reg = SubjectRegistry()
+    reg.purposes.declare("care/quality")
+    reg.purposes.declare("research")
+    reg.add_role("analyst")
+    reg.add_user("ann", "analyst")
+    return reg
+
+
+@pytest.fixture
+def hospital(prescriptions, policies):
+    provider = DataProvider("hospital", ProviderKind.HOSPITAL)
+    provider.add_table(prescriptions)
+    provider.consents = ConsentRegistry.from_policies_table(policies)
+    return provider
+
+
+class TestConsents:
+    def test_from_policies_table_roundtrip(self, policies):
+        registry = ConsentRegistry.from_policies_table(policies)
+        assert len(registry) == 4
+        assert registry.for_patient("Alice").show_name is True
+        assert registry.for_patient("Alice").show_disease is False
+        back = registry.to_policies_table()
+        assert len(back) == 4
+
+    def test_default_is_deny(self):
+        registry = ConsentRegistry()
+        consent = registry.for_patient("Unknown")
+        assert not consent.show_name and not consent.show_disease
+
+    def test_duplicate_consent_rejected(self):
+        registry = ConsentRegistry()
+        registry.add(ConsentAgreement("Alice", True, True))
+        with pytest.raises(PolicyError):
+            registry.add(ConsentAgreement("Alice", False, False))
+
+    def test_purpose_prefix_semantics(self):
+        consent = ConsentAgreement(
+            "Alice", True, True, allowed_purposes=frozenset({"care"})
+        )
+        assert consent.permits_purpose("care")
+        assert consent.permits_purpose("care/quality")
+        assert not consent.permits_purpose("research")
+
+    def test_empty_purposes_means_any(self):
+        consent = ConsentAgreement("Alice", True, True)
+        assert consent.permits_purpose("anything")
+
+
+class TestProvider:
+    def test_table_provider_tag_enforced(self, prescriptions):
+        provider = DataProvider("clinic", ProviderKind.HOSPITAL)
+        with pytest.raises(CatalogError):
+            provider.add_table(prescriptions)  # tagged "hospital"
+
+    def test_posture_for_skill(self):
+        assert DataProvider.posture_for_skill(0.2) is TrustPosture.SOURCE_ENFORCES
+        assert DataProvider.posture_for_skill(0.9) is TrustPosture.BI_ENFORCES
+
+    def test_describe(self, hospital):
+        text = hospital.describe()
+        assert "hospital" in text and "prescriptions" in text
+
+
+class TestGateway:
+    def test_pseudonymizes_when_consent_denies_name(self, hospital, subjects):
+        gateway = SourceGateway(
+            hospital, pseudonymizer=Pseudonymizer(salt="s")
+        )
+        gateway.add_cell_policy(CellPolicy("patient", "show_name"))
+        ctx = subjects.context("ann", "care/quality")
+        out, report = gateway.export_table("prescriptions", ctx)
+        # Math denies show_name; Chris/Alice/Bob allow it
+        values = out.column_values("patient")
+        assert "Math" not in values
+        assert any(str(v).startswith("anon-") for v in values)
+        assert report.cells_pseudonymized >= 1
+
+    def test_suppresses_disease_per_consent(self, hospital, subjects):
+        gateway = SourceGateway(hospital)
+        gateway.add_cell_policy(
+            CellPolicy("disease", "show_disease", action="suppress")
+        )
+        ctx = subjects.context("ann", "care/quality")
+        out, report = gateway.export_table("prescriptions", ctx)
+        by_patient = {}
+        for row in out.iter_dicts():
+            by_patient.setdefault(row["patient"], row["disease"])
+        assert by_patient["Chris"] == "HIV"  # Chris consented to show_disease
+        assert by_patient["Alice"] is None
+        assert report.cells_suppressed >= 1
+
+    def test_intensional_deny_row(self, hospital, subjects):
+        hospital.metadata.add(
+            IntensionalAssociation(
+                "hiv-deny",
+                "prescriptions",
+                parse_expression("disease = 'HIV'"),
+                {"deny_row": True},
+            )
+        )
+        gateway = SourceGateway(hospital)
+        ctx = subjects.context("ann", "care/quality")
+        out, report = gateway.export_table("prescriptions", ctx)
+        assert report.rows_dropped_intensional == 2
+        assert "HIV" not in out.column_values("disease")
+
+    def test_intensional_mask_columns(self, hospital, subjects):
+        hospital.metadata.add(
+            IntensionalAssociation(
+                "hiv-mask",
+                "prescriptions",
+                parse_expression("disease = 'HIV'"),
+                {"mask_columns": ("doctor",)},
+            )
+        )
+        gateway = SourceGateway(hospital)
+        ctx = subjects.context("ann", "care/quality")
+        out, _ = gateway.export_table("prescriptions", ctx)
+        hiv_rows = [r for r in out.iter_dicts() if r["disease"] == "HIV"]
+        assert all(r["doctor"] is None for r in hiv_rows)
+
+    def test_purpose_enforcement_drops_rows(self, hospital, subjects):
+        hospital.consents = ConsentRegistry()
+        hospital.consents.add(
+            ConsentAgreement(
+                "Alice", True, True, allowed_purposes=frozenset({"care"})
+            )
+        )
+        hospital.consents.default = ConsentAgreement(
+            "<default>", False, False, allowed_purposes=frozenset({"care"})
+        )
+        gateway = SourceGateway(hospital)
+        gateway.add_cell_policy(CellPolicy("patient", "show_name", action="suppress"))
+        ctx = subjects.context("ann", "research")
+        out, report = gateway.export_table("prescriptions", ctx)
+        assert report.rows_dropped_purpose == 5
+        assert len(out) == 0
+
+    def test_missing_pseudonymizer_raises(self, hospital, subjects):
+        gateway = SourceGateway(hospital)
+        gateway.add_cell_policy(CellPolicy("patient", "show_name"))
+        ctx = subjects.context("ann", "care/quality")
+        with pytest.raises(EnforcementError):
+            gateway.export_table("prescriptions", ctx)
+
+    def test_k_anonymization_pass(self, subjects):
+        data = healthcare.generate(
+            healthcare.HealthcareConfig(n_patients=100, n_prescriptions=0, n_exams=0)
+        )
+        municipality = DataProvider("municipality", ProviderKind.MUNICIPALITY)
+        municipality.add_table(data.residents)
+        gateway = SourceGateway(municipality, enforce_purpose=False)
+        gateway.require_k_anonymity(
+            [QuasiIdentifier("zip"), QuasiIdentifier("birth_year")], k=5
+        )
+        ctx = subjects.context("ann", "care/quality")
+        out, report = gateway.export_table("residents", ctx)
+        assert report.k_anonymized
+        assert is_k_anonymous(out, ["zip", "birth_year"], 5)
+
+    def test_invalid_cell_action_rejected(self):
+        with pytest.raises(EnforcementError):
+            CellPolicy("patient", "show_name", action="shred")
+
+    def test_l_diversity_pass(self, subjects):
+        from repro.anonymize import is_l_diverse
+
+        data = healthcare.generate(
+            healthcare.HealthcareConfig(n_patients=120, n_prescriptions=0, n_exams=0)
+        )
+        municipality = DataProvider("municipality", ProviderKind.MUNICIPALITY)
+        municipality.add_table(data.residents)
+        gateway = SourceGateway(municipality, enforce_purpose=False)
+        gateway.require_k_anonymity(
+            [QuasiIdentifier("zip"), QuasiIdentifier("birth_year")], k=3
+        )
+        gateway.require_l_diversity("gender", 2)
+        ctx = subjects.context("ann", "care/quality")
+        out, report = gateway.export_table("residents", ctx)
+        assert report.k_anonymized
+        assert is_k_anonymous(out, ["zip", "birth_year"], 3)
+        assert is_l_diverse(out, ["zip", "birth_year"], "gender", 2).satisfied
+
+    def test_l_diversity_requires_k_anonymity(self, hospital):
+        gateway = SourceGateway(hospital)
+        with pytest.raises(EnforcementError):
+            gateway.require_l_diversity("disease", 2)

@@ -1,0 +1,134 @@
+"""Unit tests for the SQL-subset parser."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational.algebra import AggSpec
+from repro.relational.expressions import Comparison, InList, IsNull, Not
+from repro.relational.sqlparser import parse_expression, parse_query
+
+
+class TestQueries:
+    def test_select_star(self):
+        q = parse_query("SELECT * FROM t")
+        assert q.source == "t" and not q.select
+
+    def test_select_columns_and_aliases(self):
+        q = parse_query("SELECT a, b AS bee FROM t")
+        assert q.output_names() == ("a", "bee")
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT a FROM t").select_distinct
+
+    def test_joins(self):
+        q = parse_query(
+            "SELECT a FROM t JOIN u ON x = y LEFT JOIN v ON p = q AND r = s"
+        )
+        assert q.joins[0].how == "inner" and q.joins[0].on == (("x", "y"),)
+        assert q.joins[1].how == "left" and len(q.joins[1].on) == 2
+
+    def test_where_group_having_order_limit(self):
+        q = parse_query(
+            "SELECT drug, COUNT(*) AS n FROM t WHERE cost > 10 "
+            "GROUP BY drug HAVING n > 1 ORDER BY n DESC, drug LIMIT 3"
+        )
+        assert q.where is not None
+        assert q.group_by == ("drug",)
+        assert q.aggregates == (AggSpec("count", None, "n"),)
+        assert q.having is not None
+        assert q.order == (("n", True), ("drug", False))
+        assert q.limit_n == 3
+
+    def test_aggregates_all_functions(self):
+        q = parse_query(
+            "SELECT COUNT(*) AS c, SUM(x) AS s, AVG(x) AS a, MIN(x) AS lo, MAX(x) AS hi FROM t"
+        )
+        assert [spec.func for spec in q.aggregates] == ["count", "sum", "avg", "min", "max"]
+
+    def test_count_distinct(self):
+        q = parse_query("SELECT COUNT(DISTINCT drug) AS kinds FROM t")
+        assert q.aggregates[0].distinct
+
+    def test_default_aggregate_alias(self):
+        q = parse_query("SELECT SUM(cost) FROM t")
+        assert q.aggregates[0].alias == "sum_cost"
+
+    def test_computed_select_item(self):
+        q = parse_query("SELECT cost * 2 AS double FROM t")
+        assert q.output_names() == ("double",)
+
+    def test_qualified_column_names(self):
+        q = parse_query("SELECT t.a FROM t JOIN u ON t.a = u.b")
+        assert q.joins[0].on == (("t.a", "u.b"),)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM t extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a")
+
+
+class TestExpressions:
+    def test_comparisons_and_precedence(self):
+        expr = parse_expression("a > 1 AND b = 'x' OR NOT c < 2")
+        # OR binds loosest: (a>1 AND b='x') OR (NOT c<2)
+        assert expr.evaluate({"a": 0, "b": "y", "c": 5})
+
+    def test_ne_spelled_both_ways(self):
+        assert isinstance(parse_expression("a != 1"), Comparison)
+        assert isinstance(parse_expression("a <> 1"), Comparison)
+
+    def test_in_list(self):
+        expr = parse_expression("drug IN ('DH', 'DV')")
+        assert isinstance(expr, InList)
+        assert expr.evaluate({"drug": "DH"})
+
+    def test_is_null_and_not_null(self):
+        assert isinstance(parse_expression("a IS NULL"), IsNull)
+        expr = parse_expression("a IS NOT NULL")
+        assert expr.evaluate({"a": 1})
+
+    def test_not(self):
+        assert isinstance(parse_expression("NOT a = 1"), Not)
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.evaluate({}) == 7
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.evaluate({}) == 9
+
+    def test_unary_minus(self):
+        assert parse_expression("-5 + 1").evaluate({}) == -4
+
+    def test_string_escaping(self):
+        expr = parse_expression("name = 'O''Hara'")
+        assert expr.evaluate({"name": "O'Hara"})
+
+    def test_date_literal(self):
+        expr = parse_expression("d >= DATE '2007-01-01'")
+        assert expr.evaluate({"d": datetime.date(2007, 6, 1)})
+
+    def test_booleans_and_null_literals(self):
+        assert parse_expression("flag = true").evaluate({"flag": True})
+        assert not parse_expression("a = NULL").evaluate({"a": 1})
+
+    def test_float_literals(self):
+        assert parse_expression("x > 1.5").evaluate({"x": 2.0})
+
+    def test_negative_in_list(self):
+        expr = parse_expression("x IN (-1, -2)")
+        assert expr.evaluate({"x": -2})
+
+    def test_tokenizer_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a ?? b")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a = 1 b")

@@ -1,0 +1,106 @@
+"""Tests for data-subject access reports."""
+
+import pytest
+
+from repro.audit import subject_access_report, subject_row_ids
+
+ROLE_TO_USER = {
+    "analyst": "ann",
+    "auditor": "aldo",
+    "health_director": "dora",
+    "municipality_official": "mara",
+}
+
+
+@pytest.fixture(scope="module")
+def deliveries(scenario):
+    instances = []
+    verdicts = scenario.checker.check_catalog(scenario.report_catalog.all_current())
+    for name, verdict in sorted(verdicts.items()):
+        if not verdict.compliant:
+            continue
+        report = scenario.report_catalog.current(name)
+        role = sorted(report.audience)[0]
+        context = scenario.subjects.context(ROLE_TO_USER[role], report.purpose)
+        instances.append(scenario.enforcer.generate(report, context, verdict))
+    return instances
+
+
+class TestSubjectRowIds:
+    def test_finds_records_across_providers(self, scenario):
+        providers = list(scenario.providers.values())
+        subject = scenario.data.patients[0]
+        row_ids = subject_row_ids(providers, subject)
+        tables = {(r.provider, r.table) for r in row_ids}
+        # The first (Zipf-favored) patient appears in several holdings.
+        assert ("municipality", "familydoctor") in tables
+        assert ("municipality", "residents") in tables
+        assert any(p == "hospital" for p, _ in tables)
+
+    def test_unknown_subject_empty(self, scenario):
+        assert subject_row_ids(list(scenario.providers.values()), "Nobody") == frozenset()
+
+
+class TestAccessReport:
+    def test_popular_patient_is_involved(self, scenario, deliveries):
+        subject = scenario.data.patients[0]  # Zipf head: in many rows
+        report = subject_access_report(
+            subject, list(scenario.providers.values()), deliveries
+        )
+        assert report.base_records > 0
+        assert report.involved_anywhere
+        text = report.describe()
+        assert subject in text and "delivery(ies) involved" in text
+        for involvement in report.involvements:
+            assert involvement.records_used >= 1
+            assert involvement.rows_involving_subject
+
+    def test_involvement_matches_lineage_ground_truth(self, scenario, deliveries):
+        subject = scenario.data.patients[0]
+        providers = list(scenario.providers.values())
+        row_ids = subject_row_ids(providers, subject)
+        report = subject_access_report(subject, providers, deliveries)
+        by_name = {
+            (i.report, i.consumer): set(i.rows_involving_subject)
+            for i in report.involvements
+        }
+        for instance in deliveries:
+            expected = {
+                i
+                for i in range(len(instance.table))
+                if instance.table.lineage_of(i) & row_ids
+            }
+            got = by_name.get((instance.definition.name, instance.consumer), set())
+            assert got == expected
+
+    def test_unknown_subject_not_involved(self, scenario, deliveries):
+        report = subject_access_report(
+            "Nobody", list(scenario.providers.values()), deliveries
+        )
+        assert not report.involved_anywhere
+        assert report.base_records == 0
+
+    def test_hiv_patient_rows_never_delivered(self, scenario, deliveries):
+        """An HIV-only patient's prescription rows must reach no report
+        (the intensional PLA drops them before aggregation)."""
+        hiv_patients = {
+            row["patient"]
+            for row in scenario.data.prescriptions.iter_dicts()
+            if row["disease"] == "HIV"
+        }
+        only_hiv = [
+            p
+            for p in hiv_patients
+            if all(
+                row["disease"] == "HIV"
+                for row in scenario.data.prescriptions.iter_dicts()
+                if row["patient"] == p
+            )
+        ]
+        if not only_hiv:
+            pytest.skip("no HIV-only patient in this seed")
+        subject = only_hiv[0]
+        providers = [scenario.providers["hospital"]]
+        report = subject_access_report(subject, providers, deliveries)
+        # Their prescription records contribute to nothing delivered.
+        assert not report.involved_anywhere

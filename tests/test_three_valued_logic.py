@@ -1,0 +1,106 @@
+"""SQL three-valued logic: the NULL semantics privacy conditions rely on."""
+
+import pytest
+
+from repro.relational import Table, execute, make_schema, parse_expression, parse_query
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import col, lit
+from repro.relational.types import ColumnType
+
+ROW_NULL = {"disease": None, "cost": None, "flag": None}
+ROW_HIV = {"disease": "HIV", "cost": 10, "flag": True}
+ROW_OK = {"disease": "asthma", "cost": 10, "flag": False}
+
+
+class TestKleeneTables:
+    def test_comparison_with_null_is_unknown(self):
+        assert (col("disease") == "HIV").evaluate(ROW_NULL) is None
+        assert (col("disease") != "HIV").evaluate(ROW_NULL) is None
+        assert (col("cost") > 5).evaluate(ROW_NULL) is None
+
+    def test_not_propagates_unknown(self):
+        expr = ~(col("disease") == "HIV")
+        assert expr.evaluate(ROW_NULL) is None
+        assert expr.evaluate(ROW_HIV) is False
+        assert expr.evaluate(ROW_OK) is True
+
+    def test_and_truth_table(self):
+        unknown = col("disease") == "HIV"  # UNKNOWN on ROW_NULL
+        assert (lit(False) & unknown).evaluate(ROW_NULL) is False
+        assert (unknown & lit(False)).evaluate(ROW_NULL) is False
+        assert (lit(True) & unknown).evaluate(ROW_NULL) is None
+        assert (unknown & unknown).evaluate(ROW_NULL) is None
+        assert (lit(True) & lit(True)).evaluate(ROW_NULL) is True
+
+    def test_or_truth_table(self):
+        assert (lit(True) | (col("disease") == "HIV")).evaluate(ROW_NULL) is True
+        assert (lit(False) | (col("disease") == "HIV")).evaluate(ROW_NULL) is None
+        assert (lit(False) | lit(False)).evaluate(ROW_NULL) is False
+
+    def test_in_list_null_is_unknown(self):
+        assert parse_expression("disease IN ('HIV', 'flu')").evaluate(ROW_NULL) is None
+
+    def test_is_null_is_boolean(self):
+        assert parse_expression("disease IS NULL").evaluate(ROW_NULL) is True
+        assert parse_expression("disease IS NOT NULL").evaluate(ROW_NULL) is False
+
+
+class TestPrivacyPolarity:
+    """UNKNOWN must never disclose: both spellings of the HIV rule hide
+    rows with an unrecorded disease."""
+
+    @pytest.fixture
+    def catalog(self):
+        schema = make_schema(
+            ("patient", ColumnType.STRING),
+            ("disease", ColumnType.STRING),
+        )
+        table = Table.from_rows(
+            "t",
+            schema,
+            [("Alice", "HIV"), ("Bob", "asthma"), ("Mist", None)],
+            provider="p",
+        )
+        cat = Catalog()
+        cat.add_table(table)
+        return cat
+
+    def test_both_spellings_agree_on_null(self, catalog):
+        direct = execute(
+            parse_query("SELECT patient FROM t WHERE disease != 'HIV'"), catalog
+        )
+        negated = execute(
+            parse_query("SELECT patient FROM t WHERE NOT disease = 'HIV'"), catalog
+        )
+        assert {r[0] for r in direct.rows} == {"Bob"}
+        assert {r[0] for r in negated.rows} == {"Bob"}
+
+    def test_unknown_never_reaches_either_branch(self, catalog):
+        shown = execute(
+            parse_query("SELECT patient FROM t WHERE disease = 'HIV'"), catalog
+        )
+        hidden = execute(
+            parse_query("SELECT patient FROM t WHERE disease != 'HIV'"), catalog
+        )
+        assert "Mist" not in {r[0] for r in shown.rows}
+        assert "Mist" not in {r[0] for r in hidden.rows}
+
+    def test_explicit_null_handling_recovers_the_row(self, catalog):
+        out = execute(
+            parse_query(
+                "SELECT patient FROM t WHERE disease != 'HIV' OR disease IS NULL"
+            ),
+            catalog,
+        )
+        assert {r[0] for r in out.rows} == {"Bob", "Mist"}
+
+    def test_intensional_condition_conservative_on_null(self, catalog):
+        from repro.policy import IntensionalAssociation
+
+        assoc = IntensionalAssociation(
+            "show-only-non-hiv",
+            "t",
+            parse_expression("disease != 'HIV'"),
+            {"show": True},
+        )
+        assert not assoc.covers({"disease": None})  # unknown → not shown

@@ -1,0 +1,160 @@
+"""Tests for the elicitation tool model and meta-report extension."""
+
+import pytest
+
+from repro.errors import ElicitationError, PolicyError
+from repro.core import (
+    PLA,
+    AggregationThreshold,
+    AttributeAccess,
+    ElicitationTool,
+    MetaReport,
+    MetaReportSet,
+    PlaLevel,
+    PlaRegistry,
+    PlaStatus,
+    check_derivability,
+)
+from repro.relational import Catalog, Query, Table, View, make_schema, parse_query
+from repro.relational.types import ColumnType
+from repro.reports import ReportDefinition
+
+COLUMNS = ("patient", "drug", "disease", "cost")
+
+
+@pytest.fixture
+def world():
+    cat = Catalog()
+    schema = make_schema(
+        ("patient", ColumnType.STRING),
+        ("drug", ColumnType.STRING),
+        ("disease", ColumnType.STRING),
+        ("cost", ColumnType.INT),
+    )
+    rows = [
+        ("Alice", "DH", "HIV", 60),
+        ("Bob", "DR", "asthma", 10),
+        ("Math", "DM", "diabetes", 10),
+    ]
+    cat.add_table(Table.from_rows("base", schema, rows, provider="hospital"))
+    cat.add_view(View("wide", Query.from_("base").project(*COLUMNS)))
+    mrs = MetaReportSet()
+    mrs.add(MetaReport("mr", Query.from_("wide").project("patient", "drug")))
+    mrs.register_views(cat)
+    return cat, mrs
+
+
+class TestElicitationTool:
+    def test_column_cards_show_values_and_origins(self, world):
+        cat, mrs = world
+        tool = ElicitationTool(catalog=cat)
+        cards = tool.column_cards(mrs.get("mr"))
+        by_name = {c.column: c for c in cards}
+        assert set(by_name) == {"patient", "drug"}
+        assert "Alice" in by_name["patient"].sample_values
+        assert by_name["patient"].origin_relations == ("hospital/base",)
+        assert any("base#0.patient" in cell for cell in by_name["patient"].origin_cells)
+
+    def test_present_renders_owner_view(self, world):
+        cat, mrs = world
+        tool = ElicitationTool(catalog=cat)
+        text = tool.present(mrs.get("mr"))
+        assert "META-REPORT 'mr'" in text
+        assert "hospital/base" in text
+
+    def test_propose_and_finalize(self, world):
+        cat, mrs = world
+        tool = ElicitationTool(catalog=cat)
+        metareport = mrs.get("mr")
+        tool.propose(metareport, AggregationThreshold(5))
+        tool.propose(
+            metareport, AttributeAccess("patient", frozenset({"director"}))
+        )
+        registry = PlaRegistry()
+        pla = tool.finalize(metareport, owner="hospital", registry=registry)
+        assert pla.status is PlaStatus.APPROVED
+        assert metareport.approved
+        assert len(pla.annotations) == 2
+        # Annotations drained after finalize:
+        assert tool.proposed_for("mr") == ()
+
+    def test_propose_unknown_attribute_rejected(self, world):
+        cat, mrs = world
+        tool = ElicitationTool(catalog=cat)
+        with pytest.raises(ElicitationError):
+            tool.propose(
+                mrs.get("mr"), AttributeAccess("cost", frozenset({"director"}))
+            )
+
+    def test_finalize_without_proposals_rejected(self, world):
+        cat, mrs = world
+        tool = ElicitationTool(catalog=cat)
+        with pytest.raises(ElicitationError):
+            tool.finalize(mrs.get("mr"), owner="hospital", registry=PlaRegistry())
+
+
+class TestMetaReportExtension:
+    def _approved(self, world):
+        cat, mrs = world
+        registry = PlaRegistry()
+        metareport = mrs.get("mr")
+        pla = PLA("pla_mr", "hospital", PlaLevel.METAREPORT, "mr",
+                  (AggregationThreshold(2),))
+        registry.add(pla)
+        metareport.attach_pla(registry.approve("pla_mr"))
+        return cat, mrs, registry, metareport
+
+    def test_extend_adds_columns_in_universe_order(self, world):
+        cat, mrs, registry, metareport = self._approved(world)
+        mrs.extend(
+            "mr", ["cost"], universe_columns=COLUMNS, catalog=cat,
+        )
+        assert metareport.columns() == ("patient", "drug", "cost")
+
+    def test_extend_reregisters_view(self, world):
+        cat, mrs, registry, metareport = self._approved(world)
+        mrs.extend("mr", ["disease"], universe_columns=COLUMNS, catalog=cat)
+        from repro.relational import execute
+
+        out = execute(parse_query("SELECT disease FROM mr"), cat)
+        assert len(out) == 3
+
+    def test_extend_revises_pla_to_draft(self, world):
+        cat, mrs, registry, metareport = self._approved(world)
+        mrs.extend(
+            "mr", ["disease"], universe_columns=COLUMNS, catalog=cat,
+            registry=registry,
+        )
+        assert metareport.pla is not None
+        assert metareport.pla.status is PlaStatus.DRAFT
+        assert metareport.pla.version == 2
+        assert not metareport.approved  # unusable until re-approved
+
+    def test_extension_makes_report_derivable_after_reapproval(self, world):
+        cat, mrs, registry, metareport = self._approved(world)
+        report = ReportDefinition(
+            "r", "t",
+            parse_query("SELECT drug, SUM(cost) AS total FROM wide GROUP BY drug"),
+            frozenset({"analyst"}), "care",
+        )
+        before, _ = mrs.find_covering(report, cat)
+        assert before is None  # cost not exposed yet
+        mrs.extend(
+            "mr", ["cost"], universe_columns=COLUMNS, catalog=cat, registry=registry,
+        )
+        metareport.attach_pla(registry.approve("pla_mr"))
+        after, _ = mrs.find_covering(report, cat)
+        assert after is metareport
+        assert check_derivability(report.query, "mr", metareport.query, cat)
+
+    def test_extend_outside_universe_rejected(self, world):
+        cat, mrs, registry, metareport = self._approved(world)
+        with pytest.raises(PolicyError):
+            mrs.extend(
+                "mr", ["exam_type"], universe_columns=COLUMNS, catalog=cat
+            )
+
+    def test_extend_unknown_metareport_rejected(self, world):
+        cat, mrs = world
+        with pytest.raises(PolicyError):
+            mrs.extend("ghost", ["cost"], universe_columns=COLUMNS, catalog=cat)
