@@ -1,0 +1,140 @@
+"""Lint scaling: static-analysis wall time versus catalog size.
+
+The point of a static pass is that it is cheap enough to run on every
+catalog change, so this bench measures one `StaticAnalyzer.analyze()` sweep
+over synthetic deployments of 10 / 100 / 1000 reports (with meta-reports
+scaled alongside) and reports wall time plus per-report cost. The dominant
+term is the derivability re-proof of each report against the meta-report
+set, so time should grow roughly linearly in the report count.
+
+Run standalone:  python benchmarks/bench_analysis_lint.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.analysis import AnalysisInput, StaticAnalyzer
+from repro.bench import print_table
+from repro.core.annotations import AggregationThreshold, AttributeAccess
+from repro.core.metareport import MetaReport, MetaReportSet
+from repro.core.pla import PLA, PlaLevel
+from repro.relational import Catalog, Table, make_schema
+from repro.relational.algebra import AggSpec
+from repro.relational.query import Query
+from repro.relational.types import ColumnType
+
+COLUMNS = (
+    "patient", "zip", "gender", "doctor", "disease", "drug", "cost",
+    "region", "quarter", "visits",
+)
+
+
+def build_deployment(n_reports: int, *, seed: int = 23) -> AnalysisInput:
+    """A wide one-table star, ceil(n/10) meta-reports, n derived reports."""
+    rng = random.Random(seed)
+    schema = make_schema(
+        *[(c, ColumnType.INT if c in ("cost", "visits") else ColumnType.STRING)
+          for c in COLUMNS]
+    )
+    table = Table.from_rows(
+        "wide",
+        schema,
+        [tuple(f"v{rng.randint(0, 9)}" if c not in ("cost", "visits")
+               else rng.randint(0, 99) for c in COLUMNS)
+         for _ in range(50)],
+        provider="bi",
+    )
+    catalog = Catalog()
+    catalog.add_table(table)
+
+    metareports = MetaReportSet()
+    n_metareports = max(1, n_reports // 10)
+    for i in range(n_metareports):
+        exposed = tuple(
+            sorted(rng.sample(COLUMNS, rng.randint(4, len(COLUMNS))),
+                   key=COLUMNS.index)
+        )
+        metareport = MetaReport(f"mr_{i}", Query.from_("wide").project(*exposed))
+        metareport.attach_pla(
+            PLA(
+                f"pla_{i}", "owner", PlaLevel.METAREPORT, f"mr_{i}",
+                (
+                    AggregationThreshold(5),
+                    AttributeAccess("patient", frozenset({"doctor"})),
+                ),
+            ).approved()
+        )
+        metareports.add(metareport)
+    metareports.register_views(catalog)
+
+    from repro.reports.catalog import ReportCatalog
+    from repro.reports.definition import ReportDefinition
+
+    reports = ReportCatalog()
+    for i in range(n_reports):
+        group = rng.choice(("drug", "region", "quarter"))
+        query = (
+            Query.from_("wide").group(group)
+            .agg(AggSpec("count", None, "n"))
+        )
+        reports.add(
+            ReportDefinition(
+                f"rpt_{i:04d}", f"Report {i}", query,
+                frozenset({"analyst"}), "care/quality",
+            )
+        )
+    return AnalysisInput(catalog=catalog, metareports=metareports, reports=reports)
+
+
+def time_lint(target: AnalysisInput) -> tuple[float, int]:
+    analyzer = StaticAnalyzer(target)
+    start = time.perf_counter()
+    report = analyzer.analyze()
+    elapsed = time.perf_counter() - start
+    return elapsed, len(report.diagnostics)
+
+
+def main() -> None:
+    rows = []
+    for n_reports in (10, 100, 1000):
+        target = build_deployment(n_reports)
+        elapsed, findings = time_lint(target)
+        rows.append(
+            {
+                "reports": n_reports,
+                "metareports": max(1, n_reports // 10),
+                "lint_s": f"{elapsed:.3f}",
+                "ms_per_report": f"{1000 * elapsed / n_reports:.2f}",
+                "findings": findings,
+            }
+        )
+    print_table(rows, title="LINT: static analysis wall time vs catalog size")
+    print(
+        "\nReading: ms_per_report should stay roughly flat — the sweep is "
+        "linear in the report count (each report is re-proved against the "
+        "meta-report set, never executed)."
+    )
+
+
+# -- pytest-benchmark targets -------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=[10, 100])
+def sized_deployment(request):
+    return request.param, build_deployment(request.param)
+
+
+def test_lint_scales(benchmark, sized_deployment):
+    n_reports, target = sized_deployment
+    report = benchmark(StaticAnalyzer(target).analyze)
+    assert report.coverage["reports"] == n_reports
+    # every report in the synthetic deployment is a clean aggregate
+    assert report.exit_code() == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,10 @@ from repro import (
     warehouse,
     workloads,
 )
+
+# Imported after the stack above: the analyzer reaches into core/etl/reports,
+# so loading it first would re-enter their import cycle.
+from repro import analysis
 from repro.errors import ReproError
 
 __version__ = "0.1.0"
@@ -45,6 +49,7 @@ __version__ = "0.1.0"
 __all__ = [
     "ReproError",
     "__version__",
+    "analysis",
     "anonymize",
     "audit",
     "core",

@@ -1,0 +1,155 @@
+"""Typed diagnostics: the output vocabulary of the static analyzer.
+
+Every finding the analyzer emits is a :class:`Diagnostic` with a *stable
+code* (so CI pipelines can allowlist/denylist findings), a severity, a
+location string (``kind:name`` or ``kind:name/part``), an owner-readable
+message, and a fix hint. :class:`DiagnosticReport` aggregates findings over
+a whole catalog sweep and knows how to map severities to exit codes —
+mirroring compiler/linter conventions (Pleak-style typed leak reports).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticReport", "CODES"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering is by urgency (ERROR sorts highest)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: Registry of stable diagnostic codes. Codes are never renumbered; retired
+#: codes are kept here (marked retired) so historic reports stay readable.
+CODES: dict[str, str] = {
+    "PLA001": "uncovered-column: a sensitive column is exposed by a "
+    "meta-report whose PLA carries no annotation protecting it",
+    "PLA002": "contradictory-annotations: two annotations of one PLA "
+    "cannot be satisfied together",
+    "PLA003": "shadowed-rule: an annotation can never change an outcome "
+    "because a stronger annotation in the same PLA subsumes it",
+    "PLA004": "dead-intensional-predicate: an intensional condition can "
+    "never fire (unknown columns, tautology, or nothing to suppress)",
+    "PLA005": "join-prohibition-reachable: data lineage already merges, or "
+    "an ETL operator would merge, two relations a PLA prohibits combining",
+    "ETL001": "pla-unchecked-operator: an operator combines data of several "
+    "owners but no ETL-level PLA constraint covers the combination",
+    "RPT001": "report-escapes-metareports: a catalog report is not "
+    "derivable from any approved meta-report",
+    "RPT002": "identifying-detail-report: a non-aggregate report copies a "
+    "direct identifier into its output",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static finding."""
+
+    code: str
+    severity: Severity
+    location: str  # e.g. "metareport:mr_0", "flow:healthcare_load/join_cost"
+    message: str
+    fix_hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def to_dict(self) -> dict:
+        out = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.fix_hint:
+            out["fix_hint"] = self.fix_hint
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.code} at {self.location}: {self.message}"
+
+
+@dataclass
+class DiagnosticReport:
+    """All findings of one analyzer run, ordered most severe first."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Artifact counts the sweep covered, e.g. {"reports": 30, "flows": 1}.
+    coverage: dict[str, int] = field(default_factory=dict)
+
+    def add(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def sorted(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            sorted(
+                self.diagnostics,
+                key=lambda d: (-d.severity, d.code, d.location, d.message),
+            )
+        )
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def codes(self) -> tuple[str, ...]:
+        """Distinct codes present, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        """0 when nothing at/above ``fail_on`` was found, 1 otherwise."""
+        worst = self.max_severity()
+        return 1 if worst is not None and worst >= fail_on else 0
+
+    def counts(self) -> dict[str, int]:
+        out = {str(s): 0 for s in Severity}
+        for diagnostic in self.diagnostics:
+            out[str(diagnostic.severity)] += 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        scanned = ", ".join(f"{n} {k}" for k, n in sorted(self.coverage.items()))
+        body = (
+            "clean"
+            if self.clean
+            else ", ".join(f"{n} {name}(s)" for name, n in counts.items() if n)
+        )
+        prefix = f"lint[{scanned}]: " if scanned else "lint: "
+        return prefix + body
+
+    def to_dict(self) -> dict:
+        return {
+            "summary": self.summary(),
+            "coverage": dict(sorted(self.coverage.items())),
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

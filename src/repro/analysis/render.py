@@ -1,0 +1,29 @@
+"""Render a diagnostic report for terminals and machines.
+
+Text output groups findings by severity (most severe first) with one
+``severity: CODE at location: message`` line per finding plus an indented
+fix hint — the compiler-diagnostic shape CI logs are easiest to read in.
+JSON output is :meth:`DiagnosticReport.to_dict` verbatim, stable enough to
+diff between runs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: DiagnosticReport, *, hints: bool = True) -> str:
+    """Human-readable lint output."""
+    lines = [report.summary()]
+    for diagnostic in report.sorted():
+        lines.append(str(diagnostic))
+        if hints and diagnostic.fix_hint:
+            lines.append(f"    hint: {diagnostic.fix_hint}")
+    return "\n".join(lines)
+
+
+def render_json(report: DiagnosticReport) -> str:
+    """Machine-readable lint output (stable key order)."""
+    return report.to_json()

@@ -1,0 +1,325 @@
+"""Rule-set linter over one PLA's annotation set (codes PLA001–PLA004).
+
+A PLA is a conjunction of annotations, and conjunctions rot the same way
+rule bases do: rules contradict each other (PLA002), stronger rules shadow
+weaker ones into irrelevance (PLA003), intensional predicates go dead when
+the schema drifts under them (PLA004), and sensitive columns fall through
+the net entirely (PLA001). All four are decidable statically from the
+annotation set, the columns the target meta-report exposes, and the columns
+its underlying relations can supply to hidden-column conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.taint import Sensitivity
+from repro.core.annotations import (
+    AggregationThreshold,
+    AnonymizationRequirement,
+    AttributeAccess,
+    IntensionalCondition,
+    JoinPermission,
+)
+from repro.core.containment import predicate_implies
+from repro.core.pla import PLA
+from repro.relational.expressions import Lit
+
+__all__ = ["lint_pla"]
+
+#: Annotation kinds that protect one named attribute.
+_ATTRIBUTE_KINDS = (AttributeAccess, AnonymizationRequirement, IntensionalCondition)
+
+
+def lint_pla(
+    pla: PLA,
+    *,
+    exposed_columns: tuple[str, ...],
+    column_sensitivity: Mapping[str, Sensitivity],
+    base_columns: frozenset[str],
+    location: str,
+) -> list[Diagnostic]:
+    """Lint one PLA against the meta-report surface it governs.
+
+    ``exposed_columns`` are the meta-report's output columns;
+    ``column_sensitivity`` maps each to the joined sensitivity of its base
+    sources (from the dataflow pass); ``base_columns`` are every column the
+    underlying relations could supply to a hidden-column condition.
+    """
+    out: list[Diagnostic] = []
+    out.extend(_contradictions(pla, location))
+    out.extend(_shadowed(pla, location))
+    out.extend(_dead_intensional(pla, exposed_columns, base_columns, location))
+    out.extend(_uncovered(pla, exposed_columns, column_sensitivity, location))
+    return out
+
+
+# -- PLA002: contradictory annotations --------------------------------------
+
+
+def _contradictions(pla: PLA, location: str) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    accesses: dict[str, AttributeAccess] = {}
+    for a in pla.annotations:
+        if not isinstance(a, AttributeAccess):
+            continue
+        earlier = accesses.get(a.attribute)
+        if earlier is not None and not (earlier.allowed_roles & a.allowed_roles):
+            out.append(
+                Diagnostic(
+                    code="PLA002",
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=(
+                        f"attribute-access rules on {a.attribute!r} allow "
+                        f"disjoint role sets {sorted(earlier.allowed_roles)} "
+                        f"and {sorted(a.allowed_roles)}; no audience can ever "
+                        "satisfy both"
+                    ),
+                    fix_hint="merge the two rules into one shared role set",
+                )
+            )
+        accesses.setdefault(a.attribute, a)
+
+    joins: dict[frozenset[str], JoinPermission] = {}
+    for a in pla.annotations:
+        if not isinstance(a, JoinPermission):
+            continue
+        earlier = joins.get(a.pair())
+        if earlier is not None and earlier.allowed != a.allowed:
+            out.append(
+                Diagnostic(
+                    code="PLA002",
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=(
+                        f"join of {sorted(a.pair())} is both permitted and "
+                        "prohibited by the same PLA"
+                    ),
+                    fix_hint="keep only the owner's intended join rule",
+                )
+            )
+        joins.setdefault(a.pair(), a)
+
+    anonymize: dict[str, AnonymizationRequirement] = {}
+    for a in pla.annotations:
+        if not isinstance(a, AnonymizationRequirement):
+            continue
+        earlier = anonymize.get(a.attribute)
+        if earlier is not None and earlier.method != a.method:
+            out.append(
+                Diagnostic(
+                    code="PLA002",
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=(
+                        f"attribute {a.attribute!r} must be both "
+                        f"{earlier.method}d and {a.method}d; the enforcement "
+                        "translator can apply only one method per attribute"
+                    ),
+                    fix_hint="pick the stronger anonymization method",
+                )
+            )
+        anonymize.setdefault(a.attribute, a)
+    return out
+
+
+# -- PLA003: shadowed rules --------------------------------------------------
+
+
+def _shadowed(pla: PLA, location: str) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+
+    thresholds = [a for a in pla.annotations if isinstance(a, AggregationThreshold)]
+    if len(thresholds) > 1:
+        strongest = max(thresholds, key=lambda a: a.min_group_size)
+        for a in thresholds:
+            if a is not strongest and a.min_group_size <= strongest.min_group_size:
+                out.append(
+                    Diagnostic(
+                        code="PLA003",
+                        severity=Severity.WARNING,
+                        location=location,
+                        message=(
+                            f"aggregation threshold ≥{a.min_group_size} is "
+                            f"shadowed by the stricter ≥"
+                            f"{strongest.min_group_size} in the same PLA"
+                        ),
+                        fix_hint="drop the weaker threshold",
+                    )
+                )
+
+    accesses = [a for a in pla.annotations if isinstance(a, AttributeAccess)]
+    for i, weaker in enumerate(accesses):
+        for j, stronger in enumerate(accesses):
+            if i == j or weaker.attribute != stronger.attribute:
+                continue
+            subsumed = stronger.allowed_roles <= weaker.allowed_roles
+            if subsumed and (stronger.allowed_roles < weaker.allowed_roles or j < i):
+                out.append(
+                    Diagnostic(
+                        code="PLA003",
+                        severity=Severity.WARNING,
+                        location=location,
+                        message=(
+                            f"access rule on {weaker.attribute!r} allowing "
+                            f"{sorted(weaker.allowed_roles)} is shadowed by "
+                            f"the stricter rule allowing "
+                            f"{sorted(stronger.allowed_roles)}"
+                        ),
+                        fix_hint="drop the wider role set; the stricter rule decides",
+                    )
+                )
+                break
+
+    seen_joins: set[tuple[frozenset[str], bool]] = set()
+    for a in pla.annotations:
+        if not isinstance(a, JoinPermission):
+            continue
+        key = (a.pair(), a.allowed)
+        if key in seen_joins:
+            out.append(
+                Diagnostic(
+                    code="PLA003",
+                    severity=Severity.WARNING,
+                    location=location,
+                    message=f"duplicate join rule on {sorted(a.pair())}",
+                    fix_hint="remove the duplicate annotation",
+                )
+            )
+        seen_joins.add(key)
+
+    conditions = [a for a in pla.annotations if isinstance(a, IntensionalCondition)]
+    for j, candidate in enumerate(conditions):
+        for i, other in enumerate(conditions):
+            if i == j or other is candidate:
+                continue
+            if other.attribute != candidate.attribute or other.action != candidate.action:
+                continue
+            # ``other`` shows strictly less (or the same, for the earlier
+            # rule), so everything ``candidate`` suppresses is already gone.
+            if predicate_implies(other.condition, candidate.condition) and (
+                not predicate_implies(candidate.condition, other.condition) or i < j
+            ):
+                out.append(
+                    Diagnostic(
+                        code="PLA003",
+                        severity=Severity.WARNING,
+                        location=location,
+                        message=(
+                            f"intensional rule on {candidate.attribute!r} "
+                            f"(show where {candidate.condition}) is shadowed "
+                            f"by the stricter rule (show where "
+                            f"{other.condition})"
+                        ),
+                        fix_hint="drop the weaker condition",
+                    )
+                )
+                break
+    return out
+
+
+# -- PLA004: dead intensional predicates -------------------------------------
+
+
+def _dead_intensional(
+    pla: PLA,
+    exposed_columns: tuple[str, ...],
+    base_columns: frozenset[str],
+    location: str,
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for a in pla.annotations:
+        if not isinstance(a, IntensionalCondition):
+            continue
+        unknown = a.condition.columns() - base_columns
+        if unknown:
+            out.append(
+                Diagnostic(
+                    code="PLA004",
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=(
+                        f"intensional condition on {a.attribute!r} references "
+                        f"columns {sorted(unknown)} that no underlying "
+                        "relation supplies; the rule silently never applies"
+                    ),
+                    fix_hint=(
+                        "point the condition at existing columns, or add the "
+                        "hidden column to the warehouse load"
+                    ),
+                )
+            )
+            continue
+        if isinstance(a.condition, Lit) and bool(a.condition.value):
+            out.append(
+                Diagnostic(
+                    code="PLA004",
+                    severity=Severity.WARNING,
+                    location=location,
+                    message=(
+                        f"intensional condition on {a.attribute!r} is always "
+                        "true; it never suppresses anything"
+                    ),
+                    fix_hint="state the actual restriction, or remove the rule",
+                )
+            )
+            continue
+        if a.action == "suppress_cell" and a.attribute not in exposed_columns:
+            out.append(
+                Diagnostic(
+                    code="PLA004",
+                    severity=Severity.WARNING,
+                    location=location,
+                    message=(
+                        f"cell-suppression rule targets {a.attribute!r}, "
+                        "which the meta-report does not expose; there is no "
+                        "cell to blank"
+                    ),
+                    fix_hint=(
+                        "use suppress_row, or attach the rule to a "
+                        "meta-report exposing the attribute"
+                    ),
+                )
+            )
+    return out
+
+
+# -- PLA001: uncovered sensitive columns --------------------------------------
+
+
+def _uncovered(
+    pla: PLA,
+    exposed_columns: tuple[str, ...],
+    column_sensitivity: Mapping[str, Sensitivity],
+    location: str,
+) -> list[Diagnostic]:
+    protected = {
+        a.attribute for a in pla.annotations if isinstance(a, _ATTRIBUTE_KINDS)
+    }
+    out: list[Diagnostic] = []
+    for column in exposed_columns:
+        sensitivity = column_sensitivity.get(column, Sensitivity.PUBLIC)
+        if sensitivity is Sensitivity.PUBLIC or column in protected:
+            continue
+        severity = (
+            Severity.ERROR if sensitivity is Sensitivity.DIRECT else Severity.WARNING
+        )
+        out.append(
+            Diagnostic(
+                code="PLA001",
+                severity=severity,
+                location=location,
+                message=(
+                    f"{sensitivity} column {column!r} is exposed but no "
+                    "attribute-level annotation of the PLA covers it"
+                ),
+                fix_hint=(
+                    f"add an attribute-access, anonymization, or intensional "
+                    f"annotation for {column!r} (or remove it from the "
+                    "meta-report)"
+                ),
+            )
+        )
+    return out

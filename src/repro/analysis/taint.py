@@ -1,0 +1,108 @@
+"""Quasi-identifier taint lattice over base warehouse columns.
+
+Static analysis needs to know *how identifying* each base column is before
+it can rank findings. Sensitivity forms a small join-semilattice
+
+    PUBLIC  <  QUASI  <  SENSITIVE  <  DIRECT
+
+where ``join`` is ``max``: a value computed from several columns is as
+identifying as the most identifying input. The classification of base
+columns is configuration, not inference — it is exactly the metadata the
+paper's elicitation step produces when an owner marks attributes as
+identifying/quasi-identifying/sensitive — so :class:`SensitivityMap` is an
+explicit mapping with wildcard support, and the healthcare defaults mirror
+the scenario's annotations (patient identity, HIV-revealing disease, and
+the classic zip/birth-year/gender QI triple of k-anonymity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Sensitivity",
+    "SensitivityMap",
+    "healthcare_sensitivity",
+    "join_sensitivity",
+]
+
+
+class Sensitivity(enum.IntEnum):
+    """How identifying one base column is (lattice order = int order)."""
+
+    PUBLIC = 0
+    QUASI = 1  # quasi-identifier: identifying in combination
+    SENSITIVE = 2  # the protected value itself (diagnosis, exam result)
+    DIRECT = 3  # direct identifier (name, SSN)
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+def join_sensitivity(values: Iterable[Sensitivity]) -> Sensitivity:
+    """Lattice join (least upper bound) of a set of sensitivities."""
+    out = Sensitivity.PUBLIC
+    for value in values:
+        if value > out:
+            out = value
+    return out
+
+
+@dataclass
+class SensitivityMap:
+    """Classification of base columns, addressed as ``relation.column``.
+
+    Lookup precedence: exact ``relation.column`` entry, then bare-column
+    wildcard (an entry under the column name alone, which classifies that
+    column in *every* relation), then :attr:`default`. The wildcard form is
+    how one line of configuration covers the same attribute replicated
+    through staging tables, warehouse tables, and views.
+    """
+
+    entries: dict[str, Sensitivity] = field(default_factory=dict)
+    default: Sensitivity = Sensitivity.PUBLIC
+
+    def classify(self, qualified: str) -> Sensitivity:
+        """Sensitivity of one ``relation.column`` (or bare column) name."""
+        if qualified in self.entries:
+            return self.entries[qualified]
+        column = qualified.rsplit(".", 1)[-1]
+        return self.entries.get(column, self.default)
+
+    def of_sources(self, sources: Iterable[str]) -> Sensitivity:
+        """Join over a set of qualified base columns (empty set → PUBLIC)."""
+        return join_sensitivity(self.classify(s) for s in sources)
+
+    def with_entries(self, extra: Mapping[str, Sensitivity]) -> "SensitivityMap":
+        merged = dict(self.entries)
+        merged.update(extra)
+        return SensitivityMap(entries=merged, default=self.default)
+
+    def columns_at_least(self, floor: Sensitivity) -> tuple[str, ...]:
+        """Configured names classified at or above ``floor``, sorted."""
+        return tuple(
+            sorted(name for name, s in self.entries.items() if s >= floor)
+        )
+
+
+def healthcare_sensitivity() -> SensitivityMap:
+    """The Fig 1 healthcare scenario's column classification.
+
+    Bare-column wildcards, so the same attribute is recognized in provider
+    exports, staging tables, the warehouse star, and every view over it.
+    """
+    return SensitivityMap(
+        entries={
+            "patient": Sensitivity.DIRECT,
+            "ssn": Sensitivity.DIRECT,
+            "name": Sensitivity.DIRECT,
+            "zip": Sensitivity.QUASI,
+            "birth_year": Sensitivity.QUASI,
+            "gender": Sensitivity.QUASI,
+            "doctor": Sensitivity.QUASI,
+            "disease": Sensitivity.SENSITIVE,
+            "result": Sensitivity.SENSITIVE,
+        }
+    )

@@ -8,7 +8,10 @@ Commands::
     python -m repro deliver rpt_001               # generate + render a report
     python -m repro audit                         # deliver everything + audit
     python -m repro gaps                          # PLA coverage analysis
+    python -m repro lint --json                   # static privacy-flow lint
     python -m repro fig 5                         # regenerate a paper figure
+
+Installed as a console script (``repro …``) via ``pip install -e .``.
 """
 
 from __future__ import annotations
@@ -120,6 +123,33 @@ def cmd_gaps(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        AnalysisInput,
+        Severity,
+        StaticAnalyzer,
+        render_json,
+        render_text,
+    )
+
+    if args.deployment:
+        from repro.persistence import load_deployment
+
+        deployment = load_deployment(args.deployment)
+        analyzer = StaticAnalyzer(
+            AnalysisInput(
+                catalog=deployment.catalog,
+                metareports=deployment.metareports,
+                reports=deployment.reports,
+            )
+        )
+    else:
+        analyzer = StaticAnalyzer.for_scenario(_scenario())
+    report = analyzer.analyze()
+    print(render_json(report) if args.json else render_text(report))
+    return report.exit_code(Severity[args.fail_on.upper()])
+
+
 def cmd_save(args: argparse.Namespace) -> int:
     from repro.persistence import save_deployment
 
@@ -207,6 +237,23 @@ def build_parser() -> argparse.ArgumentParser:
     gaps.add_argument("--seed", type=int, default=23)
     gaps.add_argument("--show", type=int, default=10)
 
+    lint = sub.add_parser(
+        "lint", help="static privacy-flow analysis and PLA lint (no execution)"
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info"],
+        default="error",
+        help="lowest severity that makes the exit code non-zero",
+    )
+    lint.add_argument(
+        "--deployment",
+        metavar="DIR",
+        default=None,
+        help="lint a saved deployment instead of the built-in scenario",
+    )
+
     fig = sub.add_parser("fig", help="regenerate a paper figure's table")
     fig.add_argument("number", choices=sorted(_FIGS))
 
@@ -225,6 +272,7 @@ _HANDLERS = {
     "deliver": cmd_deliver,
     "audit": cmd_audit,
     "gaps": cmd_gaps,
+    "lint": cmd_lint,
     "fig": cmd_fig,
     "save": cmd_save,
     "load": cmd_load,

@@ -70,3 +70,7 @@ class ProvenanceError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload generator received invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """The static analyzer could not model an artifact it was given."""

@@ -1,0 +1,239 @@
+"""Tests for the static column-level dataflow pass.
+
+The manual cases pin each propagation rule to its runtime counterpart in
+:mod:`repro.relational.algebra`; the hypothesis property test then checks
+the soundness contract on randomly generated query trees: for every output
+cell, the runtime where-provenance refs are a subset of the static
+``copied | derived`` sources of that column (and of ``copied`` alone for
+plain copy columns).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ColumnFlow, column_flows
+from repro.errors import AnalysisError
+from repro.relational import Catalog, View, execute
+from repro.relational.algebra import AggSpec
+from repro.relational.expressions import Arith, Col, Comparison, Lit
+from repro.relational.query import Query
+from repro.relational.table import Table, make_schema
+from repro.relational.types import ColumnType
+
+INT = ColumnType.INT
+STRING = ColumnType.STRING
+
+
+def small_catalog() -> Catalog:
+    t = Table.from_rows(
+        "t",
+        make_schema(("k", INT), ("x", INT), ("s", STRING)),
+        [(i % 4, (i * 7) % 11 - 5, f"s{i % 3}") for i in range(12)],
+        provider="alpha",
+    )
+    u = Table.from_rows(
+        "u",
+        make_schema(("k", INT), ("z", INT)),
+        [(i % 5, (i * 3) % 7 - 3) for i in range(8)],
+        provider="beta",
+    )
+    catalog = Catalog()
+    catalog.add_table(t)
+    catalog.add_table(u)
+    return catalog
+
+
+CATALOG = small_catalog()
+
+
+class TestPropagationRules:
+    def test_base_table_columns_are_self_copies(self):
+        flow = column_flows(Query.from_("t"), CATALOG)
+        assert flow.flow_of("x") == ColumnFlow(copied=frozenset({"t.x"}))
+        assert flow.names() == ("k", "x", "s")
+
+    def test_plain_projection_and_alias_keep_copies(self):
+        query = Query.from_("t").project("x", ("xx", Col("x")))
+        flow = column_flows(query, CATALOG)
+        assert flow.flow_of("x").copied == {"t.x"}
+        assert flow.flow_of("xx").copied == {"t.x"}
+        assert not flow.flow_of("xx").derived
+
+    def test_computed_projection_derives_from_all_inputs(self):
+        query = Query.from_("t").project(("sum", Arith("+", Col("x"), Col("k"))))
+        got = flow = column_flows(query, CATALOG).flow_of("sum")
+        assert got.copied == frozenset()
+        assert got.derived == {"t.x", "t.k"}
+        assert flow.sources == {"t.x", "t.k"}
+
+    def test_where_discloses_predicate_columns(self):
+        query = (
+            Query.from_("t")
+            .filter(Comparison(">", Col("x"), Lit(0)))
+            .project("s")
+        )
+        flow = column_flows(query, CATALOG)
+        assert flow.condition_sources == {"t.x"}
+        assert flow.all_sources() == {"t.x", "t.s"}
+
+    def test_join_qualifies_collisions_like_runtime(self):
+        query = Query.from_("t").join("u", [("k", "k")])
+        flow = column_flows(query, CATALOG)
+        runtime = execute(query, CATALOG)
+        assert set(flow.names()) == set(runtime.schema.names)
+        assert flow.flow_of("t.k").copied == {"t.k"}
+        assert flow.flow_of("u.k").copied == {"u.k"}
+        assert flow.condition_sources == {"t.k", "u.k"}  # join keys disclosed
+
+    def test_aggregation_marks_flows_and_demotes_to_derivation(self):
+        query = (
+            Query.from_("t")
+            .group("s")
+            .agg(AggSpec("count", None, "n"), AggSpec("sum", "x", "sx"))
+        )
+        flow = column_flows(query, CATALOG)
+        assert flow.flow_of("s").copied == {"t.s"}
+        assert not flow.flow_of("s").aggregated
+        n = flow.flow_of("n")
+        assert n.aggregated and n.sources == frozenset()
+        sx = flow.flow_of("sx")
+        assert sx.aggregated and sx.derived == {"t.x"} and not sx.copied
+
+    def test_views_are_expanded_to_base_tables(self):
+        catalog = small_catalog()
+        catalog.add_view(View("v", Query.from_("t").project("k", "x")))
+        flow = column_flows(Query.from_("v").project("x"), catalog)
+        assert flow.flow_of("x").copied == {"t.x"}
+
+    def test_unknown_relation_raises(self):
+        with pytest_raises_analysis():
+            column_flows(Query.from_("ghost"), CATALOG)
+
+    def test_unknown_column_raises(self):
+        with pytest_raises_analysis():
+            column_flows(Query.from_("t").project("ghost"), CATALOG)
+
+
+def pytest_raises_analysis():
+    import pytest
+
+    return pytest.raises(AnalysisError)
+
+
+# -- property test: static flow over-approximates runtime where-provenance --
+
+OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+
+@st.composite
+def queries(draw) -> Query:
+    """Random query trees the engine accepts, over the fixed two-table catalog."""
+    query = Query.from_("t")
+    if draw(st.booleans()):  # join
+        query = query.join("u", [("k", "k")])
+        cols = ["t.k", "x", "s", "u.k", "z"]
+        numeric = ["t.k", "x", "u.k", "z"]
+    else:
+        cols = ["k", "x", "s"]
+        numeric = ["k", "x"]
+
+    if draw(st.booleans()):  # where
+        query = query.filter(
+            Comparison(
+                draw(st.sampled_from(OPS)),
+                Col(draw(st.sampled_from(numeric))),
+                Lit(draw(st.integers(-5, 5))),
+            )
+        )
+
+    if draw(st.booleans()):  # group/aggregate
+        groups = draw(
+            st.lists(st.sampled_from(cols), max_size=2, unique=True)
+        )
+        aggs = [AggSpec("count", None, "n")]
+        if draw(st.booleans()):
+            aggs.append(
+                AggSpec(
+                    draw(st.sampled_from(["sum", "min", "max"])),
+                    draw(st.sampled_from(numeric)),
+                    "m",
+                )
+            )
+        query = query.group(*groups).agg(*aggs)
+        out_names = list(groups) + [a.alias for a in aggs]
+        numeric = [a.alias for a in aggs] + [g for g in groups if g in numeric]
+    else:
+        out_names = cols
+
+    if draw(st.booleans()):  # projection (plain / alias / computed)
+        chosen = draw(
+            st.lists(
+                st.sampled_from(out_names), min_size=1, max_size=4, unique=True
+            )
+        )
+        items = []
+        for name in chosen:
+            style = draw(st.integers(0, 2))
+            alias = f"c_{name.replace('.', '_')}"
+            if style == 1:
+                items.append((alias, Col(name)))
+            elif style == 2 and name in numeric:
+                items.append((alias, Arith("+", Col(name), Lit(1))))
+            else:
+                items.append(name)
+        query = query.project(*items)
+        out_names = [i if isinstance(i, str) else i[0] for i in items]
+
+    if draw(st.booleans()):
+        query = query.distinct()
+    if draw(st.booleans()):
+        query = query.order_by(draw(st.sampled_from(out_names)))
+    if draw(st.booleans()):
+        query = query.limit(draw(st.integers(0, 10)))
+    return query
+
+
+def runtime_refs(provenance, column) -> set[str]:
+    return {
+        f"{ref.row.table}.{ref.column}" for ref in provenance.where_of(column)
+    }
+
+
+@given(query=queries())
+@settings(max_examples=150, deadline=None)
+def test_static_flow_covers_runtime_where_provenance(query):
+    static = column_flows(query, CATALOG)
+    table = execute(query, CATALOG)
+
+    # Static and runtime agree on the output schema.
+    assert list(static.names()) == list(table.schema.names)
+
+    for name in table.schema.names:
+        flow = static.flow_of(name)
+        for provenance in table.provenance:
+            refs = runtime_refs(provenance, name)
+            assert refs <= flow.sources, (
+                f"column {name!r}: runtime where-prov {refs} escapes static "
+                f"sources {set(flow.sources)} for {query}"
+            )
+            # Pure copy columns must be covered by the copy set alone.
+            if flow.copied and not flow.derived and not flow.aggregated:
+                assert refs <= flow.copied
+
+
+@given(query=queries())
+@settings(max_examples=60, deadline=None)
+def test_static_flow_covers_runtime_through_views(query):
+    """The same contract holds when the query tree hides behind a view."""
+    catalog = small_catalog()
+    catalog.add_view(View("v", query))
+    outer = Query.from_("v")
+    static = column_flows(outer, catalog)
+    table = execute(outer, catalog)
+    assert list(static.names()) == list(table.schema.names)
+    for name in table.schema.names:
+        flow = static.flow_of(name)
+        for provenance in table.provenance:
+            assert runtime_refs(provenance, name) <= flow.sources

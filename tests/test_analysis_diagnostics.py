@@ -1,0 +1,584 @@
+"""Per-code tests for the static analyzer's diagnostics (PLA001–RPT002).
+
+Each diagnostic code gets a positive fixture that triggers it and a clean
+negative that must not, plus one deliberately-broken deployment on which a
+single :meth:`StaticAnalyzer.analyze` run emits every registered code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AnalysisInput,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    StaticAnalyzer,
+    analyze_scenario,
+    join_sensitivity,
+    lint_catalog_lineage,
+    lint_flow,
+    lint_pla,
+    prohibited_pairs_of,
+)
+from repro.analysis.taint import Sensitivity, SensitivityMap, healthcare_sensitivity
+from repro.core.annotations import (
+    AggregationThreshold,
+    AnonymizationRequirement,
+    AttributeAccess,
+    IntensionalCondition,
+    JoinPermission,
+)
+from repro.core.metareport import MetaReport, MetaReportSet
+from repro.core.pla import PLA, PlaLevel
+from repro.etl.annotations import EtlPlaRegistry, JoinProhibition
+from repro.etl.flow import EtlFlow
+from repro.etl.operators import ExtractOp, JoinOp
+from repro.relational import Catalog, algebra
+from repro.relational.expressions import Arith, Col, Comparison, Lit
+from repro.relational.query import Query
+from repro.relational.table import Table, make_schema
+from repro.relational.types import ColumnType
+from repro.reports.catalog import ReportCatalog
+from repro.reports.definition import ReportDefinition
+
+INT = ColumnType.INT
+STRING = ColumnType.STRING
+
+ALL_COLUMNS = ("patient", "zip", "disease", "drug", "cost")
+
+
+def dwh_table() -> Table:
+    schema = make_schema(
+        ("patient", STRING),
+        ("zip", STRING),
+        ("disease", STRING),
+        ("drug", STRING),
+        ("cost", INT),
+    )
+    rows = [
+        ("ann", "38100", "flu", "aspirin", 10),
+        ("bob", "38068", "HIV", "retrovir", 90),
+        ("cal", "38100", "flu", "aspirin", 12),
+    ]
+    return Table.from_rows("dwh", schema, rows, provider="bi")
+
+
+def make_deployment(annotations, *, exposed=ALL_COLUMNS):
+    """A one-table catalog plus one approved meta-report carrying ``annotations``."""
+    catalog = Catalog()
+    catalog.add_table(dwh_table())
+    metareport = MetaReport("mr", Query.from_("dwh").project(*exposed))
+    pla = PLA(
+        "pla_mr", "healthcare", PlaLevel.METAREPORT, "mr", tuple(annotations)
+    ).approved()
+    metareport.attach_pla(pla)
+    metareports = MetaReportSet()
+    metareports.add(metareport)
+    metareports.register_views(catalog)
+    return catalog, metareports
+
+
+def run_lint(annotations, *, exposed=ALL_COLUMNS) -> DiagnosticReport:
+    catalog, metareports = make_deployment(annotations, exposed=exposed)
+    return StaticAnalyzer(
+        AnalysisInput(catalog=catalog, metareports=metareports)
+    ).analyze()
+
+
+#: A fully-covered annotation set: no PLA001–PLA004 findings at all.
+CLEAN_ANNOTATIONS = (
+    AttributeAccess("patient", frozenset({"doctor"})),
+    AnonymizationRequirement("zip", "generalize", 2),
+    IntensionalCondition(
+        "disease", Comparison("!=", Col("disease"), Lit("HIV")), "suppress_row"
+    ),
+    AggregationThreshold(5),
+)
+
+
+class TestDiagnosticModel:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic("XXX999", Severity.ERROR, "metareport:mr", "boom")
+
+    def test_str_is_compiler_shaped(self):
+        d = Diagnostic("PLA001", Severity.WARNING, "metareport:mr", "msg")
+        assert str(d) == "warning: PLA001 at metareport:mr: msg"
+
+    def test_exit_code_thresholds(self):
+        report = DiagnosticReport()
+        assert report.clean and report.exit_code() == 0
+        report.add(Diagnostic("PLA003", Severity.WARNING, "metareport:mr", "m"))
+        assert report.exit_code() == 0  # default fail_on=ERROR
+        assert report.exit_code(fail_on=Severity.WARNING) == 1
+        report.add(Diagnostic("PLA002", Severity.ERROR, "metareport:mr", "m"))
+        assert report.exit_code() == 1
+        assert report.max_severity() is Severity.ERROR
+
+    def test_sorted_puts_errors_first(self):
+        report = DiagnosticReport()
+        report.add(Diagnostic("PLA003", Severity.WARNING, "metareport:b", "w"))
+        report.add(Diagnostic("PLA002", Severity.ERROR, "metareport:a", "e"))
+        assert [d.severity for d in report.sorted()] == [
+            Severity.ERROR,
+            Severity.WARNING,
+        ]
+
+    def test_to_json_round_trips(self):
+        report = DiagnosticReport(coverage={"reports": 2})
+        report.add(
+            Diagnostic("RPT001", Severity.ERROR, "report:r", "m", fix_hint="h")
+        )
+        data = json.loads(report.to_json())
+        assert data["coverage"] == {"reports": 2}
+        assert data["counts"]["error"] == 1
+        assert data["diagnostics"][0]["fix_hint"] == "h"
+
+    def test_sensitivity_lattice(self):
+        assert join_sensitivity([]) is Sensitivity.PUBLIC
+        assert (
+            join_sensitivity([Sensitivity.QUASI, Sensitivity.DIRECT])
+            is Sensitivity.DIRECT
+        )
+        hc = healthcare_sensitivity()
+        assert hc.classify("dim_patient.patient") is Sensitivity.DIRECT
+        assert hc.classify("anything.unknown") is Sensitivity.PUBLIC
+        narrowed = hc.with_entries({"dwh.cost": Sensitivity.SENSITIVE})
+        assert narrowed.classify("dwh.cost") is Sensitivity.SENSITIVE
+        assert hc.classify("dwh.cost") is Sensitivity.PUBLIC
+
+
+class TestPLA001Uncovered:
+    def test_exposed_sensitive_columns_flagged(self):
+        report = run_lint([AggregationThreshold(5)])
+        found = report.by_code("PLA001")
+        flagged = {d.message.split("'")[1] for d in found}
+        assert flagged == {"patient", "zip", "disease"}
+        severities = {
+            d.message.split("'")[1]: d.severity for d in found
+        }
+        assert severities["patient"] is Severity.ERROR  # direct identifier
+        assert severities["zip"] is Severity.WARNING
+
+    def test_fully_annotated_pla_is_clean(self):
+        report = run_lint(CLEAN_ANNOTATIONS)
+        assert report.by_code("PLA001") == ()
+
+
+class TestPLA002Contradictions:
+    def test_disjoint_role_sets(self):
+        report = run_lint(
+            CLEAN_ANNOTATIONS
+            + (AttributeAccess("patient", frozenset({"auditor"})),)
+        )
+        found = report.by_code("PLA002")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+        assert "disjoint role sets" in found[0].message
+
+    def test_join_both_allowed_and_prohibited(self):
+        report = run_lint(
+            CLEAN_ANNOTATIONS
+            + (
+                JoinPermission("muni/residents", "lab/exams", True),
+                JoinPermission("muni/residents", "lab/exams", False),
+            )
+        )
+        assert any(
+            "permitted and" in d.message for d in report.by_code("PLA002")
+        )
+
+    def test_conflicting_anonymization_methods(self):
+        report = run_lint(
+            CLEAN_ANNOTATIONS + (AnonymizationRequirement("zip", "suppress"),)
+        )
+        assert any("zip" in d.message for d in report.by_code("PLA002"))
+
+    def test_overlapping_roles_are_not_contradictory(self):
+        report = run_lint(
+            CLEAN_ANNOTATIONS
+            + (AttributeAccess("patient", frozenset({"doctor", "auditor"})),)
+        )
+        assert report.by_code("PLA002") == ()
+
+
+class TestPLA003Shadowed:
+    def test_weaker_threshold_shadowed(self):
+        report = run_lint(CLEAN_ANNOTATIONS + (AggregationThreshold(3),))
+        found = report.by_code("PLA003")
+        assert len(found) == 1
+        assert "≥3" in found[0].message and "≥5" in found[0].message
+
+    def test_wider_role_set_shadowed(self):
+        report = run_lint(
+            CLEAN_ANNOTATIONS
+            + (AttributeAccess("patient", frozenset({"doctor", "auditor"})),)
+        )
+        assert any(
+            "shadowed by" in d.message for d in report.by_code("PLA003")
+        )
+
+    def test_duplicate_join_rule(self):
+        report = run_lint(
+            CLEAN_ANNOTATIONS
+            + (
+                JoinPermission("muni/residents", "lab/exams", False),
+                JoinPermission("lab/exams", "muni/residents", False),
+            )
+        )
+        assert any(
+            "duplicate join rule" in d.message for d in report.by_code("PLA003")
+        )
+
+    def test_weaker_intensional_condition_shadowed(self):
+        strict = IntensionalCondition(
+            "drug", Comparison(">", Col("cost"), Lit(10)), "suppress_row"
+        )
+        weak = IntensionalCondition(
+            "drug", Comparison(">", Col("cost"), Lit(0)), "suppress_row"
+        )
+        report = run_lint(CLEAN_ANNOTATIONS + (strict, weak))
+        found = [
+            d for d in report.by_code("PLA003") if "intensional" in d.message
+        ]
+        assert len(found) == 1
+        assert "cost > 0" in found[0].message  # the weaker one is flagged
+
+    def test_single_rules_never_shadow(self):
+        assert run_lint(CLEAN_ANNOTATIONS).by_code("PLA003") == ()
+
+
+class TestPLA004DeadIntensional:
+    def test_unknown_condition_column_is_error(self):
+        report = run_lint(
+            CLEAN_ANNOTATIONS
+            + (
+                IntensionalCondition(
+                    "disease", Comparison("=", Col("hiv_flag"), Lit(0))
+                ),
+            )
+        )
+        found = report.by_code("PLA004")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+        assert "hiv_flag" in found[0].message
+
+    def test_tautological_condition_is_warning(self):
+        report = run_lint(
+            CLEAN_ANNOTATIONS + (IntensionalCondition("drug", Lit(True)),)
+        )
+        found = report.by_code("PLA004")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "always" in found[0].message
+
+    def test_cell_suppression_on_unexposed_attribute(self):
+        rule = IntensionalCondition(
+            "disease",
+            Comparison("!=", Col("disease"), Lit("HIV")),
+            "suppress_cell",
+        )
+        report = run_lint(
+            (AggregationThreshold(5), rule), exposed=("drug", "cost")
+        )
+        found = report.by_code("PLA004")
+        assert len(found) == 1
+        assert "no cell to blank" in found[0].message
+
+    def test_live_condition_is_clean(self):
+        assert run_lint(CLEAN_ANNOTATIONS).by_code("PLA004") == ()
+
+
+def cross_owner_flow():
+    residents = Table.from_rows(
+        "residents",
+        make_schema(("pid", STRING), ("zip", STRING)),
+        [("p1", "38100"), ("p2", "38068")],
+        provider="municipality",
+    )
+    exams = Table.from_rows(
+        "exams",
+        make_schema(("pid", STRING), ("result", STRING)),
+        [("p1", "neg"), ("p2", "pos")],
+        provider="laboratory",
+    )
+    flow = EtlFlow("cross")
+    flow.add(ExtractOp("x_res", residents, "stg_res"))
+    flow.add(ExtractOp("x_ex", exams, "stg_ex"))
+    flow.add(JoinOp("join_all", "stg_res", "stg_ex", [("pid", "pid")], "merged"))
+    return flow, residents, exams
+
+
+PAIR = frozenset({"municipality/residents", "laboratory/exams"})
+
+
+class TestPLA005JoinProhibition:
+    def test_flow_reaching_prohibited_pair(self):
+        flow, _, _ = cross_owner_flow()
+        registry = EtlPlaRegistry()
+        registry.add(
+            JoinProhibition(
+                "no_res_exams", "municipality",
+                "municipality/residents", "laboratory/exams",
+            )
+        )
+        assert prohibited_pairs_of(registry) == (PAIR,)
+        found = [
+            d
+            for d in lint_flow(
+                flow, registry=registry, prohibited_pairs=(PAIR,)
+            )
+            if d.code == "PLA005"
+        ]
+        assert found and all(d.severity is Severity.ERROR for d in found)
+        assert any("join_all" in d.location for d in found)
+
+    def test_materialized_lineage_flagged(self):
+        _, residents, exams = cross_owner_flow()
+        merged = algebra.join(residents, exams, [("pid", "pid")], name="merged")
+        catalog = Catalog()
+        catalog.add_table(merged)
+        found = lint_catalog_lineage(catalog, (PAIR,))
+        assert len(found) == 1
+        assert found[0].location == "table:merged"
+
+    def test_unrelated_prohibition_is_clean(self):
+        flow, _, _ = cross_owner_flow()
+        other = frozenset({"pharmacy/stock", "laboratory/exams"})
+        diagnostics = lint_flow(
+            flow, registry=None, prohibited_pairs=(other,)
+        )
+        assert not [d for d in diagnostics if d.code == "PLA005"]
+
+
+class TestETL001UncheckedOperator:
+    def test_cross_owner_join_without_constraint(self):
+        flow, _, _ = cross_owner_flow()
+        found = [
+            d for d in lint_flow(flow, registry=None) if d.code == "ETL001"
+        ]
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "laboratory" in found[0].message
+        assert "municipality" in found[0].message
+
+    def test_covering_constraint_silences(self):
+        flow, _, _ = cross_owner_flow()
+        registry = EtlPlaRegistry()
+        registry.add(
+            JoinProhibition(
+                "no_res_exams", "municipality",
+                "municipality/residents", "laboratory/exams",
+            )
+        )
+        diagnostics = lint_flow(flow, registry=registry)
+        assert not [d for d in diagnostics if d.code == "ETL001"]
+
+
+class TestRPT001EscapesMetareports:
+    def test_underivable_report_is_error(self):
+        catalog, metareports = make_deployment(
+            CLEAN_ANNOTATIONS, exposed=("drug", "disease")
+        )
+        reports = ReportCatalog()
+        reports.add(
+            ReportDefinition(
+                "leaky", "Leaky", Query.from_("dwh").project("patient"),
+                frozenset({"analyst"}), "care/quality",
+            )
+        )
+        report = StaticAnalyzer(
+            AnalysisInput(catalog=catalog, metareports=metareports, reports=reports)
+        ).analyze()
+        found = report.by_code("RPT001")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+        assert found[0].location == "report:leaky"
+
+    def test_derivable_report_is_clean(self):
+        catalog, metareports = make_deployment(CLEAN_ANNOTATIONS)
+        reports = ReportCatalog()
+        reports.add(
+            ReportDefinition(
+                "ok", "OK", Query.from_("dwh").project("drug", "cost"),
+                frozenset({"analyst"}), "care/quality",
+            )
+        )
+        report = StaticAnalyzer(
+            AnalysisInput(catalog=catalog, metareports=metareports, reports=reports)
+        ).analyze()
+        assert report.by_code("RPT001") == ()
+
+    def test_unapproved_metareport_is_warned(self):
+        catalog = Catalog()
+        catalog.add_table(dwh_table())
+        metareports = MetaReportSet()
+        metareports.add(
+            MetaReport("draft_mr", Query.from_("dwh").project("drug"))
+        )
+        report = StaticAnalyzer(
+            AnalysisInput(catalog=catalog, metareports=metareports)
+        ).analyze()
+        found = report.by_code("RPT001")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert found[0].location == "metareport:draft_mr"
+
+
+class TestRPT002IdentifyingDetail:
+    def run_on_report(self, query) -> DiagnosticReport:
+        catalog = Catalog()
+        catalog.add_table(dwh_table())
+        reports = ReportCatalog()
+        reports.add(
+            ReportDefinition(
+                "r", "R", query, frozenset({"analyst"}), "care/quality"
+            )
+        )
+        return StaticAnalyzer(
+            AnalysisInput(catalog=catalog, reports=reports)
+        ).analyze()
+
+    def test_copied_direct_identifier_flagged(self):
+        report = self.run_on_report(Query.from_("dwh").project("patient", "drug"))
+        found = report.by_code("RPT002")
+        assert len(found) == 1
+        assert "patient" in found[0].message
+
+    def test_aggregated_report_is_clean(self):
+        from repro.relational.algebra import AggSpec
+
+        query = (
+            Query.from_("dwh").group("drug").agg(AggSpec("count", None, "n"))
+        )
+        assert self.run_on_report(query).by_code("RPT002") == ()
+
+    def test_derived_value_is_not_a_copy(self):
+        query = Query.from_("dwh").project(
+            ("tag", Arith("+", Col("cost"), Lit(0))), "drug"
+        )
+        assert self.run_on_report(query).by_code("RPT002") == ()
+
+
+class TestWholeCatalogSweep:
+    def broken_deployment(self):
+        """One deployment wrong in every way the analyzer knows about."""
+        catalog = Catalog()
+        catalog.add_table(dwh_table())
+        _, residents, exams = cross_owner_flow()
+        catalog.add_table(
+            algebra.join(residents, exams, [("pid", "pid")], name="merged")
+        )
+
+        metareports = MetaReportSet()
+        wide = MetaReport(
+            "mr_wide", Query.from_("dwh").project("patient", "zip", "disease")
+        )
+        wide.attach_pla(
+            PLA(
+                "pla_wide", "healthcare", PlaLevel.METAREPORT, "mr_wide",
+                (
+                    AggregationThreshold(2),
+                    AggregationThreshold(10),  # PLA003: shadows the ≥2
+                    AttributeAccess("patient", frozenset({"doctor"})),
+                    AttributeAccess("patient", frozenset({"auditor"})),  # PLA002
+                    IntensionalCondition(
+                        "disease", Comparison("=", Col("ghost"), Lit(1))
+                    ),  # PLA004; zip stays uncovered → PLA001
+                    JoinPermission(
+                        "municipality/residents", "laboratory/exams", False
+                    ),  # → PLA005 pairs
+                ),
+            ).approved()
+        )
+        metareports.add(wide)
+        metareports.add(
+            MetaReport("mr_draft", Query.from_("dwh").project("drug"))
+        )  # RPT001 warning: no approved PLA
+        metareports.register_views(catalog)
+
+        reports = ReportCatalog()
+        reports.add(
+            ReportDefinition(
+                "escapee", "Escapee", Query.from_("dwh").project("cost"),
+                frozenset({"analyst"}), "care/quality",
+            )
+        )  # RPT001 error: no meta-report exposes cost
+        reports.add(
+            ReportDefinition(
+                "roster", "Roster", Query.from_("dwh").project("patient"),
+                frozenset({"analyst"}), "care/quality",
+            )
+        )  # RPT002: copies the direct identifier
+
+        flow, _, _ = cross_owner_flow()  # ETL001 + PLA005 (no registry)
+        return AnalysisInput(
+            catalog=catalog, metareports=metareports, reports=reports,
+            flows=(flow,),
+        )
+
+    def test_one_sweep_emits_every_code(self):
+        report = StaticAnalyzer(self.broken_deployment()).analyze()
+        assert set(report.codes()) == set(CODES)
+        assert report.exit_code() == 1
+        assert report.coverage == {
+            "metareports": 2, "reports": 2, "flows": 1, "tables": 2,
+        }
+
+    def test_clean_deployment_is_clean(self):
+        catalog, metareports = make_deployment(CLEAN_ANNOTATIONS)
+        reports = ReportCatalog()
+        from repro.relational.algebra import AggSpec
+
+        reports.add(
+            ReportDefinition(
+                "per_drug", "Per drug",
+                Query.from_("dwh").group("drug").agg(AggSpec("count", None, "n")),
+                frozenset({"analyst"}), "care/quality",
+            )
+        )
+        report = StaticAnalyzer(
+            AnalysisInput(catalog=catalog, metareports=metareports, reports=reports)
+        ).analyze()
+        assert report.clean
+        assert report.exit_code(fail_on=Severity.INFO) == 0
+        assert "clean" in report.summary()
+
+    def test_scenario_sweep_has_no_errors(self, scenario):
+        report = analyze_scenario(scenario)
+        assert report.exit_code() == 0  # warnings only on the shipped scenario
+        assert report.max_severity() is Severity.WARNING
+        assert {"ETL001", "PLA001", "RPT002"} <= set(report.codes())
+        assert report.coverage["metareports"] == 4
+        assert report.coverage["reports"] == 30
+        assert report.coverage["flows"] == 1
+
+
+class TestLintPlaDirect:
+    def test_lint_pla_is_usable_standalone(self):
+        pla = PLA(
+            "p", "o", PlaLevel.METAREPORT, "mr", (AggregationThreshold(5),)
+        )
+        diagnostics = lint_pla(
+            pla,
+            exposed_columns=("patient",),
+            column_sensitivity={"patient": Sensitivity.DIRECT},
+            base_columns=frozenset({"patient"}),
+            location="metareport:mr",
+        )
+        assert [d.code for d in diagnostics] == ["PLA001"]
+
+    def test_custom_sensitivity_map_changes_verdict(self):
+        catalog, metareports = make_deployment([AggregationThreshold(5)])
+        lax = SensitivityMap()  # everything PUBLIC
+        report = StaticAnalyzer(
+            AnalysisInput(
+                catalog=catalog, metareports=metareports, sensitivity=lax
+            )
+        ).analyze()
+        assert report.by_code("PLA001") == ()

@@ -83,6 +83,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "FIG3" in out
 
+    def test_lint_text(self, capsys):
+        assert main(["lint"]) == 0  # scenario has warnings, no errors
+        out = capsys.readouterr().out
+        assert out.startswith("lint[")
+        assert "warning(s)" in out
+        assert "hint:" in out
+
+    def test_lint_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["lint", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["error"] == 0
+        assert data["counts"]["warning"] > 0
+        assert data["coverage"]["reports"] == 30
+        codes = {d["code"] for d in data["diagnostics"]}
+        assert {"ETL001", "PLA001", "RPT002"} <= codes
+
+    def test_lint_fail_on_warning_exits_nonzero(self, capsys):
+        assert main(["lint", "--fail-on", "warning"]) == 1
+
+    def test_lint_saved_deployment(self, capsys, tmp_path):
+        target = str(tmp_path / "deploy")
+        assert main(["save", target]) == 0
+        assert main(["lint", "--deployment", target]) == 0
+        out = capsys.readouterr().out
+        assert "lint[" in out
+
     def test_save_and_load_roundtrip(self, capsys, tmp_path):
         target = str(tmp_path / "deploy")
         assert main(["save", target]) == 0
