@@ -1,20 +1,63 @@
-"""Engine microbenchmarks: the substrate's own cost profile.
+"""Engine microbenchmarks: row-store reference vs columnar batch executor.
 
-Not a paper figure — infrastructure calibration for the other benches:
-scan/filter/join/aggregate throughput (with full provenance propagation)
-and the relative overhead of lineage bookkeeping versus a provenance-free
-hand computation. Keeps regressions in the substrate from silently skewing
-the figure-level measurements.
+Two consumers:
+
+* ``pytest benchmarks/bench_engine_scaling.py`` — pytest-benchmark timings
+  for both engine modes plus the provenance-overhead sanity check;
+* :func:`main` (via ``python benchmarks/run_all.py engine [--json]`` or
+  ``repro bench``) — the scaling table: per query and size, wall time on
+  both paths, throughput, speedup, plan-cache warm-hit speedup, and the
+  containment-proof cache cold/warm ratio. ``--json`` writes the same
+  numbers to ``BENCH_engine.json`` for CI trending.
+
+Not a paper figure — infrastructure calibration. Keeps regressions in the
+substrate from silently skewing the figure-level measurements, and pins the
+tentpole claims (columnar ≥ 3× on the largest size; warm containment
+re-checks ≥ 10× over cold) to observable numbers.
 """
 
 from __future__ import annotations
 
+import gc
+import json
 import random
+import time
+from typing import Any, Callable
 
 import pytest
 
-from repro.relational import Catalog, Table, execute, make_schema, parse_query
+from repro.core.containment import (
+    check_derivability,
+    clear_proof_caches,
+    proof_cache_stats,
+)
+from repro.relational import (
+    COLUMNAR,
+    ROW,
+    Catalog,
+    ExecutionConfig,
+    PlanCache,
+    Query,
+    Table,
+    execute,
+    make_schema,
+    parse_query,
+)
 from repro.relational.types import ColumnType
+
+SIZES = [1_000, 10_000, 100_000]
+SMOKE_SIZES = [200, 2_000]
+
+QUERIES: dict[str, str] = {
+    "scan_filter": "SELECT category, value FROM t WHERE value > 500",
+    "hash_join": "SELECT category, label FROM t JOIN d ON k = k",
+    "group_aggregate": (
+        "SELECT category, COUNT(*) AS n, SUM(value) AS total "
+        "FROM t GROUP BY category"
+    ),
+}
+
+UNCACHED_COLUMNAR = ExecutionConfig(mode="columnar", use_plan_cache=False)
 
 
 def build_table(n_rows: int, *, seed: int = 7) -> Table:
@@ -53,40 +96,45 @@ def build_catalog(n_rows: int) -> Catalog:
     return cat
 
 
+# ---------------------------------------------------------------------------
+# pytest-benchmark targets (both modes, so regressions on either path show)
+# ---------------------------------------------------------------------------
+
+
 @pytest.fixture(scope="module", params=[1_000, 10_000])
 def sized_catalog(request):
     return request.param, build_catalog(request.param)
 
 
-def test_scan_filter(benchmark, sized_catalog):
+@pytest.fixture(scope="module", params=["row", "columnar"])
+def engine_config(request):
+    return {"row": ROW, "columnar": UNCACHED_COLUMNAR}[request.param]
+
+
+def test_scan_filter(benchmark, sized_catalog, engine_config):
     n, cat = sized_catalog
-    query = parse_query("SELECT category, value FROM t WHERE value > 500")
-    out = benchmark(execute, query, cat)
+    query = parse_query(QUERIES["scan_filter"])
+    out = benchmark(execute, query, cat, config=engine_config)
     assert 0 < len(out) < n
 
 
-def test_hash_join(benchmark, sized_catalog):
+def test_hash_join(benchmark, sized_catalog, engine_config):
     n, cat = sized_catalog
-    query = parse_query("SELECT category, label FROM t JOIN d ON k = k")
-    out = benchmark(execute, query, cat)
+    query = parse_query(QUERIES["hash_join"])
+    out = benchmark(execute, query, cat, config=engine_config)
     assert len(out) > 0
 
 
-def test_group_aggregate(benchmark, sized_catalog):
+def test_group_aggregate(benchmark, sized_catalog, engine_config):
     n, cat = sized_catalog
-    query = parse_query(
-        "SELECT category, COUNT(*) AS n, SUM(value) AS total "
-        "FROM t GROUP BY category"
-    )
-    out = benchmark(execute, query, cat)
+    query = parse_query(QUERIES["group_aggregate"])
+    out = benchmark(execute, query, cat, config=engine_config)
     assert len(out) == 5
 
 
 def test_provenance_overhead_is_bounded():
     """Aggregate with lineage vs a plain dict computation: the engine pays
     for auditability, but within an order of magnitude."""
-    import time
-
     table = build_table(10_000)
     cat = Catalog()
     cat.add_table(table)
@@ -95,7 +143,7 @@ def test_provenance_overhead_is_bounded():
     )
 
     start = time.perf_counter()
-    execute(query, cat)
+    execute(query, cat, config=UNCACHED_COLUMNAR)
     engine_s = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -108,3 +156,158 @@ def test_provenance_overhead_is_bounded():
 
     assert engine_s < plain_s * 500  # generous: provenance is not free
     assert engine_s < 1.0  # absolute sanity for the bench environment
+
+
+# ---------------------------------------------------------------------------
+# The scaling table (run_all / CLI entry point)
+# ---------------------------------------------------------------------------
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    # Collect once, then time with GC off (as timeit does): the columnar
+    # path allocates heavily, and generational collections that scan
+    # whatever earlier benchmarks left alive would otherwise dominate.
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _containment_workload(n_reports: int) -> tuple[Catalog, list[Query], Query]:
+    """A metareport plus ``n_reports`` candidate report queries over it."""
+    cat = Catalog()
+    schema = make_schema(
+        ("patient", ColumnType.STRING),
+        ("region", ColumnType.STRING),
+        ("disease", ColumnType.STRING),
+        ("cost", ColumnType.INT),
+    )
+    cat.add_table(Table.from_rows("visits", schema, [], provider="hosp"))
+    meta = Query.from_("visits").project("region", "disease", "cost")
+    reports = []
+    for i in range(n_reports):
+        reports.append(
+            parse_query(
+                f"SELECT region, cost FROM visits WHERE cost > {i * 10}"
+            )
+        )
+    return cat, reports, meta
+
+
+def run_engine_bench(*, smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
+    """Measure both engines across sizes; returns the full results dict."""
+    sizes = SMOKE_SIZES if smoke else SIZES
+    rows: list[dict[str, Any]] = []
+    for size in sizes:
+        cat = build_catalog(size)
+        for qname, sql in QUERIES.items():
+            query = parse_query(sql)
+            n_out = len(execute(query, cat, config=ROW))
+            row_s = _best_of(lambda: execute(query, cat, config=ROW), repeats)
+            col_s = _best_of(
+                lambda: execute(query, cat, config=UNCACHED_COLUMNAR), repeats
+            )
+            # Warm plan-cache hits against a private cache.
+            cache = PlanCache()
+            cached_cfg = ExecutionConfig(mode="columnar", plan_cache=cache)
+            execute(query, cat, config=cached_cfg)  # populate (1 miss)
+            warm_s = _best_of(lambda: execute(query, cat, config=cached_cfg), repeats)
+            rows.append(
+                {
+                    "query": qname,
+                    "size": size,
+                    "rows_out": n_out,
+                    "row_s": row_s,
+                    "columnar_s": col_s,
+                    "speedup": row_s / col_s if col_s else float("inf"),
+                    "rows_per_s_row": size / row_s if row_s else float("inf"),
+                    "rows_per_s_columnar": size / col_s if col_s else float("inf"),
+                    "warm_s": warm_s,
+                    "warm_speedup": col_s / warm_s if warm_s else float("inf"),
+                    "plan_cache_hit_rate": cache.stats.hit_rate,
+                }
+            )
+
+    largest = sizes[-1]
+    at_largest = [r for r in rows if r["size"] == largest]
+    summary = {
+        "largest_size": largest,
+        "min_speedup_at_largest": min(r["speedup"] for r in at_largest),
+        "max_speedup_at_largest": max(r["speedup"] for r in at_largest),
+    }
+
+    # Containment proofs: cold (empty cache) vs warm (memoized) re-checks.
+    n_checks = 20 if smoke else 200
+    ccat, reports, meta = _containment_workload(n_checks)
+
+    def run_checks() -> None:
+        for rq in reports:
+            check_derivability(rq, "mr_visits", meta, ccat)
+
+    clear_proof_caches()
+    cold_s = _best_of(run_checks, 1)
+    warm_proof_s = _best_of(run_checks, repeats)
+    containment = {
+        "checks": n_checks,
+        "cold_s": cold_s,
+        "warm_s": warm_proof_s,
+        "speedup": cold_s / warm_proof_s if warm_proof_s else float("inf"),
+        "stats": proof_cache_stats(),
+    }
+    return {
+        "smoke": smoke,
+        "sizes": sizes,
+        "engine": rows,
+        "summary": summary,
+        "containment": containment,
+    }
+
+
+def _print_report(results: dict[str, Any]) -> None:
+    print("Row-store reference vs columnar batch executor")
+    print(
+        f"{'query':<16} {'size':>8} {'out':>8} {'row s':>9} {'col s':>9} "
+        f"{'speedup':>8} {'col rows/s':>12} {'warm x':>8}"
+    )
+    for r in results["engine"]:
+        print(
+            f"{r['query']:<16} {r['size']:>8} {r['rows_out']:>8} "
+            f"{r['row_s']:>9.4f} {r['columnar_s']:>9.4f} "
+            f"{r['speedup']:>7.1f}x {r['rows_per_s_columnar']:>12,.0f} "
+            f"{r['warm_speedup']:>7.1f}x"
+        )
+    s = results["summary"]
+    print(
+        f"\nAt n={s['largest_size']}: columnar speedup "
+        f"{s['min_speedup_at_largest']:.1f}x–{s['max_speedup_at_largest']:.1f}x "
+        "over the row reference."
+    )
+    c = results["containment"]
+    print(
+        f"Containment proofs ({c['checks']} derivability checks): "
+        f"cold {c['cold_s']:.4f}s, warm {c['warm_s']:.4f}s "
+        f"({c['speedup']:.1f}x via proof memoization)."
+    )
+
+
+def main(*, smoke: bool = False, json_path: str | None = None) -> dict[str, Any]:
+    results = run_engine_bench(smoke=smoke)
+    _print_report(results)
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {json_path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -3,20 +3,30 @@
 
 Usage::
 
-    python benchmarks/run_all.py               # print everything
-    python benchmarks/run_all.py fig5 abl-mr   # a subset
+    python benchmarks/run_all.py                  # print everything
+    python benchmarks/run_all.py fig5 abl-mr      # a subset
+    python benchmarks/run_all.py --smoke --json   # CI: tiny sizes + BENCH_engine.json
 
 The per-figure assertions live in the pytest targets (``pytest
 benchmarks/``); this runner is for regenerating the tables behind
-EXPERIMENTS.md in one sitting.
+EXPERIMENTS.md in one sitting. A target that raises is reported and the
+runner exits nonzero, so CI can't silently publish half a result set.
+
+``--smoke`` is forwarded to targets whose ``main`` accepts it (currently the
+engine bench), shrinking sizes for a fast sanity pass. ``--json`` makes the
+engine bench write its numbers to ``BENCH_engine.json`` in the working
+directory.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
+import inspect
 import pathlib
 import sys
 import time
+import traceback
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
@@ -32,21 +42,61 @@ TARGETS: dict[str, str] = {
     "abl-pbac": "benchmarks.bench_ablation_prbac",
     "abl-neg": "benchmarks.bench_ablation_negotiation",
     "abl-int": "benchmarks.bench_ablation_integration",
+    "engine": "benchmarks.bench_engine_scaling",
 }
+
+JSON_PATH = "BENCH_engine.json"
+
+
+def _target_kwargs(entry, *, smoke: bool, emit_json: bool) -> dict:
+    """Forward only the options a target's ``main`` declares."""
+    params = inspect.signature(entry).parameters
+    kwargs = {}
+    if smoke and "smoke" in params:
+        kwargs["smoke"] = True
+    if emit_json and "json_path" in params:
+        kwargs["json_path"] = JSON_PATH
+    return kwargs
 
 
 def main(argv: list[str]) -> int:
-    names = argv or list(TARGETS)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("targets", nargs="*", metavar="target")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for targets that support it (fast CI sanity pass)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=f"write engine-bench results to {JSON_PATH}",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.targets or list(TARGETS)
     unknown = [n for n in names if n not in TARGETS]
     if unknown:
         print(f"unknown target(s): {unknown}; choose from {sorted(TARGETS)}")
         return 2
+    failures: list[str] = []
     for name in names:
         print(f"\n{'#' * 70}\n# {name}\n{'#' * 70}")
         started = time.perf_counter()
-        module = importlib.import_module(TARGETS[name])
-        module.main()
+        try:
+            module = importlib.import_module(TARGETS[name])
+            module.main(
+                **_target_kwargs(module.main, smoke=args.smoke, emit_json=args.json)
+            )
+        except Exception:
+            traceback.print_exc()
+            failures.append(name)
+            print(f"\n[{name} FAILED after {time.perf_counter() - started:.1f}s]")
+            continue
         print(f"\n[{name} completed in {time.perf_counter() - started:.1f}s]")
+    if failures:
+        print(f"\n{len(failures)} target(s) failed: {', '.join(failures)}")
+        return 1
     return 0
 
 

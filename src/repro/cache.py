@@ -1,0 +1,122 @@
+"""Small shared caching primitives used by the execution and proof layers.
+
+Two consumers:
+
+* :mod:`repro.relational.plancache` — the normalized-plan/result cache of the
+  columnar executor;
+* :mod:`repro.core.containment` — memoized derivability/containment proofs
+  (meta-report compliance is re-proved on every report-evolution step, and
+  the proof inputs rarely change between steps).
+
+Both are keyed by *fingerprints plus version counters*, so mutating the
+underlying catalog/PLA state changes the key rather than leaving a stale
+entry reachable; the LRU bound plus explicit invalidation hooks keep the
+dead generations from accumulating.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+__all__ = ["CacheStats", "LRUCache"]
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup in [0, 1]; 0.0 before the first lookup."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.invalidations = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class LRUCache:
+    """A bounded mapping with LRU eviction and observable statistics.
+
+    Not thread-safe (the whole engine is single-threaded); ``maxsize <= 0``
+    disables storage entirely, turning every lookup into a miss — handy for
+    cold-path measurements without branching at every call site.
+    """
+
+    maxsize: int = 1024
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: OrderedDict[Hashable, Any] = field(default_factory=OrderedDict)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``; evicts the least-recently-used overflow."""
+        if self.maxsize <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Cached value of ``compute()`` under ``key``."""
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return value
+        self.stats.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def invalidate_where(self, match: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``match``; returns the count."""
+        doomed = [k for k in self._entries if match(k)]
+        for k in doomed:
+            del self._entries[k]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything; returns how many entries were removed."""
+        n = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += n
+        return n

@@ -10,6 +10,7 @@ Commands::
     python -m repro gaps                          # PLA coverage analysis
     python -m repro lint --json                   # static privacy-flow lint
     python -m repro fig 5                         # regenerate a paper figure
+    python -m repro bench --smoke                 # engine scaling benchmark
 
 Installed as a console script (``repro …``) via ``pip install -e .``.
 """
@@ -194,6 +195,19 @@ _FIGS = {
 
 
 def cmd_fig(args: argparse.Namespace) -> int:
+    module = _benchmark_module(_FIGS[args.number])
+    module.main()
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    module = _benchmark_module("benchmarks.bench_engine_scaling")
+    module.main(smoke=args.smoke, json_path=args.json)
+    return 0
+
+
+def _benchmark_module(name: str):
+    """Import a benchmark module (benchmarks/ lives outside the package)."""
     import importlib
     import pathlib
     import sys as _sys
@@ -201,9 +215,7 @@ def cmd_fig(args: argparse.Namespace) -> int:
     repo_root = pathlib.Path(__file__).resolve().parents[2]
     if str(repo_root) not in _sys.path:
         _sys.path.insert(0, str(repo_root))
-    module = importlib.import_module(_FIGS[args.number])
-    module.main()
-    return 0
+    return importlib.import_module(name)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -257,6 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("fig", help="regenerate a paper figure's table")
     fig.add_argument("number", choices=sorted(_FIGS))
 
+    bench = sub.add_parser(
+        "bench", help="row vs. columnar engine scaling benchmark"
+    )
+    bench.add_argument(
+        "--smoke", action="store_true", help="tiny sizes, seconds not minutes"
+    )
+    bench.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write machine-readable results to PATH",
+    )
+
     save = sub.add_parser("save", help="persist the deployment to a directory")
     save.add_argument("directory")
 
@@ -274,6 +297,7 @@ _HANDLERS = {
     "gaps": cmd_gaps,
     "lint": cmd_lint,
     "fig": cmd_fig,
+    "bench": cmd_bench,
     "save": cmd_save,
     "load": cmd_load,
 }

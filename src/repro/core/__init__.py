@@ -29,8 +29,11 @@ from repro.core.containment import (
     NotConjunctive,
     canonicalize,
     check_derivability,
+    clear_proof_caches,
     is_contained,
     predicate_implies,
+    proof_cache_stats,
+    set_proof_caching,
     source_columns_used,
 )
 from repro.core.elicitation import (
@@ -104,9 +107,12 @@ __all__ = [
     "WarehouseLevel",
     "canonicalize",
     "check_derivability",
+    "clear_proof_caches",
     "generate_metareports",
     "is_contained",
     "predicate_implies",
+    "proof_cache_stats",
+    "set_proof_caching",
     "source_columns_used",
     "to_etl_registry",
     "to_vpd_policy",

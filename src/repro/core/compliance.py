@@ -15,7 +15,9 @@ before anything is deployed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
+from repro.cache import LRUCache
 from repro.core.annotations import (
     AggregationThreshold,
     Annotation,
@@ -96,6 +98,10 @@ class ComplianceChecker:
     catalog: Catalog
     metareports: MetaReportSet
     source_identity: dict[str, frozenset[str]] = field(default_factory=dict)
+    use_cache: bool = True
+    _verdicts: LRUCache = field(
+        default_factory=lambda: LRUCache(maxsize=512), repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.source_identity:
@@ -117,10 +123,71 @@ class ComplianceChecker:
             out.update(self.source_identity.get(base, frozenset()))
         return frozenset(out)
 
+    # -- verdict caching -----------------------------------------------------
+    #
+    # A verdict is a pure function of (report definition, meta-report set
+    # incl. the PLA attached to each, catalog DDL). The key fingerprints all
+    # three, so *any* mutation — a PLA revision or approval, a report
+    # evolution step (``with_query``/``with_audience`` bump the version), a
+    # meta-report extension, or catalog DDL — changes the key and the stale
+    # verdict becomes unreachable. ``invalidate_cache`` additionally drops
+    # entries eagerly.
+
+    def _report_fingerprint(self, report: ReportDefinition) -> tuple:
+        return (
+            report.name,
+            report.version,
+            report.query.fingerprint(),
+            tuple(sorted(report.audience)),
+            report.purpose,
+        )
+
+    def _metaset_fingerprint(self) -> tuple:
+        parts = []
+        for metareport in self.metareports:
+            pla = metareport.pla
+            pla_fp = (
+                None
+                if pla is None
+                else (
+                    pla.name,
+                    pla.version,
+                    pla.status.value,
+                    tuple(a.describe() for a in pla.annotations),
+                )
+            )
+            parts.append((metareport.name, metareport.query.fingerprint(), pla_fp))
+        return tuple(parts)
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Hit/miss counters of the verdict cache."""
+        return self._verdicts.stats.as_dict()
+
+    def invalidate_cache(self) -> int:
+        """Drop every cached verdict; returns how many were removed."""
+        return self._verdicts.clear()
+
     # -- the main entry point ------------------------------------------------
 
     def check_report(self, report: ReportDefinition) -> ComplianceVerdict:
-        """Full compliance verdict for one report definition."""
+        """Full compliance verdict for one report definition (memoized; see
+        the fingerprinting notes above)."""
+        if not self.use_cache:
+            return self._check_report_uncached(report)
+        key = (
+            self._report_fingerprint(report),
+            self._metaset_fingerprint(),
+            id(self.catalog),
+            self.catalog.ddl_version,
+        )
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            return cached
+        verdict = self._check_report_uncached(report)
+        self._verdicts.put(key, verdict)
+        return verdict
+
+    def _check_report_uncached(self, report: ReportDefinition) -> ComplianceVerdict:
         covering, attempts = self.metareports.find_covering(report, self.catalog)
         if covering is None:
             return ComplianceVerdict(

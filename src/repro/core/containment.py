@@ -26,6 +26,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.cache import LRUCache
 from repro.errors import QueryError
 from repro.relational.catalog import Catalog
 from repro.relational.expressions import (
@@ -48,11 +49,76 @@ __all__ = [
     "canonicalize",
     "is_contained",
     "NotConjunctive",
+    "proof_cache_stats",
+    "clear_proof_caches",
+    "set_proof_caching",
 ]
 
 
 class NotConjunctive(QueryError):
     """The query/predicate falls outside the conjunctive fragment."""
+
+
+# ---------------------------------------------------------------------------
+# Proof memoization
+#
+# Derivability and containment are pure functions of the two query trees and
+# the catalog's *definitions* (schemas, views) — never of row data. Keys are
+# therefore ``(fingerprints..., id(catalog), catalog.ddl_version)``: any DDL
+# change versions old entries out, and a registered mutation hook evicts the
+# affected catalog's entries eagerly. ``NotConjunctive`` outcomes are cached
+# too (as a sentinel) and re-raised, since proving "outside the fragment"
+# costs the same canonicalization work as a positive proof.
+# ---------------------------------------------------------------------------
+
+_PROOF_CACHE_SIZE = 4096
+_derivability_cache = LRUCache(maxsize=_PROOF_CACHE_SIZE)
+_containment_cache = LRUCache(maxsize=_PROOF_CACHE_SIZE)
+_caching_enabled = True
+_hooked_catalogs: set[int] = set()
+
+
+def _on_catalog_mutation(catalog: Catalog, name: str) -> None:
+    cat_id = id(catalog)
+    _derivability_cache.invalidate_where(lambda k: k[-2] == cat_id)
+    _containment_cache.invalidate_where(lambda k: k[-2] == cat_id)
+
+
+def _hook_catalog(catalog: Catalog) -> None:
+    if id(catalog) not in _hooked_catalogs:
+        _hooked_catalogs.add(id(catalog))
+        catalog.add_mutation_hook(_on_catalog_mutation)
+
+
+def set_proof_caching(enabled: bool) -> bool:
+    """Toggle proof memoization (e.g. for cold-path benchmarks); returns the
+    previous setting. Disabling also drops all cached proofs."""
+    global _caching_enabled
+    previous = _caching_enabled
+    _caching_enabled = enabled
+    if not enabled:
+        _derivability_cache.clear()
+        _containment_cache.clear()
+    return previous
+
+
+def proof_cache_stats() -> dict[str, dict[str, Any]]:
+    """Hit/miss counters and entry counts for the proof caches."""
+    return {
+        "derivability": {
+            **_derivability_cache.stats.as_dict(),
+            "entries": len(_derivability_cache),
+        },
+        "containment": {
+            **_containment_cache.stats.as_dict(),
+            "entries": len(_containment_cache),
+        },
+    }
+
+
+def clear_proof_caches() -> int:
+    """Drop all memoized proofs; returns how many entries were removed."""
+    return _derivability_cache.clear() + _containment_cache.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -295,7 +361,38 @@ def check_derivability(
        can only *narrow* what the owner approved);
     4. aggregation compatibility: the report's GROUP BY columns are
        meta-report outputs and aggregated columns are meta-report outputs.
+
+    Results are memoized per catalog DDL generation (the proof never reads
+    row data); see :func:`proof_cache_stats`.
     """
+    if not _caching_enabled:
+        return _check_derivability_uncached(
+            report_query, metareport_name, metareport_query, catalog
+        )
+    key = (
+        report_query.fingerprint(),
+        metareport_name,
+        metareport_query.fingerprint(),
+        id(catalog),
+        catalog.ddl_version,
+    )
+    cached = _derivability_cache.get(key)
+    if cached is not None:
+        return cached
+    result = _check_derivability_uncached(
+        report_query, metareport_name, metareport_query, catalog
+    )
+    _hook_catalog(catalog)
+    _derivability_cache.put(key, result)
+    return result
+
+
+def _check_derivability_uncached(
+    report_query: Query,
+    metareport_name: str,
+    metareport_query: Query,
+    catalog: Catalog,
+) -> DerivabilityResult:
     reasons: list[str] = []
 
     report_bases = catalog.base_relations_of_query(report_query)
@@ -574,7 +671,31 @@ def is_contained(q1: Query, q2: Query, catalog: Catalog) -> bool:
 
     Uses the homomorphism theorem with conservative comparison handling.
     Raises :class:`NotConjunctive` when either query leaves the fragment.
+
+    Results (including ``NotConjunctive`` outcomes) are memoized per catalog
+    DDL generation; see :func:`proof_cache_stats`.
     """
+    if not _caching_enabled:
+        return _is_contained_uncached(q1, q2, catalog)
+    key = (q1.fingerprint(), q2.fingerprint(), id(catalog), catalog.ddl_version)
+    cached = _containment_cache.get(key)
+    if cached is not None:
+        kind, payload = cached
+        if kind == "raise":
+            raise NotConjunctive(*payload)
+        return payload
+    try:
+        result = _is_contained_uncached(q1, q2, catalog)
+    except NotConjunctive as exc:
+        _hook_catalog(catalog)
+        _containment_cache.put(key, ("raise", exc.args))
+        raise
+    _hook_catalog(catalog)
+    _containment_cache.put(key, ("value", result))
+    return result
+
+
+def _is_contained_uncached(q1: Query, q2: Query, catalog: Catalog) -> bool:
     c1 = canonicalize(q1, catalog)
     c2 = canonicalize(q2, catalog)
     # Containment compares answer sets, so the heads must expose the same

@@ -20,8 +20,17 @@ from repro.relational.algebra import (
     union,
 )
 from repro.relational.catalog import Catalog, View
-from repro.relational.engine import Engine, execute
+from repro.relational.columnar import ColumnarTable, execute_columnar
+from repro.relational.engine import Engine, execute, execute_row
+from repro.relational.execconfig import (
+    COLUMNAR,
+    ROW,
+    ExecutionConfig,
+    get_default_config,
+    set_default_config,
+)
 from repro.relational.io import dumps_csv, loads_csv, read_csv, write_csv
+from repro.relational.plancache import PlanCache, default_plan_cache
 from repro.relational.expressions import (
     And,
     Arith,
@@ -47,13 +56,16 @@ __all__ = [
     "AggSpec",
     "And",
     "Arith",
+    "COLUMNAR",
     "Catalog",
     "CellRef",
     "Col",
     "Column",
     "ColumnType",
+    "ColumnarTable",
     "Comparison",
     "Engine",
+    "ExecutionConfig",
     "Expr",
     "InList",
     "IsNull",
@@ -61,7 +73,9 @@ __all__ = [
     "Lit",
     "Not",
     "Or",
+    "PlanCache",
     "Query",
+    "ROW",
     "RowId",
     "RowProvenance",
     "Schema",
@@ -71,10 +85,15 @@ __all__ = [
     "coerce_value",
     "col",
     "conjuncts",
+    "default_plan_cache",
     "distinct",
     "dumps_csv",
     "execute",
+    "execute_columnar",
+    "execute_row",
     "extend",
+    "get_default_config",
+    "set_default_config",
     "join",
     "limit",
     "lit",

@@ -38,6 +38,9 @@ __all__ = [
     "rename",
     "AggSpec",
     "AGGREGATE_FUNCTIONS",
+    "project_plan",
+    "aggregate_output_schema",
+    "join_frame",
 ]
 
 
@@ -56,6 +59,33 @@ def select(table: Table, predicate: Expr, *, name: str | None = None) -> Table:
     return Table.derived(name or table.name, table.schema, rows, provs)
 
 
+def project_plan(
+    in_schema: Schema, columns: Sequence[str | tuple[str, Expr]]
+) -> tuple[Schema, list[tuple[str, Expr, bool]]]:
+    """Resolve a projection list against ``in_schema``.
+
+    Returns the output schema and ``(alias, expr, is_copy)`` extractors.
+    Shared by the row-store and columnar executors so both validate and
+    type-infer identically.
+    """
+    out_cols: list[Column] = []
+    extractors: list[tuple[str, Expr, bool]] = []  # (alias, expr, is_copy)
+    for spec in columns:
+        if isinstance(spec, str):
+            out_cols.append(in_schema.column(spec))
+            extractors.append((spec, Col(spec), True))
+        else:
+            alias, expr = spec
+            if isinstance(expr, Col):
+                src = in_schema.column(expr.name)
+                out_cols.append(Column(alias, src.ctype, src.nullable))
+                extractors.append((alias, expr, True))
+            else:
+                out_cols.append(Column(alias, _infer_type(expr, in_schema)))
+                extractors.append((alias, expr, False))
+    return Schema(out_cols), extractors
+
+
 def project(
     table: Table,
     columns: Sequence[str | tuple[str, Expr]],
@@ -63,22 +93,7 @@ def project(
     name: str | None = None,
 ) -> Table:
     """Project to plain columns and/or computed ``(alias, expr)`` columns."""
-    out_cols: list[Column] = []
-    extractors: list[tuple[str, Expr, bool]] = []  # (alias, expr, is_copy)
-    for spec in columns:
-        if isinstance(spec, str):
-            out_cols.append(table.schema.column(spec))
-            extractors.append((spec, Col(spec), True))
-        else:
-            alias, expr = spec
-            if isinstance(expr, Col):
-                src = table.schema.column(expr.name)
-                out_cols.append(Column(alias, src.ctype, src.nullable))
-                extractors.append((alias, expr, True))
-            else:
-                out_cols.append(Column(alias, _infer_type(expr, table.schema)))
-                extractors.append((alias, expr, False))
-    schema = Schema(out_cols)
+    schema, extractors = project_plan(table.schema, columns)
     rows: list[tuple[Any, ...]] = []
     provs: list[RowProvenance] = []
     names = table.schema.names
@@ -123,6 +138,41 @@ def rename(table: Table, mapping: dict[str, str], *, name: str | None = None) ->
     return Table.derived(name or table.name, schema, list(table.rows), provs)
 
 
+def join_frame(
+    left_schema: Schema,
+    right_schema: Schema,
+    left_name: str,
+    right_name: str,
+    on: Sequence[tuple[str, str]],
+    how: str,
+) -> tuple[Schema, set[str], list[int], list[int]]:
+    """Validate a join and compute its output frame.
+
+    Returns ``(schema, collisions, left_key_idx, right_key_idx)``. Shared by
+    the row-store and columnar executors.
+    """
+    if how not in ("inner", "left"):
+        raise QueryError(f"unsupported join type {how!r}")
+    if not on:
+        raise QueryError("join requires at least one equality pair")
+    for lcol, rcol in on:
+        left_schema.column(lcol)
+        right_schema.column(rcol)
+
+    schema = left_schema.concat(right_schema, disambiguate=(left_name, right_name))
+    if how == "left":
+        # Right-side columns become nullable in a left outer join.
+        n_left = len(left_schema)
+        schema = Schema(
+            list(schema.columns[:n_left])
+            + [c.as_nullable() for c in schema.columns[n_left:]]
+        )
+    collisions = set(left_schema.names) & set(right_schema.names)
+    left_key_idx = [left_schema.index_of(lcol) for lcol, _ in on]
+    right_key_idx = [right_schema.index_of(rcol) for _, rcol in on]
+    return schema, collisions, left_key_idx, right_key_idx
+
+
 def join(
     left: Table,
     right: Table,
@@ -136,25 +186,9 @@ def join(
     ``how`` is ``"inner"`` or ``"left"``. Name collisions between the two
     sides are qualified as ``<table>.<column>``.
     """
-    if how not in ("inner", "left"):
-        raise QueryError(f"unsupported join type {how!r}")
-    if not on:
-        raise QueryError("join requires at least one equality pair")
-    for lcol, rcol in on:
-        left.schema.column(lcol)
-        right.schema.column(rcol)
-
-    schema = left.schema.concat(right.schema, disambiguate=(left.name, right.name))
-    if how == "left":
-        # Right-side columns become nullable in a left outer join.
-        n_left = len(left.schema)
-        schema = Schema(
-            list(schema.columns[:n_left])
-            + [c.as_nullable() for c in schema.columns[n_left:]]
-        )
-    collisions = set(left.schema.names) & set(right.schema.names)
-
-    right_key_idx = [right.schema.index_of(rcol) for _, rcol in on]
+    schema, collisions, left_key_idx, right_key_idx = join_frame(
+        left.schema, right.schema, left.name, right.name, on, how
+    )
     buckets: dict[tuple[Any, ...], list[int]] = {}
     for i, row in enumerate(right.rows):
         key = tuple(row[k] for k in right_key_idx)
@@ -162,7 +196,6 @@ def join(
             continue
         buckets.setdefault(key, []).append(i)
 
-    left_key_idx = [left.schema.index_of(lcol) for lcol, _ in on]
     null_right = (None,) * len(right.schema)
     rows: list[tuple[Any, ...]] = []
     provs: list[RowProvenance] = []
@@ -296,6 +329,30 @@ _AGG_RESULT_TYPE = {
 }
 
 
+def aggregate_output_schema(
+    in_schema: Schema, group_by: Sequence[str], aggs: Sequence[AggSpec]
+) -> Schema:
+    """Validate a GROUP BY block and compute its output schema.
+
+    Shared by the row-store and columnar executors.
+    """
+    for g in group_by:
+        in_schema.column(g)
+    for spec in aggs:
+        if spec.column is not None:
+            in_schema.column(spec.column)
+    out_cols = [in_schema.column(g) for g in group_by]
+    for spec in aggs:
+        if spec.func in _AGG_RESULT_TYPE:
+            ctype = _AGG_RESULT_TYPE[spec.func]
+        elif spec.column is not None:
+            ctype = in_schema.column(spec.column).ctype
+        else:
+            ctype = ColumnType.INT
+        out_cols.append(Column(spec.alias, ctype))
+    return Schema(out_cols)
+
+
 def aggregate(
     table: Table,
     group_by: Sequence[str],
@@ -308,12 +365,7 @@ def aggregate(
     With an empty ``group_by`` the whole input forms one group (even when the
     input is empty, matching SQL's scalar-aggregate semantics).
     """
-    for g in group_by:
-        table.schema.column(g)
-    for spec in aggs:
-        if spec.column is not None:
-            table.schema.column(spec.column)
-
+    schema = aggregate_output_schema(table.schema, group_by, aggs)
     group_idx = [table.schema.index_of(g) for g in group_by]
     groups: dict[tuple[Any, ...], list[int]] = {}
     order: list[tuple[Any, ...]] = []
@@ -326,17 +378,6 @@ def aggregate(
     if not group_by and not groups:
         groups[()] = []
         order.append(())
-
-    out_cols = [table.schema.column(g) for g in group_by]
-    for spec in aggs:
-        if spec.func in _AGG_RESULT_TYPE:
-            ctype = _AGG_RESULT_TYPE[spec.func]
-        elif spec.column is not None:
-            ctype = table.schema.column(spec.column).ctype
-        else:
-            ctype = ColumnType.INT
-        out_cols.append(Column(spec.alias, ctype))
-    schema = Schema(out_cols)
 
     rows: list[tuple[Any, ...]] = []
     provs: list[RowProvenance] = []

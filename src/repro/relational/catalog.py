@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.errors import CatalogError
 from repro.relational.query import Query
@@ -40,6 +40,26 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, View] = {}
+        self.ddl_version = 0
+        self._mutation_hooks: list[Callable[["Catalog", str], None]] = []
+
+    # -- mutation notification ----------------------------------------------
+
+    def add_mutation_hook(self, hook: Callable[["Catalog", str], None]) -> None:
+        """Call ``hook(catalog, name)`` after every add/replace/drop.
+
+        This is the cache-invalidation seam: the plan cache and containment
+        proof cache subscribe so catalog DDL immediately evicts entries
+        derived from the old definitions (version-stamped keys make stale
+        hits impossible regardless; the hook reclaims the memory eagerly).
+        """
+        if hook not in self._mutation_hooks:
+            self._mutation_hooks.append(hook)
+
+    def _mutated(self, name: str) -> None:
+        self.ddl_version += 1
+        for hook in self._mutation_hooks:
+            hook(self, name)
 
     # -- registration -------------------------------------------------------
 
@@ -48,6 +68,7 @@ class Catalog:
         self._check_name_free(table.name, replace=replace)
         self._views.pop(table.name, None)
         self._tables[table.name] = table
+        self._mutated(table.name)
         return table
 
     def add_view(self, view: View, *, replace: bool = False) -> View:
@@ -56,6 +77,7 @@ class Catalog:
         self._check_acyclic(view)
         self._tables.pop(view.name, None)
         self._views[view.name] = view
+        self._mutated(view.name)
         return view
 
     def drop(self, name: str) -> None:
@@ -66,6 +88,7 @@ class Catalog:
             del self._views[name]
         else:
             raise CatalogError(f"no table or view named {name!r}")
+        self._mutated(name)
 
     def _check_name_free(self, name: str, *, replace: bool) -> None:
         if not replace and (name in self._tables or name in self._views):
@@ -151,3 +174,17 @@ class Catalog:
         for name in query.referenced_relations():
             out.update(self.base_relations(name))
         return frozenset(out)
+
+    def state_token(self, query: Query) -> tuple:
+        """Hashable snapshot of everything ``query``'s result depends on.
+
+        Combines the DDL generation (table/view definitions) with the data
+        version and row count of every base table the query transitively
+        reads. Two executions with equal tokens are guaranteed to see the
+        same catalog state, which is what makes result caching sound.
+        """
+        parts = tuple(
+            (name, self._tables[name].data_version, len(self._tables[name].rows))
+            for name in sorted(self.base_relations_of_query(query))
+        )
+        return (id(self), self.ddl_version, parts)

@@ -4,6 +4,17 @@ a :class:`~repro.relational.catalog.Catalog`, with full provenance flow.
 Views are expanded by recursive execution (no materialization), so the
 provenance of a view's output reaches all the way down to base rows — which
 is what report-level PLA auditing needs.
+
+:func:`execute` dispatches between two implementations chosen by an
+:class:`~repro.relational.execconfig.ExecutionConfig`:
+
+* the **row-store reference path** in this module — row-at-a-time, simple,
+  and never cached; the semantics oracle for differential testing;
+* the **columnar batch path** in :mod:`repro.relational.columnar`, fronted
+  by the normalized-plan result cache of
+  :mod:`repro.relational.plancache`.
+
+Both produce value-identical tables, provenance included.
 """
 
 from __future__ import annotations
@@ -11,16 +22,46 @@ from __future__ import annotations
 from repro.errors import QueryError
 from repro.relational import algebra
 from repro.relational.catalog import Catalog
+from repro.relational.execconfig import ExecutionConfig, get_default_config
 from repro.relational.query import Query, _ensure_select_consistency
 from repro.relational.table import Table
 
-__all__ = ["execute", "Engine"]
+__all__ = ["execute", "execute_row", "Engine"]
 
 _MAX_VIEW_DEPTH = 32
 
 
-def execute(query: Query, catalog: Catalog, *, name: str | None = None) -> Table:
-    """Run ``query`` against ``catalog`` and return a derived table."""
+def execute(
+    query: Query,
+    catalog: Catalog,
+    *,
+    name: str | None = None,
+    config: ExecutionConfig | None = None,
+) -> Table:
+    """Run ``query`` against ``catalog`` and return a derived table.
+
+    ``config`` selects the execution path (and plan caching); ``None`` uses
+    the process default (columnar, cached).
+    """
+    cfg = config if config is not None else get_default_config()
+    if cfg.mode == "row":
+        return _execute(query, catalog, depth=0, name=name)
+
+    from repro.relational.columnar import execute_columnar
+
+    cache = cfg.effective_plan_cache()
+    if cache is None:
+        return execute_columnar(query, catalog, name=name)
+    cached = cache.lookup(query, catalog, cfg.mode, name=name)
+    if cached is not None:
+        return cached
+    result = execute_columnar(query, catalog, name=name)
+    cache.store(query, catalog, cfg.mode, result)
+    return result
+
+
+def execute_row(query: Query, catalog: Catalog, *, name: str | None = None) -> Table:
+    """Run ``query`` on the row-store reference path, bypassing dispatch."""
     return _execute(query, catalog, depth=0, name=name)
 
 
@@ -77,12 +118,18 @@ class Engine:
     intercept queries before execution.
     """
 
-    def __init__(self, catalog: Catalog | None = None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        *,
+        config: ExecutionConfig | None = None,
+    ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
+        self.config = config
 
     def run(self, query: Query, *, name: str | None = None) -> Table:
         """Execute ``query`` against this engine's catalog."""
-        return execute(query, self.catalog, name=name)
+        return execute(query, self.catalog, name=name, config=self.config)
 
     def sql(self, text: str, *, name: str | None = None) -> Table:
         """Parse and execute a SQL-subset string."""

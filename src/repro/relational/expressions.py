@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.errors import QueryError
 
@@ -43,6 +43,22 @@ class Expr:
 
     def evaluate(self, row: Mapping[str, Any]) -> Any:
         raise NotImplementedError
+
+    def evaluate_batch(self, cols: Mapping[str, Sequence[Any]], n: int) -> list[Any]:
+        """Evaluate over ``n`` rows stored column-wise; returns ``n`` values.
+
+        ``cols`` maps column name → column vector (all of length ``n``).
+        The built-in nodes override this with vectorized loops; this default
+        reconstructs row dicts so third-party :class:`Expr` subclasses keep
+        working on the columnar path without writing a batch kernel.
+        """
+        names = list(cols)
+        vectors = [cols[name] for name in names]
+        if not vectors:
+            return [self.evaluate({}) for _ in range(n)]
+        return [
+            self.evaluate(dict(zip(names, values))) for values in zip(*vectors)
+        ]
 
     def columns(self) -> frozenset[str]:
         """Names of all columns referenced by this expression."""
@@ -72,6 +88,12 @@ class Col(Expr):
     def evaluate(self, row: Mapping[str, Any]) -> Any:
         try:
             return row[self.name]
+        except KeyError:
+            raise QueryError(f"row has no column {self.name!r}") from None
+
+    def evaluate_batch(self, cols: Mapping[str, Sequence[Any]], n: int) -> list[Any]:
+        try:
+            return cols[self.name]  # type: ignore[return-value]  # callers never mutate
         except KeyError:
             raise QueryError(f"row has no column {self.name!r}") from None
 
@@ -121,6 +143,9 @@ class Lit(Expr):
 
     def evaluate(self, row: Mapping[str, Any]) -> Any:
         return self.value
+
+    def evaluate_batch(self, cols: Mapping[str, Sequence[Any]], n: int) -> list[Any]:
+        return [self.value] * n
 
     def columns(self) -> frozenset[str]:
         return frozenset()
@@ -211,6 +236,48 @@ class Comparison(_StructuralEq, Expr):
                 f"cannot compare {lhs!r} {self.op} {rhs!r}"
             ) from exc
 
+    def evaluate_batch(
+        self, cols: Mapping[str, Sequence[Any]], n: int
+    ) -> list[Any]:
+        op = _COMPARATORS[self.op]
+        # col-op-lit is the overwhelmingly common shape; avoid materializing
+        # a constant vector for the literal side.
+        if isinstance(self.right, Lit):
+            rhs = self.right.value
+            lhs_vec = self.left.evaluate_batch(cols, n)
+            if rhs is None:
+                return [None] * n
+            try:
+                return [None if v is None else op(v, rhs) for v in lhs_vec]
+            except TypeError:
+                for v in lhs_vec:
+                    if v is None:
+                        continue
+                    try:
+                        op(v, rhs)
+                    except TypeError as exc:
+                        raise QueryError(
+                            f"cannot compare {v!r} {self.op} {rhs!r}"
+                        ) from exc
+        lhs_vec = self.left.evaluate_batch(cols, n)
+        rhs_vec = self.right.evaluate_batch(cols, n)
+        try:
+            return [
+                None if (a is None or b is None) else op(a, b)
+                for a, b in zip(lhs_vec, rhs_vec)
+            ]
+        except TypeError:
+            for a, b in zip(lhs_vec, rhs_vec):
+                if a is None or b is None:
+                    continue
+                try:
+                    op(a, b)
+                except TypeError as exc:
+                    raise QueryError(
+                        f"cannot compare {a!r} {self.op} {b!r}"
+                    ) from exc
+            raise  # pragma: no cover - unreachable: the culprit re-raises
+
     def columns(self) -> frozenset[str]:
         return self.left.columns() | self.right.columns()
 
@@ -244,6 +311,24 @@ class And(_StructuralEq, Expr):
             return None
         return True
 
+    def evaluate_batch(
+        self, cols: Mapping[str, Sequence[Any]], n: int
+    ) -> list[Any]:
+        lhs_vec = self.left.evaluate_batch(cols, n)
+        rhs_vec = self.right.evaluate_batch(cols, n)
+        out: list[Any] = []
+        append = out.append
+        for a, b in zip(lhs_vec, rhs_vec):
+            a = _kleene(a)
+            b = _kleene(b)
+            if a is False or b is False:
+                append(False)
+            elif a is None or b is None:
+                append(None)
+            else:
+                append(True)
+        return out
+
     def columns(self) -> frozenset[str]:
         return self.left.columns() | self.right.columns()
 
@@ -268,6 +353,24 @@ class Or(_StructuralEq, Expr):
             return None
         return False
 
+    def evaluate_batch(
+        self, cols: Mapping[str, Sequence[Any]], n: int
+    ) -> list[Any]:
+        lhs_vec = self.left.evaluate_batch(cols, n)
+        rhs_vec = self.right.evaluate_batch(cols, n)
+        out: list[Any] = []
+        append = out.append
+        for a, b in zip(lhs_vec, rhs_vec):
+            a = _kleene(a)
+            b = _kleene(b)
+            if a is True or b is True:
+                append(True)
+            elif a is None or b is None:
+                append(None)
+            else:
+                append(False)
+        return out
+
     def columns(self) -> frozenset[str]:
         return self.left.columns() | self.right.columns()
 
@@ -287,6 +390,14 @@ class Not(_StructuralEq, Expr):
         if value is None:
             return None
         return not value
+
+    def evaluate_batch(
+        self, cols: Mapping[str, Sequence[Any]], n: int
+    ) -> list[Any]:
+        return [
+            None if v is None else not v
+            for v in map(_kleene, self.inner.evaluate_batch(cols, n))
+        ]
 
     def columns(self) -> frozenset[str]:
         return self.inner.columns()
@@ -311,6 +422,16 @@ class InList(_StructuralEq, Expr):
             return None  # SQL: NULL IN (...) is UNKNOWN
         return value in self.values
 
+    def evaluate_batch(
+        self, cols: Mapping[str, Sequence[Any]], n: int
+    ) -> list[Any]:
+        vec = self.target.evaluate_batch(cols, n)
+        try:
+            members: Any = frozenset(self.values)
+            return [None if v is None else v in members for v in vec]
+        except TypeError:  # unhashable literal or value: linear membership
+            return [None if v is None else v in self.values for v in vec]
+
     def columns(self) -> frozenset[str]:
         return self.target.columns()
 
@@ -329,6 +450,14 @@ class IsNull(_StructuralEq, Expr):
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         is_null = self.target.evaluate(row) is None
         return not is_null if self.negated else is_null
+
+    def evaluate_batch(
+        self, cols: Mapping[str, Sequence[Any]], n: int
+    ) -> list[Any]:
+        vec = self.target.evaluate_batch(cols, n)
+        if self.negated:
+            return [v is not None for v in vec]
+        return [v is None for v in vec]
 
     def columns(self) -> frozenset[str]:
         return self.target.columns()
@@ -368,6 +497,22 @@ class Arith(_StructuralEq, Expr):
         if self.op == "/" and rhs == 0:
             return None
         return _ARITH_OPS[self.op](lhs, rhs)
+
+    def evaluate_batch(
+        self, cols: Mapping[str, Sequence[Any]], n: int
+    ) -> list[Any]:
+        op = _ARITH_OPS[self.op]
+        guard_zero = self.op == "/"
+        lhs_vec = self.left.evaluate_batch(cols, n)
+        rhs_vec = self.right.evaluate_batch(cols, n)
+        out: list[Any] = []
+        append = out.append
+        for a, b in zip(lhs_vec, rhs_vec):
+            if a is None or b is None or (guard_zero and b == 0):
+                append(None)
+            else:
+                append(op(a, b))
+        return out
 
     def columns(self) -> frozenset[str]:
         return self.left.columns() | self.right.columns()

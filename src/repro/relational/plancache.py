@@ -1,0 +1,123 @@
+"""Normalized-plan result cache for the executor.
+
+Entries are keyed by ``(Query.fingerprint(), Catalog.state_token(query),
+mode)``. The fingerprint normalizes commutative WHERE/HAVING conjunct order,
+so syntactically different but plan-equivalent queries share an entry; the
+state token folds in the catalog identity, its DDL generation, and the
+``(data_version, row_count)`` of every base table the query transitively
+reads — any insert or DDL change makes old keys unreachable, so a hit is
+*always* sound. Catalog mutation hooks additionally evict eagerly so dead
+generations don't linger until LRU pressure.
+
+Cached values are immutable snapshots ``(name, schema, rows, provenance,
+provider)``; every hit rebuilds a fresh :class:`Table`, so callers can never
+corrupt the cache by mutating a result.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cache import CacheStats, LRUCache
+from repro.errors import CatalogError
+from repro.relational.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.relational.catalog import Catalog
+    from repro.relational.query import Query
+
+__all__ = ["PlanCache", "default_plan_cache"]
+
+
+class PlanCache:
+    """LRU cache of executed query results, versioned by catalog state."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self._cache = LRUCache(maxsize=maxsize)
+        self._hooked_catalogs: set[int] = set()
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # -- keying -------------------------------------------------------------
+
+    def _key(self, query: "Query", catalog: "Catalog", mode: str) -> tuple:
+        return (query.fingerprint(), catalog.state_token(query), mode)
+
+    def _ensure_hook(self, catalog: "Catalog") -> None:
+        if id(catalog) in self._hooked_catalogs:
+            return
+        self._hooked_catalogs.add(id(catalog))
+        catalog.add_mutation_hook(self._on_catalog_mutation)
+
+    def _on_catalog_mutation(self, catalog: "Catalog", name: str) -> None:
+        self.invalidate_catalog(catalog)
+
+    # -- cache protocol -----------------------------------------------------
+
+    def lookup(
+        self,
+        query: "Query",
+        catalog: "Catalog",
+        mode: str,
+        *,
+        name: str | None = None,
+    ) -> Table | None:
+        """A fresh :class:`Table` rebuilt from a cached snapshot, or ``None``."""
+        try:
+            key = self._key(query, catalog, mode)
+        except CatalogError:
+            # Unresolvable relation chain: not keyable. Fall through to the
+            # executor, which reports the error with query-level context.
+            return None
+        snap = self._cache.get(key)
+        if snap is None:
+            return None
+        snap_name, schema, rows, provs, provider = snap
+        return Table.derived(
+            name if name is not None else snap_name,
+            schema,
+            rows,
+            provs,
+            provider=provider,
+        )
+
+    def store(
+        self, query: "Query", catalog: "Catalog", mode: str, result: Table
+    ) -> None:
+        """Snapshot ``result`` under the current catalog state."""
+        try:
+            key = self._key(query, catalog, mode)
+        except CatalogError:
+            return
+        self._ensure_hook(catalog)
+        snap = (
+            result.name,
+            result.schema,
+            tuple(result.rows),
+            tuple(result.provenance),
+            result.provider,
+        )
+        self._cache.put(key, snap)
+
+    # -- invalidation -------------------------------------------------------
+
+    def invalidate_catalog(self, catalog: "Catalog") -> int:
+        """Evict every entry derived from ``catalog``; returns the count."""
+        cat_id = id(catalog)
+        return self._cache.invalidate_where(lambda k: k[1][0] == cat_id)
+
+    def clear(self) -> int:
+        return self._cache.clear()
+
+
+_DEFAULT = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide plan cache used when a config names none."""
+    return _DEFAULT

@@ -17,7 +17,7 @@ from typing import Sequence, Union
 
 from repro.errors import QueryError
 from repro.relational.algebra import AggSpec
-from repro.relational.expressions import And, Expr
+from repro.relational.expressions import And, Expr, conjuncts
 
 __all__ = ["Query", "JoinClause", "SelectItem"]
 
@@ -166,6 +166,50 @@ class Query:
         for colname, _ in self.order:
             used.add(colname)
         return frozenset(used)
+
+    def fingerprint(self) -> str:
+        """Stable identity of the *normalized* query tree, for plan caching.
+
+        Differs from :meth:`describe` in that top-level WHERE/HAVING
+        conjuncts are sorted — ``filter(a).filter(b)`` and
+        ``filter(b).filter(a)`` are the same plan (AND is commutative under
+        three-valued logic), so they share one cache entry. Everything else
+        is rendered positionally; literal values render via ``repr`` so
+        ``1``/``1.0``/``True`` stay distinct.
+
+        Memoized per instance: the query tree is frozen, so the fingerprint
+        is computed once and stashed on the instance (``dataclasses.replace``
+        builds fresh instances, which recompute it).
+        """
+        cached = self.__dict__.get("_fingerprint_memo")
+        if cached is not None:
+            return cached
+
+        def norm(predicate: Expr | None) -> str:
+            if predicate is None:
+                return ""
+            return "&".join(sorted(str(c) for c in conjuncts(predicate)))
+
+        parts = [
+            "F=" + self.source,
+            "J=" + ";".join(
+                f"{j.how}:{j.table}:{sorted(j.on)}" for j in self.joins
+            ),
+            "W=" + norm(self.where),
+            "G=" + ",".join(self.group_by),
+            "A=" + ";".join(str(a) for a in self.aggregates),
+            "H=" + norm(self.having),
+            "S=" + ";".join(
+                item if isinstance(item, str) else f"{item[0]}<-{item[1]}"
+                for item in self.select
+            ),
+            "D=" + str(int(self.select_distinct)),
+            "O=" + ";".join(f"{c}:{int(d)}" for c, d in self.order),
+            "L=" + ("" if self.limit_n is None else str(self.limit_n)),
+        ]
+        fp = "|".join(parts)
+        object.__setattr__(self, "_fingerprint_memo", fp)
+        return fp
 
     def describe(self) -> str:
         """Compact SQL-like rendering for logs and elicitation displays."""

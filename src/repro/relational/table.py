@@ -69,6 +69,23 @@ class RowProvenance:
         }
         return cls(lineage=frozenset([row_id]), where=where)
 
+    @classmethod
+    def make(
+        cls,
+        lineage: frozenset[RowId],
+        where: Mapping[str, frozenset[CellRef]],
+    ) -> "RowProvenance":
+        """Fast-path constructor for hot loops (columnar operators).
+
+        Skips the frozen-dataclass ``__init__``/``__post_init__`` machinery;
+        ``where`` must already be a concrete mapping (never ``None``). The
+        result is value-equal to ``RowProvenance(lineage=..., where=...)``.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "lineage", lineage)
+        object.__setattr__(self, "where", where)
+        return self
+
     def where_of(self, column: str) -> frozenset[CellRef]:
         """Base cells the value in ``column`` was copied from (may be empty)."""
         return self.where.get(column, frozenset())
@@ -111,6 +128,9 @@ class Table:
         self.provider = provider
         self.rows: list[tuple[Any, ...]] = []
         self.provenance: list[RowProvenance] = []
+        # Bumped on every insert; cache keys pair it with the row count so
+        # result/columnar caches never serve data from a mutated table.
+        self.data_version = 0
 
     # -- construction -------------------------------------------------------
 
@@ -172,6 +192,7 @@ class Table:
         row_id = RowId(self.provider, self.name, len(self.rows))
         self.rows.append(tuple(coerced))
         self.provenance.append(RowProvenance.for_base_row(row_id, self.schema))
+        self.data_version += 1
         return row_id
 
     def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> list[RowId]:

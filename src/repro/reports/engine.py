@@ -20,6 +20,7 @@ from repro.errors import ComplianceError
 from repro.policy.subjects import AccessContext
 from repro.relational.catalog import Catalog
 from repro.relational.engine import execute
+from repro.relational.execconfig import ExecutionConfig
 from repro.relational.table import Table
 from repro.reports.definition import ReportDefinition, ReportInstance
 
@@ -36,6 +37,7 @@ class ReportEngine:
     catalog: Catalog
     pre_checks: list[PreCheck] = field(default_factory=list)
     row_filters: list[RowFilter] = field(default_factory=list)
+    config: ExecutionConfig | None = None  # None = process default
 
     def add_pre_check(self, check: PreCheck) -> None:
         self.pre_checks.append(check)
@@ -54,7 +56,9 @@ class ReportEngine:
             )
         for check in self.pre_checks:
             check(definition, context)
-        table = execute(definition.query, self.catalog, name=definition.name)
+        table = execute(
+            definition.query, self.catalog, name=definition.name, config=self.config
+        )
         table, suppressed = self._apply_row_filters(definition, table)
         return ReportInstance(
             definition=definition,

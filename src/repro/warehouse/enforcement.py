@@ -16,6 +16,7 @@ from repro.errors import ComplianceError
 from repro.policy.subjects import AccessContext
 from repro.relational.catalog import Catalog
 from repro.relational.engine import execute
+from repro.relational.execconfig import ExecutionConfig
 from repro.relational.query import Query
 from repro.relational.table import Table
 from repro.warehouse.metadata import PrivacyMetadataRegistry
@@ -29,6 +30,7 @@ class WarehouseEnforcer:
 
     catalog: Catalog
     metadata: PrivacyMetadataRegistry
+    config: ExecutionConfig | None = None  # None = process default
 
     # -- static gate ---------------------------------------------------------
 
@@ -110,7 +112,7 @@ class WarehouseEnforcer:
             raise ComplianceError(
                 "warehouse metadata rejects the query: " + "; ".join(reasons)
             )
-        result = execute(query, self.catalog, name=name)
+        result = execute(query, self.catalog, name=name, config=self.config)
         base_tables = {
             t
             for relation in query.referenced_relations()

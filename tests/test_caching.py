@@ -1,0 +1,380 @@
+"""Cache-semantics tests for the columnar execution stack.
+
+Three caches ride on version-stamped keys, and each must be *semantically
+invisible*: a warm hit returns exactly what a cold run would compute, and
+any mutation that could change the answer — catalog DDL, base-table data,
+PLA revision/approval, report redefinition, meta-report extension — must
+yield a fresh computation, never a stale verdict.
+
+* plan cache (``repro.relational.plancache``): query-fingerprint ×
+  catalog-state keyed result snapshots;
+* containment proof caches (``repro.core.containment``): derivability and
+  homomorphism proofs, pure in the catalog's *definitions*;
+* compliance verdict cache (``repro.core.compliance``): memoized
+  :class:`ComplianceVerdict`, keyed by report/metaset fingerprints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PLA,
+    AggregationThreshold,
+    ComplianceChecker,
+    MetaReport,
+    MetaReportSet,
+    NotConjunctive,
+    PlaLevel,
+    check_derivability,
+    clear_proof_caches,
+    is_contained,
+    proof_cache_stats,
+    set_proof_caching,
+)
+from repro.relational import (
+    Catalog,
+    ExecutionConfig,
+    PlanCache,
+    Query,
+    Table,
+    View,
+    execute,
+    execute_row,
+    get_default_config,
+    make_schema,
+    parse_query,
+    set_default_config,
+)
+from repro.relational.types import ColumnType
+from repro.reports import ReportDefinition
+
+
+def patient_catalog() -> Catalog:
+    cat = Catalog()
+    schema = make_schema(
+        ("patient", ColumnType.STRING),
+        ("region", ColumnType.STRING),
+        ("disease", ColumnType.STRING),
+        ("cost", ColumnType.INT),
+    )
+    rows = [
+        ("Alice", "north", "flu", 10),
+        ("Bob", "south", "flu", 20),
+        ("Cara", "north", "asthma", 30),
+        ("Dan", "south", "asthma", 40),
+    ]
+    cat.add_table(Table.from_rows("visits", schema, rows, provider="hosp"))
+    return cat
+
+
+@pytest.fixture(autouse=True)
+def _fresh_proof_caches():
+    clear_proof_caches()
+    yield
+    clear_proof_caches()
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def make_cfg(self) -> tuple[PlanCache, ExecutionConfig]:
+        cache = PlanCache()
+        return cache, ExecutionConfig(mode="columnar", plan_cache=cache)
+
+    def test_warm_hit_equals_cold_result(self):
+        cat = patient_catalog()
+        cache, cfg = self.make_cfg()
+        q = parse_query("SELECT region, cost FROM visits WHERE cost > 15")
+        cold = execute(q, cat, config=cfg)
+        warm = execute(q, cat, config=cfg)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert list(warm.rows) == list(cold.rows)
+        assert list(warm.provenance) == list(cold.provenance)
+        assert warm.schema == cold.schema
+        ref = execute_row(q, cat)
+        assert list(warm.rows) == list(ref.rows)
+        assert list(warm.provenance) == list(ref.provenance)
+
+    def test_hit_returns_fresh_table_object(self):
+        """Snapshots must be rebuilt per hit so callers can't corrupt the
+        cache by mutating (e.g. renaming) the returned table."""
+        cat = patient_catalog()
+        cache, cfg = self.make_cfg()
+        q = parse_query("SELECT region FROM visits")
+        first = execute(q, cat, config=cfg, name="one")
+        second = execute(q, cat, config=cfg, name="two")
+        assert first is not second
+        assert first.name == "one" and second.name == "two"
+
+    def test_commuted_conjuncts_share_one_entry(self):
+        cat = patient_catalog()
+        cache, cfg = self.make_cfg()
+        a = parse_query("SELECT region FROM visits WHERE cost > 15 AND cost < 35")
+        b = parse_query("SELECT region FROM visits WHERE cost < 35 AND cost > 15")
+        execute(a, cat, config=cfg)
+        out = execute(b, cat, config=cfg)
+        assert cache.stats.hits == 1 and len(cache) == 1
+        assert list(out.rows) == list(execute_row(b, cat).rows)
+
+    def test_data_mutation_misses(self):
+        """Inserting rows bumps data_version: the old snapshot must not be
+        served for the new data."""
+        cat = patient_catalog()
+        cache, cfg = self.make_cfg()
+        q = parse_query("SELECT region FROM visits WHERE cost > 15")
+        before = execute(q, cat, config=cfg)
+        cat.table("visits").insert(("Eve", "north", "flu", 99))
+        after = execute(q, cat, config=cfg)
+        assert cache.stats.hits == 0 and cache.stats.misses == 2
+        assert len(after) == len(before) + 1
+        assert list(after.rows) == list(execute_row(q, cat).rows)
+
+    def test_catalog_ddl_evicts_eagerly(self):
+        cat = patient_catalog()
+        cache, cfg = self.make_cfg()
+        q = parse_query("SELECT region FROM visits")
+        execute(q, cat, config=cfg)
+        assert len(cache) == 1
+        cat.add_view(View("extra", parse_query("SELECT region FROM visits")))
+        assert len(cache) == 0  # mutation hook reclaimed the entry
+
+    def test_redefined_view_is_recomputed(self):
+        cat = patient_catalog()
+        cache, cfg = self.make_cfg()
+        cat.add_view(View("v", parse_query("SELECT region FROM visits WHERE cost > 15")))
+        q = parse_query("SELECT region FROM v")
+        assert len(execute(q, cat, config=cfg)) == 3
+        cat.add_view(
+            View("v", parse_query("SELECT region FROM visits WHERE cost > 35")),
+            replace=True,
+        )
+        assert len(execute(q, cat, config=cfg)) == 1  # not the stale 3-row answer
+
+    def test_unknown_relation_bypasses_cache(self):
+        cat = patient_catalog()
+        cache, cfg = self.make_cfg()
+        cat.add_view(View("v", parse_query("SELECT region FROM ghost")))
+        with pytest.raises(Exception) as exc_info:
+            execute(parse_query("SELECT region FROM v"), cat, config=cfg)
+        ref_exc = None
+        try:
+            execute_row(parse_query("SELECT region FROM v"), cat)
+        except Exception as exc:  # noqa: BLE001
+            ref_exc = exc
+        assert type(exc_info.value) is type(ref_exc)
+        assert len(cache) == 0
+
+    def test_row_mode_never_uses_plan_cache(self):
+        cache = PlanCache()
+        cfg = ExecutionConfig(mode="row", plan_cache=cache)
+        assert cfg.effective_plan_cache() is None
+        cat = patient_catalog()
+        execute(parse_query("SELECT region FROM visits"), cat, config=cfg)
+        assert cache.stats.lookups == 0
+
+    def test_default_config_roundtrip(self):
+        previous = set_default_config(ExecutionConfig(mode="row"))
+        try:
+            assert get_default_config().mode == "row"
+        finally:
+            set_default_config(previous)
+        assert get_default_config() is previous
+
+
+# ---------------------------------------------------------------------------
+# Containment proof caches
+# ---------------------------------------------------------------------------
+
+
+class TestProofCaches:
+    def test_warm_equals_cold_verdict(self):
+        cat = patient_catalog()
+        meta = Query.from_("visits").project("region", "disease", "cost")
+        rq = parse_query("SELECT region, cost FROM visits WHERE cost > 15")
+        cold = check_derivability(rq, "mr", meta, cat)
+        stats0 = proof_cache_stats()["derivability"]
+        warm = check_derivability(rq, "mr", meta, cat)
+        stats1 = proof_cache_stats()["derivability"]
+        assert warm == cold
+        assert stats1["hits"] == stats0["hits"] + 1
+
+    def test_is_contained_memoizes_and_agrees(self):
+        cat = patient_catalog()
+        q1 = parse_query("SELECT region FROM visits WHERE cost > 20")
+        q2 = parse_query("SELECT region FROM visits WHERE cost > 10")
+        cold = is_contained(q1, q2, cat)
+        warm = is_contained(q1, q2, cat)
+        assert cold is warm is True
+        assert proof_cache_stats()["containment"]["hits"] >= 1
+
+    def test_not_conjunctive_outcome_is_replayed(self):
+        cat = patient_catalog()
+        q_or = parse_query(
+            "SELECT region FROM visits WHERE cost > 30 OR cost < 5"
+        )
+        q2 = parse_query("SELECT region FROM visits")
+        with pytest.raises(NotConjunctive) as first:
+            is_contained(q_or, q2, cat)
+        with pytest.raises(NotConjunctive) as second:
+            is_contained(q_or, q2, cat)
+        assert str(first.value) == str(second.value)
+        assert proof_cache_stats()["containment"]["hits"] >= 1
+
+    def test_catalog_ddl_evicts_proofs(self):
+        cat = patient_catalog()
+        q1 = parse_query("SELECT region FROM visits WHERE cost > 20")
+        q2 = parse_query("SELECT region FROM visits")
+        is_contained(q1, q2, cat)
+        before = proof_cache_stats()["containment"]["entries"]
+        assert before >= 1
+        cat.add_view(View("x", parse_query("SELECT region FROM visits")))
+        assert proof_cache_stats()["containment"]["entries"] < before
+
+    def test_caching_can_be_disabled(self):
+        cat = patient_catalog()
+        q1 = parse_query("SELECT region FROM visits WHERE cost > 20")
+        q2 = parse_query("SELECT region FROM visits")
+        previous = set_proof_caching(False)
+        try:
+            assert is_contained(q1, q2, cat) is True
+            assert is_contained(q1, q2, cat) is True
+            assert proof_cache_stats()["containment"]["entries"] == 0
+        finally:
+            set_proof_caching(previous)
+
+    def test_fingerprint_is_memoized_and_stable(self):
+        q = parse_query("SELECT region FROM visits WHERE cost > 15 AND cost < 35")
+        assert q.fingerprint() is q.fingerprint()  # memoized object
+        rebuilt = parse_query("SELECT region FROM visits WHERE cost < 35 AND cost > 15")
+        assert rebuilt.fingerprint() == q.fingerprint()  # normalized conjuncts
+        narrowed = q.filter(parse_query("SELECT 1 FROM visits WHERE cost > 20").where)
+        assert narrowed.fingerprint() != q.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Compliance verdict cache: no stale verdicts across PLA/report/DDL change
+# ---------------------------------------------------------------------------
+
+
+def _checker(cat: Catalog, *, approved: bool = True) -> tuple[ComplianceChecker, MetaReport]:
+    meta = MetaReport(
+        name="mr_visits",
+        query=Query.from_("visits").project("region", "disease", "cost"),
+    )
+    pla = PLA(
+        name="pla_visits",
+        owner="hosp",
+        level=PlaLevel.METAREPORT,
+        target="mr_visits",
+        annotations=(AggregationThreshold(min_group_size=2, scope="cost"),),
+    )
+    meta.attach_pla(pla.approved() if approved else pla)
+    metaset = MetaReportSet()
+    metaset.add(meta)
+    metaset.register_views(cat)
+    return ComplianceChecker(catalog=cat, metareports=metaset), meta
+
+
+def _report(sql: str, version: int = 1) -> ReportDefinition:
+    return ReportDefinition(
+        name="r", title="r", query=parse_query(sql),
+        audience=frozenset({"analyst"}), purpose="care", version=version,
+    )
+
+
+class TestVerdictCache:
+    SQL = "SELECT region, SUM(cost) AS total FROM mr_visits GROUP BY region"
+
+    def test_warm_verdict_identical_to_cold(self):
+        checker, _ = _checker(patient_catalog())
+        report = _report(self.SQL)
+        cold = checker.check_report(report)
+        warm = checker.check_report(report)
+        assert warm == cold
+        stats = checker.cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        uncached = ComplianceChecker(
+            catalog=checker.catalog, metareports=checker.metareports,
+            use_cache=False,
+        ).check_report(report)
+        assert uncached.compliant == warm.compliant
+        assert uncached.violations == warm.violations
+        assert uncached.obligations == warm.obligations
+
+    def test_pla_revision_invalidates_verdict(self):
+        """Re-eliciting the PLA (new version/status) must change the verdict
+        key: the old COMPLIANT answer may no longer hold."""
+        cat = patient_catalog()
+        checker, meta = _checker(cat)
+        report = _report(self.SQL)
+        assert checker.check_report(report).compliant
+        # Revision tightens the threshold beyond satisfiability and is approved.
+        revised = meta.pla.revised(
+            (AggregationThreshold(min_group_size=1000, scope="cost"),)
+        ).approved()
+        meta.attach_pla(revised)
+        fresh = checker.check_report(report)
+        assert fresh.obligations != ()
+        assert any("1000" in str(o) for o in fresh.obligations)
+        assert checker.cache_stats()["misses"] == 2  # no stale replay
+
+    def test_draft_pla_status_flip_invalidates(self):
+        cat = patient_catalog()
+        checker, meta = _checker(cat, approved=False)
+        report = _report(self.SQL)
+        first = checker.check_report(report)
+        assert not first.compliant  # draft PLA ⇒ meta-report not approved
+        meta.attach_pla(meta.pla.approved())
+        second = checker.check_report(report)
+        assert second.compliant
+
+    def test_report_redefinition_invalidates(self):
+        checker, _ = _checker(patient_catalog())
+        report = _report(self.SQL)
+        assert checker.check_report(report).compliant
+        widened = report.with_query(parse_query("SELECT patient, cost FROM visits"))
+        verdict = checker.check_report(widened)
+        assert not verdict.compliant
+        assert checker.cache_stats()["hits"] == 0
+
+    def test_metareport_set_extension_invalidates(self):
+        cat = patient_catalog()
+        checker, _ = _checker(cat)
+        bad = _report("SELECT patient FROM visits")
+        assert not checker.check_report(bad).compliant
+        wide = MetaReport(
+            name="mr_all",
+            query=Query.from_("visits").project("patient", "region", "disease", "cost"),
+        )
+        wide.attach_pla(
+            PLA(
+                name="pla_all", owner="hosp", level=PlaLevel.METAREPORT,
+                target="mr_all",
+                annotations=(AggregationThreshold(min_group_size=1),),
+            ).approved()
+        )
+        checker.metareports.add(wide)
+        checker.metareports.register_views(cat)
+        verdict = checker.check_report(bad)
+        assert verdict.compliant and verdict.covering_metareport == "mr_all"
+
+    def test_catalog_ddl_invalidates_verdicts(self):
+        cat = patient_catalog()
+        checker, _ = _checker(cat)
+        report = _report(self.SQL)
+        checker.check_report(report)
+        cat.add_view(View("unrelated", parse_query("SELECT region FROM visits")))
+        checker.check_report(report)
+        assert checker.cache_stats()["hits"] == 0
+
+    def test_invalidate_cache_clears(self):
+        checker, _ = _checker(patient_catalog())
+        report = _report(self.SQL)
+        checker.check_report(report)
+        assert checker.invalidate_cache() == 1
+        checker.check_report(report)
+        assert checker.cache_stats()["misses"] == 2

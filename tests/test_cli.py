@@ -83,6 +83,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "FIG3" in out
 
+    def test_bench_smoke_writes_json(self, capsys, tmp_path):
+        import json
+
+        target = str(tmp_path / "bench.json")
+        assert main(["bench", "--smoke", "--json", target]) == 0
+        out = capsys.readouterr().out
+        assert "columnar batch executor" in out
+        data = json.loads((tmp_path / "bench.json").read_text())
+        assert data["smoke"] is True
+        assert data["summary"]["max_speedup_at_largest"] > 1.0
+        assert data["containment"]["speedup"] > 1.0
+
     def test_lint_text(self, capsys):
         assert main(["lint"]) == 0  # scenario has warnings, no errors
         out = capsys.readouterr().out
