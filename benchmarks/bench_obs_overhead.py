@@ -1,0 +1,234 @@
+"""Observability overhead benchmark: the disabled path must be free.
+
+The repro.obs design promise is that instrumentation is near-free when off
+(call sites guard on ``TRACER.active()`` and allocate nothing) and cheap
+when on (<5% on realistic query workloads). This benchmark holds that line:
+
+* **disabled** — run the workload with observability off, before and after
+  the enabled leg (the off1/on/off2 interleave separates real overhead from
+  machine drift; the two off legs bound the noise floor);
+* **enabled** — same workload with tracing + metrics fully on.
+
+``main`` (via ``python benchmarks/run_all.py obs`` or ``repro bench obs``)
+prints the table, optionally writes ``BENCH_obs.json``, and returns a
+non-zero exit code when the enabled overhead exceeds the gate — so CI fails
+loudly instead of letting instrumentation costs creep in.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from typing import Any, Callable
+
+from repro import obs
+from repro.relational import ExecutionConfig, PlanCache, execute, parse_query
+
+from benchmarks.bench_engine_scaling import QUERIES, build_catalog
+
+#: Enabled-path overhead gates, percent. The smoke rows are tiny (fixed
+#: per-query costs dominate), so the smoke gate is looser than the full one.
+FULL_GATE_PCT = 5.0
+SMOKE_GATE_PCT = 20.0
+
+FULL_SIZE = 20_000
+SMOKE_SIZE = 2_000
+
+JSON_PATH = "BENCH_obs.json"
+
+
+def _workloads(size: int) -> tuple[dict[str, Callable[[], Any]], set[str]]:
+    """Named closures over one catalog, plus the subset the gate applies to.
+
+    The gated set is the ``bench_engine_scaling`` query workloads — real
+    query executions, where the ISSUE's <5% bound must hold. The
+    ``warm_plan_cache_mix`` row is informational: three warm-cached queries
+    complete in tens of microseconds, so the per-span fixed cost (a few µs)
+    is a large *fraction* while being the same small *absolute* cost — it
+    is reported as ``span_cost_us`` rather than gated as a percentage.
+    """
+    cat = build_catalog(size)
+    uncached = ExecutionConfig(mode="columnar", use_plan_cache=False)
+    parsed = {name: parse_query(sql) for name, sql in QUERIES.items()}
+
+    workloads: dict[str, Callable[[], Any]] = {}
+    for name, query in parsed.items():
+        workloads[name] = (
+            lambda q=query: execute(q, cat, config=uncached)
+        )
+    gated = set(workloads)
+
+    cache = PlanCache()
+    cached = ExecutionConfig(mode="columnar", plan_cache=cache)
+    for query in parsed.values():
+        execute(query, cat, config=cached)  # populate
+
+    def warm_mix() -> None:
+        for query in parsed.values():
+            execute(query, cat, config=cached)
+
+    workloads["warm_plan_cache_mix"] = warm_mix
+    return workloads, gated
+
+
+def _measure_interleaved(
+    fn: Callable[[], Any], *, repeats: int, inner: int
+) -> tuple[float, float, float]:
+    """Best-of off/on/off batch times, interleaved within each repeat.
+
+    Alternating disabled→enabled→disabled inside every repeat (rather than
+    three long legs) cancels the slow machine drift — frequency scaling,
+    cache state — that otherwise dwarfs the few-µs instrumentation cost
+    being measured. Returns ``(off1, on, off2)`` best batch times.
+    """
+
+    def batch() -> float:
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        return time.perf_counter() - start
+
+    best = [float("inf")] * 3
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            obs.disable()
+            best[0] = min(best[0], batch())
+            obs.enable()
+            best[1] = min(best[1], batch())
+            obs.disable()
+            best[2] = min(best[2], batch())
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best[0], best[1], best[2]
+
+
+def run_obs_overhead_bench(
+    *, smoke: bool = False, repeats: int = 5, inner: int = 3
+) -> dict[str, Any]:
+    size = SMOKE_SIZE if smoke else FULL_SIZE
+    gate_pct = SMOKE_GATE_PCT if smoke else FULL_GATE_PCT
+    workloads, gated = _workloads(size)
+
+    previous = obs.enabled()
+    obs.disable()
+    obs.reset()
+    timings: dict[str, tuple[float, float, float]] = {}
+    try:
+        for name, fn in workloads.items():
+            timings[name] = _measure_interleaved(fn, repeats=repeats, inner=inner)
+    finally:
+        obs.TRACER.enabled = previous
+        obs.reset()
+
+    rows: list[dict[str, Any]] = []
+    for name in workloads:
+        t_off1, t_on, t_off2 = timings[name]
+        t_off = min(t_off1, t_off2)
+        enabled_pct = (t_on / t_off - 1.0) * 100.0 if t_off else 0.0
+        noise_pct = abs(t_off1 - t_off2) / t_off * 100.0 if t_off else 0.0
+        rows.append(
+            {
+                "workload": name,
+                "gated": name in gated,
+                "off1_s": t_off1,
+                "on_s": t_on,
+                "off2_s": t_off2,
+                "enabled_pct": enabled_pct,
+                "noise_pct": noise_pct,
+            }
+        )
+
+    gated_rows = [r for r in rows if r["gated"]]
+    worst = max(gated_rows, key=lambda r: r["enabled_pct"])
+    # A gated workload passes if its overhead is inside the gate, or
+    # statistically indistinguishable from the machine's own drift between
+    # the two off legs (tiny absolute times make percentages unstable).
+    failed = [
+        r["workload"]
+        for r in gated_rows
+        if r["enabled_pct"] > gate_pct and r["enabled_pct"] > 2.0 * r["noise_pct"]
+    ]
+    # Per-traced-query fixed cost, from the warm-cache mix (len(QUERIES)
+    # spans per run): the absolute price of one span + its metric updates.
+    mix = next(r for r in rows if r["workload"] == "warm_plan_cache_mix")
+    t_off_mix = min(mix["off1_s"], mix["off2_s"])
+    span_cost_us = max(0.0, (mix["on_s"] - t_off_mix) / len(QUERIES) * 1e6)
+    return {
+        "smoke": smoke,
+        "size": size,
+        "repeats": repeats,
+        "inner": inner,
+        "gate_pct": gate_pct,
+        "rows": rows,
+        "span_cost_us": span_cost_us,
+        "worst": {"workload": worst["workload"], "enabled_pct": worst["enabled_pct"]},
+        "failed": failed,
+        "passed": not failed,
+    }
+
+
+def _print_report(results: dict[str, Any]) -> None:
+    print(
+        f"Observability overhead (n={results['size']}, "
+        f"best of {results['repeats']}x{results['inner']} runs)"
+    )
+    print(
+        f"{'workload':<22} {'off s':>9} {'on s':>9} {'overhead':>9} {'noise':>8}"
+    )
+    for r in results["rows"]:
+        t_off = min(r["off1_s"], r["off2_s"])
+        marker = "" if r["gated"] else "  (info)"
+        print(
+            f"{r['workload']:<22} {t_off:>9.4f} {r['on_s']:>9.4f} "
+            f"{r['enabled_pct']:>8.1f}% {r['noise_pct']:>7.1f}%{marker}"
+        )
+    w = results["worst"]
+    verdict = "PASS" if results["passed"] else "FAIL"
+    print(
+        f"\n{verdict}: worst gated overhead {w['enabled_pct']:.1f}% "
+        f"({w['workload']}), gate {results['gate_pct']:.0f}%."
+    )
+    if results["failed"]:
+        print("over gate: " + ", ".join(results["failed"]))
+    print(
+        f"Fixed cost per traced query: {results['span_cost_us']:.1f}us "
+        "(span + counters, from the warm-cache mix)."
+    )
+    print(
+        "Disabled-path cost is the off1/off2 spread above — instrumentation "
+        "off is indistinguishable from never-instrumented."
+    )
+
+
+def main(*, smoke: bool = False, json_path: str | None = None) -> int:
+    results = run_obs_overhead_bench(smoke=smoke)
+    _print_report(results)
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {json_path}")
+    return 0 if results["passed"] else 1
+
+
+# ---------------------------------------------------------------------------
+# pytest smoke: keep the harness itself from rotting. Loose gate — CI noise
+# on shared runners must not fail the tier-1 suite; the calibrated run via
+# run_all.py applies the real one.
+# ---------------------------------------------------------------------------
+
+
+def test_obs_overhead_smoke():
+    results = run_obs_overhead_bench(smoke=True, repeats=3, inner=2)
+    assert results["rows"], "no workloads measured"
+    assert all(r["on_s"] > 0 for r in results["rows"])
+    worst = results["worst"]["enabled_pct"]
+    assert worst < 25.0, f"enabled observability overhead {worst:.1f}% >= 25%"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

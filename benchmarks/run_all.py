@@ -43,19 +43,26 @@ TARGETS: dict[str, str] = {
     "abl-neg": "benchmarks.bench_ablation_negotiation",
     "abl-int": "benchmarks.bench_ablation_integration",
     "engine": "benchmarks.bench_engine_scaling",
+    "obs": "benchmarks.bench_obs_overhead",
 }
 
 JSON_PATH = "BENCH_engine.json"
 
+#: Per-target output files for ``--json`` (default: the engine bench's).
+JSON_PATHS: dict[str, str] = {
+    "engine": "BENCH_engine.json",
+    "obs": "BENCH_obs.json",
+}
 
-def _target_kwargs(entry, *, smoke: bool, emit_json: bool) -> dict:
+
+def _target_kwargs(entry, *, name: str, smoke: bool, emit_json: bool) -> dict:
     """Forward only the options a target's ``main`` declares."""
     params = inspect.signature(entry).parameters
     kwargs = {}
     if smoke and "smoke" in params:
         kwargs["smoke"] = True
     if emit_json and "json_path" in params:
-        kwargs["json_path"] = JSON_PATH
+        kwargs["json_path"] = JSON_PATHS.get(name, JSON_PATH)
     return kwargs
 
 
@@ -85,9 +92,17 @@ def main(argv: list[str]) -> int:
         started = time.perf_counter()
         try:
             module = importlib.import_module(TARGETS[name])
-            module.main(
-                **_target_kwargs(module.main, smoke=args.smoke, emit_json=args.json)
+            code = module.main(
+                **_target_kwargs(
+                    module.main, name=name, smoke=args.smoke, emit_json=args.json
+                )
             )
+            # Gate-style targets (the obs bench) signal failure by exit code.
+            if isinstance(code, int) and code != 0:
+                failures.append(name)
+                print(f"\n[{name} FAILED (exit {code}) "
+                      f"after {time.perf_counter() - started:.1f}s]")
+                continue
         except Exception:
             traceback.print_exc()
             failures.append(name)

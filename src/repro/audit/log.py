@@ -13,6 +13,7 @@ import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
+from repro.obs.trace import TRACER
 from repro.policy.subjects import AccessContext
 from repro.reports.definition import ReportInstance
 
@@ -35,26 +36,33 @@ class DisclosureRecord:
     source_footprint: tuple[str, ...]  # provider/table identities
     obligations_applied: tuple[str, ...]
     suppressed_rows: int
+    trace_id: str = ""  # repro.obs trace of the delivery ("" when obs off)
     chain_hash: str = ""
 
     def payload(self) -> str:
-        """Canonical serialization (hashed into the chain)."""
-        return "|".join(
-            [
-                str(self.sequence),
-                self.report,
-                str(self.version),
-                self.consumer,
-                ",".join(self.roles),
-                self.purpose,
-                ",".join(self.columns),
-                str(self.row_count),
-                str(self.min_contributors),
-                ",".join(self.source_footprint),
-                ",".join(self.obligations_applied),
-                str(self.suppressed_rows),
-            ]
-        )
+        """Canonical serialization (hashed into the chain).
+
+        The trace ID is appended only when present, so logs written with
+        observability disabled are byte-identical (fields *and* chain
+        hashes) to the pre-observability format.
+        """
+        fields = [
+            str(self.sequence),
+            self.report,
+            str(self.version),
+            self.consumer,
+            ",".join(self.roles),
+            self.purpose,
+            ",".join(self.columns),
+            str(self.row_count),
+            str(self.min_contributors),
+            ",".join(self.source_footprint),
+            ",".join(self.obligations_applied),
+            str(self.suppressed_rows),
+        ]
+        if self.trace_id:
+            fields.append(self.trace_id)
+        return "|".join(fields)
 
 
 @dataclass
@@ -97,6 +105,7 @@ class AuditLog:
             source_footprint=footprint,
             obligations_applied=instance.obligations_applied,
             suppressed_rows=instance.suppressed_rows,
+            trace_id=TRACER.current_trace_id() or "" if TRACER.active() else "",
         )
         chained = DisclosureRecord(
             **{**record.__dict__, "chain_hash": self._hash(record)}
@@ -160,6 +169,7 @@ class AuditLog:
                 Column("min_contributors", ColumnType.INT, nullable=False),
                 Column("suppressed_rows", ColumnType.INT, nullable=False),
                 Column("source_footprint", ColumnType.STRING, nullable=False),
+                Column("trace_id", ColumnType.STRING, nullable=True),
                 Column("chain_hash", ColumnType.STRING, nullable=False),
             ]
         )
@@ -178,6 +188,7 @@ class AuditLog:
                     r.min_contributors,
                     r.suppressed_rows,
                     ",".join(r.source_footprint),
+                    r.trace_id or None,
                     r.chain_hash,
                 )
             )

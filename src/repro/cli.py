@@ -11,8 +11,12 @@ Commands::
     python -m repro lint --json                   # static privacy-flow lint
     python -m repro fig 5                         # regenerate a paper figure
     python -m repro bench --smoke                 # engine scaling benchmark
+    python -m repro trace deliver --report rpt_001  # span tree of one delivery
+    python -m repro metrics                       # Prometheus metric dump
 
 Installed as a console script (``repro …``) via ``pip install -e .``.
+Every subcommand documents itself: ``repro <command> --help`` shows a
+description and at least one worked example.
 """
 
 from __future__ import annotations
@@ -151,6 +155,68 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(Severity[args.fail_on.upper()])
 
 
+def _traced_workload(target: str, report: str) -> None:
+    """Run one traced workload; obs must already be enabled."""
+    scenario = _scenario()
+    if target == "scenario":
+        return
+    service = scenario.delivery_service()
+    if target == "deliver":
+        definition = scenario.report_catalog.current(report)
+        role = sorted(definition.audience)[0]
+        service.deliver(report, user=ROLE_TO_USER[role], purpose=definition.purpose)
+    else:  # audit
+        service.deliver_all_compliant(ROLE_TO_USER)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.errors import ComplianceError
+
+    previous = obs.enabled()
+    obs.reset()
+    obs.enable()
+    try:
+        try:
+            _traced_workload(args.target, args.report)
+        except ComplianceError as exc:
+            print(f"refused (trace captured anyway): {exc}", file=sys.stderr)
+    finally:
+        obs.TRACER.enabled = previous
+    spans = list(obs.TRACER.finished)
+    print(obs.render_span_tree(spans))
+    if args.jsonl:
+        n = obs.write_jsonl(spans, args.jsonl)
+        print(f"\nwrote {n} span(s) to {args.jsonl}")
+    registry = obs.get_registry()
+    decisions = registry.get("repro_enforcement_decisions_total")
+    if decisions is not None and decisions.samples():
+        print("\nenforcement decisions (level/decision/rule):")
+        for labels, value in decisions.samples():
+            print(f"  {'/'.join(labels)}: {int(value)}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import obs
+
+    previous = obs.enabled()
+    obs.reset()
+    obs.enable()
+    try:
+        _traced_workload("audit", "rpt_001")
+    finally:
+        obs.TRACER.enabled = previous
+    registry = obs.get_registry()
+    if args.json:
+        print(_json.dumps(registry.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(obs.render_prometheus(registry), end="")
+    return 0
+
+
 def cmd_save(args: argparse.Namespace) -> int:
     from repro.persistence import save_deployment
 
@@ -201,6 +267,10 @@ def cmd_fig(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    which = getattr(args, "which", "engine")
+    if which == "obs":
+        module = _benchmark_module("benchmarks.bench_obs_overhead")
+        return int(module.main(smoke=args.smoke, json_path=args.json))
     module = _benchmark_module("benchmarks.bench_engine_scaling")
     module.main(smoke=args.smoke, json_path=args.json)
     return 0
@@ -218,6 +288,17 @@ def _benchmark_module(name: str):
     return importlib.import_module(name)
 
 
+def _command(sub, name: str, help: str, example: str):
+    """Register a subcommand with a consistent help/description/example."""
+    return sub.add_parser(
+        name,
+        help=help,
+        description=help[0].upper() + help[1:] + ".",
+        epilog="example:\n  " + example,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,29 +309,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("scenario", help="build and summarize the Fig 1 scenario")
+    _command(
+        sub, "scenario",
+        "build and summarize the Fig 1 scenario",
+        "repro scenario",
+    )
 
-    check = sub.add_parser("check", help="compliance-check a report query")
+    check = _command(
+        sub, "check",
+        "compliance-check a report query against the meta-report PLAs",
+        'repro check "SELECT drug, COUNT(*) AS n FROM wide_prescriptions '
+        'GROUP BY drug" --audience analyst --purpose care/quality',
+    )
     check.add_argument("sql", help="SQL over the warehouse/meta-report views")
-    check.add_argument("--name", default="adhoc_report")
+    check.add_argument(
+        "--name", default="adhoc_report", help="name for the ad-hoc report"
+    )
     check.add_argument(
         "--audience", nargs="+", default=["analyst"],
-        choices=sorted(ROLE_TO_USER),
+        choices=sorted(ROLE_TO_USER), help="audience role(s) of the report",
     )
-    check.add_argument("--purpose", default="care/quality")
+    check.add_argument(
+        "--purpose", default="care/quality", help="declared processing purpose"
+    )
 
-    deliver = sub.add_parser("deliver", help="generate and render one report")
+    deliver = _command(
+        sub, "deliver",
+        "generate and render one report through checked, audited delivery",
+        "repro deliver rpt_001",
+    )
     deliver.add_argument("report", help="report name, e.g. rpt_001")
 
-    sub.add_parser("audit", help="deliver all compliant reports and audit")
+    _command(
+        sub, "audit",
+        "deliver all compliant reports and run the third-party auditor",
+        "repro audit",
+    )
 
-    gaps = sub.add_parser("gaps", help="PLA coverage analysis")
+    gaps = _command(
+        sub, "gaps",
+        "PLA coverage analysis against a generated requirement mix",
+        "repro gaps --n 100 --show 10",
+    )
     gaps.add_argument("--n", type=int, default=100, help="requirement count")
-    gaps.add_argument("--seed", type=int, default=23)
-    gaps.add_argument("--show", type=int, default=10)
+    gaps.add_argument("--seed", type=int, default=23, help="generator seed")
+    gaps.add_argument(
+        "--show", type=int, default=10, help="max gaps to print individually"
+    )
 
-    lint = sub.add_parser(
-        "lint", help="static privacy-flow analysis and PLA lint (no execution)"
+    lint = _command(
+        sub, "lint",
+        "static privacy-flow analysis and PLA lint (no execution)",
+        "repro lint --json --fail-on warning",
     )
     lint.add_argument("--json", action="store_true", help="machine-readable output")
     lint.add_argument(
@@ -266,11 +376,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint a saved deployment instead of the built-in scenario",
     )
 
-    fig = sub.add_parser("fig", help="regenerate a paper figure's table")
-    fig.add_argument("number", choices=sorted(_FIGS))
+    fig = _command(
+        sub, "fig",
+        "regenerate a paper figure's measured table",
+        "repro fig 5",
+    )
+    fig.add_argument("number", choices=sorted(_FIGS), help="figure number")
 
-    bench = sub.add_parser(
-        "bench", help="row vs. columnar engine scaling benchmark"
+    bench = _command(
+        sub, "bench",
+        "run a benchmark: engine scaling (default) or observability overhead",
+        "repro bench --smoke --json BENCH_engine.json",
+    )
+    bench.add_argument(
+        "which", nargs="?", choices=["engine", "obs"], default="engine",
+        help="engine: row vs columnar scaling; obs: tracing overhead",
     )
     bench.add_argument(
         "--smoke", action="store_true", help="tiny sizes, seconds not minutes"
@@ -280,13 +400,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write machine-readable results to PATH",
     )
 
-    save = sub.add_parser("save", help="persist the deployment to a directory")
-    save.add_argument("directory")
+    trace = _command(
+        sub, "trace",
+        "run one scenario workload with tracing on and print its span tree",
+        "repro trace deliver --report rpt_001 --jsonl spans.jsonl",
+    )
+    trace.add_argument(
+        "target", nargs="?", choices=["scenario", "deliver", "audit"],
+        default="deliver",
+        help="workload to trace: scenario build, one delivery, or a full audit",
+    )
+    trace.add_argument(
+        "--report", default="rpt_001",
+        help="report to deliver when target is 'deliver'",
+    )
+    trace.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="also write the spans as JSON lines to PATH",
+    )
 
-    load = sub.add_parser("load", help="load a deployment and re-check it")
-    load.add_argument("directory")
+    metrics = _command(
+        sub, "metrics",
+        "run the audit workload with metrics on and print the registry",
+        "repro metrics | grep repro_enforcement_decisions_total",
+    )
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="JSON snapshot instead of Prometheus text format",
+    )
+
+    save = _command(
+        sub, "save",
+        "persist the deployment (catalog, PLAs, reports) to a directory",
+        "repro save /tmp/deployment",
+    )
+    save.add_argument("directory", help="target directory (created if missing)")
+
+    load = _command(
+        sub, "load",
+        "load a saved deployment and re-check its compliance",
+        "repro load /tmp/deployment",
+    )
+    load.add_argument("directory", help="directory written by 'repro save'")
 
     return parser
+
+
+def subcommand_help(parser: argparse.ArgumentParser) -> dict[str, tuple[str, str]]:
+    """``{command: (help, description)}`` for every registered subcommand.
+
+    Used by the CLI tests to enforce that every subcommand stays documented.
+    """
+    out: dict[str, tuple[str, str]] = {}
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            helps = {a.dest: (a.help or "") for a in action._choices_actions}
+            for name, subparser in action.choices.items():
+                out[name] = (helps.get(name, ""), subparser.description or "")
+    return out
 
 
 _HANDLERS = {
@@ -298,6 +469,8 @@ _HANDLERS = {
     "lint": cmd_lint,
     "fig": cmd_fig,
     "bench": cmd_bench,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "save": cmd_save,
     "load": cmd_load,
 }

@@ -29,6 +29,8 @@ from repro.core.annotations import (
 )
 from repro.core.containment import DerivabilityResult, source_columns_used
 from repro.core.metareport import MetaReport, MetaReportSet
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.relational.catalog import Catalog
 from repro.reports.definition import ReportDefinition
 
@@ -171,7 +173,42 @@ class ComplianceChecker:
 
     def check_report(self, report: ReportDefinition) -> ComplianceVerdict:
         """Full compliance verdict for one report definition (memoized; see
-        the fingerprinting notes above)."""
+        the fingerprinting notes above).
+
+        When observability is on, checking emits a ``compliance.check`` span
+        and counts the outcome as a meta-report-level enforcement decision
+        (``repro_enforcement_decisions_total{level="meta-report",...}``).
+        """
+        if not TRACER.active():
+            return self._check_report_memoized(report)
+        with TRACER.span(
+            "compliance.check",
+            {"report": report.name, "version": report.version},
+        ) as span:
+            verdict = self._check_report_memoized(report)
+            span.set_tag("compliant", verdict.compliant)
+            if verdict.covering_metareport:
+                span.set_tag("metareport", verdict.covering_metareport)
+        self._record_verdict_metrics(verdict)
+        return verdict
+
+    @staticmethod
+    def _record_verdict_metrics(verdict: ComplianceVerdict) -> None:
+        level = instrument.LEVEL_METAREPORT
+        if verdict.compliant:
+            instrument.record_decision(
+                level, "allow", verdict.covering_metareport or "-"
+            )
+        elif verdict.covering_metareport is None:
+            instrument.record_decision(level, "deny", "derivability")
+        else:
+            instrument.record_decision(
+                level, "deny", "pla_violation", count=len(verdict.violations)
+            )
+        for obligation in verdict.obligations:
+            instrument.record_decision(level, "obligation", obligation.kind)
+
+    def _check_report_memoized(self, report: ReportDefinition) -> ComplianceVerdict:
         if not self.use_cache:
             return self._check_report_uncached(report)
         key = (
@@ -181,6 +218,8 @@ class ComplianceChecker:
             self.catalog.ddl_version,
         )
         cached = self._verdicts.get(key)
+        if TRACER.active():
+            instrument.cache_lookup("verdict", cached is not None)
         if cached is not None:
             return cached
         verdict = self._check_report_uncached(report)

@@ -28,6 +28,8 @@ from typing import Any
 
 from repro.cache import LRUCache
 from repro.errors import QueryError
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.relational.catalog import Catalog
 from repro.relational.expressions import (
     Col,
@@ -64,7 +66,7 @@ class NotConjunctive(QueryError):
 #
 # Derivability and containment are pure functions of the two query trees and
 # the catalog's *definitions* (schemas, views) — never of row data. Keys are
-# therefore ``(fingerprints..., id(catalog), catalog.ddl_version)``: any DDL
+# therefore ``(fingerprints..., catalog.uid, catalog.ddl_version)``: any DDL
 # change versions old entries out, and a registered mutation hook evicts the
 # affected catalog's entries eagerly. ``NotConjunctive`` outcomes are cached
 # too (as a sentinel) and re-raised, since proving "outside the fragment"
@@ -79,14 +81,14 @@ _hooked_catalogs: set[int] = set()
 
 
 def _on_catalog_mutation(catalog: Catalog, name: str) -> None:
-    cat_id = id(catalog)
-    _derivability_cache.invalidate_where(lambda k: k[-2] == cat_id)
-    _containment_cache.invalidate_where(lambda k: k[-2] == cat_id)
+    cat_uid = catalog.uid
+    _derivability_cache.invalidate_where(lambda k: k[-2] == cat_uid)
+    _containment_cache.invalidate_where(lambda k: k[-2] == cat_uid)
 
 
 def _hook_catalog(catalog: Catalog) -> None:
-    if id(catalog) not in _hooked_catalogs:
-        _hooked_catalogs.add(id(catalog))
+    if catalog.uid not in _hooked_catalogs:
+        _hooked_catalogs.add(catalog.uid)
         catalog.add_mutation_hook(_on_catalog_mutation)
 
 
@@ -373,10 +375,12 @@ def check_derivability(
         report_query.fingerprint(),
         metareport_name,
         metareport_query.fingerprint(),
-        id(catalog),
+        catalog.uid,
         catalog.ddl_version,
     )
     cached = _derivability_cache.get(key)
+    if TRACER.active():
+        instrument.cache_lookup("derivability", cached is not None)
     if cached is not None:
         return cached
     result = _check_derivability_uncached(
@@ -677,8 +681,10 @@ def is_contained(q1: Query, q2: Query, catalog: Catalog) -> bool:
     """
     if not _caching_enabled:
         return _is_contained_uncached(q1, q2, catalog)
-    key = (q1.fingerprint(), q2.fingerprint(), id(catalog), catalog.ddl_version)
+    key = (q1.fingerprint(), q2.fingerprint(), catalog.uid, catalog.ddl_version)
     cached = _containment_cache.get(key)
+    if TRACER.active():
+        instrument.cache_lookup("containment", cached is not None)
     if cached is not None:
         kind, payload = cached
         if kind == "raise":

@@ -35,6 +35,8 @@ from repro.etl.annotations import (
     IntegrationProhibition,
     JoinProhibition,
 )
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.policy.subjects import AccessContext
 from repro.policy.vpd import ColumnMask, VPDPolicy, VPDRule
 from repro.relational.catalog import Catalog
@@ -59,7 +61,49 @@ class ReportLevelEnforcer:
         context: AccessContext,
         verdict: ComplianceVerdict,
     ) -> ReportInstance:
-        """Run ``report`` under ``verdict``; non-compliant verdicts raise."""
+        """Run ``report`` under ``verdict``; non-compliant verdicts raise.
+
+        When observability is on the run emits a ``report.enforce`` span and
+        counts report-level enforcement decisions: allow/deny, rows
+        suppressed by obligations, cells anonymized.
+        """
+        if not TRACER.active():
+            return self._generate(report, context, verdict)
+        with TRACER.span(
+            "report.enforce",
+            {"report": report.name, "consumer": context.user.name},
+        ) as span:
+            level = instrument.LEVEL_REPORT
+            try:
+                instance = self._generate(report, context, verdict)
+            except (ComplianceError, EnforcementError) as exc:
+                instrument.record_decision(level, "deny", type(exc).__name__)
+                raise
+            instrument.record_decision(
+                level, "allow", verdict.covering_metareport or "-"
+            )
+            instrument.record_decision(
+                level,
+                "suppress_row",
+                "obligation",
+                count=instance.suppressed_rows,
+            )
+            for obligation in verdict.obligations:
+                if obligation.kind == "anonymize":
+                    instrument.record_decision(
+                        level,
+                        "anonymize",
+                        f"anonymize.{obligation.annotation.method}",
+                    )
+            span.set_tag("suppressed_rows", instance.suppressed_rows)
+            return instance
+
+    def _generate(
+        self,
+        report: ReportDefinition,
+        context: AccessContext,
+        verdict: ComplianceVerdict,
+    ) -> ReportInstance:
         if not verdict.compliant:
             raise ComplianceError(
                 f"report {report.name!r} is not compliant: "

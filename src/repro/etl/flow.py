@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from repro.errors import ComplianceError, EtlError
 from repro.etl.annotations import EtlPlaRegistry, EtlViolation
 from repro.etl.operators import EtlOperator, ExtractOp
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.provenance.graph import DatasetNode, ProvenanceGraph, TransformNode
 from repro.relational.catalog import Catalog
 from repro.relational.table import Table
@@ -159,7 +161,32 @@ class EtlFlow:
         :class:`ComplianceError`; otherwise it is recorded and the operator
         skipped. Skipping cascades: operators depending on a skipped output
         are skipped too.
+
+        When observability is on, the run emits an ``etl.flow`` span with
+        one ``etl.op`` child per executed operator, counts operators
+        executed/skipped, and records PLA skips as warehouse-level
+        ``deny_op`` enforcement decisions.
         """
+        if not TRACER.active():
+            return self._run(catalog, pla=pla, graph=graph, strict=strict,
+                             observing=False)
+        with TRACER.span("etl.flow", {"flow": self.name}) as span:
+            result = self._run(catalog, pla=pla, graph=graph, strict=strict,
+                               observing=True)
+            span.set_tag("executed", len(result.executed))
+            span.set_tag("skipped", len(result.skipped))
+            span.set_tag("violations", len(result.violations))
+            return result
+
+    def _run(
+        self,
+        catalog: Catalog | None,
+        *,
+        pla: EtlPlaRegistry | None,
+        graph: ProvenanceGraph | None,
+        strict: bool,
+        observing: bool,
+    ) -> FlowResult:
         cat = catalog if catalog is not None else Catalog()
         self.validate(cat)
         result = FlowResult(catalog=cat)
@@ -169,12 +196,20 @@ class EtlFlow:
             if any(i in unavailable for i in op.inputs):
                 result.skipped.append(op.name)
                 unavailable.add(op.output)
+                if observing:
+                    instrument.ETL_OPS.inc(1, ("skipped",))
                 continue
             inputs = self._resolve_inputs(op, cat)
             if pla is not None:
                 violations = pla.check_op(op, inputs, cat)
                 if violations:
                     result.violations.extend(violations)
+                    if observing:
+                        instrument.record_decision(
+                            instrument.LEVEL_WAREHOUSE, "deny_op", "etl_pla",
+                            count=len(violations),
+                        )
+                        instrument.ETL_OPS.inc(1, ("skipped",))
                     if strict:
                         raise ComplianceError(
                             f"ETL flow {self.name!r} aborted: "
@@ -183,7 +218,12 @@ class EtlFlow:
                     result.skipped.append(op.name)
                     unavailable.add(op.output)
                     continue
-            output = op.run(cat)
+            if observing:
+                with TRACER.span("etl.op", {"op": op.name, "kind": op.kind}):
+                    output = op.run(cat)
+                instrument.ETL_OPS.inc(1, ("executed",))
+            else:
+                output = op.run(cat)
             output.name = op.output
             cat.add_table(output, replace=True)
             result.executed.append(op.name)

@@ -1,0 +1,154 @@
+"""Exporters: JSON-lines span logs and Prometheus text exposition.
+
+Both formats are part of the observability contract documented in
+``docs/OBSERVABILITY.md``: span dictionaries carry a fixed key set, and the
+Prometheus rendering is deterministic (metrics sorted by name, samples by
+label values) so it can be golden-tested and diffed across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterable
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span
+
+__all__ = [
+    "span_to_dict",
+    "spans_to_jsonl",
+    "write_jsonl",
+    "render_span_tree",
+    "render_prometheus",
+]
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """The stable JSON shape of one finished span."""
+    return {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start": round(span.start_time, 6),
+        "wall_ms": round(span.wall_s * 1000.0, 6),
+        "cpu_ms": round(span.cpu_s * 1000.0, 6),
+        "status": span.status,
+        "tags": dict(span.tags),
+    }
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, in finish order; '' for no spans."""
+    return "\n".join(
+        json.dumps(span_to_dict(s), sort_keys=True, default=str) for s in spans
+    )
+
+
+def write_jsonl(spans: Iterable[Span], target: str | IO[str]) -> int:
+    """Write spans to a path or open file; returns the span count."""
+    spans = list(spans)
+    text = spans_to_jsonl(spans)
+    if text:
+        text += "\n"
+    if hasattr(target, "write"):
+        target.write(text)  # type: ignore[union-attr]
+    else:
+        with open(target, "w", encoding="utf-8") as fh:  # type: ignore[arg-type]
+            fh.write(text)
+    return len(spans)
+
+
+def render_span_tree(spans: Iterable[Span]) -> str:
+    """Human-readable per-trace tree, children indented under parents."""
+    spans = list(spans)
+    by_parent: dict[str | None, list[Span]] = {}
+    by_trace: dict[str, list[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+        by_parent.setdefault(span.parent_id, []).append(span)
+
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        tags = " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
+        flag = "" if span.status == "ok" else " !ERROR"
+        lines.append(
+            f"{'  ' * depth}{span.name}  "
+            f"wall={span.wall_s * 1000.0:.3f}ms cpu={span.cpu_s * 1000.0:.3f}ms"
+            f"{flag}{('  [' + tags + ']') if tags else ''}"
+        )
+        for child in by_parent.get(span.span_id, []):
+            emit(child, depth + 1)
+
+    for trace_id, members in by_trace.items():
+        lines.append(f"trace {trace_id} ({len(members)} span(s))")
+        for root in (s for s in members if s.parent_id is None):
+            emit(root, 1)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _labelstr(names: tuple[str, ...], values: tuple, extra: str = "") -> str:
+    parts = [f'{n}="{_escape(str(v))}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _num(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for metric in registry:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_labelstr(metric.labelnames, labels)} {_num(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for labels, snap in metric.samples():
+                cumulative = 0
+                for bound, count in snap["buckets"]:
+                    cumulative += count
+                    le = 'le="' + _num(bound) + '"'
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_labelstr(metric.labelnames, labels, le)} {cumulative}"
+                    )
+                cumulative += snap["inf"]
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_labelstr(metric.labelnames, labels, inf)} {cumulative}"
+                )
+                lines.append(
+                    f"{metric.name}_sum{_labelstr(metric.labelnames, labels)}"
+                    f" {_num(round(snap['sum'], 9))}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_labelstr(metric.labelnames, labels)}"
+                    f" {snap['count']}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

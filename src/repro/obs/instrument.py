@@ -1,0 +1,107 @@
+"""The built-in metric set and the helpers hot call sites use.
+
+Every metric the pipeline emits is registered here, once, at import time —
+so instrumented code paths touch pre-resolved handles (a dict lookup plus
+an add) instead of re-registering per call. The names and labels below are
+a **stable contract**, documented in ``docs/OBSERVABILITY.md``:
+
+``repro_queries_total{mode}``
+    Queries executed by the relational engine, by execution mode.
+``repro_cache_lookups_total{cache,result}``
+    Lookups against the plan / derivability / containment / verdict caches,
+    labeled hit or miss.
+``repro_enforcement_decisions_total{level,decision,rule}``
+    Privacy enforcement decisions keyed by the paper's pipeline level
+    (``source`` | ``warehouse`` | ``meta-report`` | ``report``), the
+    decision taken (``allow``, ``deny``, ``deny_row``, ``suppress_row``,
+    ``anonymize``, ``obligation``, ``deny_op``), and which rule fired.
+``repro_etl_operators_total{status}``
+    ETL operators ``executed`` vs ``skipped`` (PLA skip or cascade).
+``repro_deliveries_total{outcome}``
+    Report deliveries, ``delivered`` vs ``refused``.
+``repro_span_seconds{name}``
+    Wall-clock latency histogram of every finished span, by span name.
+
+All helpers assume the caller already checked :meth:`Tracer.active` — the
+disabled path never reaches this module.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import TRACER, Span
+
+__all__ = [
+    "QUERIES",
+    "CACHE_LOOKUPS",
+    "DECISIONS",
+    "ETL_OPS",
+    "DELIVERIES",
+    "SPAN_SECONDS",
+    "LEVEL_SOURCE",
+    "LEVEL_WAREHOUSE",
+    "LEVEL_METAREPORT",
+    "LEVEL_REPORT",
+    "cache_lookup",
+    "record_decision",
+]
+
+_registry = get_registry()
+
+#: The paper's four pipeline levels, as metric label values.
+LEVEL_SOURCE = "source"
+LEVEL_WAREHOUSE = "warehouse"
+LEVEL_METAREPORT = "meta-report"
+LEVEL_REPORT = "report"
+
+QUERIES = _registry.counter(
+    "repro_queries_total",
+    "Queries executed by the relational engine.",
+    ("mode",),
+)
+CACHE_LOOKUPS = _registry.counter(
+    "repro_cache_lookups_total",
+    "Result/proof/verdict cache lookups, by cache and outcome.",
+    ("cache", "result"),
+)
+DECISIONS = _registry.counter(
+    "repro_enforcement_decisions_total",
+    "Privacy enforcement decisions, by pipeline level, decision, and rule.",
+    ("level", "decision", "rule"),
+)
+ETL_OPS = _registry.counter(
+    "repro_etl_operators_total",
+    "ETL operators run, by outcome.",
+    ("status",),
+)
+DELIVERIES = _registry.counter(
+    "repro_deliveries_total",
+    "Report delivery requests, by outcome.",
+    ("outcome",),
+)
+SPAN_SECONDS = _registry.histogram(
+    "repro_span_seconds",
+    "Wall-clock seconds spent per span, by span name.",
+    ("name",),
+)
+
+
+def cache_lookup(cache: str, hit: bool) -> None:
+    """Count one cache lookup as a hit or miss."""
+    CACHE_LOOKUPS.inc(1, (cache, "hit" if hit else "miss"))
+
+
+def record_decision(
+    level: str, decision: str, rule: str = "-", count: float = 1
+) -> None:
+    """Count ``count`` enforcement decisions at one pipeline level."""
+    if count:
+        DECISIONS.inc(count, (level, decision, rule))
+
+
+def _observe_span(span: Span) -> None:
+    SPAN_SECONDS.observe(span.wall_s, (span.name,))
+
+
+# Every finished span also lands in the latency histogram.
+TRACER.on_finish = _observe_span

@@ -1,0 +1,195 @@
+"""Hierarchical spans: who did what, under which request, for how long.
+
+A :class:`Span` is one timed unit of pipeline work — a query execution, a
+compliance check, an ETL operator, an enforcement pass. Spans nest: the
+first span opened becomes the root of a new *trace* and every span opened
+while another is active becomes its child, so one delivered report produces
+one tree reaching from ``report.deliver`` down to the individual
+``query.execute`` and cache lookups it caused. The trace ID of that tree is
+what :mod:`repro.audit` stamps into disclosure records, linking an audit
+entry back to the exact execution that produced it.
+
+Tracing is **off by default** and the disabled path is near-free: call
+sites guard on :meth:`Tracer.active` (an attribute check plus an empty-list
+test) and allocate nothing when it is false. IDs are drawn from process
+counters, not entropy, so traces are deterministic under test and
+:meth:`Tracer.reset` restarts numbering.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = ["Span", "Tracer", "TRACER"]
+
+
+@dataclass
+class Span:
+    """One timed, tagged unit of work inside a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start_time: float  # epoch seconds (wall clock, for log correlation)
+    tags: dict[str, Any] = field(default_factory=dict)
+    wall_s: float = 0.0  # elapsed wall time, seconds
+    cpu_s: float = 0.0  # elapsed process CPU time, seconds
+    status: str = "ok"  # "ok" | "error"
+    _tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
+    _t0: float = field(default=0.0, repr=False, compare=False)
+    _c0: float = field(default=0.0, repr=False, compare=False)
+
+    def set_tag(self, key: str, value: Any) -> "Span":
+        self.tags[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.tags.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._end(self)
+        return False
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class _NoopSpan:
+    """Returned when tracing is off; absorbs the span protocol for free."""
+
+    __slots__ = ()
+
+    def set_tag(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Produces spans, tracks the active stack, retains finished spans.
+
+    Single-threaded by design, like the engine it instruments: the active
+    span is the top of a plain list. ``max_finished`` bounds retention so a
+    long traced run cannot grow without limit.
+    """
+
+    def __init__(self, max_finished: int = 10_000) -> None:
+        self.enabled = False
+        self.finished: deque[Span] = deque(maxlen=max_finished)
+        self.on_finish: Callable[[Span], None] | None = None
+        self._stack: list[Span] = []
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    # -- state ---------------------------------------------------------------
+
+    def active(self) -> bool:
+        """Should instrumentation record right now?
+
+        True when tracing is globally enabled *or* a span is already open —
+        the latter lets a force-opened root (e.g. an
+        :class:`~repro.relational.execconfig.ExecutionConfig` with
+        ``observe=True``) pull nested cache/engine instrumentation in with
+        it without flipping global state.
+        """
+        return self.enabled or bool(self._stack)
+
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def current_trace_id(self) -> str | None:
+        return self._stack[-1].trace_id if self._stack else None
+
+    def reset(self) -> None:
+        """Drop all spans and restart ID numbering (tests, CLI runs)."""
+        self.finished.clear()
+        self._stack.clear()
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        tags: dict[str, Any] | None = None,
+        *,
+        force: bool = False,
+    ) -> Span | _NoopSpan:
+        """Open a span; use as a context manager.
+
+        Returns the no-op singleton when tracing is inactive (unless
+        ``force``), so the disabled path allocates nothing.
+        """
+        if not (force or self.active()):
+            return NOOP_SPAN
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            trace_id = f"t{next(self._trace_ids):012x}"
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=f"s{next(self._span_ids):08x}",
+            parent_id=parent_id,
+            start_time=time.time(),
+            tags=dict(tags) if tags else {},
+            _tracer=self,
+            _t0=time.perf_counter(),
+            _c0=time.process_time(),
+        )
+        self._stack.append(span)
+        return span
+
+    def _end(self, span: Span) -> None:
+        span.wall_s = time.perf_counter() - span._t0
+        span.cpu_s = time.process_time() - span._c0
+        # Tolerate a mismatched exit (an inner span leaked by an exception):
+        # unwind to the span being closed rather than corrupting the stack.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        self.finished.append(span)
+        if self.on_finish is not None:
+            self.on_finish(span)
+
+    # -- inspection ----------------------------------------------------------
+
+    def spans(self, trace_id: str | None = None) -> Iterable[Span]:
+        """Finished spans, optionally filtered to one trace."""
+        if trace_id is None:
+            return tuple(self.finished)
+        return tuple(s for s in self.finished if s.trace_id == trace_id)
+
+    def trace_ids(self) -> tuple[str, ...]:
+        """Distinct trace IDs among finished spans, in first-seen order."""
+        seen: dict[str, None] = {}
+        for span in self.finished:
+            seen.setdefault(span.trace_id, None)
+        return tuple(seen)
+
+
+#: The process-wide tracer every instrumented call site consults.
+TRACER = Tracer()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Iterable
 
 from repro.errors import CatalogError
@@ -37,10 +38,17 @@ class Catalog:
     The catalog detects view-definition cycles at registration time.
     """
 
+    # Process-unique identity for cache keys. ``id(self)`` is unusable here:
+    # CPython recycles addresses, so a catalog allocated after another died
+    # can collide with the dead one's cache entries (same address, same
+    # ddl_version, same table versions — but different view definitions).
+    _serial = itertools.count(1)
+
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, View] = {}
         self.ddl_version = 0
+        self.uid = next(Catalog._serial)
         self._mutation_hooks: list[Callable[["Catalog", str], None]] = []
 
     # -- mutation notification ----------------------------------------------
@@ -187,4 +195,4 @@ class Catalog:
             (name, self._tables[name].data_version, len(self._tables[name].rows))
             for name in sorted(self.base_relations_of_query(query))
         )
-        return (id(self), self.ddl_version, parts)
+        return (self.uid, self.ddl_version, parts)

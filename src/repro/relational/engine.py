@@ -20,6 +20,8 @@ Both produce value-identical tables, provenance included.
 from __future__ import annotations
 
 from repro.errors import QueryError
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.relational import algebra
 from repro.relational.catalog import Catalog
 from repro.relational.execconfig import ExecutionConfig, get_default_config
@@ -41,9 +43,24 @@ def execute(
     """Run ``query`` against ``catalog`` and return a derived table.
 
     ``config`` selects the execution path (and plan caching); ``None`` uses
-    the process default (columnar, cached).
+    the process default (columnar, cached). When observability is on (see
+    :mod:`repro.obs`) each execution emits a ``query.execute`` span and a
+    ``repro_queries_total`` tick; the disabled path skips both for free.
     """
     cfg = config if config is not None else get_default_config()
+    if not cfg.observing():
+        return _dispatch(query, catalog, name, cfg)
+    with TRACER.span(
+        "query.execute", {"mode": cfg.mode, "relation": query.source}, force=True
+    ):
+        result = _dispatch(query, catalog, name, cfg)
+    instrument.QUERIES.inc(1, (cfg.mode,))
+    return result
+
+
+def _dispatch(
+    query: Query, catalog: Catalog, name: str | None, cfg: ExecutionConfig
+) -> Table:
     if cfg.mode == "row":
         return _execute(query, catalog, depth=0, name=name)
 

@@ -12,6 +12,11 @@ Two modes:
 The process default can be overridden with the ``REPRO_ENGINE_MODE``
 environment variable (``row`` or ``columnar``), which is how the CI matrix
 and benchmark harness flip engines without touching call sites.
+
+``observe`` opts one config into :mod:`repro.obs` tracing: ``None`` (the
+default) follows the process-wide switch (``repro.obs.enable()`` /
+``REPRO_OBS``), ``True`` traces queries run under this config even when the
+global switch is off, ``False`` silences them even when it is on.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 
+from repro.obs.trace import TRACER as _TRACER
 from repro.relational.plancache import PlanCache, default_plan_cache
 
 __all__ = [
@@ -39,6 +45,7 @@ class ExecutionConfig:
     mode: str = "columnar"
     use_plan_cache: bool = True
     plan_cache: PlanCache | None = field(default=None, compare=False)
+    observe: bool | None = None  # None = follow repro.obs process switch
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -55,6 +62,12 @@ class ExecutionConfig:
 
     def with_mode(self, mode: str) -> "ExecutionConfig":
         return replace(self, mode=mode)
+
+    def observing(self) -> bool:
+        """Should executions under this config be traced right now?"""
+        if self.observe is not None:
+            return self.observe
+        return _TRACER.active()
 
 
 # Canonical configs for tests and benchmarks.

@@ -20,6 +20,8 @@ from typing import TYPE_CHECKING
 
 from repro.cache import CacheStats, LRUCache
 from repro.errors import CatalogError
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.relational.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -49,9 +51,9 @@ class PlanCache:
         return (query.fingerprint(), catalog.state_token(query), mode)
 
     def _ensure_hook(self, catalog: "Catalog") -> None:
-        if id(catalog) in self._hooked_catalogs:
+        if catalog.uid in self._hooked_catalogs:
             return
-        self._hooked_catalogs.add(id(catalog))
+        self._hooked_catalogs.add(catalog.uid)
         catalog.add_mutation_hook(self._on_catalog_mutation)
 
     def _on_catalog_mutation(self, catalog: "Catalog", name: str) -> None:
@@ -75,6 +77,8 @@ class PlanCache:
             # executor, which reports the error with query-level context.
             return None
         snap = self._cache.get(key)
+        if TRACER.active():
+            instrument.cache_lookup("plan", snap is not None)
         if snap is None:
             return None
         snap_name, schema, rows, provs, provider = snap
@@ -108,8 +112,8 @@ class PlanCache:
 
     def invalidate_catalog(self, catalog: "Catalog") -> int:
         """Evict every entry derived from ``catalog``; returns the count."""
-        cat_id = id(catalog)
-        return self._cache.invalidate_where(lambda k: k[1][0] == cat_id)
+        cat_uid = catalog.uid
+        return self._cache.invalidate_where(lambda k: k[1][0] == cat_uid)
 
     def clear(self) -> int:
         return self._cache.clear()

@@ -15,6 +15,8 @@ from typing import TYPE_CHECKING
 from repro.errors import ComplianceError
 from repro.core.compliance import ComplianceChecker
 from repro.core.translation import ReportLevelEnforcer
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.policy.subjects import AccessContext, SubjectRegistry
 from repro.reports.catalog import ReportCatalog
 from repro.reports.definition import ReportInstance
@@ -58,8 +60,30 @@ class DeliveryService:
         """Deliver the current version of ``report_name`` to ``user``.
 
         Raises :class:`ComplianceError` on any refusal; the refusal is
-        recorded either way.
+        recorded either way. When observability is on, the whole delivery
+        runs under a ``report.deliver`` root span — the compliance check,
+        enforcement, and query execution it causes become child spans, and
+        the audit record written at the end carries this trace's ID.
         """
+        if not TRACER.active():
+            return self._deliver(report_name, user=user, purpose=purpose)
+        with TRACER.span(
+            "report.deliver",
+            {"report": report_name, "user": user, "purpose": purpose},
+        ) as span:
+            try:
+                instance = self._deliver(report_name, user=user, purpose=purpose)
+            except ComplianceError:
+                instrument.DELIVERIES.inc(1, ("refused",))
+                span.set_tag("outcome", "refused")
+                raise
+            instrument.DELIVERIES.inc(1, ("delivered",))
+            span.set_tag("outcome", "delivered")
+            return instance
+
+    def _deliver(
+        self, report_name: str, *, user: str, purpose: str
+    ) -> ReportInstance:
         context = self.subjects.context(user, purpose)
         try:
             definition = self.reports.current(report_name)

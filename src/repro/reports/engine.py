@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ComplianceError
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.policy.subjects import AccessContext
 from repro.relational.catalog import Catalog
 from repro.relational.engine import execute
@@ -48,7 +50,36 @@ class ReportEngine:
     def generate(
         self, definition: ReportDefinition, context: AccessContext
     ) -> ReportInstance:
-        """Generate a report for ``context``; audience is always enforced."""
+        """Generate a report for ``context``; audience is always enforced.
+
+        When observability is on, emits a ``report.generate`` span and
+        counts rows suppressed by row filters as report-level decisions.
+        """
+        if not TRACER.active():
+            return self._generate(definition, context)
+        with TRACER.span(
+            "report.generate",
+            {"report": definition.name, "consumer": context.user.name},
+        ) as span:
+            try:
+                instance = self._generate(definition, context)
+            except ComplianceError:
+                instrument.record_decision(
+                    instrument.LEVEL_REPORT, "deny", "audience"
+                )
+                raise
+            instrument.record_decision(
+                instrument.LEVEL_REPORT,
+                "suppress_row",
+                "row_filter",
+                count=instance.suppressed_rows,
+            )
+            span.set_tag("suppressed_rows", instance.suppressed_rows)
+            return instance
+
+    def _generate(
+        self, definition: ReportDefinition, context: AccessContext
+    ) -> ReportInstance:
         if not any(context.user.has_role(role) for role in definition.audience):
             raise ComplianceError(
                 f"user {context.user.name!r} is not in the audience of "

@@ -22,6 +22,8 @@ from typing import Sequence
 
 from repro.errors import EnforcementError
 from repro.anonymize.kanonymity import QuasiIdentifier, mondrian_anonymize
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.anonymize.pseudonym import Pseudonymizer
 from repro.policy.subjects import AccessContext
 from repro.relational.table import RowProvenance, Table
@@ -117,7 +119,47 @@ class SourceGateway:
     def export_table(
         self, table_name: str, context: AccessContext
     ) -> tuple[Table, GatewayReport]:
-        """Export one table to the BI provider under ``context``."""
+        """Export one table to the BI provider under ``context``.
+
+        When observability is on, the export emits a ``source.export`` span
+        and counts source-level enforcement decisions (rows dropped by
+        consent/intensional rules, cells anonymized, rows allowed out).
+        """
+        if not TRACER.active():
+            return self._export(table_name, context)
+        with TRACER.span(
+            "source.export",
+            {"provider": self.provider.name, "table": table_name,
+             "purpose": context.purpose.name},
+        ) as span:
+            exported, report = self._export(table_name, context)
+            level = instrument.LEVEL_SOURCE
+            instrument.record_decision(level, "allow", count=report.rows_out)
+            instrument.record_decision(
+                level, "deny_row", "consent_purpose",
+                count=report.rows_dropped_purpose,
+            )
+            instrument.record_decision(
+                level, "deny_row", "intensional",
+                count=report.rows_dropped_intensional,
+            )
+            instrument.record_decision(
+                level, "anonymize", "cell_policy.pseudonymize",
+                count=report.cells_pseudonymized,
+            )
+            instrument.record_decision(
+                level, "anonymize", "cell_policy.suppress",
+                count=report.cells_suppressed,
+            )
+            if report.k_anonymized:
+                instrument.record_decision(level, "anonymize", "k_anonymity")
+            span.set_tag("rows_in", report.rows_in)
+            span.set_tag("rows_out", report.rows_out)
+            return exported, report
+
+    def _export(
+        self, table_name: str, context: AccessContext
+    ) -> tuple[Table, GatewayReport]:
         table = self.provider.table(table_name)
         report = GatewayReport(table=table_name, rows_in=len(table))
         policies = [p for p in self.cell_policies if p.column in table.schema]

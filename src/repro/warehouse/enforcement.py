@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ComplianceError
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.policy.subjects import AccessContext
 from repro.relational.catalog import Catalog
 from repro.relational.engine import execute
@@ -106,7 +108,31 @@ class WarehouseEnforcer:
 
         Returns ``(table, suppressed_rows)``. Raises
         :class:`ComplianceError` when the static gate rejects the query.
+        When observability is on, emits a ``warehouse.enforce`` span and
+        counts warehouse-level enforcement decisions.
         """
+        if not TRACER.active():
+            return self._run(query, context, name=name)
+        with TRACER.span(
+            "warehouse.enforce",
+            {"user": context.user.name, "purpose": context.purpose.name},
+        ) as span:
+            level = instrument.LEVEL_WAREHOUSE
+            try:
+                table, suppressed = self._run(query, context, name=name)
+            except ComplianceError:
+                instrument.record_decision(level, "deny", "metadata_gate")
+                raise
+            instrument.record_decision(level, "allow")
+            instrument.record_decision(
+                level, "suppress_row", "row_rule_or_floor", count=suppressed
+            )
+            span.set_tag("suppressed_rows", suppressed)
+            return table, suppressed
+
+    def _run(
+        self, query: Query, context: AccessContext, *, name: str
+    ) -> tuple[Table, int]:
         reasons = self.check(query, context)
         if reasons:
             raise ComplianceError(

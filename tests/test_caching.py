@@ -154,6 +154,32 @@ class TestPlanCache:
         )
         assert len(execute(q, cat, config=cfg)) == 1  # not the stale 3-row answer
 
+    def test_dead_catalogs_never_alias_live_ones(self):
+        # state_token identity must be process-unique, not id()-based:
+        # CPython recycles addresses, so a catalog built after another died
+        # could otherwise collide with the dead one's cache entries (same
+        # address, same ddl_version, same table versions — different views).
+        q = parse_query("SELECT region FROM visits")
+        tokens = set()
+        for _ in range(50):
+            cat = patient_catalog()
+            tokens.add(cat.state_token(q)[0])
+            del cat
+        assert len(tokens) == 50
+
+    def test_same_shape_catalogs_do_not_share_entries(self):
+        cache, cfg = self.make_cfg()
+        cat1 = patient_catalog()
+        cat1.add_view(View("v", parse_query("SELECT region FROM visits")))
+        narrow = execute(parse_query("SELECT * FROM v"), cat1, config=cfg)
+        del cat1
+        cat2 = patient_catalog()
+        cat2.add_view(View("v", parse_query("SELECT * FROM visits")))
+        wide = execute(parse_query("SELECT * FROM v"), cat2, config=cfg)
+        assert list(narrow.schema.names) == ["region"]
+        assert list(wide.schema.names) == ["patient", "region", "disease", "cost"]
+        assert cache.stats.hits == 0
+
     def test_unknown_relation_bypasses_cache(self):
         cat = patient_catalog()
         cache, cfg = self.make_cfg()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _HANDLERS, build_parser, main, subcommand_help
 
 
 @pytest.fixture(scope="module")
@@ -26,6 +26,29 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_every_subcommand_has_nonempty_help(self):
+        """The help-string audit: no command ships undocumented."""
+        documented = subcommand_help(build_parser())
+        assert documented, "no subcommands registered?"
+        for name, (help_text, description) in documented.items():
+            assert help_text.strip(), f"subcommand {name!r} has no help text"
+            assert description.strip(), f"subcommand {name!r} has no description"
+
+    def test_every_subcommand_has_a_handler_and_vice_versa(self):
+        documented = set(subcommand_help(build_parser()))
+        assert documented == set(_HANDLERS)
+
+    def test_every_subcommand_help_renders_an_example(self):
+        parser = build_parser()
+        import argparse
+
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for name, subparser in action.choices.items():
+                    text = subparser.format_help()
+                    assert "example:" in text, f"{name} help lacks an example"
+                    assert f"repro {name}" in text, f"{name} example is off-command"
 
 
 class TestCommands:
@@ -134,3 +157,58 @@ class TestCommands:
     def test_load_missing_directory_errors(self, capsys, tmp_path):
         assert main(["load", str(tmp_path / "ghost")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def _restore_obs(self):
+        from repro import obs
+
+        previous = obs.enabled()
+        yield
+        obs.TRACER.enabled = previous
+        obs.reset()
+
+    def test_trace_deliver_prints_span_tree(self, capsys):
+        assert main(["trace", "deliver", "--report", "rpt_001"]) == 0
+        out = capsys.readouterr().out
+        assert "trace t" in out
+        assert "report.deliver" in out
+        assert "query.execute" in out
+        assert "enforcement decisions" in out
+
+    def test_trace_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "spans.jsonl"
+        assert main(["trace", "deliver", "--jsonl", str(target)]) == 0
+        lines = target.read_text().splitlines()
+        assert lines
+        spans = [json.loads(line) for line in lines]
+        assert any(s["name"] == "report.deliver" for s in spans)
+        assert all(
+            set(s) >= {"trace_id", "span_id", "name", "wall_ms", "status"}
+            for s in spans
+        )
+
+    def test_trace_leaves_observability_disabled(self, capsys):
+        from repro import obs
+
+        obs.disable()
+        assert main(["trace", "audit"]) == 0
+        assert not obs.enabled()
+
+    def test_metrics_prometheus_output(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_deliveries_total counter" in out
+        assert "repro_enforcement_decisions_total{" in out
+        assert 'level="meta-report"' in out
+
+    def test_metrics_json_output(self, capsys):
+        import json
+
+        assert main(["metrics", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["repro_deliveries_total"]["kind"] == "counter"
+        assert data["repro_span_seconds"]["kind"] == "histogram"

@@ -1,0 +1,437 @@
+"""Unit semantics of repro.obs: tracer, metrics, exporters.
+
+These tests pin down the observability *contract*: histogram bucket
+boundaries are ``le``-inclusive, counters are monotonic, registry reset
+keeps registrations alive, and the exporters render deterministically
+(golden-tested). The integration half — instrumented pipeline behavior —
+lives in ``test_obs_integration.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    render_prometheus,
+    render_span_tree,
+    span_to_dict,
+    spans_to_jsonl,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+
+@pytest.fixture()
+def clean_obs():
+    """Fresh global obs state, restored afterwards."""
+    previous = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.TRACER.enabled = previous
+    obs.reset()
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_disabled_tracer_returns_noop_span(self):
+        tracer = Tracer()
+        span = tracer.span("anything")
+        assert span is NOOP_SPAN
+        assert not span  # falsy, so `if span:` skips tag work
+        with span as s:
+            s.set_tag("ignored", 1)
+        assert list(tracer.finished) == []
+
+    def test_nesting_builds_one_trace(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grand:
+                    assert grand.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+            assert root.parent_id is None
+        names = [s.name for s in tracer.finished]
+        assert names == ["grandchild", "child", "root"]  # finish order
+        assert tracer.trace_ids() == (root.trace_id,)
+
+    def test_sequential_roots_get_distinct_trace_ids(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = tracer.trace_ids()
+        assert len(ids) == 2 and ids[0] != ids[1]
+
+    def test_deterministic_ids_after_reset(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        with tracer.span("x") as first:
+            pass
+        tracer.reset()
+        with tracer.span("x") as second:
+            pass
+        assert first.trace_id == second.trace_id == "t000000000001"
+        assert first.span_id == second.span_id == "s00000001"
+
+    def test_force_opens_root_and_activates_children(self):
+        tracer = Tracer()
+        assert not tracer.active()
+        with tracer.span("forced-root", force=True):
+            # A forced root makes nested instrumentation record too.
+            assert tracer.active()
+            with tracer.span("child"):
+                pass
+        assert not tracer.active()
+        assert [s.name for s in tracer.finished] == ["child", "forced-root"]
+
+    def test_exception_marks_span_error(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.finished
+        assert span.status == "error"
+        assert span.tags["error"] == "ValueError"
+
+    def test_mismatched_exit_unwinds_stack(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        outer = tracer.span("outer")
+        tracer.span("leaked-inner")  # never exited
+        outer.__exit__(None, None, None)
+        assert tracer.current_span() is None  # stack fully unwound
+
+    def test_current_trace_id(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        assert tracer.current_trace_id() is None
+        with tracer.span("root") as root:
+            assert tracer.current_trace_id() == root.trace_id
+
+    def test_on_finish_hook_fires(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        seen = []
+        tracer.on_finish = seen.append
+        with tracer.span("hooked"):
+            pass
+        assert [s.name for s in seen] == ["hooked"]
+
+    def test_retention_is_bounded(self):
+        tracer = Tracer(max_finished=3)
+        tracer.enabled = True
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.finished] == ["s2", "s3", "s4"]
+
+
+# ---------------------------------------------------------------------------
+# Counters and gauges
+# ---------------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("c_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        with pytest.raises(MetricError):
+            c.inc(-1)
+        assert c.value() == 3.5  # unchanged after the rejected decrement
+
+    def test_label_cardinality_enforced(self):
+        c = Counter("c_total", labelnames=("a", "b"))
+        with pytest.raises(MetricError):
+            c.inc(1, ("only-one",))
+        c.inc(1, ("x", "y"))
+        assert c.value(("x", "y")) == 1
+
+    def test_samples_sorted(self):
+        c = Counter("c_total", labelnames=("k",))
+        c.inc(1, ("zebra",))
+        c.inc(2, ("alpha",))
+        assert c.samples() == [(("alpha",), 2.0), (("zebra",), 1.0)]
+
+
+class TestGauge:
+    def test_up_and_down(self):
+        g = Gauge("g")
+        g.set(10)
+        g.dec(4)
+        g.inc(1)
+        assert g.value() == 7
+
+
+# ---------------------------------------------------------------------------
+# Histogram bucket semantics
+# ---------------------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_le_boundary_is_inclusive(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)  # exactly on a bound → that bucket, not the next
+        h.observe(2.0)
+        snap = h.value()
+        assert snap["buckets"] == ((1.0, 1), (2.0, 1))
+        assert snap["inf"] == 0
+        assert snap["count"] == 2
+        assert snap["sum"] == 3.0
+
+    def test_above_last_bound_lands_in_inf(self):
+        h = Histogram("h", buckets=(0.1,))
+        h.observe(0.5)
+        snap = h.value()
+        assert snap["buckets"] == ((0.1, 0),)
+        assert snap["inf"] == 1
+
+    def test_below_first_bound_lands_in_first_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.0)
+        assert h.value()["buckets"] == ((1.0, 1), (2.0, 0))
+
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(MetricError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(MetricError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(MetricError):
+            Histogram("h", buckets=())
+
+    def test_default_buckets_are_valid_and_span_latency_range(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(0.0001)
+        assert DEFAULT_BUCKETS[-1] == 10.0
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    def test_per_labelset_isolation(self):
+        h = Histogram("h", labelnames=("op",), buckets=(1.0,))
+        h.observe(0.5, ("a",))
+        h.observe(5.0, ("b",))
+        assert h.value(("a",))["count"] == 1
+        assert h.value(("b",))["inf"] == 1
+        assert h.value(("missing",))["count"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help", ("k",))
+        b = reg.counter("x_total", "other help ignored", ("k",))
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+
+    def test_labelname_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labelnames=("a",))
+        with pytest.raises(MetricError):
+            reg.counter("x", labelnames=("b",))
+
+    def test_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+        assert reg.histogram("h", buckets=(1.0, 2.0)) is reg.get("h")
+
+    def test_reset_zeroes_values_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labelnames=("k",))
+        c.inc(5, ("v",))
+        reg.reset()
+        assert reg.get("x_total") is c  # the handle survives
+        assert c.value(("v",)) == 0.0
+        c.inc(1, ("v",))  # and still works
+        assert c.value(("v",)) == 1.0
+
+    def test_iteration_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz")
+        reg.counter("aaa")
+        assert [m.name for m in reg] == ["aaa", "zzz"]
+
+    def test_as_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "Help.", ("k",)).inc(2, ("v",))
+        snap = reg.as_dict()
+        assert snap == {
+            "x_total": {
+                "kind": "counter",
+                "help": "Help.",
+                "labelnames": ["k"],
+                "samples": [{"labels": ["v"], "value": 2.0}],
+            }
+        }
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+PROMETHEUS_GOLDEN = """\
+# HELP demo_latency_seconds Latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{op="read",le="0.1"} 1
+demo_latency_seconds_bucket{op="read",le="1"} 2
+demo_latency_seconds_bucket{op="read",le="+Inf"} 3
+demo_latency_seconds_sum{op="read"} 5.55
+demo_latency_seconds_count{op="read"} 3
+# HELP demo_requests_total Requests.
+# TYPE demo_requests_total counter
+demo_requests_total{code="200"} 10
+demo_requests_total{code="500"} 1
+# TYPE demo_up gauge
+demo_up 1
+"""
+
+
+class TestPrometheusExport:
+    def test_golden(self):
+        reg = MetricsRegistry()
+        c = reg.counter("demo_requests_total", "Requests.", ("code",))
+        c.inc(10, ("200",))
+        c.inc(1, ("500",))
+        reg.gauge("demo_up").set(1)
+        h = reg.histogram("demo_latency_seconds", "Latency.", ("op",), buckets=(0.1, 1.0))
+        h.observe(0.05, ("read",))
+        h.observe(0.5, ("read",))
+        h.observe(5.0, ("read",))
+        assert render_prometheus(reg) == PROMETHEUS_GOLDEN
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("q",)).inc(1, ('say "hi"\n',))
+        text = render_prometheus(reg)
+        assert r'q="say \"hi\"\n"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestSpanExport:
+    def _spans(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        with tracer.span("root", {"k": "v"}):
+            with tracer.span("child"):
+                pass
+        return list(tracer.finished)
+
+    def test_span_to_dict_stable_keys(self):
+        spans = self._spans()
+        d = span_to_dict(spans[-1])  # the root
+        assert list(d) == [
+            "trace_id", "span_id", "parent_id", "name", "start",
+            "wall_ms", "cpu_ms", "status", "tags",
+        ]
+        assert d["name"] == "root"
+        assert d["parent_id"] is None
+        assert d["tags"] == {"k": "v"}
+
+    def test_jsonl_round_trip(self):
+        spans = self._spans()
+        lines = spans_to_jsonl(spans).splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["name"] == "child"
+        assert parsed[0]["parent_id"] == parsed[1]["span_id"]
+        assert parsed[0]["trace_id"] == parsed[1]["trace_id"]
+
+    def test_write_jsonl_to_file_object(self):
+        spans = self._spans()
+        buf = io.StringIO()
+        assert write_jsonl(spans, buf) == 2
+        assert buf.getvalue().endswith("\n")
+        assert len(buf.getvalue().splitlines()) == 2
+
+    def test_write_jsonl_to_path(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        assert write_jsonl(self._spans(), str(path)) == 2
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_write_jsonl_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_jsonl([], str(path)) == 0
+        assert path.read_text() == ""
+
+    def test_render_span_tree_indents_children(self):
+        text = render_span_tree(self._spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("trace t")
+        assert lines[1].startswith("  root")
+        assert lines[2].startswith("    child")
+        assert "[k=v]" in lines[1]
+
+
+# ---------------------------------------------------------------------------
+# Global wiring
+# ---------------------------------------------------------------------------
+
+
+class TestGlobalObs:
+    def test_enable_disable(self, clean_obs):
+        assert not obs.enabled()
+        obs.enable()
+        assert obs.enabled()
+        obs.disable()
+        assert not obs.enabled()
+
+    def test_reset_clears_spans_and_metrics(self, clean_obs):
+        obs.enable()
+        with obs.TRACER.span("x"):
+            pass
+        obs.instrument.QUERIES.inc(1, ("row",))
+        obs.reset()
+        assert list(obs.TRACER.finished) == []
+        assert obs.instrument.QUERIES.value(("row",)) == 0.0
+
+    def test_finished_spans_feed_latency_histogram(self, clean_obs):
+        obs.enable()
+        with obs.TRACER.span("timed.thing"):
+            pass
+        snap = obs.instrument.SPAN_SECONDS.value(("timed.thing",))
+        assert snap["count"] == 1
+
+    def test_env_var_enables(self, clean_obs, monkeypatch):
+        from repro.obs import _init_from_env
+
+        monkeypatch.setenv("REPRO_OBS", "yes")
+        _init_from_env()
+        assert obs.enabled()
+        obs.disable()
+        monkeypatch.setenv("REPRO_OBS", "0")
+        _init_from_env()
+        assert not obs.enabled()
