@@ -44,6 +44,7 @@ TARGETS: dict[str, str] = {
     "abl-int": "benchmarks.bench_ablation_integration",
     "engine": "benchmarks.bench_engine_scaling",
     "obs": "benchmarks.bench_obs_overhead",
+    "resilience": "benchmarks.bench_resilience",
 }
 
 JSON_PATH = "BENCH_engine.json"
@@ -52,6 +53,7 @@ JSON_PATH = "BENCH_engine.json"
 JSON_PATHS: dict[str, str] = {
     "engine": "BENCH_engine.json",
     "obs": "BENCH_obs.json",
+    "resilience": "BENCH_resilience.json",
 }
 
 

@@ -9,6 +9,7 @@ re-derives what *should* have been allowed and flags every divergence.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.audit.log import AuditLog, DisclosureRecord
@@ -19,6 +20,9 @@ from repro.core.annotations import (
     JoinPermission,
 )
 from repro.core.compliance import ComplianceChecker
+from repro.errors import ReportNotFoundError
+from repro.obs import instrument
+from repro.obs.trace import TRACER
 from repro.reports.catalog import ReportCatalog
 
 __all__ = ["AuditReport", "Auditor"]
@@ -71,7 +75,16 @@ class Auditor:
         findings: list[Violation] = []
         try:
             definition = self._definition_for(record)
-        except Exception:
+        except ReportNotFoundError as exc:
+            # Only "this version is not in the catalog" is an audit finding;
+            # any other failure is a genuine bug and must propagate.
+            if TRACER.active():
+                instrument.AUDIT_ANOMALIES.inc(1, ("unknown_report",))
+            warnings.warn(
+                f"audit: disclosure #{record.sequence} references unknown "
+                f"report {record.report!r} v{record.version}: {exc}",
+                stacklevel=2,
+            )
             findings.append(
                 Violation(
                     severity=Severity.WARNING,
@@ -200,4 +213,6 @@ class Auditor:
         for definition in self.reports.history(record.report):
             if definition.version == record.version:
                 return definition
-        raise KeyError(record.version)
+        raise ReportNotFoundError(
+            f"report {record.report!r} has no version {record.version}"
+        )

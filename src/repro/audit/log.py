@@ -37,14 +37,17 @@ class DisclosureRecord:
     obligations_applied: tuple[str, ...]
     suppressed_rows: int
     trace_id: str = ""  # repro.obs trace of the delivery ("" when obs off)
+    degraded: bool = False  # delivered in fail-closed degraded form
+    fault_cause: str = ""  # which source(s) were down, and how
     chain_hash: str = ""
 
     def payload(self) -> str:
         """Canonical serialization (hashed into the chain).
 
-        The trace ID is appended only when present, so logs written with
-        observability disabled are byte-identical (fields *and* chain
-        hashes) to the pre-observability format.
+        The trace ID and degradation marker are appended only when present,
+        so logs written with observability disabled against healthy sources
+        are byte-identical (fields *and* chain hashes) to the
+        pre-observability format.
         """
         fields = [
             str(self.sequence),
@@ -62,6 +65,8 @@ class DisclosureRecord:
         ]
         if self.trace_id:
             fields.append(self.trace_id)
+        if self.degraded:
+            fields.append(f"DEGRADED:{self.fault_cause}")
         return "|".join(fields)
 
 
@@ -106,6 +111,8 @@ class AuditLog:
             obligations_applied=instance.obligations_applied,
             suppressed_rows=instance.suppressed_rows,
             trace_id=TRACER.current_trace_id() or "" if TRACER.active() else "",
+            degraded=instance.degraded,
+            fault_cause=instance.fault_cause,
         )
         chained = DisclosureRecord(
             **{**record.__dict__, "chain_hash": self._hash(record)}
@@ -170,6 +177,8 @@ class AuditLog:
                 Column("suppressed_rows", ColumnType.INT, nullable=False),
                 Column("source_footprint", ColumnType.STRING, nullable=False),
                 Column("trace_id", ColumnType.STRING, nullable=True),
+                Column("degraded", ColumnType.INT, nullable=False),
+                Column("fault_cause", ColumnType.STRING, nullable=True),
                 Column("chain_hash", ColumnType.STRING, nullable=False),
             ]
         )
@@ -189,6 +198,8 @@ class AuditLog:
                     r.suppressed_rows,
                     ",".join(r.source_footprint),
                     r.trace_id or None,
+                    int(r.degraded),
+                    r.fault_cause or None,
                     r.chain_hash,
                 )
             )

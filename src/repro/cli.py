@@ -13,6 +13,7 @@ Commands::
     python -m repro bench --smoke                 # engine scaling benchmark
     python -m repro trace deliver --report rpt_001  # span tree of one delivery
     python -m repro metrics                       # Prometheus metric dump
+    python -m repro chaos --plan blackout         # deliveries under faults
 
 Installed as a console script (``repro …``) via ``pip install -e .``.
 Every subcommand documents itself: ``repro <command> --help`` shows a
@@ -183,7 +184,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             print(f"refused (trace captured anyway): {exc}", file=sys.stderr)
     finally:
         obs.TRACER.enabled = previous
-    spans = list(obs.TRACER.finished)
+    spans = list(obs.TRACER.drain())
     print(obs.render_span_tree(spans))
     if args.jsonl:
         n = obs.write_jsonl(spans, args.jsonl)
@@ -271,9 +272,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if which == "obs":
         module = _benchmark_module("benchmarks.bench_obs_overhead")
         return int(module.main(smoke=args.smoke, json_path=args.json))
+    if which == "resilience":
+        module = _benchmark_module("benchmarks.bench_resilience")
+        return int(module.main(smoke=args.smoke, json_path=args.json))
     module = _benchmark_module("benchmarks.bench_engine_scaling")
     module.main(smoke=args.smoke, json_path=args.json)
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.resilience import named_plan, render_outcome_table, run_chaos
+
+    plan = named_plan(args.plan)
+    if args.seed is not None:
+        plan = plan.with_seed(args.seed)
+    result = run_chaos(plan, mode=args.mode)
+    print(render_outcome_table(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(result.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nwrote chaos result to {args.json}")
+    counts = result.counts()
+    return 1 if counts["unavailable"] and args.mode == "refuse" else 0
 
 
 def _benchmark_module(name: str):
@@ -389,8 +411,12 @@ def build_parser() -> argparse.ArgumentParser:
         "repro bench --smoke --json BENCH_engine.json",
     )
     bench.add_argument(
-        "which", nargs="?", choices=["engine", "obs"], default="engine",
-        help="engine: row vs columnar scaling; obs: tracing overhead",
+        "which", nargs="?", choices=["engine", "obs", "resilience"],
+        default="engine",
+        help=(
+            "engine: row vs columnar scaling; obs: tracing overhead; "
+            "resilience: fault-wrapper overhead"
+        ),
     )
     bench.add_argument(
         "--smoke", action="store_true", help="tiny sizes, seconds not minutes"
@@ -417,6 +443,27 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--jsonl", metavar="PATH", default=None,
         help="also write the spans as JSON lines to PATH",
+    )
+
+    chaos = _command(
+        sub, "chaos",
+        "run the delivery workload under a named fault plan and tabulate outcomes",
+        "repro chaos --plan blackout --mode degrade",
+    )
+    chaos.add_argument(
+        "--plan", default="smoke", help="named fault plan (see repro.resilience)",
+    )
+    chaos.add_argument(
+        "--mode", choices=["refuse", "degrade"], default="degrade",
+        help="fail-closed mode when a source is down",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=None,
+        help="override the plan's seed (same seed ⇒ identical outcomes)",
+    )
+    chaos.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the result (ChaosResult.as_dict) to PATH",
     )
 
     metrics = _command(
@@ -471,6 +518,7 @@ _HANDLERS = {
     "bench": cmd_bench,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "chaos": cmd_chaos,
     "save": cmd_save,
     "load": cmd_load,
 }

@@ -31,6 +31,10 @@ class CatalogError(ReproError):
     """A named table or view is missing, duplicated, or invalid."""
 
 
+class ReportNotFoundError(CatalogError):
+    """A report name (or a specific version of it) is absent from the catalog."""
+
+
 class PolicyError(ReproError):
     """A policy, PLA, or annotation is malformed."""
 
@@ -74,3 +78,38 @@ class WorkloadError(ReproError):
 
 class AnalysisError(ReproError):
     """The static analyzer could not model an artifact it was given."""
+
+
+class FaultError(ReproError):
+    """Base class for source/ETL availability failures (real or injected).
+
+    The subclass tells the retry machinery whether another attempt can
+    succeed: :class:`TransientSourceError` and :class:`SourceTimeoutError`
+    are retryable, :class:`SourceUnavailableError` (and its subclasses) is
+    the terminal "this source is down" verdict enforcement must fail closed
+    on.
+    """
+
+
+class TransientSourceError(FaultError):
+    """A source call failed in a way a retry can plausibly fix."""
+
+
+class SourceTimeoutError(FaultError):
+    """A source call exceeded its per-call time budget."""
+
+
+class SourceUnavailableError(FaultError):
+    """A source is down: permanently failed, exhausted, or circuit-broken."""
+
+
+class RetryExhaustedError(SourceUnavailableError):
+    """Every allowed attempt failed; the last cause is chained."""
+
+
+class CircuitOpenError(SourceUnavailableError):
+    """A circuit breaker is open; the call was rejected without being made."""
+
+
+class DeadlineExceededError(FaultError):
+    """The operation's deadline expired before it could complete."""

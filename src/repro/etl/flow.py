@@ -6,13 +6,20 @@ flow; otherwise the violating operator is *skipped* (its output never
 materializes — privacy-by-construction) and the violation is recorded.
 Every executed operator is also recorded into a
 :class:`~repro.provenance.graph.ProvenanceGraph` for the elicitation tool.
+
+Source and operator calls can additionally run under a
+:class:`~repro.resilience.ResiliencePolicy`: faults (injected or real) are
+retried with backoff, escalated failures fail *closed* — the operator's
+output never materializes, everything downstream of it cascades into
+``skipped``, and the fault is recorded in :attr:`FlowResult.faults` — and a
+propagated :class:`~repro.resilience.Deadline` bounds the whole flow.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ComplianceError, EtlError
+from repro.errors import ComplianceError, EtlError, FaultError
 from repro.etl.annotations import EtlPlaRegistry, EtlViolation
 from repro.etl.operators import EtlOperator, ExtractOp
 from repro.obs import instrument
@@ -20,8 +27,23 @@ from repro.obs.trace import TRACER
 from repro.provenance.graph import DatasetNode, ProvenanceGraph, TransformNode
 from repro.relational.catalog import Catalog
 from repro.relational.table import Table
+from repro.resilience.retry import Deadline
+from repro.resilience.runtime import ResiliencePolicy, default_policy
 
-__all__ = ["EtlFlow", "FlowResult"]
+__all__ = ["EtlFlow", "FlowFault", "FlowResult"]
+
+
+@dataclass(frozen=True)
+class FlowFault:
+    """One operator that failed for availability (not compliance) reasons."""
+
+    op: str
+    target: str
+    kind: str  # exception class name, e.g. "SourceUnavailableError"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.op} [{self.target}] {self.kind}: {self.detail}"
 
 
 def _parse_identity(identity: str):
@@ -40,17 +62,26 @@ class FlowResult:
     executed: list[str] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
     violations: list[EtlViolation] = field(default_factory=list)
+    faults: list[FlowFault] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        """True if the run completed without any PLA violation."""
-        return not self.violations
+        """True if the run completed without a PLA violation or a fault."""
+        return not self.violations and not self.faults
+
+    @property
+    def degraded(self) -> bool:
+        """True if an availability failure left part of the flow unloaded."""
+        return bool(self.faults)
 
     def summary(self) -> str:
-        return (
+        base = (
             f"executed {len(self.executed)} op(s), skipped {len(self.skipped)}, "
             f"violations {len(self.violations)}"
         )
+        if self.faults:
+            base += f", faults {len(self.faults)}"
+        return base
 
 
 class EtlFlow:
@@ -153,6 +184,8 @@ class EtlFlow:
         pla: EtlPlaRegistry | None = None,
         graph: ProvenanceGraph | None = None,
         strict: bool = False,
+        resilience: ResiliencePolicy | None = None,
+        deadline: Deadline | None = None,
     ) -> FlowResult:
         """Execute the flow.
 
@@ -162,21 +195,48 @@ class EtlFlow:
         skipped. Skipping cascades: operators depending on a skipped output
         are skipped too.
 
+        ``resilience`` (defaulting to the ``REPRO_FAULTS`` process policy,
+        when installed) wraps every operator in the injector→retry→breaker
+        call path; an escalated availability failure is handled exactly
+        like a PLA skip — fail closed: the output never materializes,
+        dependents cascade into ``skipped``, and the fault is recorded in
+        :attr:`FlowResult.faults` (with ``strict``, it raises). ``deadline``
+        bounds the whole flow; expiry fails the remaining operators.
+
         When observability is on, the run emits an ``etl.flow`` span with
         one ``etl.op`` child per executed operator, counts operators
-        executed/skipped, and records PLA skips as warehouse-level
+        executed/skipped/failed, and records PLA skips as warehouse-level
         ``deny_op`` enforcement decisions.
         """
+        if resilience is None:
+            resilience = default_policy()
         if not TRACER.active():
             return self._run(catalog, pla=pla, graph=graph, strict=strict,
+                             resilience=resilience, deadline=deadline,
                              observing=False)
         with TRACER.span("etl.flow", {"flow": self.name}) as span:
             result = self._run(catalog, pla=pla, graph=graph, strict=strict,
+                               resilience=resilience, deadline=deadline,
                                observing=True)
             span.set_tag("executed", len(result.executed))
             span.set_tag("skipped", len(result.skipped))
             span.set_tag("violations", len(result.violations))
+            if result.faults:
+                span.set_tag("faults", len(result.faults))
             return result
+
+    @staticmethod
+    def _fault_target(op: EtlOperator) -> str:
+        """The injection/breaker identity of one operator's work.
+
+        Extracts are remote source calls and carry the same
+        ``provider/table`` identity used by lineage and audit footprints;
+        everything else is local ETL work under ``etl/<op>``.
+        """
+        if isinstance(op, ExtractOp):
+            table = op._input_table()
+            return f"{table.provider}/{table.name}"
+        return f"etl/{op.name}"
 
     def _run(
         self,
@@ -185,6 +245,8 @@ class EtlFlow:
         pla: EtlPlaRegistry | None,
         graph: ProvenanceGraph | None,
         strict: bool,
+        resilience: ResiliencePolicy | None,
+        deadline: Deadline | None,
         observing: bool,
     ) -> FlowResult:
         cat = catalog if catalog is not None else Catalog()
@@ -218,18 +280,60 @@ class EtlFlow:
                     result.skipped.append(op.name)
                     unavailable.add(op.output)
                     continue
+            try:
+                output = self._execute(
+                    op, cat, resilience=resilience, deadline=deadline,
+                    observing=observing,
+                )
+            except FaultError as exc:
+                fault = FlowFault(
+                    op=op.name,
+                    target=self._fault_target(op),
+                    kind=type(exc).__name__,
+                    detail=str(exc),
+                )
+                result.faults.append(fault)
+                if observing:
+                    instrument.ETL_OPS.inc(1, ("failed",))
+                if strict:
+                    raise
+                result.skipped.append(op.name)
+                unavailable.add(op.output)
+                continue
             if observing:
-                with TRACER.span("etl.op", {"op": op.name, "kind": op.kind}):
-                    output = op.run(cat)
                 instrument.ETL_OPS.inc(1, ("executed",))
-            else:
-                output = op.run(cat)
             output.name = op.output
             cat.add_table(output, replace=True)
             result.executed.append(op.name)
             if graph is not None:
                 self._record(graph, op, inputs, output)
         return result
+
+    def _execute(
+        self,
+        op: EtlOperator,
+        cat: Catalog,
+        *,
+        resilience: ResiliencePolicy | None,
+        deadline: Deadline | None,
+        observing: bool,
+    ) -> Table:
+        if deadline is not None:
+            deadline.check(f"ETL flow {self.name!r}")
+        if observing:
+            with TRACER.span("etl.op", {"op": op.name, "kind": op.kind}):
+                if resilience is not None:
+                    return resilience.call(
+                        self._fault_target(op),
+                        lambda: op.run(cat),
+                        deadline=deadline,
+                    )
+                return op.run(cat)
+        if resilience is not None:
+            return resilience.call(
+                self._fault_target(op), lambda: op.run(cat), deadline=deadline
+            )
+        return op.run(cat)
 
     @staticmethod
     def _resolve_inputs(op: EtlOperator, catalog: Catalog) -> list[Table]:

@@ -98,6 +98,9 @@ def reset() -> None:
 def _init_from_env() -> None:
     if os.environ.get("REPRO_OBS", "").strip().lower() in {"1", "true", "yes", "on"}:
         enable()
+    cap = os.environ.get("REPRO_OBS_MAX_SPANS", "").strip()
+    if cap:
+        TRACER.set_max_finished(int(cap))
 
 
 _init_from_env()

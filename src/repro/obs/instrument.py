@@ -18,9 +18,27 @@ a **stable contract**, documented in ``docs/OBSERVABILITY.md``:
 ``repro_etl_operators_total{status}``
     ETL operators ``executed`` vs ``skipped`` (PLA skip or cascade).
 ``repro_deliveries_total{outcome}``
-    Report deliveries, ``delivered`` vs ``refused``.
+    Report deliveries: ``delivered``, ``refused``, ``degraded`` (delivered
+    minus an unavailable source's rows), or ``unavailable`` (refused
+    because a source was down).
 ``repro_span_seconds{name}``
     Wall-clock latency histogram of every finished span, by span name.
+``repro_retry_attempts_total{outcome}``
+    Retry-loop exits: ``first_try``, ``recovered``, ``exhausted``, or
+    ``aborted`` (non-retryable error).
+``repro_faults_injected_total{kind}``
+    Faults the :mod:`repro.resilience` injector fired, by kind.
+``repro_breaker_transitions_total{state}``
+    Circuit-breaker state transitions, by destination state.
+``repro_breaker_state{source}``
+    Current breaker state per source: 0 closed, 1 half-open, 2 open.
+``repro_degraded_deliveries_total{cause}``
+    Degraded deliveries by fault cause (the failure's exception type).
+``repro_spans_dropped_total``
+    Finished spans evicted because the tracer's retention cap was hit.
+``repro_audit_anomalies_total{kind}``
+    Disclosure records the auditor could not fully audit (e.g. the
+    referenced report version is missing from the catalog).
 
 All helpers assume the caller already checked :meth:`Tracer.active` — the
 disabled path never reaches this module.
@@ -38,6 +56,13 @@ __all__ = [
     "ETL_OPS",
     "DELIVERIES",
     "SPAN_SECONDS",
+    "RETRIES",
+    "FAULTS",
+    "BREAKER_TRANSITIONS",
+    "BREAKER_STATE",
+    "DEGRADED_DELIVERIES",
+    "SPANS_DROPPED",
+    "AUDIT_ANOMALIES",
     "LEVEL_SOURCE",
     "LEVEL_WAREHOUSE",
     "LEVEL_METAREPORT",
@@ -84,6 +109,40 @@ SPAN_SECONDS = _registry.histogram(
     "Wall-clock seconds spent per span, by span name.",
     ("name",),
 )
+RETRIES = _registry.counter(
+    "repro_retry_attempts_total",
+    "Retry-loop exits, by outcome.",
+    ("outcome",),
+)
+FAULTS = _registry.counter(
+    "repro_faults_injected_total",
+    "Faults fired by the resilience injector, by kind.",
+    ("kind",),
+)
+BREAKER_TRANSITIONS = _registry.counter(
+    "repro_breaker_transitions_total",
+    "Circuit-breaker state transitions, by destination state.",
+    ("state",),
+)
+BREAKER_STATE = _registry.gauge(
+    "repro_breaker_state",
+    "Breaker state per source: 0 closed, 1 half-open, 2 open.",
+    ("source",),
+)
+DEGRADED_DELIVERIES = _registry.counter(
+    "repro_degraded_deliveries_total",
+    "Deliveries degraded by an unavailable source, by fault cause.",
+    ("cause",),
+)
+SPANS_DROPPED = _registry.counter(
+    "repro_spans_dropped_total",
+    "Finished spans evicted at the tracer's retention cap.",
+)
+AUDIT_ANOMALIES = _registry.counter(
+    "repro_audit_anomalies_total",
+    "Disclosure records the auditor could not fully audit, by kind.",
+    ("kind",),
+)
 
 
 def cache_lookup(cache: str, hit: bool) -> None:
@@ -103,5 +162,11 @@ def _observe_span(span: Span) -> None:
     SPAN_SECONDS.observe(span.wall_s, (span.name,))
 
 
-# Every finished span also lands in the latency histogram.
+def _count_dropped(n: int) -> None:
+    SPANS_DROPPED.inc(n)
+
+
+# Every finished span also lands in the latency histogram, and retention-cap
+# evictions become a visible counter instead of silent data loss.
 TRACER.on_finish = _observe_span
+TRACER.on_drop = _count_dropped

@@ -19,6 +19,7 @@ counters, not entropy, so traces are deterministic under test and
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -87,18 +88,35 @@ NOOP_SPAN = _NoopSpan()
 class Tracer:
     """Produces spans, tracks the active stack, retains finished spans.
 
-    Single-threaded by design, like the engine it instruments: the active
-    span is the top of a plain list. ``max_finished`` bounds retention so a
-    long traced run cannot grow without limit.
+    The active-span stack is **thread-local**: spans opened on different
+    threads build independent traces, so concurrent deliveries (chaos
+    tests, future async execution) cannot corrupt each other's
+    parent/child linkage. The finished deque is shared and bounded:
+    ``max_finished`` caps retention, evictions are counted in
+    :attr:`dropped` (and surfaced through the ``on_drop`` hook as the
+    ``repro_spans_dropped_total`` metric), and exporters consume spans via
+    :meth:`drain` so a long-lived enabled process cannot grow without
+    limit.
     """
 
     def __init__(self, max_finished: int = 10_000) -> None:
         self.enabled = False
-        self.finished: deque[Span] = deque(maxlen=max_finished)
+        self.finished: deque[Span] = deque()
+        self.max_finished = max_finished
+        self.dropped = 0
         self.on_finish: Callable[[Span], None] | None = None
-        self._stack: list[Span] = []
+        self.on_drop: Callable[[int], None] | None = None
+        self._local = threading.local()
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
+
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created lazily per thread)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- state ---------------------------------------------------------------
 
@@ -122,9 +140,17 @@ class Tracer:
     def reset(self) -> None:
         """Drop all spans and restart ID numbering (tests, CLI runs)."""
         self.finished.clear()
-        self._stack.clear()
+        self.dropped = 0
+        self._local = threading.local()
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
+
+    def set_max_finished(self, max_finished: int) -> None:
+        """Adjust the retention cap; excess spans are evicted (and counted)."""
+        if max_finished < 0:
+            raise ValueError("max_finished must be >= 0")
+        self.max_finished = max_finished
+        self._evict()
 
     # -- span lifecycle ------------------------------------------------------
 
@@ -168,12 +194,24 @@ class Tracer:
         span.cpu_s = time.process_time() - span._c0
         # Tolerate a mismatched exit (an inner span leaked by an exception):
         # unwind to the span being closed rather than corrupting the stack.
-        while self._stack:
-            if self._stack.pop() is span:
+        stack = self._stack
+        while stack:
+            if stack.pop() is span:
                 break
         self.finished.append(span)
+        self._evict()
         if self.on_finish is not None:
             self.on_finish(span)
+
+    def _evict(self) -> None:
+        evicted = 0
+        while len(self.finished) > self.max_finished:
+            self.finished.popleft()
+            evicted += 1
+        if evicted:
+            self.dropped += evicted
+            if self.on_drop is not None:
+                self.on_drop(evicted)
 
     # -- inspection ----------------------------------------------------------
 
@@ -182,6 +220,17 @@ class Tracer:
         if trace_id is None:
             return tuple(self.finished)
         return tuple(s for s in self.finished if s.trace_id == trace_id)
+
+    def drain(self) -> tuple[Span, ...]:
+        """Hand finished spans to an exporter and clear retention.
+
+        This is how long-lived exporters keep the tracer bounded: each
+        export cycle drains, so retention only ever holds spans finished
+        since the last export.
+        """
+        out = tuple(self.finished)
+        self.finished.clear()
+        return out
 
     def trace_ids(self) -> tuple[str, ...]:
         """Distinct trace IDs among finished spans, in first-seen order."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import ReportNotFoundError, ReproError
 from repro.reports.definition import ReportDefinition
 
 __all__ = ["ReportCatalog"]
@@ -35,7 +35,7 @@ class ReportCatalog:
         """Register a new version of an existing report."""
         history = self._history.get(definition.name)
         if not history or definition.name in self._dropped:
-            raise ReproError(f"report {definition.name!r} does not exist")
+            raise ReportNotFoundError(f"report {definition.name!r} does not exist")
         if definition.version <= history[-1].version:
             raise ReproError(
                 f"new version {definition.version} must exceed "
@@ -47,19 +47,19 @@ class ReportCatalog:
     def drop(self, name: str) -> None:
         """Retire a report (history is kept for auditing)."""
         if name not in self._history or name in self._dropped:
-            raise ReproError(f"report {name!r} does not exist")
+            raise ReportNotFoundError(f"report {name!r} does not exist")
         self._dropped.add(name)
 
     def current(self, name: str) -> ReportDefinition:
         """The live version of ``name``."""
         if name in self._dropped or name not in self._history:
-            raise ReproError(f"report {name!r} does not exist")
+            raise ReportNotFoundError(f"report {name!r} does not exist")
         return self._history[name][-1]
 
     def history(self, name: str) -> tuple[ReportDefinition, ...]:
         """Every version ever registered under ``name`` (dropped included)."""
         if name not in self._history:
-            raise ReproError(f"report {name!r} was never registered")
+            raise ReportNotFoundError(f"report {name!r} was never registered")
         return tuple(self._history[name])
 
     def __contains__(self, name: str) -> bool:

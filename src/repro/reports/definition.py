@@ -59,20 +59,32 @@ class ReportDefinition:
 
 @dataclass(frozen=True)
 class ReportInstance:
-    """A generated report: the definition that produced it plus its data."""
+    """A generated report: the definition that produced it plus its data.
+
+    A *degraded* instance is the fail-closed answer to an unavailable
+    source: the affected source's rows were dropped entirely (``degraded``
+    set, the sources and fault cause recorded) — degradation only ever
+    removes data, it never substitutes stale or unfiltered rows.
+    """
 
     definition: ReportDefinition
     table: Table
     consumer: str  # user name of the information consumer
     suppressed_rows: int = 0  # rows removed by enforcement before delivery
     obligations_applied: tuple[str, ...] = ()  # runtime enforcements discharged
+    degraded: bool = False
+    degraded_sources: tuple[str, ...] = ()  # provider/table identities dropped
+    fault_cause: str = ""  # why delivery was degraded ("" when healthy)
 
     def __len__(self) -> int:
         return len(self.table)
 
     def summary(self) -> str:
-        return (
+        out = (
             f"{self.definition.name} v{self.definition.version} -> "
             f"{self.consumer}: {len(self.table)} rows"
             + (f" ({self.suppressed_rows} suppressed)" if self.suppressed_rows else "")
         )
+        if self.degraded:
+            out += f" DEGRADED[{', '.join(self.degraded_sources)}]"
+        return out

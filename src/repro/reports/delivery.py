@@ -5,14 +5,25 @@ accidentally skip a step: every delivery re-checks compliance against the
 current meta-report PLAs, runs the enforcer, and appends to the audit log.
 Rejected requests are logged too (as refusals) — §2's monitoring
 requirement covers attempts, not just successes.
+
+With a :class:`~repro.resilience.DeliveryResilience` attached (explicitly,
+or via the ``REPRO_FAULTS`` process default), every source in the
+delivered data's lineage footprint is probed through the
+injector→retry→breaker path before release. An unavailable source **fails
+closed**: the delivery is either refused with a typed
+:class:`~repro.errors.SourceUnavailableError` or — in ``degrade`` mode —
+released with that source's rows dropped entirely, the instance explicitly
+marked degraded, and the fault cause written into the audit record. Stale
+or unfiltered data that skipped source-level PLA filtering is never
+substituted.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
-from repro.errors import ComplianceError
+from repro.errors import ComplianceError, ReportNotFoundError, SourceUnavailableError
 from repro.core.compliance import ComplianceChecker
 from repro.core.translation import ReportLevelEnforcer
 from repro.obs import instrument
@@ -20,6 +31,10 @@ from repro.obs.trace import TRACER
 from repro.policy.subjects import AccessContext, SubjectRegistry
 from repro.reports.catalog import ReportCatalog
 from repro.reports.definition import ReportInstance
+from repro.resilience.runtime import (
+    DeliveryResilience,
+    default_delivery_resilience,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (audit → reports)
     from repro.audit.log import AuditLog
@@ -53,17 +68,22 @@ class DeliveryService:
     subjects: SubjectRegistry
     audit_log: "AuditLog" = field(default_factory=_new_audit_log)
     refusals: list[RefusalRecord] = field(default_factory=list)
+    resilience: DeliveryResilience | None = field(
+        default_factory=default_delivery_resilience
+    )
 
     def deliver(
         self, report_name: str, *, user: str, purpose: str
     ) -> ReportInstance:
         """Deliver the current version of ``report_name`` to ``user``.
 
-        Raises :class:`ComplianceError` on any refusal; the refusal is
-        recorded either way. When observability is on, the whole delivery
-        runs under a ``report.deliver`` root span — the compliance check,
-        enforcement, and query execution it causes become child spans, and
-        the audit record written at the end carries this trace's ID.
+        Raises :class:`ComplianceError` on any refusal and
+        :class:`SourceUnavailableError` when a source is down and the
+        resilience mode is ``refuse``; the refusal is recorded either way.
+        When observability is on, the whole delivery runs under a
+        ``report.deliver`` root span — the compliance check, enforcement,
+        and query execution it causes become child spans, and the audit
+        record written at the end carries this trace's ID.
         """
         if not TRACER.active():
             return self._deliver(report_name, user=user, purpose=purpose)
@@ -73,12 +93,17 @@ class DeliveryService:
         ) as span:
             try:
                 instance = self._deliver(report_name, user=user, purpose=purpose)
+            except SourceUnavailableError:
+                instrument.DELIVERIES.inc(1, ("unavailable",))
+                span.set_tag("outcome", "unavailable")
+                raise
             except ComplianceError:
                 instrument.DELIVERIES.inc(1, ("refused",))
                 span.set_tag("outcome", "refused")
                 raise
-            instrument.DELIVERIES.inc(1, ("delivered",))
-            span.set_tag("outcome", "delivered")
+            outcome = "degraded" if instance.degraded else "delivered"
+            instrument.DELIVERIES.inc(1, (outcome,))
+            span.set_tag("outcome", outcome)
             return instance
 
     def _deliver(
@@ -87,7 +112,7 @@ class DeliveryService:
         context = self.subjects.context(user, purpose)
         try:
             definition = self.reports.current(report_name)
-        except Exception as exc:
+        except ReportNotFoundError as exc:
             self._refuse(report_name, context, f"unknown report: {exc}")
             raise ComplianceError(f"unknown report {report_name!r}") from exc
         verdict = self.checker.check_report(definition)
@@ -102,8 +127,83 @@ class DeliveryService:
         except ComplianceError as exc:
             self._refuse(report_name, context, str(exc))
             raise
+        if self.resilience is not None:
+            instance = self._apply_resilience(report_name, instance, context)
         self.audit_log.record_instance(instance, context)
         return instance
+
+    # -- degraded delivery ---------------------------------------------------
+
+    def _apply_resilience(
+        self,
+        report_name: str,
+        instance: ReportInstance,
+        context: AccessContext,
+    ) -> ReportInstance:
+        """Probe every source feeding this instance; fail closed on outages."""
+        res = self.resilience
+        assert res is not None
+        deadline = res.new_deadline()
+        # Unique (provider, table) pairs first — the lineage set has one
+        # entry per contributing row, the footprint only a handful.
+        pairs = {
+            (rid.provider, rid.table) for rid in instance.table.all_lineage()
+        }
+        footprint = sorted(f"{provider}/{table}" for provider, table in pairs)
+        down: dict[str, Exception] = {}
+        for source in footprint:
+            try:
+                res.check_source(source, deadline=deadline)
+            except SourceUnavailableError as exc:
+                down[source] = exc
+        if not down:
+            return instance
+        cause = "; ".join(f"{s}: {e}" for s, e in sorted(down.items()))
+        if res.mode == "refuse":
+            self._refuse(report_name, context, f"source unavailable: {cause}")
+            raise SourceUnavailableError(
+                f"report {report_name!r} refused, source(s) unavailable: {cause}"
+            ) from next(iter(down.values()))
+        degraded = self._drop_sources(instance, frozenset(down), cause)
+        if TRACER.active():
+            for exc in down.values():
+                instrument.DEGRADED_DELIVERIES.inc(1, (type(exc).__name__,))
+        return degraded
+
+    @staticmethod
+    def _drop_sources(
+        instance: ReportInstance, down: frozenset[str], cause: str
+    ) -> ReportInstance:
+        """The fail-closed degradation: remove every row a down source fed.
+
+        Degradation is strictly subtractive — the surviving rows are a
+        subset of the healthy delivery, each one untouched, so every PLA
+        filter already applied to them still holds.
+        """
+        from repro.relational.table import Table
+
+        table = instance.table
+        rows, provs = [], []
+        for i, row in enumerate(table.rows):
+            lineage = {
+                f"{rid.provider}/{rid.table}" for rid in table.lineage_of(i)
+            }
+            if lineage & down:
+                continue
+            rows.append(row)
+            provs.append(table.provenance[i])
+        dropped = len(table) - len(rows)
+        degraded_table = Table.derived(
+            table.name, table.schema, rows, provs, provider=table.provider
+        )
+        return replace(
+            instance,
+            table=degraded_table,
+            suppressed_rows=instance.suppressed_rows + dropped,
+            degraded=True,
+            degraded_sources=tuple(sorted(down)),
+            fault_cause=cause,
+        )
 
     def deliver_all_compliant(
         self, role_to_user: dict[str, str]
@@ -111,7 +211,8 @@ class DeliveryService:
         """Deliver every live report to its audience's first role's user.
 
         Returns delivered instances and the refusals accumulated during the
-        sweep (non-compliant reports do not raise here).
+        sweep (non-compliant reports and unavailable sources do not raise
+        here).
         """
         delivered: list[ReportInstance] = []
         before = len(self.refusals)
@@ -132,7 +233,7 @@ class DeliveryService:
                 delivered.append(
                     self.deliver(definition.name, user=user, purpose=definition.purpose)
                 )
-            except ComplianceError:
+            except (ComplianceError, SourceUnavailableError):
                 continue  # refusal already recorded
         return delivered, self.refusals[before:]
 

@@ -1,0 +1,93 @@
+"""repro.resilience — fault injection, retry/backoff, and circuit breaking.
+
+The outsourced BI provider of the paper's Fig 1 is fed by autonomous
+agencies whose systems fail independently; this package is the robustness
+layer that keeps the pipeline's *privacy* guarantees intact while its
+*availability* degrades. It provides:
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded, replayable
+  fault-injection harness (:class:`FaultPlan` / :class:`FaultInjector`)
+  over source and ETL call targets;
+* :mod:`repro.resilience.retry` — exponential backoff with seeded jitter,
+  per-call deadlines with propagation (:class:`Deadline`), and typed
+  escalation to :class:`~repro.errors.SourceUnavailableError`;
+* :mod:`repro.resilience.breaker` — per-source closed/open/half-open
+  circuit breakers;
+* :mod:`repro.resilience.runtime` — the composed call path
+  (:class:`ResiliencePolicy`, :class:`DeliveryResilience`) plus the
+  ``REPRO_FAULTS`` process default;
+* :mod:`repro.resilience.chaos` — the chaos workload runner behind
+  ``repro chaos``.
+
+The contract enforced downstream (``etl/flow.py``, ``reports/delivery.py``)
+is **fail-closed degradation**: when a source is down, a report is either
+refused with a typed error or delivered in an explicitly marked degraded
+form whose rows are a strict subset of the healthy delivery — never stale
+or unfiltered data that skipped source-level PLA filtering.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.chaos import (
+    ChaosOutcome,
+    ChaosResult,
+    render_outcome_table,
+    run_chaos,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    NAMED_PLANS,
+    named_plan,
+)
+from repro.resilience.retry import (
+    Deadline,
+    RetryPolicy,
+    backoff_schedule,
+    call_with_retry,
+)
+from repro.resilience.runtime import (
+    DeliveryResilience,
+    ResiliencePolicy,
+    active_injector,
+    default_delivery_resilience,
+    default_policy,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "NAMED_PLANS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "named_plan",
+    "Deadline",
+    "RetryPolicy",
+    "backoff_schedule",
+    "call_with_retry",
+    "BreakerState",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "BreakerRegistry",
+    "ResiliencePolicy",
+    "DeliveryResilience",
+    "install",
+    "uninstall",
+    "active_injector",
+    "default_policy",
+    "default_delivery_resilience",
+    "ChaosOutcome",
+    "ChaosResult",
+    "run_chaos",
+    "render_outcome_table",
+]

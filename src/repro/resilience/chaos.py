@@ -1,0 +1,223 @@
+"""The chaos workload: the full delivery sweep under a named fault plan.
+
+``repro chaos --plan blackout`` answers the operational question the
+resilience layer exists for: *if these sources go down, what do the
+consumers actually receive?* It delivers every report in the scenario's
+catalog through the injector→retry→breaker path and tabulates, per report,
+whether it was delivered intact, delivered degraded (and what was
+dropped), refused for compliance, or refused for availability.
+
+Everything is deterministic: outcomes depend only on the plan's seed and
+the per-target call order, so re-running the same plan reproduces the same
+:meth:`ChaosResult.as_dict` byte for byte — the property the replay test
+pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ComplianceError, SourceUnavailableError
+from repro.resilience.breaker import BreakerConfig, BreakerRegistry
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.runtime import DeliveryResilience, ResiliencePolicy
+
+__all__ = ["ChaosOutcome", "ChaosResult", "run_chaos", "render_outcome_table"]
+
+#: Per-report delivery outcomes, in severity order.
+OUTCOMES = ("delivered", "degraded", "refused", "unavailable")
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """What one report's delivery turned into under the fault plan."""
+
+    report: str
+    outcome: str  # one of OUTCOMES
+    rows: int = 0
+    dropped: int = 0  # rows removed by degradation (not PLA suppression)
+    sources: tuple[str, ...] = ()  # down sources, for degraded deliveries
+    cause: str = ""  # refusal reason / fault cause
+
+    def as_dict(self) -> dict:
+        return {
+            "report": self.report,
+            "outcome": self.outcome,
+            "rows": self.rows,
+            "dropped": self.dropped,
+            "sources": list(self.sources),
+            "cause": self.cause,
+        }
+
+
+@dataclass
+class ChaosResult:
+    """One chaos run: per-report outcomes plus harness-side statistics."""
+
+    plan: str
+    seed: int
+    mode: str
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    breaker_states: dict[str, str] = field(default_factory=dict)
+
+    def counts(self) -> dict[str, int]:
+        out = {outcome: 0 for outcome in OUTCOMES}
+        for result in self.outcomes:
+            out[result.outcome] += 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        shown = ", ".join(f"{v} {k}" for k, v in counts.items() if v)
+        return (
+            f"chaos[{self.plan} seed={self.seed} mode={self.mode}]: "
+            f"{len(self.outcomes)} report(s): {shown or 'nothing delivered'}"
+        )
+
+    def as_dict(self) -> dict:
+        """Canonical form — equal dicts ⇔ identical replay."""
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "mode": self.mode,
+            "outcomes": [o.as_dict() for o in self.outcomes],
+            "faults_injected": dict(sorted(self.faults_injected.items())),
+            "breaker_states": dict(sorted(self.breaker_states.items())),
+        }
+
+
+def run_chaos(
+    plan: FaultPlan,
+    *,
+    scenario=None,
+    mode: str = "degrade",
+    retry: RetryPolicy | None = None,
+    breaker: BreakerConfig | None = None,
+    role_to_user: dict[str, str] | None = None,
+) -> ChaosResult:
+    """Deliver the whole report catalog under ``plan`` and tabulate.
+
+    Backoff sleeps are disabled (the injector's faults are simulated, so
+    waiting on them measures nothing); the retry *schedule* still runs, so
+    attempt counts and escalations match a wall-clock deployment.
+    """
+    if scenario is None:
+        from repro.simulation import build_scenario
+
+        scenario = build_scenario()
+    if role_to_user is None:
+        from repro.cli import ROLE_TO_USER
+
+        role_to_user = ROLE_TO_USER
+
+    injector = FaultInjector(plan, sleep=lambda _s: None)
+    policy = ResiliencePolicy(
+        injector=injector,
+        retry=retry if retry is not None else RetryPolicy(),
+        breakers=BreakerRegistry(breaker if breaker is not None else BreakerConfig()),
+        sleep=lambda _s: None,
+    )
+    service = scenario.delivery_service()
+    service.resilience = DeliveryResilience(policy=policy, mode=mode)
+
+    result = ChaosResult(plan=plan.name, seed=plan.seed, mode=mode)
+    for definition in scenario.report_catalog.all_current():
+        role = sorted(definition.audience)[0]
+        user = role_to_user.get(role)
+        if user is None:
+            result.outcomes.append(
+                ChaosOutcome(
+                    report=definition.name,
+                    outcome="refused",
+                    cause=f"no user for role {role!r}",
+                )
+            )
+            continue
+        try:
+            instance = service.deliver(
+                definition.name, user=user, purpose=definition.purpose
+            )
+        except SourceUnavailableError as exc:
+            result.outcomes.append(
+                ChaosOutcome(
+                    report=definition.name,
+                    outcome="unavailable",
+                    cause=str(exc),
+                )
+            )
+            continue
+        except ComplianceError as exc:
+            result.outcomes.append(
+                ChaosOutcome(
+                    report=definition.name, outcome="refused", cause=str(exc)
+                )
+            )
+            continue
+        if instance.degraded:
+            result.outcomes.append(
+                ChaosOutcome(
+                    report=definition.name,
+                    outcome="degraded",
+                    rows=len(instance),
+                    dropped=instance.suppressed_rows,
+                    sources=instance.degraded_sources,
+                    cause=instance.fault_cause,
+                )
+            )
+        else:
+            result.outcomes.append(
+                ChaosOutcome(
+                    report=definition.name,
+                    outcome="delivered",
+                    rows=len(instance),
+                )
+            )
+    result.faults_injected = injector.stats()
+    assert policy.breakers is not None
+    result.breaker_states = policy.breakers.states()
+    return result
+
+
+def render_outcome_table(result: ChaosResult) -> str:
+    """The ``repro chaos`` outcome table, fixed-width text."""
+    headers = ("report", "outcome", "rows", "dropped", "cause")
+    rows = [
+        (
+            o.report,
+            o.outcome,
+            str(o.rows) if o.outcome in ("delivered", "degraded") else "-",
+            str(o.dropped) if o.outcome == "degraded" else "-",
+            _truncate(o.cause, 60),
+        )
+        for o in result.outcomes
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    )
+    lines.append("")
+    lines.append(result.summary())
+    if result.faults_injected:
+        shown = ", ".join(f"{k}={v}" for k, v in sorted(result.faults_injected.items()))
+        lines.append(f"faults injected: {shown}")
+    open_breakers = {
+        s: st for s, st in sorted(result.breaker_states.items()) if st != "closed"
+    }
+    if open_breakers:
+        shown = ", ".join(f"{s}: {st}" for s, st in open_breakers.items())
+        lines.append(f"breakers: {shown}")
+    return "\n".join(lines)
+
+
+def _truncate(text: str, width: int) -> str:
+    return text if len(text) <= width else text[: width - 1] + "…"

@@ -1,0 +1,300 @@
+"""Deterministic fault injection for source and ETL calls.
+
+The paper's setting is an *outsourced* BI provider fed by autonomous,
+independently operated sources (§2, Fig 1) — in production those sources
+are slow, flaky, or down, and a privacy-preserving pipeline must degrade
+without ever degrading *privacy*. This module makes such failures
+scriptable and, crucially, **replayable**: a :class:`FaultPlan` is a pure
+value (name, seed, specs), and a :class:`FaultInjector` derives every
+fault decision from the plan seed plus a per-target call counter.
+Re-running the same plan against the same call sequence reproduces the
+same faults byte-for-byte, so chaos tests are ordinary regression tests.
+
+Targets are identity strings: ``provider/table`` for source calls (the
+same identities row lineage and audit footprints use) and ``etl/<op>``
+for non-extract ETL operators. Specs may glob (``fnmatch``), so
+``hospital/*`` or ``*`` work as expected.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+from repro.errors import (
+    FaultError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
+)
+from repro.obs import instrument
+from repro.obs.trace import TRACER
+from repro.resilience.retry import Deadline
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "named_plan",
+    "NAMED_PLANS",
+]
+
+#: The failure modes an injected fault can take.
+FAULT_KINDS = ("transient", "timeout", "outage", "slow")
+
+_ERRORS: dict[str, type[FaultError]] = {
+    "transient": TransientSourceError,
+    "timeout": SourceTimeoutError,
+    "outage": SourceUnavailableError,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted failure rule against a target (or target glob).
+
+    A spec fires on a call when any of its triggers matches the target's
+    0-based call index: an explicit index in ``calls``, every index once
+    ``after`` is reached (a permanent outage), or a seeded coin flip at
+    ``rate``. ``kind`` selects the failure mode; ``slow`` injects
+    ``delay_s`` of latency instead of raising (unless the active deadline
+    cannot absorb it, in which case it becomes a timeout).
+    """
+
+    target: str
+    kind: str = "transient"
+    rate: float = 0.0
+    calls: tuple[int, ...] = ()
+    after: int | None = None
+    delay_s: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.kind == "slow" and self.delay_s <= 0.0:
+            raise FaultError("slow faults need delay_s > 0")
+        if not (self.rate or self.calls or self.after is not None):
+            raise FaultError(
+                f"spec for {self.target!r} can never fire: "
+                "set rate, calls, or after"
+            )
+
+    def triggers(self, index: int, coin: Callable[[], float]) -> bool:
+        """Does this spec fire on call ``index``?
+
+        ``coin`` is drawn exactly when ``rate`` is set, whether or not an
+        explicit trigger already matched — keeping the per-target random
+        stream aligned across replays regardless of which trigger wins.
+        """
+        hit = index in self.calls or (self.after is not None and index >= self.after)
+        if self.rate:
+            hit = (coin() < self.rate) or hit
+        return hit
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"target": self.target, "kind": self.kind}
+        if self.rate:
+            out["rate"] = self.rate
+        if self.calls:
+            out["calls"] = list(self.calls)
+        if self.after is not None:
+            out["after"] = self.after
+        if self.delay_s:
+            out["delay_s"] = self.delay_s
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(
+            target=data["target"],
+            kind=data.get("kind", "transient"),
+            rate=float(data.get("rate", 0.0)),
+            calls=tuple(data.get("calls", ())),
+            after=data.get("after"),
+            delay_s=float(data.get("delay_s", 0.0)),
+            detail=data.get("detail", ""),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded, immutable set of fault specs — the chaos script."""
+
+    name: str
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "specs": [s.to_dict() for s in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            name=data.get("name", "unnamed"),
+            seed=int(data.get("seed", 0)),
+            specs=tuple(FaultSpec.from_dict(s) for s in data.get("specs", ())),
+        )
+
+
+#: Built-in plans, by name. ``smoke`` is gentle enough that default retry
+#: policies absorb it — the whole tier-1 suite runs under it in CI.
+NAMED_PLANS: dict[str, FaultPlan] = {
+    "none": FaultPlan("none"),
+    "smoke": FaultPlan(
+        "smoke",
+        seed=11,
+        specs=(
+            FaultSpec(target="*", kind="transient", rate=0.03),
+            FaultSpec(target="*", kind="timeout", rate=0.01),
+        ),
+    ),
+    "flaky": FaultPlan(
+        "flaky",
+        seed=11,
+        specs=(FaultSpec(target="*", kind="transient", rate=0.30),),
+    ),
+    "blackout": FaultPlan(
+        "blackout",
+        seed=11,
+        specs=(
+            FaultSpec(
+                target="hospital/prescriptions",
+                kind="outage",
+                after=0,
+                detail="hospital feed is down",
+            ),
+        ),
+    ),
+    "brownout": FaultPlan(
+        "brownout",
+        seed=11,
+        specs=(
+            FaultSpec(target="*", kind="slow", rate=0.30, delay_s=0.002),
+            FaultSpec(target="*", kind="timeout", rate=0.10),
+        ),
+    ),
+}
+
+
+def named_plan(name: str) -> FaultPlan:
+    """Look up a built-in plan; raises with the available names on a miss."""
+    try:
+        return NAMED_PLANS[name]
+    except KeyError:
+        raise FaultError(
+            f"unknown fault plan {name!r}; available: {sorted(NAMED_PLANS)}"
+        ) from None
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to guarded call sites.
+
+    Wrapped call sites invoke :meth:`guard` with their target identity
+    right before doing the real work; the injector raises (or delays) per
+    the plan. All state is a per-target call counter plus one seeded RNG
+    per (plan seed, target) pair, so outcomes depend only on the plan and
+    the per-target call order — :meth:`reset` rewinds for an exact replay.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.plan = plan
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._rngs: dict[str, random.Random] = {}
+        self.injected: dict[tuple[str, str], int] = {}  # (target, kind) -> count
+
+    # -- state ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Rewind all counters and RNG streams: the next run is a replay."""
+        with self._lock:
+            self._counts.clear()
+            self._rngs.clear()
+            self.injected.clear()
+
+    def calls(self, target: str) -> int:
+        """How many guarded calls ``target`` has made so far."""
+        return self._counts.get(target, 0)
+
+    def total_calls(self) -> int:
+        """Guarded calls across all targets."""
+        with self._lock:
+            return sum(self._counts.values())
+
+    def stats(self) -> dict[str, int]:
+        """Injected fault counts as ``{"target|kind": n}``, sorted."""
+        return {
+            f"{target}|{kind}": n
+            for (target, kind), n in sorted(self.injected.items())
+        }
+
+    def _rng(self, target: str) -> random.Random:
+        rng = self._rngs.get(target)
+        if rng is None:
+            rng = self._rngs[target] = random.Random(f"{self.plan.seed}|{target}")
+        return rng
+
+    # -- the guard -----------------------------------------------------------
+
+    def guard(self, target: str, *, deadline: Deadline | None = None) -> None:
+        """Fail (or delay) this call if the plan says so.
+
+        Raises the typed error of the first matching error spec; ``slow``
+        specs sleep first and convert to :class:`SourceTimeoutError` when
+        the remaining deadline cannot absorb the injected latency.
+        """
+        with self._lock:
+            index = self._counts.get(target, 0)
+            self._counts[target] = index + 1
+            fired: list[FaultSpec] = []
+            for spec in self.plan.specs:
+                if not fnmatch.fnmatchcase(target, spec.target):
+                    continue
+                if spec.triggers(index, self._rng(target).random):
+                    fired.append(spec)
+        for spec in fired:
+            self._record(target, spec.kind)
+            if spec.kind == "slow":
+                if deadline is not None and deadline.remaining() < spec.delay_s:
+                    raise SourceTimeoutError(
+                        f"injected latency ({spec.delay_s * 1000:.0f}ms) on "
+                        f"{target} exceeds the remaining deadline"
+                    )
+                self._sleep(spec.delay_s)
+                continue
+            detail = f": {spec.detail}" if spec.detail else ""
+            raise _ERRORS[spec.kind](
+                f"injected {spec.kind} fault on {target} (call {index}){detail}"
+            )
+
+    def _record(self, target: str, kind: str) -> None:
+        key = (target, kind)
+        with self._lock:
+            self.injected[key] = self.injected.get(key, 0) + 1
+        if TRACER.active():
+            instrument.FAULTS.inc(1, (kind,))

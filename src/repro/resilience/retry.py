@@ -1,0 +1,197 @@
+"""Retry policies: exponential backoff with jitter, deadlines, typed escalation.
+
+The retry loop is where a *transient* failure either disappears or is
+escalated into the terminal :class:`~repro.errors.SourceUnavailableError`
+family the enforcement layers fail closed on. Three properties matter:
+
+* **determinism** — jitter is drawn from a seeded RNG keyed by the call
+  target, so a replayed chaos run schedules the same sleeps;
+* **deadline propagation** — a :class:`Deadline` created at the top of a
+  delivery or ETL flow flows down through every retry loop; sleeps are
+  capped to the remaining budget and expiry raises
+  :class:`~repro.errors.DeadlineExceededError` instead of sleeping past it;
+* **typed outcomes** — a retryable error that survives every attempt is
+  re-raised as :class:`~repro.errors.RetryExhaustedError` (a
+  ``SourceUnavailableError``) with the last cause chained, so callers
+  never need to distinguish "down" from "still failing after N tries".
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.errors import (
+    DeadlineExceededError,
+    RetryExhaustedError,
+    SourceTimeoutError,
+    TransientSourceError,
+)
+from repro.obs import instrument
+from repro.obs.trace import TRACER
+
+__all__ = ["Deadline", "RetryPolicy", "backoff_schedule", "call_with_retry"]
+
+T = TypeVar("T")
+
+
+class Deadline:
+    """A monotonic-clock time budget, propagated down a call tree.
+
+    Created once at the operation boundary (``Deadline(seconds)``) and
+    passed by reference; every layer asks :meth:`remaining` or
+    :meth:`check` against the same absolute expiry, so nested retries
+    cannot each spend the full budget.
+    """
+
+    __slots__ = ("budget_s", "_expires", "_clock")
+
+    def __init__(
+        self,
+        budget_s: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_s <= 0:
+            raise DeadlineExceededError("deadline budget must be positive")
+        self.budget_s = budget_s
+        self._clock = clock
+        self._expires = clock() + budget_s
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self._expires - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self.budget_s:.3f}s deadline"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(budget={self.budget_s:.3f}s, remaining={self.remaining():.3f}s)"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter.
+
+    Attempt ``i`` (0-based) sleeps ``base_delay_s * multiplier**i`` capped
+    at ``max_delay_s``, then spread by ``jitter`` (a ±fraction, so 0.5
+    means the sleep lands in [0.5x, 1.5x]). Only ``retry_on`` errors are
+    retried; everything else propagates on the first failure.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.005
+    max_delay_s: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    retry_on: tuple[type[BaseException], ...] = (
+        TransientSourceError,
+        SourceTimeoutError,
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+def backoff_schedule(
+    policy: RetryPolicy, *, seed: Any = 0
+) -> tuple[float, ...]:
+    """The sleep before each retry, deterministically jittered by ``seed``.
+
+    Length is ``max_attempts - 1`` (no sleep after the final attempt).
+    """
+    rng = random.Random(f"backoff|{seed}")
+    out: list[float] = []
+    for i in range(policy.max_attempts - 1):
+        delay = min(policy.max_delay_s, policy.base_delay_s * policy.multiplier**i)
+        if policy.jitter:
+            delay *= 1.0 - policy.jitter + 2.0 * policy.jitter * rng.random()
+        out.append(delay)
+    return tuple(out)
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    *,
+    target: str = "",
+    deadline: Deadline | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run ``fn`` under ``policy``; escalate or propagate typed failures.
+
+    When observability is on, each attempt runs under a
+    ``resilience.attempt`` span tagged with the target and the 1-based
+    attempt number, and every loop exit lands in the
+    ``repro_retry_attempts_total`` counter (``first_try`` | ``recovered``
+    | ``exhausted`` | ``aborted``).
+    """
+    pol = policy if policy is not None else RetryPolicy()
+    # Computed only once a retry is actually needed: the success path must
+    # not pay for seeding an RNG it never draws from.
+    schedule: tuple[float, ...] | None = None
+    observing = TRACER.active()
+    last: BaseException | None = None
+    for attempt in range(1, pol.max_attempts + 1):
+        if deadline is not None:
+            deadline.check(target or "retried call")
+        try:
+            if observing:
+                with TRACER.span(
+                    "resilience.attempt", {"target": target, "attempt": attempt}
+                ):
+                    result = fn()
+            else:
+                result = fn()
+        except pol.retry_on as exc:
+            last = exc
+            if attempt == pol.max_attempts:
+                break
+            if schedule is None:
+                schedule = backoff_schedule(pol, seed=target)
+            delay = schedule[attempt - 1]
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    break
+                delay = min(delay, remaining)
+            if delay > 0.0:
+                sleep(delay)
+            continue
+        except BaseException:
+            if observing:
+                instrument.RETRIES.inc(1, ("aborted",))
+            raise
+        if observing:
+            instrument.RETRIES.inc(
+                1, ("first_try" if attempt == 1 else "recovered",)
+            )
+        return result
+    if observing:
+        instrument.RETRIES.inc(1, ("exhausted",))
+    if deadline is not None and deadline.expired:
+        raise DeadlineExceededError(
+            f"{target or 'retried call'} ran out of deadline "
+            f"after {attempt} attempt(s)"
+        ) from last
+    raise RetryExhaustedError(
+        f"{target or 'retried call'} still failing after "
+        f"{pol.max_attempts} attempt(s): {last}"
+    ) from last

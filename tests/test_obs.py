@@ -435,3 +435,134 @@ class TestGlobalObs:
         monkeypatch.setenv("REPRO_OBS", "0")
         _init_from_env()
         assert not obs.enabled()
+
+
+# ---------------------------------------------------------------------------
+# Bounded retention + thread safety (the resilience PR's tracer fixes)
+# ---------------------------------------------------------------------------
+
+
+class TestTracerRetention:
+    def test_evictions_are_counted_and_hooked(self):
+        tracer = Tracer(max_finished=2)
+        tracer.enabled = True
+        hooked = []
+        tracer.on_drop = hooked.append
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.finished] == ["s3", "s4"]
+        assert tracer.dropped == 3
+        assert sum(hooked) == 3
+
+    def test_set_max_finished_evicts_immediately(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        for i in range(4):
+            with tracer.span(f"s{i}"):
+                pass
+        tracer.set_max_finished(1)
+        assert [s.name for s in tracer.finished] == ["s3"]
+        assert tracer.dropped == 3
+        with pytest.raises(ValueError):
+            tracer.set_max_finished(-1)
+
+    def test_drain_clears_retention(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        for i in range(3):
+            with tracer.span(f"s{i}"):
+                pass
+        drained = tracer.drain()
+        assert [s.name for s in drained] == ["s0", "s1", "s2"]
+        assert list(tracer.finished) == []
+        assert tracer.drain() == ()
+
+    def test_reset_zeroes_drop_count(self):
+        tracer = Tracer(max_finished=1)
+        tracer.enabled = True
+        for i in range(3):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.dropped == 2
+        tracer.reset()
+        assert tracer.dropped == 0 and list(tracer.finished) == []
+
+    def test_dropped_spans_metric(self, clean_obs):
+        previous_cap = obs.TRACER.max_finished
+        obs.enable()
+        try:
+            obs.TRACER.set_max_finished(1)
+            for i in range(4):
+                with obs.TRACER.span(f"s{i}"):
+                    pass
+            assert obs.instrument.SPANS_DROPPED.value() == 3.0
+        finally:
+            obs.TRACER.set_max_finished(previous_cap)
+
+    def test_env_var_sets_span_cap(self, clean_obs, monkeypatch):
+        from repro.obs import _init_from_env
+
+        previous_cap = obs.TRACER.max_finished
+        try:
+            monkeypatch.setenv("REPRO_OBS_MAX_SPANS", "123")
+            _init_from_env()
+            assert obs.TRACER.max_finished == 123
+        finally:
+            obs.TRACER.set_max_finished(previous_cap)
+
+
+class TestTracerThreads:
+    def test_two_threads_keep_independent_span_stacks(self):
+        """Regression: one shared stack used to interleave parent/child
+        linkage across threads — a span could be adopted by another
+        thread's trace."""
+        import threading
+
+        tracer = Tracer()
+        tracer.enabled = True
+        barrier = threading.Barrier(2, timeout=5)
+        errors = []
+
+        def worker(label: str) -> None:
+            try:
+                for _ in range(50):
+                    with tracer.span(f"{label}-root") as root:
+                        barrier.wait()  # force both roots open concurrently
+                        with tracer.span(f"{label}-child") as child:
+                            assert child.parent_id == root.span_id
+                            assert child.trace_id == root.trace_id
+                        assert tracer.current_span() is root
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in ("alpha", "beta")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+        spans = {s.name: s for s in tracer.finished}
+        for label in ("alpha", "beta"):
+            child, root = spans[f"{label}-child"], spans[f"{label}-root"]
+            assert child.parent_id == root.span_id
+            assert child.trace_id == root.trace_id
+        # The two threads' traces are disjoint.
+        assert spans["alpha-root"].trace_id != spans["beta-root"].trace_id
+
+    def test_active_is_per_thread(self):
+        import threading
+
+        tracer = Tracer()
+        tracer.enabled = False
+        with tracer.span("forced", force=True):
+            assert tracer.active()  # this thread has an open span
+            seen = []
+            t = threading.Thread(target=lambda: seen.append(tracer.active()))
+            t.start()
+            t.join()
+            assert seen == [False]  # the other thread does not
