@@ -1,0 +1,178 @@
+"""Verifier benchmark: solver throughput and whole-catalog verify wall time.
+
+The cross-level verifier runs on every catalog mutation in CI, so its cost
+must stay interactive. Two measurements:
+
+* **solver throughput** — implication/satisfiability decisions per second
+  over a generated mix of conjunctive range/equality/IN/NULL predicates
+  shaped like the healthcare workload's filters;
+* **whole-catalog verify** — wall time of a full :class:`DeploymentVerifier`
+  pass (replay included) over scenarios with 10/100/1000 reports (smoke:
+  5/20), the §5 scaling axis that dominates real deployments.
+
+``main`` (via ``python benchmarks/run_all.py verify`` or ``repro bench
+verify``) prints the table and optionally writes ``BENCH_verify.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+from repro.relational.expressions import (
+    And,
+    Col,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Lit,
+    Not,
+    Or,
+)
+from repro.simulation import ScenarioConfig, build_scenario
+from repro.verify import (
+    DeploymentVerifier,
+    Sat,
+    VerificationInput,
+    implication_counterexample,
+    satisfiable,
+)
+
+JSON_PATH = "BENCH_verify.json"
+
+FULL_SIZES = (10, 100, 1000)
+SMOKE_SIZES = (5, 20)
+
+
+def _predicate_mix(n: int) -> list[tuple[Expr, Expr]]:
+    """``n`` (premise, conclusion) pairs cycling through workload shapes."""
+    diseases = ("asthma", "diabetes", "flu", "hypertension", "HIV")
+    pairs: list[tuple[Expr, Expr]] = []
+    for i in range(n):
+        lo, hi = (i % 7) * 10, (i % 7) * 10 + 50 + (i % 3)
+        premise: Expr = And(
+            Comparison(">", Col("cost"), Lit(lo)),
+            Comparison("<", Col("cost"), Lit(hi)),
+        )
+        if i % 2:
+            premise = And(
+                premise, InList(Col("disease"), diseases[: 2 + i % 3])
+            )
+        if i % 3 == 0:
+            premise = And(premise, Not(IsNull(Col("drug"))))
+        if i % 5 == 0:
+            premise = Or(
+                premise, Comparison("=", Col("disease"), Lit(diseases[i % 5]))
+            )
+        conclusion: Expr = Comparison(">", Col("cost"), Lit(lo - 10))
+        if i % 4 == 0:
+            conclusion = And(
+                conclusion, Not(Comparison("=", Col("disease"), Lit("HIV")))
+            )
+        pairs.append((premise, conclusion))
+    return pairs
+
+
+def run_solver_bench(*, n_predicates: int = 400) -> dict[str, Any]:
+    pairs = _predicate_mix(n_predicates)
+    counts = {s.name: 0 for s in Sat}
+    start = time.perf_counter()
+    for premise, conclusion in pairs:
+        counts[satisfiable(premise).status.name] += 1
+        counts[implication_counterexample(premise, conclusion).status.name] += 1
+    elapsed = time.perf_counter() - start
+    decisions = 2 * len(pairs)
+    return {
+        "predicates": len(pairs),
+        "decisions": decisions,
+        "elapsed_s": elapsed,
+        "decisions_per_s": decisions / elapsed if elapsed else 0.0,
+        "status_counts": counts,
+    }
+
+
+def run_catalog_bench(sizes: tuple[int, ...]) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = []
+    for size in sizes:
+        scenario = build_scenario(ScenarioConfig(n_reports=size))
+        target = VerificationInput.from_scenario(scenario)
+        start = time.perf_counter()
+        report = DeploymentVerifier(target).verify()
+        elapsed = time.perf_counter() - start
+        counts = report.counts()
+        rows.append(
+            {
+                "n_reports": size,
+                "checks": len(report.results),
+                "proved": counts["proved"],
+                "refuted": counts["refuted"],
+                "unknown": counts["unknown"],
+                "elapsed_s": elapsed,
+                "checks_per_s": len(report.results) / elapsed
+                if elapsed
+                else 0.0,
+            }
+        )
+    return rows
+
+
+def run_verify_bench(*, smoke: bool = False) -> dict[str, Any]:
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    solver = run_solver_bench(n_predicates=100 if smoke else 400)
+    catalog = run_catalog_bench(sizes)
+    return {
+        "smoke": smoke,
+        "solver": solver,
+        "catalog": catalog,
+        "passed": all(r["refuted"] == 0 and r["unknown"] == 0 for r in catalog),
+    }
+
+
+def _print_report(results: dict[str, Any]) -> None:
+    s = results["solver"]
+    print("Solver throughput (SAT + implication over workload-shaped mix)")
+    print(
+        f"  {s['decisions']} decisions over {s['predicates']} predicate "
+        f"pairs in {s['elapsed_s']:.3f}s = {s['decisions_per_s']:.0f}/s "
+        f"({s['status_counts']})"
+    )
+    print("\nWhole-catalog verification (seed healthcare deployment)")
+    print(f"{'reports':>8} {'checks':>7} {'verdicts':>22} {'wall s':>8} {'checks/s':>9}")
+    for r in results["catalog"]:
+        verdicts = (
+            f"{r['proved']}P/{r['refuted']}R/{r['unknown']}U"
+        )
+        print(
+            f"{r['n_reports']:>8} {r['checks']:>7} {verdicts:>22} "
+            f"{r['elapsed_s']:>8.3f} {r['checks_per_s']:>9.1f}"
+        )
+    verdict = "PASS" if results["passed"] else "FAIL"
+    print(f"\n{verdict}: seed deployment verifies clean at every size.")
+
+
+def main(*, smoke: bool = False, json_path: str | None = None) -> int:
+    results = run_verify_bench(smoke=smoke)
+    _print_report(results)
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {json_path}")
+    return 0 if results["passed"] else 1
+
+
+# ---------------------------------------------------------------------------
+# pytest smoke: keep the harness itself from rotting.
+# ---------------------------------------------------------------------------
+
+
+def test_verify_bench_smoke():
+    results = run_verify_bench(smoke=True)
+    assert results["solver"]["decisions_per_s"] > 0
+    assert results["catalog"], "no catalog sizes measured"
+    assert results["passed"], "seed deployment did not verify clean"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,7 @@ TARGETS: dict[str, str] = {
     "engine": "benchmarks.bench_engine_scaling",
     "obs": "benchmarks.bench_obs_overhead",
     "resilience": "benchmarks.bench_resilience",
+    "verify": "benchmarks.bench_verify",
 }
 
 JSON_PATH = "BENCH_engine.json"
@@ -54,6 +55,7 @@ JSON_PATHS: dict[str, str] = {
     "engine": "BENCH_engine.json",
     "obs": "BENCH_obs.json",
     "resilience": "BENCH_resilience.json",
+    "verify": "BENCH_verify.json",
 }
 
 

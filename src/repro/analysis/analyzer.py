@@ -249,6 +249,37 @@ class StaticAnalyzer:
                         ),
                     )
                 )
+        # RPT003 — filtering on a direct identifier discloses it even when
+        # the column is projected away (membership in the result reveals the
+        # identity tested for). condition_sources already excludes branches
+        # the solver proved dead, so an unreachable identifier test does not
+        # fire this.
+        disclosed = {
+            source
+            for source in flow.condition_sources
+            if self.target.sensitivity.classify(source) is Sensitivity.DIRECT
+        }
+        exposed = {
+            source for _, column_flow in flow.columns
+            for source in column_flow.copied
+        }
+        for source in sorted(disclosed - exposed):
+            out.append(
+                Diagnostic(
+                    code="RPT003",
+                    severity=Severity.WARNING,
+                    location=location,
+                    message=(
+                        f"report predicate filters on direct identifier "
+                        f"{source!r}; row membership discloses it even "
+                        "though it is projected away"
+                    ),
+                    fix_hint=(
+                        "filter on a quasi-identifier or pseudonymized "
+                        "column instead"
+                    ),
+                )
+            )
         return out
 
 

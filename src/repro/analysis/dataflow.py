@@ -31,10 +31,10 @@ from dataclasses import dataclass, replace
 
 from repro.errors import AnalysisError
 from repro.relational.catalog import Catalog
-from repro.relational.expressions import Col
+from repro.relational.expressions import And, Col, Expr, conjuncts, disjuncts
 from repro.relational.query import Query
 
-__all__ = ["ColumnFlow", "QueryFlow", "column_flows"]
+__all__ = ["ColumnFlow", "QueryFlow", "column_flows", "live_predicate_columns"]
 
 _MAX_VIEW_DEPTH = 32
 
@@ -157,9 +157,10 @@ def _flows(
 
     columns = current.as_dict()
 
-    # WHERE — discloses predicate columns, flows unchanged.
+    # WHERE — discloses predicate columns, flows unchanged. Branches the
+    # solver proves dead against the sibling conjuncts disclose nothing.
     if query.where is not None:
-        for col in query.where.columns():
+        for col in live_predicate_columns(query.where):
             condition_sources |= _lookup(columns, col, current.relation).sources
 
     # GROUP BY / aggregates — mirror algebra.aggregate.
@@ -176,7 +177,7 @@ def _flows(
             out.append((spec.alias, flow))
         columns = dict(out)
         if query.having is not None:
-            for col in query.having.columns():
+            for col in live_predicate_columns(query.having):
                 condition_sources |= _lookup(columns, col, current.relation).sources
 
     # SELECT projection — mirror algebra.project's copy/derive split.
@@ -205,6 +206,43 @@ def _flows(
         columns=tuple(columns.items()),
         condition_sources=frozenset(condition_sources),
     )
+
+
+#: Solver budget for dead-branch pruning: predicates are small and the
+#: dataflow pass runs per report, so give up (= keep the branch) early.
+_PRUNE_SOLVER_BUDGET = 20_000
+
+
+def live_predicate_columns(predicate: Expr) -> frozenset[str]:
+    """Columns ``predicate`` can actually consult, dead OR branches pruned.
+
+    A disjunctive branch of one top-level conjunct is *dead* when it can
+    never hold together with the remaining conjuncts (solver-proved
+    disjointness under three-valued logic). A row the filter keeps then
+    owes its membership to a sibling branch — ``True OR x`` is ``True``
+    regardless of ``x`` — so the dead branch's columns disclose nothing
+    about kept rows. An undecided solver call keeps the branch: the result
+    only shrinks on proof, preserving the over-approximation contract
+    (every genuinely consulted column is always reported).
+    """
+    from repro.verify.solver import overlap
+
+    parts = list(conjuncts(predicate))
+    live: set[str] = set()
+    for i, conjunct in enumerate(parts):
+        branches = list(disjuncts(conjunct))
+        rest = [c for j, c in enumerate(parts) if j != i]
+        if len(branches) == 1 or not rest:
+            live |= conjunct.columns()
+            continue
+        context: Expr = rest[0]
+        for extra in rest[1:]:
+            context = And(context, extra)
+        for branch in branches:
+            result = overlap(branch, context, budget=_PRUNE_SOLVER_BUDGET)
+            if not result.is_unsat():
+                live |= branch.columns()
+    return frozenset(live)
 
 
 def _lookup(columns: dict[str, ColumnFlow], name: str, relation: str) -> ColumnFlow:

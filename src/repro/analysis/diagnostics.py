@@ -47,6 +47,22 @@ CODES: dict[str, str] = {
     "derivable from any approved meta-report",
     "RPT002": "identifying-detail-report: a non-aggregate report copies a "
     "direct identifier into its output",
+    "RPT003": "identifier-conditioned-report: a report's selection "
+    "predicate filters on a direct identifier, disclosing it even though "
+    "it is projected away",
+    "VER001": "report-escapes-approved-region: a report can deliver a row "
+    "outside the region its covering meta-report's approved definition "
+    "admits",
+    "VER002": "metareport-weaker-than-source-policy: a meta-report's "
+    "runtime region admits a row a source/warehouse policy excludes",
+    "VER003": "unsatisfiable-intensional-condition: a PLA visibility "
+    "condition is provably unsatisfiable — it suppresses every row",
+    "VER004": "vacuous-intensional-condition: a PLA visibility condition "
+    "is provably a tautology — it never suppresses anything",
+    "VER005": "metareport-delivers-nothing: a meta-report's runtime "
+    "region is provably empty; every report over it is vacuously compliant",
+    "VER006": "static-runtime-drift: a synthesized counterexample did not "
+    "reproduce its violation when replayed through the runtime engine",
 }
 
 

@@ -24,7 +24,6 @@ from repro.core.annotations import (
 )
 from repro.core.containment import predicate_implies
 from repro.core.pla import PLA
-from repro.relational.expressions import Lit
 
 __all__ = ["lint_pla"]
 
@@ -252,7 +251,26 @@ def _dead_intensional(
                 )
             )
             continue
-        if isinstance(a.condition, Lit) and bool(a.condition.value):
+        status = _condition_status(a.condition)
+        if status == "unsat":
+            out.append(
+                Diagnostic(
+                    code="PLA004",
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=(
+                        f"intensional condition on {a.attribute!r} "
+                        f"({a.condition}) is provably unsatisfiable; it "
+                        "suppresses every row of the target"
+                    ),
+                    fix_hint=(
+                        "restate the condition; as written the rule blanks "
+                        "the whole view"
+                    ),
+                )
+            )
+            continue
+        if status == "tautology":
             out.append(
                 Diagnostic(
                     code="PLA004",
@@ -284,6 +302,28 @@ def _dead_intensional(
                 )
             )
     return out
+
+
+#: Solver budget for lint-time checks: PLA conditions are small, and lint
+#: must stay interactive, so give up (= stay silent) early.
+_LINT_SOLVER_BUDGET = 20_000
+
+
+def _condition_status(condition) -> str:
+    """``"unsat"``, ``"tautology"``, or ``"ok"`` for one PLA condition.
+
+    Backed by the :mod:`repro.verify` solver (imported lazily so plain
+    dataflow lint never pays for it). Both degenerate shapes are decided
+    under SQL three-valued logic; an undecided solver call stays ``"ok"``
+    — lint only reports what it can prove.
+    """
+    from repro.verify.solver import falsifiable, satisfiable
+
+    if satisfiable(condition, budget=_LINT_SOLVER_BUDGET).is_unsat():
+        return "unsat"
+    if falsifiable(condition, budget=_LINT_SOLVER_BUDGET).is_unsat():
+        return "tautology"
+    return "ok"
 
 
 # -- PLA001: uncovered sensitive columns --------------------------------------

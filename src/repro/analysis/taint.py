@@ -75,6 +75,19 @@ class SensitivityMap:
         """Join over a set of qualified base columns (empty set → PUBLIC)."""
         return join_sensitivity(self.classify(s) for s in sources)
 
+    def of_predicate(self, predicate) -> Sensitivity:
+        """Joined sensitivity a filter predicate can actually disclose.
+
+        Uses :func:`repro.analysis.dataflow.live_predicate_columns`, so OR
+        branches the solver proves unreachable against their sibling
+        conjuncts do not widen the result — a filter like
+        ``(patient = 'bob' AND cost < 10) OR flag`` under ``cost > 100``
+        no longer taints the output with the identifier of the dead branch.
+        """
+        from repro.analysis.dataflow import live_predicate_columns
+
+        return self.of_sources(live_predicate_columns(predicate))
+
     def with_entries(self, extra: Mapping[str, Sensitivity]) -> "SensitivityMap":
         merged = dict(self.entries)
         merged.update(extra)

@@ -156,6 +156,23 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(Severity[args.fail_on.upper()])
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis import Severity
+    from repro.verify import DeploymentVerifier, VerificationInput
+
+    if args.deployment:
+        from repro.persistence import load_deployment
+
+        target = VerificationInput.from_deployment(
+            load_deployment(args.deployment)
+        )
+    else:
+        target = VerificationInput.from_scenario(_scenario())
+    report = DeploymentVerifier(target, replay=not args.no_replay).verify()
+    print(report.to_json() if args.json else report.render_text())
+    return report.exit_code(Severity[args.fail_on.upper()])
+
+
 def _traced_workload(target: str, report: str) -> None:
     """Run one traced workload; obs must already be enabled."""
     scenario = _scenario()
@@ -274,6 +291,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return int(module.main(smoke=args.smoke, json_path=args.json))
     if which == "resilience":
         module = _benchmark_module("benchmarks.bench_resilience")
+        return int(module.main(smoke=args.smoke, json_path=args.json))
+    if which == "verify":
+        module = _benchmark_module("benchmarks.bench_verify")
         return int(module.main(smoke=args.smoke, json_path=args.json))
     module = _benchmark_module("benchmarks.bench_engine_scaling")
     module.main(smoke=args.smoke, json_path=args.json)
@@ -398,6 +418,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint a saved deployment instead of the built-in scenario",
     )
 
+    verify = _command(
+        sub, "verify",
+        "prove the cross-level PLA ordering symbolically (no execution)",
+        "repro verify --json --fail-on warning",
+    )
+    verify.add_argument("--json", action="store_true", help="machine-readable output")
+    verify.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info"],
+        default="error",
+        help="lowest severity that makes the exit code non-zero",
+    )
+    verify.add_argument(
+        "--deployment",
+        metavar="DIR",
+        default=None,
+        help="verify a saved deployment instead of the built-in scenario",
+    )
+    verify.add_argument(
+        "--no-replay", action="store_true",
+        help="skip runtime replay of synthesized counterexamples",
+    )
+
     fig = _command(
         sub, "fig",
         "regenerate a paper figure's measured table",
@@ -411,11 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
         "repro bench --smoke --json BENCH_engine.json",
     )
     bench.add_argument(
-        "which", nargs="?", choices=["engine", "obs", "resilience"],
+        "which", nargs="?", choices=["engine", "obs", "resilience", "verify"],
         default="engine",
         help=(
             "engine: row vs columnar scaling; obs: tracing overhead; "
-            "resilience: fault-wrapper overhead"
+            "resilience: fault-wrapper overhead; verify: solver throughput "
+            "and whole-catalog verification wall time"
         ),
     )
     bench.add_argument(
@@ -514,6 +558,7 @@ _HANDLERS = {
     "audit": cmd_audit,
     "gaps": cmd_gaps,
     "lint": cmd_lint,
+    "verify": cmd_verify,
     "fig": cmd_fig,
     "bench": cmd_bench,
     "trace": cmd_trace,

@@ -44,6 +44,7 @@ from repro.relational.query import Query
 
 __all__ = [
     "predicate_implies",
+    "conjunction_inconsistent",
     "DerivabilityResult",
     "check_derivability",
     "source_columns_used",
@@ -296,6 +297,14 @@ def predicate_implies(stronger: Expr | None, weaker: Expr | None) -> bool:
     """
     if weaker is None:
         return True
+    # _decompose keeps the last value for repeated equalities on one column,
+    # so an internally contradictory side must be settled first: an empty
+    # premise implies anything; nothing (we can certify) implies an empty
+    # conclusion.
+    if conjunction_inconsistent(stronger):
+        return True
+    if conjunction_inconsistent(weaker):
+        return False
     try:
         have = _decompose(stronger)
         need = _decompose(weaker)
@@ -326,6 +335,74 @@ def predicate_implies(stronger: Expr | None, weaker: Expr | None) -> bool:
         if needed.not_null and not having.implies_not_null():
             return False
     return True
+
+
+def conjunction_inconsistent(predicate: Expr | None) -> bool:
+    """Sound, fast test that a conjunctive predicate admits no satisfying row.
+
+    ``True`` only when the per-column interval/equality abstraction proves
+    emptiness; ``False`` means "not provably empty here" (the exact solver
+    in :mod:`repro.verify` decides the rest by enumeration). Predicates
+    outside the conjunctive fragment are never claimed inconsistent.
+    Integer bounds are treated densely (``5 < x < 6`` is *not* claimed
+    empty), so the abstraction stays sound for float-typed columns too.
+    """
+    if predicate is None:
+        return False
+    # _decompose's eq handling keeps the last value on x=a AND x=b; detect
+    # conflicting equalities directly from the conjunct list first.
+    eq_values: dict[str, Any] = {}
+    for conjunct in conjuncts(predicate):
+        if isinstance(conjunct, Comparison) and conjunct.op == "=":
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, Col) and isinstance(right, Lit):
+                column, value = left.name, right.value
+            elif isinstance(left, Lit) and isinstance(right, Col):
+                column, value = right.name, left.value
+            else:
+                continue
+            if column in eq_values and eq_values[column] != value:
+                return True
+            eq_values[column] = value
+    try:
+        buckets = _decompose(predicate)
+    except NotConjunctive:
+        return False
+    return any(_bucket_empty(b) for b in buckets.values())
+
+
+def _bucket_empty(b: _ColumnConstraints) -> bool:
+    """Does this one column's constraint set rule out every value?"""
+    if b.has_eq:
+        v = b.eq
+        if v in b.not_eq:
+            return True
+        if b.in_set is not None and v not in b.in_set:
+            return True
+        if b.lower is not None and (
+            _eval_cmp(v, "<", b.lower) or (v == b.lower and b.lower_strict)
+        ):
+            return True
+        if b.upper is not None and (
+            _eval_cmp(v, ">", b.upper) or (v == b.upper and b.upper_strict)
+        ):
+            return True
+        return False
+    if b.in_set is not None:
+        survivors = set(b.in_set) - b.not_eq
+        if b.lower is not None:
+            op = ">" if b.lower_strict else ">="
+            survivors = {v for v in survivors if _eval_cmp(v, op, b.lower)}
+        if b.upper is not None:
+            op = "<" if b.upper_strict else "<="
+            survivors = {v for v in survivors if _eval_cmp(v, op, b.upper)}
+        return not survivors
+    if b.lower is not None and b.upper is not None:
+        if _eval_cmp(b.lower, ">", b.upper):
+            return True
+        if b.lower == b.upper and (b.lower_strict or b.upper_strict):
+            return True
+    return False
 
 
 # ---------------------------------------------------------------------------

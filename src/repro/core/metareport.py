@@ -22,15 +22,24 @@ from typing import Sequence
 from repro.errors import PolicyError
 from repro.core.containment import (
     DerivabilityResult,
+    NotConjunctive,
     check_derivability,
     source_columns_used,
 )
 from repro.core.pla import PLA, PlaStatus
 from repro.relational.catalog import Catalog, View
+from repro.relational.expressions import And, Col, Expr
 from repro.relational.query import Query
 from repro.reports.definition import ReportDefinition
 
-__all__ = ["MetaReport", "MetaReportSet", "generate_metareports"]
+__all__ = [
+    "MetaReport",
+    "MetaReportSet",
+    "generate_metareports",
+    "effective_region",
+]
+
+_MAX_CHAIN_DEPTH = 32
 
 
 @dataclass
@@ -167,6 +176,83 @@ class PlaRegistryLike:
 
     def revise(self, name: str, annotations) -> PLA:  # pragma: no cover
         raise NotImplementedError
+
+
+def effective_region(
+    query: Query, catalog: Catalog, *, universe: str
+) -> Expr | None:
+    """The universe-level row region ``query`` can draw rows from.
+
+    Walks the view chain from ``query.source`` down to ``universe``,
+    conjoining each layer's WHERE clause with column names rewritten
+    through the layer's aliases, and returns one predicate over the
+    universe's columns (``None`` = unrestricted). This is the *runtime*
+    region: it reads the views actually registered in the catalog, so a
+    drifted view definition shows up here, not in the approved artifacts.
+
+    The region over-approximates on purpose: GROUP BY/HAVING/LIMIT only
+    narrow which of the reachable rows surface, so every contributing row
+    still satisfies the returned predicate — the sound polarity for the
+    verifier's premises. Raises :class:`NotConjunctive` for shapes whose
+    region cannot be expressed as one predicate (joins along the chain, a
+    predicate over a computed alias, or a source that never reaches the
+    universe).
+    """
+    predicate = query.where
+    relation = query.source
+    if query.joins:
+        raise NotConjunctive(
+            f"region of a join over {relation!r} is not a single predicate"
+        )
+    depth = 0
+    while relation != universe:
+        depth += 1
+        if depth > _MAX_CHAIN_DEPTH:
+            raise NotConjunctive(
+                f"view chain deeper than {_MAX_CHAIN_DEPTH}; cycle?"
+            )
+        if not catalog.is_view(relation):
+            raise NotConjunctive(
+                f"{relation!r} is not a view over universe {universe!r}"
+            )
+        view_query = catalog.view(relation).query
+        if view_query.joins or view_query.is_aggregate:
+            raise NotConjunctive(
+                f"view {relation!r} joins or aggregates; its region is not "
+                "a single universe predicate"
+            )
+        if view_query.limit_n is not None:
+            raise NotConjunctive(f"view {relation!r} carries a LIMIT")
+        mapping: dict[str, str] = {}
+        computed: set[str] = set()
+        for item in view_query.select:
+            if isinstance(item, str):
+                mapping[item] = item
+            else:
+                alias, expr = item
+                if isinstance(expr, Col):
+                    mapping[alias] = expr.name
+                else:
+                    computed.add(alias)
+        if predicate is not None:
+            referenced = predicate.columns()
+            bad = referenced & computed
+            if bad:
+                raise NotConjunctive(
+                    f"predicate references computed alias(es) {sorted(bad)} "
+                    f"of view {relation!r}"
+                )
+            if mapping:
+                predicate = predicate.substitute(mapping)
+        if view_query.where is not None:
+            predicate = (
+                view_query.where
+                if predicate is None
+                else And(predicate, view_query.where)
+            )
+        relation = view_query.source
+    return predicate
+
 
 
 def generate_metareports(

@@ -15,7 +15,8 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
 from repro.errors import PolicyError
-from repro.core.annotations import Annotation
+from repro.core.annotations import Annotation, IntensionalCondition
+from repro.relational.expressions import And, Expr
 
 __all__ = ["PlaLevel", "PlaStatus", "PLA", "PlaRegistry"]
 
@@ -71,6 +72,25 @@ class PLA:
 
     def annotations_of_kind(self, kind: str) -> tuple[Annotation, ...]:
         return tuple(a for a in self.annotations if a.requirement_kind == kind)
+
+    def row_restriction(self) -> Expr | None:
+        """Conjunction of this PLA's row-suppression visibility conditions.
+
+        The predicate describing which rows the owner allows the target to
+        show (``suppress_row`` intensional conditions AND-ed together);
+        ``None`` when the PLA imposes no row-level restriction. This is the
+        per-target region both the VPD translator and the cross-level
+        verifier reason over.
+        """
+        predicate: Expr | None = None
+        for a in self.annotations:
+            if isinstance(a, IntensionalCondition) and a.action == "suppress_row":
+                predicate = (
+                    a.condition
+                    if predicate is None
+                    else And(predicate, a.condition)
+                )
+        return predicate
 
     def describe(self) -> str:
         lines = [

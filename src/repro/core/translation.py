@@ -445,17 +445,15 @@ def to_vpd_policy(plas: Iterable[PLA]) -> VPDPolicy:
         entry = by_table.setdefault(
             pla.target, {"predicate": None, "masks": []}
         )
+        restriction = pla.row_restriction()
+        if restriction is not None:
+            entry["predicate"] = (
+                restriction
+                if entry["predicate"] is None
+                else entry["predicate"] & restriction
+            )
         for annotation in pla.annotations:
-            if isinstance(annotation, IntensionalCondition) and (
-                annotation.action == "suppress_row"
-            ):
-                predicate = annotation.condition
-                entry["predicate"] = (
-                    predicate
-                    if entry["predicate"] is None
-                    else entry["predicate"] & predicate
-                )
-            elif isinstance(annotation, AnonymizationRequirement) and (
+            if isinstance(annotation, AnonymizationRequirement) and (
                 annotation.method == "suppress"
             ):
                 entry["masks"].append(ColumnMask(annotation.attribute))

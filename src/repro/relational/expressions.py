@@ -35,6 +35,7 @@ __all__ = [
     "col",
     "lit",
     "conjuncts",
+    "disjuncts",
 ]
 
 
@@ -547,5 +548,16 @@ def conjuncts(expr: Expr | None) -> Iterator[Expr]:
     if isinstance(expr, And):
         yield from conjuncts(expr.left)
         yield from conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def disjuncts(expr: Expr | None) -> Iterator[Expr]:
+    """Flatten a predicate into its top-level OR-ed disjuncts."""
+    if expr is None:
+        return
+    if isinstance(expr, Or):
+        yield from disjuncts(expr.left)
+        yield from disjuncts(expr.right)
     else:
         yield expr

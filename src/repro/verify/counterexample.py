@@ -1,0 +1,195 @@
+"""Counterexample synthesis and runtime replay: self-validating refutations.
+
+A ``REFUTED`` verdict from the cross-level pass ships a concrete minimal
+database instance — one universe row synthesized from the solver's witness
+— and the outcome of *replaying* that instance through the real runtime
+engine: the report query is executed and enforced by the same
+:class:`~repro.core.translation.ReportLevelEnforcer` production deliveries
+go through, with the covering PLA's row-suppression obligations attached.
+The violation counts as confirmed only when the runtime actually releases
+the row **and** the row falls outside the region the refuted claim says it
+must stay in. A refutation the runtime does not reproduce is itself a
+finding (``VER006``: the static layer and the engine have drifted), so the
+verifier can never silently disagree with enforcement.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.core.annotations import IntensionalCondition
+from repro.core.compliance import ComplianceVerdict, RuntimeObligation
+from repro.core.translation import ReportLevelEnforcer
+from repro.errors import ReproError
+from repro.policy.subjects import SubjectRegistry
+from repro.relational.catalog import Catalog, View
+from repro.relational.expressions import Expr
+from repro.relational.query import Query
+from repro.relational.table import Table, make_schema
+from repro.relational.types import ColumnType
+from repro.reports.definition import ReportDefinition
+from repro.verify.solver import truth
+
+__all__ = [
+    "ReplayOutcome",
+    "Counterexample",
+    "build_replay_catalog",
+    "replay_escape",
+]
+
+_REPLAY_ROLE = "verifier"
+_REPLAY_PURPOSE = "verify"
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """What happened when a witness row was run through the real engine."""
+
+    confirmed: bool
+    delivered_rows: int = 0
+    detail: str = ""
+
+    def describe(self) -> str:
+        status = "confirmed" if self.confirmed else "NOT confirmed"
+        return f"{status} ({self.delivered_rows} row(s) delivered; {self.detail})"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "confirmed": self.confirmed,
+            "delivered_rows": self.delivered_rows,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A minimal concrete instance refuting one cross-level claim."""
+
+    relation: str  # the universe relation the row instantiates
+    row: Mapping[str, Any]  # full universe row (witness + NULL padding)
+    replay: ReplayOutcome
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "relation": self.relation,
+            "row": {k: _json_value(v) for k, v in self.row.items()},
+            "replay": self.replay.to_dict(),
+        }
+
+
+def _json_value(value: Any) -> Any:
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    return value
+
+
+def _column_type(value: Any) -> ColumnType:
+    if type(value) is bool:
+        return ColumnType.BOOL
+    if isinstance(value, int):
+        return ColumnType.INT
+    if isinstance(value, float):
+        return ColumnType.FLOAT
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return ColumnType.DATE
+    return ColumnType.STRING
+
+
+def build_replay_catalog(
+    catalog: Catalog, universe: str, row: Mapping[str, Any]
+) -> Catalog:
+    """A one-row catalog: the witness as the universe, original views kept.
+
+    The universe relation is replaced by a base table holding exactly the
+    witness row (schema inferred from the values, everything nullable);
+    every *other* view of the deployment catalog is carried over unchanged,
+    so report queries resolve through the very same view chain the runtime
+    uses. Views are lazy, so views over unrelated relations cost nothing.
+    """
+    replay = Catalog()
+    schema = make_schema(
+        *((name, _column_type(value), True) for name, value in row.items())
+    )
+    replay.add_table(
+        Table.from_rows(universe, schema, [dict(row)], provider="warehouse")
+    )
+    for name in catalog.view_names():
+        if name == universe:
+            continue
+        original = catalog.view(name)
+        replay.add_view(
+            View(name, original.query, description=original.description)
+        )
+    return replay
+
+
+def _replay_subjects() -> SubjectRegistry:
+    subjects = SubjectRegistry()
+    subjects.add_role(_REPLAY_ROLE)
+    subjects.add_user(_REPLAY_ROLE, _REPLAY_ROLE)
+    subjects.purposes.declare(_REPLAY_PURPOSE)
+    return subjects
+
+
+def replay_escape(
+    catalog: Catalog,
+    universe: str,
+    row: Mapping[str, Any],
+    query: Query,
+    conditions: Iterable[IntensionalCondition],
+    target_predicate: Expr,
+    *,
+    name: str = "counterexample",
+) -> ReplayOutcome:
+    """Run ``query`` over the one-row witness instance, fully enforced.
+
+    ``conditions`` are the row-suppression obligations the covering PLA
+    imposes (the same obligations a production delivery would discharge);
+    ``target_predicate`` is the region the refuted claim says every
+    delivered row must satisfy. The replay confirms the refutation iff the
+    engine releases at least one row while the witness falls outside that
+    region (its evaluation is not definitely ``True``).
+    """
+    replay_catalog = build_replay_catalog(catalog, universe, row)
+    definition = ReportDefinition(
+        name=name,
+        title="counterexample replay",
+        query=query,
+        audience=frozenset({_REPLAY_ROLE}),
+        purpose=_REPLAY_PURPOSE,
+    )
+    verdict = ComplianceVerdict(
+        report=name,
+        version=1,
+        compliant=True,
+        covering_metareport=None,
+        obligations=tuple(
+            RuntimeObligation("intensional", c) for c in conditions
+        ),
+    )
+    subjects = _replay_subjects()
+    enforcer = ReportLevelEnforcer(replay_catalog)
+    try:
+        instance = enforcer.generate(
+            definition, subjects.context(_REPLAY_ROLE, _REPLAY_PURPOSE), verdict
+        )
+    except ReproError as exc:
+        return ReplayOutcome(
+            confirmed=False, detail=f"replay raised {type(exc).__name__}: {exc}"
+        )
+    delivered = len(instance.table)
+    outside = truth(target_predicate.evaluate(dict(row))) is not True
+    confirmed = delivered > 0 and outside
+    if not outside:
+        detail = "witness row satisfies the target region after all"
+    elif delivered == 0:
+        detail = "engine suppressed the witness row"
+    else:
+        detail = (
+            "engine released output fed by a row outside the approved region"
+        )
+    return ReplayOutcome(
+        confirmed=confirmed, delivered_rows=delivered, detail=detail
+    )

@@ -1,0 +1,255 @@
+"""Finite candidate domains: the small-model argument behind the solver.
+
+The solver (:mod:`repro.verify.solver`) decides satisfiability by
+evaluating candidate rows with the runtime's own ``Expr.evaluate`` — so its
+verdicts can never drift from engine semantics. What makes the enumeration
+*exact* rather than a sampling heuristic is the construction here: for the
+supported predicate fragment (column-vs-literal comparisons, column-vs-
+column comparisons, IN lists, IS [NOT] NULL, and any AND/OR/NOT nesting of
+those) an atom's truth value depends only on how a column's value compares
+to the finitely many literal constants in the predicate and to the other
+columns it is compared against. A candidate set containing
+
+* every constant mentioned for the column (or its comparison group),
+* values just below/above each constant (and between adjacent constants),
+* enough extra distinct values to realize every ordering of the columns in
+  one comparison group (group size, capped at :data:`MAX_GROUP_OFFSET`),
+* and ``NULL``
+
+therefore realizes every reachable atom-valuation — if any row satisfies
+the predicate, some candidate row does too. Columns compared to each other
+are merged into one *group* (union-find) sharing a candidate pool, since
+their relative order matters.
+
+Typing assumption: a column whose constants are all ``int`` ranges over
+integers (the warehouse stores typed columns), so ``x > 5 AND x < 6`` is
+reported unsatisfiable. Float constants switch the column to a dense
+domain, adding midpoints between adjacent constants.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import AnalysisError
+from repro.relational.expressions import (
+    And,
+    Col,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Lit,
+    Not,
+    Or,
+)
+
+__all__ = [
+    "UnsupportedPredicate",
+    "MAX_GROUP_OFFSET",
+    "PredicateShape",
+    "scan_shape",
+    "build_domains",
+    "domain_size",
+]
+
+#: Extra distinct values generated around each constant, bounded so huge
+#: column-comparison groups cannot explode the candidate pool.
+MAX_GROUP_OFFSET = 4
+
+
+class UnsupportedPredicate(AnalysisError):
+    """The predicate contains a shape the solver cannot model exactly."""
+
+
+@dataclass
+class PredicateShape:
+    """Columns, literal constant pools, and column-column comparison edges."""
+
+    constants: dict[str, set[Any]] = field(default_factory=dict)
+    edges: list[tuple[str, str]] = field(default_factory=list)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset(self.constants)
+
+    def pool(self, column: str) -> set[Any]:
+        return self.constants.setdefault(column, set())
+
+
+def scan_shape(exprs: Iterable[Expr | None]) -> PredicateShape:
+    """Collect the shape of a set of predicates (conjoined or separate).
+
+    Raises :class:`UnsupportedPredicate` on atoms outside the fragment
+    (arithmetic, literal-free comparisons over computed values, unknown
+    node types).
+    """
+    shape = PredicateShape()
+    for expr in exprs:
+        if expr is not None:
+            _scan(expr, shape)
+    return shape
+
+
+def _scan(expr: Expr, shape: PredicateShape) -> None:
+    if isinstance(expr, (And, Or)):
+        _scan(expr.left, shape)
+        _scan(expr.right, shape)
+    elif isinstance(expr, Not):
+        _scan(expr.inner, shape)
+    elif isinstance(expr, Comparison):
+        left, right = expr.left, expr.right
+        if isinstance(left, Col) and isinstance(right, Lit):
+            if right.value is not None:
+                shape.pool(left.name).add(right.value)
+            else:
+                shape.pool(left.name)
+        elif isinstance(left, Lit) and isinstance(right, Col):
+            if left.value is not None:
+                shape.pool(right.name).add(left.value)
+            else:
+                shape.pool(right.name)
+        elif isinstance(left, Col) and isinstance(right, Col):
+            shape.pool(left.name)
+            shape.pool(right.name)
+            shape.edges.append((left.name, right.name))
+        elif isinstance(left, Lit) and isinstance(right, Lit):
+            pass  # constant atom; no column involved
+        else:
+            raise UnsupportedPredicate(
+                f"comparison outside the solver fragment: {expr}"
+            )
+    elif isinstance(expr, InList):
+        if not isinstance(expr.target, Col):
+            raise UnsupportedPredicate(f"IN over non-column: {expr}")
+        shape.pool(expr.target.name).update(
+            v for v in expr.values if v is not None
+        )
+    elif isinstance(expr, IsNull):
+        if not isinstance(expr.target, Col):
+            raise UnsupportedPredicate(f"IS NULL over non-column: {expr}")
+        shape.pool(expr.target.name)
+    elif isinstance(expr, Lit):
+        pass
+    else:
+        raise UnsupportedPredicate(
+            f"node outside the solver fragment: {type(expr).__name__}: {expr}"
+        )
+
+
+class _Groups:
+    """Union-find over column names (columns compared to each other)."""
+
+    def __init__(self) -> None:
+        self.parent: dict[str, str] = {}
+
+    def add(self, name: str) -> None:
+        self.parent.setdefault(name, name)
+
+    def find(self, name: str) -> str:
+        while self.parent[name] != name:
+            self.parent[name] = self.parent[self.parent[name]]
+            name = self.parent[name]
+        return name
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _candidates(pool: set[Any], group_size: int) -> list[Any]:
+    """Non-NULL candidate values realizing every atom valuation.
+
+    ``group_size`` is how many columns share this pool; offsets up to that
+    size (capped) guarantee enough distinct values for every ordering.
+    """
+    offsets = range(1, min(max(group_size, 1), MAX_GROUP_OFFSET) + 1)
+    if not pool:
+        # No constants: only relative order among group members matters.
+        return list(range(max(group_size, 1) + 1))
+    kinds = {_kind(v) for v in pool}
+    if len(kinds) > 1:
+        raise UnsupportedPredicate(
+            f"mixed-type constant pool {sorted(map(repr, pool))}; cannot "
+            "order candidates"
+        )
+    kind = kinds.pop()
+    if kind == "bool":
+        return [False, True]
+    if kind == "number":
+        out = set(pool)
+        for value in pool:
+            for j in offsets:
+                out.add(value + j)
+                out.add(value - j)
+        if any(isinstance(v, float) for v in pool):
+            ordered = sorted(pool)
+            for a, b in zip(ordered, ordered[1:]):
+                out.add((a + b) / 2)
+        return sorted(out)
+    if kind == "str":
+        out = set(pool)
+        out.add("")
+        for value in pool:
+            for j in offsets:
+                out.add(value + "\x00" * j)
+        return sorted(out)
+    if kind == "date":
+        out = set(pool)
+        for value in pool:
+            for j in offsets:
+                out.add(value + datetime.timedelta(days=j))
+                out.add(value - datetime.timedelta(days=j))
+        return sorted(out)
+    raise UnsupportedPredicate(
+        f"constants of unsupported type in pool: {sorted(map(repr, pool))}"
+    )
+
+
+def _kind(value: Any) -> str:
+    if type(value) is bool:
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return "date"
+    return type(value).__name__
+
+
+def build_domains(exprs: Iterable[Expr | None]) -> dict[str, tuple[Any, ...]]:
+    """Per-column candidate domains (``NULL`` last) for a predicate set.
+
+    Columns compared to each other share one merged candidate pool so their
+    relative orderings are all reachable.
+    """
+    shape = scan_shape(exprs)
+    groups = _Groups()
+    for column in shape.constants:
+        groups.add(column)
+    for a, b in shape.edges:
+        groups.union(a, b)
+    members: dict[str, list[str]] = {}
+    for column in shape.constants:
+        members.setdefault(groups.find(column), []).append(column)
+    domains: dict[str, tuple[Any, ...]] = {}
+    for root, columns in members.items():
+        pool: set[Any] = set()
+        for column in columns:
+            pool |= shape.constants[column]
+        values = _candidates(pool, len(columns))
+        domain = tuple(values) + (None,)
+        for column in columns:
+            domains[column] = domain
+    return domains
+
+
+def domain_size(domains: dict[str, Sequence[Any]]) -> int:
+    """Number of candidate rows the full cross product contains."""
+    size = 1
+    for values in domains.values():
+        size *= len(values)
+    return size

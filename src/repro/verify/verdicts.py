@@ -1,0 +1,213 @@
+"""Typed verification verdicts and the whole-deployment verification report.
+
+Each cross-level check produces a :class:`CheckResult` — a *claim* (the Fig
+5 ordering statement being proved), a :class:`Verdict`, a
+:class:`ProofTrace` recording how the solver decided it, and, for refuted
+claims, the synthesized witness row plus its runtime replay outcome.
+:class:`VerificationReport` aggregates them and projects down to the
+analyzer's :class:`~repro.analysis.diagnostics.DiagnosticReport` vocabulary
+(codes ``VER001``–``VER006``), so CI gates on verification findings the
+same way it gates on lint findings.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verify.counterexample import Counterexample
+
+__all__ = [
+    "Verdict",
+    "ProofTrace",
+    "CheckResult",
+    "VerificationReport",
+    "CODE_SEVERITY",
+]
+
+
+class Verdict(enum.Enum):
+    """Outcome of one statically decided claim."""
+
+    PROVED = "proved"
+    REFUTED = "refuted"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Severity a REFUTED verdict of each code maps to.
+CODE_SEVERITY: dict[str, Severity] = {
+    "VER001": Severity.ERROR,
+    "VER002": Severity.ERROR,
+    "VER003": Severity.ERROR,
+    "VER004": Severity.WARNING,
+    "VER005": Severity.ERROR,
+    "VER006": Severity.ERROR,
+}
+
+
+@dataclass(frozen=True)
+class ProofTrace:
+    """How the solver reached a verdict: steps, cost, and model size."""
+
+    steps: tuple[str, ...] = ()
+    evaluations: int = 0
+    domain_size: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "steps": list(self.steps),
+            "evaluations": self.evaluations,
+            "domain_size": self.domain_size,
+        }
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One cross-level claim and its verdict."""
+
+    code: str
+    location: str
+    claim: str
+    verdict: Verdict
+    message: str = ""
+    trace: ProofTrace | None = None
+    counterexample: "Counterexample | None" = None
+    fix_hint: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "code": self.code,
+            "location": self.location,
+            "claim": self.claim,
+            "verdict": str(self.verdict),
+        }
+        if self.message:
+            out["message"] = self.message
+        if self.trace is not None:
+            out["trace"] = self.trace.to_dict()
+        if self.counterexample is not None:
+            out["counterexample"] = self.counterexample.to_dict()
+        if self.fix_hint:
+            out["fix_hint"] = self.fix_hint
+        return out
+
+    def __str__(self) -> str:
+        return (
+            f"{self.verdict}: {self.code} at {self.location}: {self.claim}"
+            + (f" — {self.message}" if self.message else "")
+        )
+
+
+@dataclass
+class VerificationReport:
+    """All verdicts of one whole-deployment verification run."""
+
+    results: list[CheckResult] = field(default_factory=list)
+    #: Artifact counts the run covered, e.g. {"metareports": 4, "reports": 30}.
+    coverage: dict[str, int] = field(default_factory=dict)
+
+    def add(self, result: CheckResult) -> CheckResult:
+        self.results.append(result)
+        return result
+
+    def by_verdict(self, verdict: Verdict) -> tuple[CheckResult, ...]:
+        return tuple(r for r in self.results if r.verdict is verdict)
+
+    @property
+    def proved(self) -> tuple[CheckResult, ...]:
+        return self.by_verdict(Verdict.PROVED)
+
+    @property
+    def refuted(self) -> tuple[CheckResult, ...]:
+        return self.by_verdict(Verdict.REFUTED)
+
+    @property
+    def unknown(self) -> tuple[CheckResult, ...]:
+        return self.by_verdict(Verdict.UNKNOWN)
+
+    @property
+    def all_proved(self) -> bool:
+        return all(r.verdict is Verdict.PROVED for r in self.results)
+
+    def by_code(self, code: str) -> tuple[CheckResult, ...]:
+        return tuple(r for r in self.results if r.code == code)
+
+    def counts(self) -> dict[str, int]:
+        out = {str(v): 0 for v in Verdict}
+        for result in self.results:
+            out[str(result.verdict)] += 1
+        return out
+
+    def to_diagnostics(self) -> DiagnosticReport:
+        """Project verdicts to lint-style diagnostics (CI gate vocabulary).
+
+        ``PROVED`` claims emit nothing; ``REFUTED`` emits at the code's
+        registered severity; ``UNKNOWN`` emits a warning so an undecidable
+        deployment cannot silently pass a strict gate.
+        """
+        report = DiagnosticReport(coverage=dict(self.coverage))
+        for result in self.results:
+            if result.verdict is Verdict.PROVED:
+                continue
+            if result.verdict is Verdict.REFUTED:
+                severity = CODE_SEVERITY.get(result.code, Severity.ERROR)
+                message = f"refuted: {result.claim}"
+                if result.message:
+                    message += f" — {result.message}"
+            else:
+                severity = Severity.WARNING
+                message = f"undecided: {result.claim}"
+                if result.message:
+                    message += f" — {result.message}"
+            report.add(
+                Diagnostic(
+                    code=result.code,
+                    severity=severity,
+                    location=result.location,
+                    message=message,
+                    fix_hint=result.fix_hint,
+                )
+            )
+        return report
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        return self.to_diagnostics().exit_code(fail_on)
+
+    def summary(self) -> str:
+        counts = self.counts()
+        scanned = ", ".join(f"{n} {k}" for k, n in sorted(self.coverage.items()))
+        body = ", ".join(f"{n} {name}" for name, n in counts.items())
+        prefix = f"verify[{scanned}]: " if scanned else "verify: "
+        return prefix + body
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "summary": self.summary(),
+            "coverage": dict(sorted(self.coverage.items())),
+            "counts": self.counts(),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def render_text(self) -> str:
+        lines = [self.summary()]
+        order = {Verdict.REFUTED: 0, Verdict.UNKNOWN: 1, Verdict.PROVED: 2}
+        for result in sorted(
+            self.results, key=lambda r: (order[r.verdict], r.code, r.location)
+        ):
+            lines.append(f"  {result}")
+            ce = result.counterexample
+            if ce is not None:
+                lines.append(f"    counterexample row: {ce.row}")
+                lines.append(f"    replay: {ce.replay.describe()}")
+        return "\n".join(lines)

@@ -14,10 +14,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import ColumnFlow, column_flows
+from repro.analysis.dataflow import live_predicate_columns
 from repro.errors import AnalysisError
 from repro.relational import Catalog, View, execute
 from repro.relational.algebra import AggSpec
-from repro.relational.expressions import Arith, Col, Comparison, Lit
+from repro.relational.expressions import (
+    And,
+    Arith,
+    Col,
+    Comparison,
+    Lit,
+    Or,
+    conjuncts,
+    disjuncts,
+)
 from repro.relational.query import Query
 from repro.relational.table import Table, make_schema
 from repro.relational.types import ColumnType
@@ -221,6 +231,94 @@ def test_static_flow_covers_runtime_where_provenance(query):
             # Pure copy columns must be covered by the copy set alone.
             if flow.copied and not flow.derived and not flow.aggregated:
                 assert refs <= flow.copied
+
+
+# -- dead-branch pruning: soundness (vs data) and precision ------------------
+
+
+@st.composite
+def cnf_predicates(draw):
+    """Random conjunctions of small disjunctions over t's numeric columns."""
+
+    def atom():
+        return Comparison(
+            draw(st.sampled_from(OPS)),
+            Col(draw(st.sampled_from(["k", "x"]))),
+            Lit(draw(st.integers(-5, 5))),
+        )
+
+    def disjunction():
+        atoms = [atom() for _ in range(draw(st.integers(1, 3)))]
+        pred = atoms[0]
+        for extra in atoms[1:]:
+            pred = Or(pred, extra)
+        return pred
+
+    pred = disjunction()
+    for _ in range(draw(st.integers(0, 2))):
+        pred = And(pred, disjunction())
+    return pred
+
+
+@given(predicate=cnf_predicates())
+@settings(max_examples=150, deadline=None)
+def test_pruned_branches_are_dead_on_real_data(predicate):
+    """Soundness of the pruning: a pruned branch never admits a real row.
+
+    ``live_predicate_columns`` drops an OR branch only when the solver
+    proves it disjoint from the sibling conjuncts — which must mean no row
+    of any instance satisfies branch ∧ rest. Check that against the actual
+    table, and check the pruned set is exactly the columns of the provably
+    dead branches (over-approximation: everything else stays live).
+    """
+    from repro.verify.solver import overlap
+
+    live = live_predicate_columns(predicate)
+    assert live <= predicate.columns()
+
+    rows = [dict(zip(("k", "x", "s"), row)) for row in CATALOG.table("t").rows]
+    parts = list(conjuncts(predicate))
+    expected_live: set[str] = set()
+    for i, conjunct in enumerate(parts):
+        branches = list(disjuncts(conjunct))
+        rest = [c for j, c in enumerate(parts) if j != i]
+        if len(branches) == 1 or not rest:
+            expected_live |= conjunct.columns()
+            continue
+        context = rest[0]
+        for extra in rest[1:]:
+            context = And(context, extra)
+        for branch in branches:
+            if overlap(branch, context).is_unsat():
+                for row in rows:  # solver's UNSAT must hold on real data
+                    assert And(branch, context).evaluate(row) is not True
+            else:
+                expected_live |= branch.columns()
+    assert live == frozenset(expected_live)
+
+
+def test_dead_branch_stops_tainting_condition_sources():
+    """The precision case: a provably dead identifier test discloses nothing."""
+    # (s='secret' AND x<-90) OR k>0, conjoined with x>0: the s-branch
+    # requires x<-90 ∧ x>0, which is unsatisfiable, so only k and x are
+    # genuinely consulted.
+    dead_branch = And(
+        Comparison("=", Col("s"), Lit("secret")),
+        Comparison("<", Col("x"), Lit(-90)),
+    )
+    predicate = And(
+        Or(dead_branch, Comparison(">", Col("k"), Lit(0))),
+        Comparison(">", Col("x"), Lit(0)),
+    )
+    query = Query.from_("t").filter(predicate).project("k")
+    flow = column_flows(query, CATALOG)
+    assert flow.condition_sources == {"t.k", "t.x"}  # no t.s
+    # Soundness half: without the contradicting conjunct the branch is
+    # live again and s is disclosed.
+    relaxed = Query.from_("t").filter(
+        Or(dead_branch, Comparison(">", Col("k"), Lit(0)))
+    ).project("k")
+    assert "t.s" in column_flows(relaxed, CATALOG).condition_sources
 
 
 @given(query=queries())

@@ -146,6 +146,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "lint[" in out
 
+    def test_verify_text(self, capsys):
+        assert main(["verify"]) == 0  # seed scenario proves clean
+        out = capsys.readouterr().out
+        assert out.startswith("verify[")
+        assert "0 refuted, 0 unknown" in out
+
+    def test_verify_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["verify", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["refuted"] == 0
+        assert data["counts"]["unknown"] == 0
+        assert data["coverage"]["reports"] == 30
+        codes = {r["code"] for r in data["results"]}
+        assert {"VER001", "VER002", "VER003", "VER004", "VER005"} <= codes
+
+    def test_verify_saved_deployment(self, capsys, tmp_path):
+        target = str(tmp_path / "deploy")
+        assert main(["save", target]) == 0
+        assert main(["verify", "--deployment", target, "--no-replay"]) == 0
+        out = capsys.readouterr().out
+        assert "verify[" in out
+
+    def test_verify_fail_on_accepts_warning(self, capsys):
+        assert main(["verify", "--fail-on", "warning"]) == 0
+
     def test_save_and_load_roundtrip(self, capsys, tmp_path):
         target = str(tmp_path / "deploy")
         assert main(["save", target]) == 0

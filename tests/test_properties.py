@@ -191,6 +191,17 @@ class TestImplicationSoundness:
                     f"implication unsound: {stronger} => {weaker} on {row}"
                 )
 
+    def test_contradictory_conclusion_is_not_certified(self):
+        # Regression: _decompose keeps the last of repeated equalities, so
+        # x = 1 => (x = 0 AND x = 1) used to be (unsoundly) certified.
+        from repro.relational.expressions import And, Col, Comparison, Lit
+
+        x_eq = lambda v: Comparison("=", Col("x"), Lit(v))  # noqa: E731
+        assert not predicate_implies(x_eq(1), And(x_eq(0), x_eq(1)))
+        # The vacuous direction stays certified: an empty premise implies
+        # anything.
+        assert predicate_implies(And(x_eq(0), x_eq(1)), x_eq(7))
+
 
 class TestContainmentSoundness:
     @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=40)
