@@ -1,0 +1,130 @@
+"""Ingestion benchmark: suite-size scaling of the SQL front-end.
+
+``repro ingest`` is meant to run on every suite change in CI, over report
+estates that grow without asking permission, so compile cost must scale
+linearly in statement count. The benchmark generates synthetic suites of
+N statements (view chains, aggregate reports, and UNION reports, cycling
+through all three dialects file by file), ingests them against the
+standard scenario catalog, and reports wall time plus statements/second.
+
+``main`` (via ``python benchmarks/run_all.py ingest``) prints the table
+and optionally writes ``BENCH_ingest.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.ingest import ingest_suite
+from repro.simulation import build_scenario
+
+JSON_PATH = "BENCH_ingest.json"
+
+FULL_SIZES = (25, 100, 400)
+SMOKE_SIZES = (10, 40)
+
+_DISEASES = ("asthma", "diabetes", "flu", "hypertension", "bronchitis")
+_HEADERS = {"ansi": "", "postgres": "-- dialect: postgres\n", "tsql": "-- dialect: tsql\n"}
+
+
+def _statement(i: int, dialect: str) -> str:
+    """One synthetic suite statement; every third defines a chained view."""
+    disease = _DISEASES[i % len(_DISEASES)]
+    kind = i % 3
+    if kind == 0:
+        source = f"bench_v{i - 3}" if i >= 3 else "wide_prescriptions"
+        return (
+            f"CREATE VIEW bench_v{i} AS "
+            f"SELECT drug, disease, zip, cost FROM {source} "
+            f"WHERE cost > {i % 7};"
+        )
+    source = f"bench_v{i - kind}" if i >= 3 else "wide_prescriptions"
+    if kind == 1:
+        top = "TOP 20 " if dialect == "tsql" else ""
+        limit = "" if dialect == "tsql" else " LIMIT 20"
+        return (
+            f"-- report: bench_rpt_{i}\n"
+            f"SELECT {top}drug, COUNT(*) AS n, SUM(cost) AS total "
+            f"FROM {source} WHERE disease = '{disease}' "
+            f"GROUP BY drug ORDER BY total DESC{limit};"
+        )
+    return (
+        f"-- report: bench_rpt_{i}\n"
+        f"SELECT zip, cost FROM {source} WHERE cost > {100 + i}\n"
+        f"UNION ALL\n"
+        f"SELECT zip, cost FROM wide_prescriptions WHERE disease = '{disease}';"
+    )
+
+
+def _write_suite(root: Path, n_statements: int, *, per_file: int = 10) -> Path:
+    suite = root / f"suite_{n_statements}"
+    suite.mkdir()
+    dialects = ("ansi", "postgres", "tsql")
+    for start in range(0, n_statements, per_file):
+        index = start // per_file
+        dialect = dialects[index % 3]
+        body = "\n\n".join(
+            _statement(i, dialect)
+            for i in range(start, min(start + per_file, n_statements))
+        )
+        (suite / f"suite_{index:03d}.sql").write_text(_HEADERS[dialect] + body + "\n")
+    return suite
+
+
+def run_scaling_bench(*, sizes=FULL_SIZES) -> list[dict[str, Any]]:
+    scenario = build_scenario()
+    rows: list[dict[str, Any]] = []
+    root = Path(tempfile.mkdtemp(prefix="bench_ingest_"))
+    try:
+        for size in sizes:
+            suite = _write_suite(root, size)
+            started = time.perf_counter()
+            result = ingest_suite(suite, catalog=scenario.bi_catalog)
+            elapsed = time.perf_counter() - started
+            errors = len(
+                [d for d in result.diagnostics.diagnostics if d.severity.name == "ERROR"]
+            )
+            rows.append(
+                {
+                    "statements": size,
+                    "reports": len(result.reports),
+                    "views": len(result.views),
+                    "errors": errors,
+                    "wall_s": round(elapsed, 4),
+                    "stmts_per_s": round(size / elapsed, 1),
+                }
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return rows
+
+
+def main(smoke: bool = False, json_path: str | None = None) -> int:
+    rows = run_scaling_bench(sizes=SMOKE_SIZES if smoke else FULL_SIZES)
+    header = f"{'stmts':>6} {'reports':>8} {'views':>6} {'wall_s':>8} {'stmts/s':>9}"
+    print("ingest suite-size scaling (three dialects, fail-closed resolution)")
+    print(header)
+    print("-" * len(header))
+    failed = False
+    for row in rows:
+        print(
+            f"{row['statements']:>6} {row['reports']:>8} {row['views']:>6} "
+            f"{row['wall_s']:>8.3f} {row['stmts_per_s']:>9.1f}"
+        )
+        if row["errors"]:
+            failed = True
+            print(f"       ^ {row['errors']} unexpected error diagnostic(s)")
+    if json_path:
+        payload = {"bench": "ingest", "smoke": smoke, "scaling": rows}
+        Path(json_path).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {json_path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -46,6 +46,7 @@ TARGETS: dict[str, str] = {
     "obs": "benchmarks.bench_obs_overhead",
     "resilience": "benchmarks.bench_resilience",
     "verify": "benchmarks.bench_verify",
+    "ingest": "benchmarks.bench_ingest",
 }
 
 JSON_PATH = "BENCH_engine.json"
@@ -56,6 +57,7 @@ JSON_PATHS: dict[str, str] = {
     "obs": "BENCH_obs.json",
     "resilience": "BENCH_resilience.json",
     "verify": "BENCH_verify.json",
+    "ingest": "BENCH_ingest.json",
 }
 
 

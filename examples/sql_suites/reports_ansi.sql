@@ -1,0 +1,29 @@
+-- Healthcare BI report suite: chronic-disease cost monitoring.
+-- ANSI core: a CREATE VIEW chain feeding aggregate and UNION reports.
+
+CREATE VIEW chronic_rx AS
+SELECT drug, disease, doctor, zip, birth_year, gender, date, cost
+FROM wide_prescriptions
+WHERE disease IN ('diabetes', 'hypertension', 'asthma');
+
+CREATE VIEW chronic_rx_recent AS
+SELECT drug, disease, doctor, zip, cost
+FROM chronic_rx
+WHERE date >= DATE '2007-01-01';
+
+-- report: chronic_cost_by_drug
+-- title: Chronic-care cost by drug
+-- audience: analyst auditor
+-- purpose: care/quality
+SELECT drug, COUNT(*) AS prescriptions, SUM(cost) AS total_cost
+FROM chronic_rx_recent
+GROUP BY drug
+ORDER BY total_cost DESC;
+
+-- report: high_cost_regions
+-- title: Regions with costly prescriptions, chronic or otherwise
+-- audience: analyst
+-- purpose: care/quality
+SELECT zip, cost FROM chronic_rx_recent WHERE cost > 500
+UNION
+SELECT zip, cost FROM wide_prescriptions WHERE cost > 2000;

@@ -1,0 +1,33 @@
+-- dialect: postgres
+-- The same warehouse queried Postgres-style: quoted identifiers,
+-- ::type casts (dropped during normalization), and WITH (CTE) reports.
+
+CREATE VIEW elderly_rx AS
+SELECT "drug", "disease", "zip", "birth_year", "cost"
+FROM "wide_prescriptions"
+WHERE "birth_year" < 1950;
+
+-- report: elderly_cost_by_disease
+-- title: Elderly prescription cost by disease
+-- audience: analyst
+-- purpose: care/quality
+WITH eligible AS (
+    SELECT "disease", "zip", "cost"
+    FROM elderly_rx
+    WHERE "cost"::numeric > 0
+)
+SELECT disease, COUNT(*) AS prescriptions, AVG(cost) AS avg_cost
+FROM eligible
+GROUP BY disease;
+
+-- report: elderly_dense_regions
+-- title: Regions with many elderly prescriptions
+-- audience: analyst auditor
+-- purpose: care/quality
+WITH dense AS (
+    SELECT "zip", "cost" FROM elderly_rx WHERE "cost" > 100
+)
+SELECT zip, COUNT(*) AS prescriptions
+FROM dense
+GROUP BY zip
+ORDER BY prescriptions DESC;

@@ -1,0 +1,25 @@
+-- dialect: tsql
+-- T-SQL flavored: [bracketed] identifiers, SELECT TOP n (rewritten to
+-- LIMIT during normalization), and a nested FROM subquery.
+
+CREATE VIEW flu_rx AS
+SELECT [drug], [disease], [doctor], [zip], [date], [cost]
+FROM [wide_prescriptions]
+WHERE [disease] = 'flu';
+
+-- report: top_flu_drugs
+-- title: Ten most prescribed flu drugs
+-- audience: analyst auditor
+-- purpose: care/quality
+SELECT TOP 10 drug, COUNT(*) AS prescriptions
+FROM flu_rx
+GROUP BY drug
+ORDER BY prescriptions DESC;
+
+-- report: costly_flu_regions
+-- title: Costly flu prescriptions by region
+-- audience: analyst
+-- purpose: care/quality
+SELECT zip, SUM(cost) AS total_cost
+FROM (SELECT [zip], [cost] FROM flu_rx WHERE [cost] > 50) AS costly
+GROUP BY zip;

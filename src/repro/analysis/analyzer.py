@@ -196,7 +196,11 @@ class StaticAnalyzer:
 
     def _lint_report(self, definition: ReportDefinition) -> list[Diagnostic]:
         out: list[Diagnostic] = []
+        # Ingested reports carry their suite origin (file:line); citing it
+        # maps findings back to the SQL statement the author owns.
         location = f"report:{definition.name}"
+        if definition.origin:
+            location += f"@{definition.origin}"
         if self.target.metareports is not None:
             covering, attempts = self.target.metareports.find_covering(
                 definition, self.target.catalog

@@ -199,6 +199,27 @@ def _flows(
                     out.append((alias, flow))
         columns = dict(out)
 
+    # Set operations — a value in output column i may come from any branch's
+    # column i (positional, like the executor's _conform), so each flow is
+    # the union of the head's and every branch's. Copies stay copies: a
+    # value copied verbatim from either side's base column is still a copy.
+    if query.set_ops:
+        merged_cols = list(columns.items())
+        for clause in query.set_ops:
+            branch = _flows(clause.query, catalog, depth=depth, name=None)
+            if len(branch.columns) != len(merged_cols):
+                raise AnalysisError(
+                    "dataflow: set operation arity mismatch: head has "
+                    f"{len(merged_cols)} column(s), branch over "
+                    f"{clause.query.source!r} has {len(branch.columns)}"
+                )
+            condition_sources |= branch.condition_sources
+            merged_cols = [
+                (col, flow.merged(bflow))
+                for (col, flow), (_, bflow) in zip(merged_cols, branch.columns)
+            ]
+        columns = dict(merged_cols)
+
     # DISTINCT/ORDER BY/LIMIT keep flows intact (distinct unions provenance
     # of duplicate rows, which the static per-column union already covers).
     return QueryFlow(

@@ -63,6 +63,27 @@ CODES: dict[str, str] = {
     "region is provably empty; every report over it is vacuously compliant",
     "VER006": "static-runtime-drift: a synthesized counterexample did not "
     "reproduce its violation when replayed through the runtime engine",
+    "ING001": "unknown-relation: an ingested statement reads a table or "
+    "view that exists neither in the star schema nor among the suite's own "
+    "definitions",
+    "ING002": "unknown-column: an ingested statement references a column "
+    "its FROM relations do not provide",
+    "ING003": "ambiguous-name: an unqualified column name in an ingested "
+    "statement matches more than one relation in scope",
+    "ING004": "unsupported-construct: an ingested statement uses SQL the "
+    "ingestion grammar recognizes but cannot model (fails closed)",
+    "ING005": "parse-error: an ingested statement is not syntactically "
+    "valid in the declared dialect",
+    "ING006": "dialect-normalization: a dialect-specific construct was "
+    "rewritten to its ANSI equivalent during ingestion (informational)",
+    "ING007": "lineage-widening: static lineage of an ingested report "
+    "widened beyond its projected outputs (predicate or derivation "
+    "discloses extra base columns)",
+    "ING008": "duplicate-name: a suite defines the same view or report "
+    "name twice",
+    "ING009": "shape-mismatch: the branches of a set operation do not "
+    "produce the same number of columns, so the positional union cannot "
+    "align them",
 }
 
 

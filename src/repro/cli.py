@@ -173,6 +173,44 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return report.exit_code(Severity[args.fail_on.upper()])
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis import Severity
+    from repro.ingest import emit_deployment, ingest_suite
+
+    scenario = _scenario()
+    result = ingest_suite(
+        args.directory, catalog=scenario.bi_catalog, dialect=args.dialect
+    )
+    if args.json:
+        print(_json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.summary())
+        for diagnostic in result.diagnostics.sorted():
+            print(f"  {diagnostic}")
+            if diagnostic.fix_hint:
+                print(f"    fix: {diagnostic.fix_hint}")
+        for statement in result.statements:
+            status = "compiled" if statement.ok else "REJECTED"
+            print(
+                f"  {status}: {statement.kind} {statement.name or '<unnamed>'} "
+                f"({statement.dialect}) at {statement.origin}"
+            )
+    if args.emit_catalog:
+        if not result.ok:
+            print(
+                "error: refusing to emit a catalog from a suite with "
+                "rejected statements",
+                file=sys.stderr,
+            )
+            return 1
+        path = emit_deployment(result, args.emit_catalog, scenario=scenario)
+        if not args.json:
+            print(f"catalog written to {path}")
+    return result.diagnostics.exit_code(Severity[args.fail_on.upper()])
+
+
 def _traced_workload(target: str, report: str) -> None:
     """Run one traced workload; obs must already be enabled."""
     scenario = _scenario()
@@ -294,6 +332,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return int(module.main(smoke=args.smoke, json_path=args.json))
     if which == "verify":
         module = _benchmark_module("benchmarks.bench_verify")
+        return int(module.main(smoke=args.smoke, json_path=args.json))
+    if which == "ingest":
+        module = _benchmark_module("benchmarks.bench_ingest")
         return int(module.main(smoke=args.smoke, json_path=args.json))
     module = _benchmark_module("benchmarks.bench_engine_scaling")
     module.main(smoke=args.smoke, json_path=args.json)
@@ -441,6 +482,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip runtime replay of synthesized counterexamples",
     )
 
+    ingest = _command(
+        sub, "ingest",
+        "compile an external SQL report suite into an auditable catalog",
+        "repro ingest examples/sql_suites --fail-on error --emit-catalog /tmp/dep",
+    )
+    ingest.add_argument("directory", help="directory of .sql suite files")
+    ingest.add_argument(
+        "--dialect",
+        choices=["ansi", "postgres", "tsql"],
+        default=None,
+        help="force one dialect (default: per-file -- dialect: directive)",
+    )
+    ingest.add_argument("--json", action="store_true", help="machine-readable output")
+    ingest.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info"],
+        default="error",
+        help="lowest severity that makes the exit code non-zero",
+    )
+    ingest.add_argument(
+        "--emit-catalog",
+        metavar="DIR",
+        default=None,
+        help="also save the compiled deployment (loadable by lint/verify "
+        "--deployment); refused when any statement was rejected",
+    )
+
     fig = _command(
         sub, "fig",
         "regenerate a paper figure's measured table",
@@ -454,12 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
         "repro bench --smoke --json BENCH_engine.json",
     )
     bench.add_argument(
-        "which", nargs="?", choices=["engine", "obs", "resilience", "verify"],
+        "which", nargs="?",
+        choices=["engine", "obs", "resilience", "verify", "ingest"],
         default="engine",
         help=(
             "engine: row vs columnar scaling; obs: tracing overhead; "
             "resilience: fault-wrapper overhead; verify: solver throughput "
-            "and whole-catalog verification wall time"
+            "and whole-catalog verification wall time; ingest: SQL suite "
+            "compilation scaling"
         ),
     )
     bench.add_argument(
@@ -559,6 +629,7 @@ _HANDLERS = {
     "gaps": cmd_gaps,
     "lint": cmd_lint,
     "verify": cmd_verify,
+    "ingest": cmd_ingest,
     "fig": cmd_fig,
     "bench": cmd_bench,
     "trace": cmd_trace,

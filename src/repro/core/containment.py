@@ -23,7 +23,7 @@ Two layers:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.cache import LRUCache
@@ -474,6 +474,31 @@ def _check_derivability_uncached(
     metareport_query: Query,
     catalog: Catalog,
 ) -> DerivabilityResult:
+    # A UNION report is derivable iff each SELECT block is: the union of
+    # subsets of the meta-report is itself a subset. Check the head block
+    # (sans set-op tail) and every branch independently, pooling reasons.
+    if report_query.set_ops:
+        reasons = []
+        blocks = (replace(report_query, set_ops=()),) + tuple(
+            clause.query for clause in report_query.set_ops
+        )
+        for block in blocks:
+            part = _check_derivability_uncached(
+                block, metareport_name, metareport_query, catalog
+            )
+            reasons.extend(part.reasons)
+        return DerivabilityResult(
+            derivable=not reasons,
+            metareport=metareport_name,
+            reasons=tuple(dict.fromkeys(reasons)),
+        )
+    if metareport_query.set_ops:
+        return DerivabilityResult(
+            derivable=False,
+            metareport=metareport_name,
+            reasons=("meta-reports must be non-union wide views",),
+        )
+
     reasons: list[str] = []
 
     report_bases = catalog.base_relations_of_query(report_query)
@@ -623,6 +648,8 @@ def canonicalize(query: Query, catalog: Catalog) -> CanonicalQuery:
         query.limit_n is not None
     ):
         raise NotConjunctive("aggregation/distinct/order/limit not in CQ fragment")
+    if query.set_ops:
+        raise NotConjunctive("set operations (UNION) not in CQ fragment")
     relations = query.referenced_relations()
     for clause in query.joins:
         if clause.how != "inner":

@@ -28,7 +28,7 @@ from repro.core.containment import (
 )
 from repro.core.pla import PLA, PlaStatus
 from repro.relational.catalog import Catalog, View
-from repro.relational.expressions import And, Col, Expr
+from repro.relational.expressions import And, Col, Expr, Or
 from repro.relational.query import Query
 from repro.reports.definition import ReportDefinition
 
@@ -198,6 +198,26 @@ def effective_region(
     predicate over a computed alias, or a source that never reaches the
     universe).
     """
+    # A UNION draws rows from every branch, so its region is the OR of the
+    # branch regions; one unrestricted branch makes the whole query
+    # unrestricted. Each branch resolves its own view chain independently.
+    if query.set_ops:
+        from dataclasses import replace as _replace
+
+        blocks = [_replace(query, set_ops=())] + [
+            clause.query for clause in query.set_ops
+        ]
+        regions = [
+            effective_region(block, catalog, universe=universe)
+            for block in blocks
+        ]
+        if any(region is None for region in regions):
+            return None
+        combined: Expr = regions[0]  # type: ignore[assignment]
+        for region in regions[1:]:
+            combined = Or(combined, region)
+        return combined
+
     predicate = query.where
     relation = query.source
     if query.joins:
@@ -223,6 +243,11 @@ def effective_region(
             )
         if view_query.limit_n is not None:
             raise NotConjunctive(f"view {relation!r} carries a LIMIT")
+        if view_query.set_ops:
+            raise NotConjunctive(
+                f"view {relation!r} is a set operation; its region is not "
+                "a single universe predicate"
+            )
         mapping: dict[str, str] = {}
         computed: set[str] = set()
         for item in view_query.select:

@@ -24,7 +24,82 @@ class QueryError(ReproError):
 
 
 class ParseError(QueryError):
-    """The mini SQL parser rejected its input."""
+    """The mini SQL parser rejected its input.
+
+    Carries the byte offset of the offending token and, when the source
+    text is known, a caret-annotated snippet so CLI users see *where* a
+    statement broke, not just why. ``str()`` renders message + snippet.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.source = source
+        self.offset = offset
+
+    def snippet(self, *, width: int = 60) -> str | None:
+        """A one-line excerpt around the error with a caret underneath."""
+        if self.source is None or self.offset is None:
+            return None
+        offset = min(max(self.offset, 0), len(self.source))
+        line_start = self.source.rfind("\n", 0, offset) + 1
+        line_end = self.source.find("\n", offset)
+        if line_end == -1:
+            line_end = len(self.source)
+        column = offset - line_start
+        line = self.source[line_start:line_end]
+        start = max(0, column - width // 2)
+        shown = line[start : start + width]
+        caret = " " * (column - start) + "^"
+        return f"{shown}\n{caret}"
+
+    @property
+    def line(self) -> int | None:
+        """1-based line number of the error, when the source is known."""
+        if self.source is None or self.offset is None:
+            return None
+        return self.source.count("\n", 0, self.offset) + 1
+
+    def __str__(self) -> str:
+        snippet = self.snippet()
+        if snippet is None:
+            return self.message
+        return f"{self.message}\n{snippet}"
+
+
+class UnsupportedConstructError(ParseError):
+    """The input uses SQL the grammar recognizes but cannot model.
+
+    Distinct from a generic :class:`ParseError` so ingestion can fail
+    closed with a *typed* "unsupported construct" diagnostic (ING004)
+    instead of a bare syntax failure. ``construct`` names the feature
+    (e.g. ``"UNION"``, ``"RIGHT JOIN"``, ``"EXISTS"``).
+    """
+
+    def __init__(
+        self,
+        construct: str,
+        message: str | None = None,
+        *,
+        source: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        super().__init__(
+            message or f"unsupported construct: {construct}",
+            source=source,
+            offset=offset,
+        )
+        self.construct = construct
+
+
+class IngestError(ReproError):
+    """A SQL suite could not be ingested (I/O, duplicate names, bad directives)."""
 
 
 class CatalogError(ReproError):

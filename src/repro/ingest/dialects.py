@@ -1,0 +1,195 @@
+"""Dialect layer: normalize each SQL flavor onto the shared token stream.
+
+A :class:`Dialect` says how to *tokenize* (which identifier quoting forms
+are legal) and how to *normalize* the resulting token stream onto the ANSI
+core the parser understands. Normalizations are deliberately shallow —
+token-level rewrites, never semantic guesses — and every rewrite is
+recorded as a :class:`NormalizationNote` so ingestion can surface an ING006
+informational diagnostic: the auditor sees exactly where the text they
+submitted differs from the statement that was analyzed.
+
+Supported flavors:
+
+========  ==========================  =====================================
+dialect   identifier quoting          normalizations
+========  ==========================  =====================================
+ansi      ``"name"``                  none
+postgres  ``"name"``                  ``expr::type`` casts dropped
+tsql      ``[name]`` and ``"name"``   ``SELECT TOP n`` rewritten to LIMIT
+========  ==========================  =====================================
+
+Dropping a Postgres cast is sound for analysis: casts change a value's
+*type*, never which base cells it came from, so lineage and region
+reasoning are unaffected. ``TOP n`` → ``LIMIT n`` is the same row-limiting
+operator in different clothes; the rewrite moves it to the statement tail
+where the shared grammar expects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IngestError
+from repro.relational.sqlparser import Token
+
+__all__ = ["Dialect", "DIALECTS", "NormalizationNote", "normalize_tokens"]
+
+
+@dataclass(frozen=True)
+class NormalizationNote:
+    """One dialect rewrite applied during ingestion (for ING006)."""
+
+    construct: str  # e.g. "::cast", "TOP n", "quoted identifier"
+    detail: str
+    offset: int  # byte offset in the statement's source text
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """One SQL flavor the ingestion front-end accepts."""
+
+    name: str
+    description: str
+    quoted_idents: bool = False
+    bracket_idents: bool = False
+
+    def normalize(
+        self, tokens: list[Token]
+    ) -> tuple[list[Token], list[NormalizationNote]]:
+        """Rewrite ``tokens`` onto the ANSI core; notes describe each edit."""
+        notes: list[NormalizationNote] = []
+        out = list(tokens)
+        if self.name == "tsql":
+            out = _rewrite_top(out, notes)
+        if self.name == "postgres":
+            out = _drop_casts(out, notes)
+        for token in out:
+            if token.kind == "ident" and token.quoted:
+                notes.append(
+                    NormalizationNote(
+                        construct="quoted identifier",
+                        detail=f"identifier {token.text!r} unquoted",
+                        offset=token.pos,
+                    )
+                )
+        return out, notes
+
+
+DIALECTS: dict[str, Dialect] = {
+    "ansi": Dialect(
+        name="ansi",
+        description='ANSI core; "quoted" identifiers allowed',
+        quoted_idents=True,
+    ),
+    "postgres": Dialect(
+        name="postgres",
+        description='Postgres-flavored: "quoted" identifiers, ::type casts',
+        quoted_idents=True,
+    ),
+    "tsql": Dialect(
+        name="tsql",
+        description="T-SQL-flavored: [bracketed] identifiers, SELECT TOP n",
+        quoted_idents=True,
+        bracket_idents=True,
+    ),
+}
+
+
+def get_dialect(name: str) -> Dialect:
+    """Look up a dialect by name; raise :class:`IngestError` on unknown."""
+    try:
+        return DIALECTS[name]
+    except KeyError:
+        raise IngestError(
+            f"unknown dialect {name!r}; expected one of {sorted(DIALECTS)}"
+        ) from None
+
+
+def normalize_tokens(
+    tokens: list[Token], dialect: Dialect
+) -> tuple[list[Token], list[NormalizationNote]]:
+    """Module-level convenience wrapper around :meth:`Dialect.normalize`."""
+    return dialect.normalize(tokens)
+
+
+def _rewrite_top(
+    tokens: list[Token], notes: list[NormalizationNote]
+) -> list[Token]:
+    """``SELECT TOP n ...`` → ``SELECT ... LIMIT n`` (per statement).
+
+    The statement's token list ends with an ``end`` token; the LIMIT pair is
+    spliced in just before it. T-SQL puts TOP directly after SELECT (and
+    after DISTINCT), which is the only position rewritten — a TOP anywhere
+    else is left for the parser to reject.
+    """
+    out: list[Token] = []
+    pending_limit: list[Token] = []
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        is_select = token.kind == "keyword" and token.text == "select"
+        if is_select:
+            out.append(token)
+            i += 1
+            if (
+                i < len(tokens)
+                and tokens[i].kind == "keyword"
+                and tokens[i].text == "distinct"
+            ):
+                out.append(tokens[i])
+                i += 1
+            if (
+                i + 1 < len(tokens)
+                and tokens[i].kind == "keyword"
+                and tokens[i].text == "top"
+                and tokens[i + 1].kind == "number"
+            ):
+                top, n = tokens[i], tokens[i + 1]
+                pending_limit = [
+                    Token("keyword", "limit", top.pos),
+                    Token("number", n.text, n.pos),
+                ]
+                notes.append(
+                    NormalizationNote(
+                        construct="TOP n",
+                        detail=f"SELECT TOP {n.text} rewritten to LIMIT {n.text}",
+                        offset=top.pos,
+                    )
+                )
+                i += 2
+            continue
+        if token.kind == "end":
+            out.extend(pending_limit)
+            pending_limit = []
+        out.append(token)
+        i += 1
+    return out
+
+
+def _drop_casts(
+    tokens: list[Token], notes: list[NormalizationNote]
+) -> list[Token]:
+    """Drop ``::type`` suffixes (Postgres casts) from the token stream."""
+    out: list[Token] = []
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if (
+            token.kind == "op"
+            and token.text == "::"
+            and i + 1 < len(tokens)
+            and tokens[i + 1].kind in ("ident", "keyword")
+        ):
+            notes.append(
+                NormalizationNote(
+                    construct="::cast",
+                    detail=f"cast ::{tokens[i + 1].text} dropped "
+                    "(casts do not change lineage)",
+                    offset=token.pos,
+                )
+            )
+            i += 2
+            continue
+        out.append(token)
+        i += 1
+    return out

@@ -1,0 +1,265 @@
+"""Statement-level parser for ingested SQL suites.
+
+Extends the base single-block grammar of
+:mod:`repro.relational.sqlparser` with the statement forms external report
+suites actually use::
+
+    CREATE VIEW name AS <set-query> ;
+    WITH name AS ( <set-query> ) [, name2 AS ( ... )] <set-query> ;
+    <set-query> ;                               -- a report
+
+where ``<set-query>`` is one or more SELECT blocks combined with
+``UNION [ALL]``, and a FROM item may be a parenthesized subquery with an
+alias. CTEs and FROM-subqueries are *hoisted into synthetic views* (name-
+mangled per statement, so suites cannot collide), which keeps the compiled
+artifact inside the plain Query-over-view-chains fragment every downstream
+pass — lineage, derivability, region extraction, both engines — already
+understands. Nothing downstream needs to know subqueries exist.
+
+Metadata rides in comment directives immediately preceding a statement::
+
+    -- report: top_drugs
+    -- title: Most prescribed drugs
+    -- audience: analyst auditor
+    -- purpose: care/quality
+    SELECT drug, COUNT(*) AS n FROM wide_prescriptions GROUP BY drug;
+
+A file-level ``-- dialect: postgres`` directive (before the first
+statement) selects the dialect when the caller does not force one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.relational.query import Query
+from repro.relational.sqlparser import Parser, Token, tokenize
+from repro.ingest.dialects import Dialect, NormalizationNote
+
+__all__ = ["RawStatement", "SuiteParser", "parse_suite_text", "split_statements"]
+
+_DIRECTIVE_RE = re.compile(r"^\s*--\s*([a-z_]+)\s*:\s*(.+?)\s*$", re.MULTILINE)
+
+
+@dataclass
+class RawStatement:
+    """One parsed suite statement, before name resolution."""
+
+    kind: str  # "view" | "report"
+    name: str  # view name, or report name from the directive (may be "")
+    query: Query
+    line: int  # 1-based line of the statement's first token
+    source_sql: str  # verbatim statement text (pre-normalization)
+    directives: dict[str, str] = field(default_factory=dict)
+    notes: list[NormalizationNote] = field(default_factory=list)
+    #: CTEs and FROM-subqueries hoisted out of this statement, in
+    #: definition order (inner before outer, so registration just works).
+    synthetic_views: list[tuple[str, Query]] = field(default_factory=list)
+
+
+class SuiteParser(Parser):
+    """The ingestion grammar: statements, set-queries, hoisted subqueries."""
+
+    def __init__(
+        self, text: str, tokens: list[Token], *, mangle_prefix: str
+    ) -> None:
+        super().__init__(text, tokens)
+        self.mangle_prefix = mangle_prefix
+        self.cte_map: dict[str, str] = {}
+        self.synthetic_views: list[tuple[str, Query]] = []
+        self._sub_counter = 0
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> tuple[str, str, Query]:
+        """Parse one statement; returns ``(kind, name, query)``."""
+        if self.accept("keyword", "create"):
+            self.expect("keyword", "view")
+            name = self.expect("ident").text
+            self.expect("keyword", "as")
+            query = self.parse_set_query()
+            self.expect("end")
+            return ("view", name, query)
+        if self.accept("keyword", "with"):
+            self._parse_cte_list()
+            query = self.parse_set_query()
+            self.expect("end")
+            return ("report", "", query)
+        query = self.parse_set_query()
+        self.expect("end")
+        return ("report", "", query)
+
+    def _parse_cte_list(self) -> None:
+        while True:
+            name_token = self.expect("ident")
+            self.expect("keyword", "as")
+            self.expect("op", "(")
+            query = self.parse_set_query()
+            self.expect("op", ")")
+            synthetic = f"{self.mangle_prefix}__cte_{name_token.text}"
+            # Register before parsing the next CTE: SQL lets later CTEs
+            # (and the main query) reference earlier ones.
+            self.cte_map[name_token.text] = synthetic
+            self.synthetic_views.append((synthetic, query))
+            if not self.accept("op", ","):
+                break
+
+    # -- set queries ---------------------------------------------------------
+
+    def parse_set_query(self) -> Query:
+        """``block (UNION [ALL] block)*`` with SQL's trailing ORDER/LIMIT."""
+        query = self.parse_select_block()
+        while self.peek().kind == "keyword" and self.peek().text == "union":
+            if query.order or query.limit_n is not None:
+                raise self.error(
+                    "ORDER BY/LIMIT must follow the last UNION branch; "
+                    "they apply to the combined result"
+                )
+            self.advance()  # UNION
+            all_ = self.accept("keyword", "all") is not None
+            branch = self.parse_select_block()
+            # The final branch's trailing ORDER BY/LIMIT belong to the
+            # whole union (SQL), so they move to the head query.
+            order, limit_n = branch.order, branch.limit_n
+            if order or limit_n is not None:
+                from dataclasses import replace
+
+                branch = replace(branch, order=(), limit_n=None)
+            query = query.union_with(branch, all=all_)
+            if order:
+                query = query.order_by(*order)
+            if limit_n is not None:
+                query = query.limit(limit_n)
+        return query
+
+    # -- FROM items ----------------------------------------------------------
+
+    def _relation_name(self) -> str:
+        if self.peek().kind == "op" and self.peek().text == "(":
+            return self._from_subquery()
+        name = self.expect("ident").text
+        return self.cte_map.get(name, name)
+
+    def _from_subquery(self) -> str:
+        self.expect("op", "(")
+        query = self.parse_set_query()
+        self.expect("op", ")")
+        self.accept("keyword", "as")
+        alias = self.expect("ident").text
+        self._sub_counter += 1
+        synthetic = f"{self.mangle_prefix}__sub{self._sub_counter}_{alias}"
+        self.synthetic_views.append((synthetic, query))
+        return synthetic
+
+
+@dataclass
+class _Split:
+    """One statement's raw material: tokens, text span, leading comments."""
+
+    tokens: list[Token]
+    start: int  # offset of the first token
+    end: int  # offset just past the statement
+    gap_start: int  # offset where the preceding comment gap begins
+
+
+def split_statements(text: str, dialect: Dialect) -> list[_Split]:
+    """Tokenize ``text`` and split on top-level ``;``.
+
+    Splitting happens *after* tokenization, so semicolons inside string
+    literals and comments never split a statement. Each split keeps the
+    offset of the gap before it, where directive comments live.
+    """
+    tokens = tokenize(
+        text,
+        quoted_idents=dialect.quoted_idents,
+        bracket_idents=dialect.bracket_idents,
+    )
+    splits: list[_Split] = []
+    current: list[Token] = []
+    gap_start = 0
+    for token in tokens:
+        if token.kind == "end":
+            break
+        if token.kind == "op" and token.text == ";":
+            if current:
+                splits.append(
+                    _Split(
+                        tokens=current + [Token("end", "", token.pos)],
+                        start=current[0].pos,
+                        end=token.pos,
+                        gap_start=gap_start,
+                    )
+                )
+            current = []
+            gap_start = token.pos + 1
+            continue
+        current.append(token)
+    if current:
+        splits.append(
+            _Split(
+                tokens=current + [Token("end", "", len(text))],
+                start=current[0].pos,
+                end=len(text),
+                gap_start=gap_start,
+            )
+        )
+    return splits
+
+
+def directives_in(text: str) -> dict[str, str]:
+    """``key: value`` pairs from ``-- key: value`` comment lines."""
+    return {m.group(1): m.group(2) for m in _DIRECTIVE_RE.finditer(text)}
+
+
+def file_dialect(text: str) -> str | None:
+    """The file-level ``-- dialect:`` directive, if present.
+
+    Only honored when it appears before any statement text — a dialect
+    switch halfway through a file would be ambiguous.
+    """
+    header: list[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("--"):
+            break
+        header.append(line)
+    return directives_in("\n".join(header)).get("dialect")
+
+
+def parse_suite_text(
+    text: str, dialect: Dialect, *, mangle_prefix: str
+) -> list[RawStatement]:
+    """Parse one file's statements. Raises :class:`ParseError` on the first
+    syntactically invalid statement — callers wanting per-statement
+    recovery should iterate :func:`split_statements` themselves (the
+    compile driver does)."""
+    out: list[RawStatement] = []
+    for index, split in enumerate(split_statements(text, dialect)):
+        out.append(
+            parse_one(text, split, dialect, mangle_prefix=f"{mangle_prefix}{index}")
+        )
+    return out
+
+
+def parse_one(
+    text: str, split: _Split, dialect: Dialect, *, mangle_prefix: str
+) -> RawStatement:
+    """Parse one split statement into a :class:`RawStatement`."""
+    tokens, notes = dialect.normalize(split.tokens)
+    parser = SuiteParser(text, tokens, mangle_prefix=mangle_prefix)
+    kind, name, query = parser.parse_statement()
+    directives = directives_in(text[split.gap_start : split.start])
+    if kind == "report" and not name:
+        name = directives.get("report", "")
+    return RawStatement(
+        kind=kind,
+        name=name,
+        query=query,
+        line=1 + text.count("\n", 0, split.start),
+        source_sql=text[split.start : split.end].strip(),
+        directives=directives,
+        notes=notes,
+        synthetic_views=parser.synthetic_views,
+    )

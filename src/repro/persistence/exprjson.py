@@ -189,6 +189,11 @@ def query_to_json(query: Query) -> dict[str, Any]:
         payload["order"] = [[c, d] for c, d in query.order]
     if query.limit_n is not None:
         payload["limit"] = query.limit_n
+    if query.set_ops:
+        payload["set_ops"] = [
+            {"op": clause.op, "query": query_to_json(clause.query)}
+            for clause in query.set_ops
+        ]
     return payload
 
 
@@ -226,4 +231,14 @@ def query_from_json(payload: dict[str, Any]) -> Query:
         query = query.order_by(*[(c, bool(d)) for c, d in payload["order"]])
     if "limit" in payload:
         query = query.limit(payload["limit"])
+    if "set_ops" in payload:
+        from dataclasses import replace
+
+        from repro.relational.query import SetOpClause
+
+        clauses = tuple(
+            SetOpClause(c["op"], query_from_json(c["query"]))
+            for c in payload["set_ops"]
+        )
+        query = replace(query, set_ops=clauses)
     return query

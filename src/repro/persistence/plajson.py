@@ -140,7 +140,7 @@ def pla_from_json(payload: dict[str, Any]) -> PLA:
 
 def report_to_json(report: ReportDefinition) -> dict[str, Any]:
     """The JSON form of one report definition."""
-    return {
+    payload = {
         "name": report.name,
         "title": report.title,
         "query": query_to_json(report.query),
@@ -149,6 +149,11 @@ def report_to_json(report: ReportDefinition) -> dict[str, Any]:
         "description": report.description,
         "version": report.version,
     }
+    if report.origin:
+        payload["origin"] = report.origin
+    if report.source_sql:
+        payload["source_sql"] = report.source_sql
+    return payload
 
 
 def report_from_json(payload: dict[str, Any]) -> ReportDefinition:
@@ -162,6 +167,8 @@ def report_from_json(payload: dict[str, Any]) -> ReportDefinition:
             purpose=payload["purpose"],
             description=payload.get("description", ""),
             version=payload.get("version", 1),
+            origin=payload.get("origin", ""),
+            source_sql=payload.get("source_sql", ""),
         )
     except KeyError as exc:
         raise PersistenceError(f"malformed report payload: missing {exc}") from exc

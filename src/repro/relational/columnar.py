@@ -33,7 +33,7 @@ import weakref
 from itertools import compress
 from typing import Any, Callable, Sequence
 
-from repro.errors import QueryError
+from repro.errors import QueryError, SchemaError
 from repro.relational.algebra import (
     AGGREGATE_FUNCTIONS,
     AggSpec,
@@ -44,7 +44,7 @@ from repro.relational.algebra import (
 from repro.relational.catalog import Catalog
 from repro.relational.expressions import Col, Expr
 from repro.relational.query import Query, _ensure_select_consistency
-from repro.relational.schema import Schema
+from repro.relational.schema import Column, Schema
 from repro.relational.table import RowProvenance, Table
 
 __all__ = ["ColumnarTable", "execute_columnar"]
@@ -750,7 +750,69 @@ def _resolve(name: str, catalog: Catalog, depth: int) -> ColumnarTable:
     raise QueryError(f"unknown relation {name!r}")
 
 
+def union_c(
+    first: ColumnarTable, second: ColumnarTable, *, name: str | None = None
+) -> ColumnarTable:
+    """Bag union of column vectors; schemas must agree (names and types)."""
+    if first.schema.names != second.schema.names:
+        raise SchemaError(
+            f"union schema mismatch: {first.schema.names} vs "
+            f"{second.schema.names}"
+        )
+    for a, b in zip(first.schema, second.schema):
+        if a.ctype is not b.ctype:
+            raise SchemaError(f"union type mismatch on column {a.name!r}")
+    columns = [
+        list(left) + list(right)
+        for left, right in zip(first.columns, second.columns)
+    ]
+    provenance = list(first.provenance) + list(second.provenance)
+    return ColumnarTable(name or first.name, first.schema, columns, provenance)
+
+
+def _conform_c(branch: ColumnarTable, head: ColumnarTable) -> ColumnarTable:
+    """Rename ``branch`` columns positionally to ``head``'s (SQL set-op rule)."""
+    if branch.schema.names == head.schema.names:
+        return branch
+    if len(branch.schema.names) != len(head.schema.names):
+        raise QueryError(
+            f"set operation arity mismatch: head has {len(head.schema.names)} "
+            f"column(s) {head.schema.names}, branch has "
+            f"{len(branch.schema.names)} {branch.schema.names}"
+        )
+    schema = Schema(
+        Column(new.name, old.ctype, old.nullable)
+        for old, new in zip(branch.schema, head.schema)
+    )
+    # Provenance `where` maps are keyed by column *name*, so they must be
+    # re-keyed along with the schema — critical when the rename permutes
+    # overlapping names (branch (z, k) → head (k, x) must not leave the
+    # old `k` refs answering for the new `k`).
+    new_to_old = dict(zip(head.schema.names, branch.schema.names))
+    provenance = [p.projected(new_to_old) for p in branch.provenance]
+    return ColumnarTable(
+        branch.name, schema, branch.columns, provenance,
+        provider=branch.provider,
+    )
+
+
 def _run(query: Query, catalog: Catalog, *, depth: int) -> ColumnarTable:
+    current = _run_core(query, catalog, depth=depth)
+    for clause in query.set_ops:
+        branch = _run_core(clause.query, catalog, depth=depth)
+        current = union_c(current, _conform_c(branch, current))
+        if clause.op == "union":
+            current = distinct_c(current)
+
+    if query.order:
+        current = order_by_c(current, list(query.order))
+
+    if query.limit_n is not None:
+        current = limit_c(current, query.limit_n)
+    return current
+
+
+def _run_core(query: Query, catalog: Catalog, *, depth: int) -> ColumnarTable:
     _ensure_select_consistency(query)
     current = _resolve(query.source, catalog, depth)
 
@@ -802,11 +864,6 @@ def _run(query: Query, catalog: Catalog, *, depth: int) -> ColumnarTable:
     if query.select_distinct:
         current = distinct_c(current)
 
-    if query.order:
-        current = order_by_c(current, list(query.order))
-
-    if query.limit_n is not None:
-        current = limit_c(current, query.limit_n)
     return current
 
 

@@ -94,6 +94,30 @@ def _resolve(name: str, catalog: Catalog, depth: int) -> Table:
 
 
 def _execute(query: Query, catalog: Catalog, *, depth: int, name: str | None) -> Table:
+    current = _execute_core(query, catalog, depth=depth)
+
+    # Set operations: combine positionally (branch columns are renamed to
+    # the head's names, like SQL), dedup after each UNION (left-assoc).
+    for clause in query.set_ops:
+        branch = _execute_core(clause.query, catalog, depth=depth)
+        current = algebra.union(current, _conform(branch, current))
+        if clause.op == "union":
+            current = algebra.distinct(current)
+
+    # ORDER BY/LIMIT of the head apply to the combined result.
+    if query.order:
+        current = algebra.order_by(current, list(query.order))
+
+    if query.limit_n is not None:
+        current = algebra.limit(current, query.limit_n)
+
+    if name is not None:
+        current.name = name
+    return current
+
+
+def _execute_core(query: Query, catalog: Catalog, *, depth: int) -> Table:
+    """One SELECT block, FROM through DISTINCT (no set ops/ORDER/LIMIT)."""
     _ensure_select_consistency(query)
     current = _resolve(query.source, catalog, depth)
 
@@ -117,15 +141,21 @@ def _execute(query: Query, catalog: Catalog, *, depth: int, name: str | None) ->
     if query.select_distinct:
         current = algebra.distinct(current)
 
-    if query.order:
-        current = algebra.order_by(current, list(query.order))
-
-    if query.limit_n is not None:
-        current = algebra.limit(current, query.limit_n)
-
-    if name is not None:
-        current.name = name
     return current
+
+
+def _conform(branch: Table, head: Table) -> Table:
+    """Rename ``branch`` columns positionally to ``head``'s (SQL set-op rule)."""
+    if branch.schema.names == head.schema.names:
+        return branch
+    if len(branch.schema.names) != len(head.schema.names):
+        raise QueryError(
+            f"set operation arity mismatch: head has {len(head.schema.names)} "
+            f"column(s) {head.schema.names}, branch has "
+            f"{len(branch.schema.names)} {branch.schema.names}"
+        )
+    mapping = dict(zip(branch.schema.names, head.schema.names))
+    return algebra.rename(branch, mapping)
 
 
 class Engine:

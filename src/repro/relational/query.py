@@ -19,7 +19,7 @@ from repro.errors import QueryError
 from repro.relational.algebra import AggSpec
 from repro.relational.expressions import And, Expr, conjuncts
 
-__all__ = ["Query", "JoinClause", "SelectItem"]
+__all__ = ["Query", "JoinClause", "SetOpClause", "SelectItem"]
 
 SelectItem = Union[str, tuple[str, Expr]]
 
@@ -45,6 +45,33 @@ class JoinClause:
 
 
 @dataclass(frozen=True)
+class SetOpClause:
+    """One set-operation step: combine with another full SELECT block.
+
+    ``op`` is ``"union"`` (duplicate-eliminating, applied after the
+    concatenation like SQL's left-associative UNION) or ``"union_all"``.
+    The branch query must not carry ORDER BY/LIMIT — in SQL those belong
+    to the combined result and live on the head query.
+    """
+
+    op: str  # "union" | "union_all"
+    query: "Query"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("union", "union_all"):
+            raise QueryError(f"unsupported set operation {self.op!r}")
+        if self.query.order or self.query.limit_n is not None:
+            raise QueryError(
+                "a set-operation branch cannot carry ORDER BY/LIMIT; "
+                "they apply to the combined result (put them on the head)"
+            )
+
+    def __str__(self) -> str:
+        kind = "UNION" if self.op == "union" else "UNION ALL"
+        return f"{kind} {self.query.describe()}"
+
+
+@dataclass(frozen=True)
 class Query:
     """Immutable logical query over catalog names."""
 
@@ -58,6 +85,10 @@ class Query:
     select_distinct: bool = False
     order: tuple[tuple[str, bool], ...] = ()
     limit_n: int | None = None
+    #: Set-operation tail: the head block's result is combined with each
+    #: branch in order (FROM…DISTINCT of the head, then the branches, then
+    #: the head's ORDER BY/LIMIT on the combined rows).
+    set_ops: tuple[SetOpClause, ...] = ()
 
     # -- builder ----------------------------------------------------------
 
@@ -80,9 +111,20 @@ class Query:
         return replace(self, joins=self.joins + (clause,))
 
     def filter(self, predicate: Expr) -> "Query":
-        """AND a predicate into the WHERE clause."""
+        """AND a predicate into the WHERE clause.
+
+        On a set-operation query the predicate is pushed into *every*
+        branch as well as the head: selection distributes over union
+        (``σp(A ∪ B) = σp(A) ∪ σp(B)``), and enforcement layers (VPD,
+        report-level row suppression) rely on ``filter`` narrowing the
+        whole result, never just the first branch.
+        """
         combined = predicate if self.where is None else And(self.where, predicate)
-        return replace(self, where=combined)
+        set_ops = tuple(
+            SetOpClause(clause.op, clause.query.filter(predicate))
+            for clause in self.set_ops
+        )
+        return replace(self, where=combined, set_ops=set_ops)
 
     def group(self, *columns: str) -> "Query":
         """Set GROUP BY columns."""
@@ -118,6 +160,23 @@ class Query:
             raise QueryError("limit must be non-negative")
         return replace(self, limit_n=n)
 
+    def union_with(self, other: "Query", *, all: bool = False) -> "Query":
+        """Combine with ``other`` by UNION (default) or UNION ALL.
+
+        Branches combine positionally, like SQL: arity and types must
+        agree at execution, and the result carries the head's column
+        names. ``other``'s own set-operation tail is flattened into this
+        query's (left-associative, matching ``a UNION b UNION c``); its
+        ORDER BY/LIMIT, if any, are rejected by :class:`SetOpClause`.
+        The head's ORDER BY/LIMIT apply to the combined result.
+        """
+        op = "union_all" if all else "union"
+        tail = other.set_ops
+        branch = replace(other, set_ops=())
+        return replace(
+            self, set_ops=self.set_ops + (SetOpClause(op, branch),) + tail
+        )
+
     # -- introspection ------------------------------------------------------
 
     @property
@@ -126,8 +185,13 @@ class Query:
         return bool(self.group_by or self.aggregates)
 
     def referenced_relations(self) -> tuple[str, ...]:
-        """Names of the FROM table and every joined table, in order."""
-        return (self.source,) + tuple(j.table for j in self.joins)
+        """Names of every table/view the query reads: FROM, JOINs, and —
+        so caching, cycle checks, and state tokens see the whole tree —
+        every set-operation branch's relations, in order."""
+        out = (self.source,) + tuple(j.table for j in self.joins)
+        for clause in self.set_ops:
+            out += clause.query.referenced_relations()
+        return out
 
     def output_names(self) -> tuple[str, ...] | None:
         """Output column names if statically determinable, else ``None``.
@@ -165,6 +229,8 @@ class Query:
                 used.update(item[1].columns())
         for colname, _ in self.order:
             used.add(colname)
+        for clause in self.set_ops:
+            used.update(clause.query.columns_used())
         return frozenset(used)
 
     def fingerprint(self) -> str:
@@ -207,6 +273,13 @@ class Query:
             "O=" + ";".join(f"{c}:{int(d)}" for c, d in self.order),
             "L=" + ("" if self.limit_n is None else str(self.limit_n)),
         ]
+        if self.set_ops:
+            parts.append(
+                "U=" + ";".join(
+                    f"{clause.op}({clause.query.fingerprint()})"
+                    for clause in self.set_ops
+                )
+            )
         fp = "|".join(parts)
         object.__setattr__(self, "_fingerprint_memo", fp)
         return fp
@@ -235,6 +308,7 @@ class Query:
             parts.append(f"GROUP BY {', '.join(self.group_by)}")
         if self.having is not None:
             parts.append(f"HAVING {self.having}")
+        parts.extend(str(clause) for clause in self.set_ops)
         if self.order:
             keys = ", ".join(f"{c}{' DESC' if d else ''}" for c, d in self.order)
             parts.append(f"ORDER BY {keys}")

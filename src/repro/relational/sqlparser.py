@@ -4,7 +4,7 @@ Supported grammar (case-insensitive keywords)::
 
     SELECT [DISTINCT] * | item, item, ...
     FROM name
-    [LEFT] JOIN name ON a = b [AND c = d ...]        (zero or more)
+    [[INNER] JOIN | LEFT [OUTER] JOIN] name ON a = b [AND c = d ...]
     [WHERE <boolean expression>]
     [GROUP BY col, col, ...]
     [HAVING <boolean expression>]
@@ -18,6 +18,17 @@ arithmetic, string/number/date/bool literals, and dotted column names.
 
 The same expression grammar parses PLA intensional conditions, so source
 owners' predicates ("disease != 'HIV'") and queries share one syntax.
+
+Constructs the grammar recognizes but cannot model — ``UNION``, ``WITH``
+(CTEs), ``RIGHT``/``FULL``/``CROSS``/``OUTER`` joins, ``EXISTS``,
+subqueries — raise :class:`UnsupportedConstructError` naming the construct,
+not a generic syntax failure; :mod:`repro.ingest` extends this parser to
+support several of them. Every :class:`ParseError` carries the token offset
+and renders a caret-annotated source snippet.
+
+The tokenizer is shared with the multi-dialect ingestion front-end: tokens
+carry source offsets, ``--``/``/* */`` comments are skipped, and
+``"quoted"``/``[bracketed]`` identifiers can be enabled per dialect.
 """
 
 from __future__ import annotations
@@ -26,7 +37,7 @@ import re
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import ParseError
+from repro.errors import ParseError, UnsupportedConstructError
 from repro.relational.algebra import AGGREGATE_FUNCTIONS, AggSpec
 from repro.relational.expressions import (
     Arith,
@@ -41,92 +52,196 @@ from repro.relational.expressions import (
 from repro.relational.query import Query
 from repro.relational.types import parse_date
 
-__all__ = ["parse_query", "parse_expression"]
+__all__ = ["parse_query", "parse_expression", "Token", "tokenize", "Parser"]
 
 _TOKEN_RE = re.compile(
     r"""
-    \s*(?:
+    (?:\s+|--[^\n]*|/\*.*?\*/)*
+    (?:
         (?P<number>\d+\.\d+|\d+)
       | (?P<string>'(?:[^']|'')*')
-      | (?P<op><=|>=|!=|<>|=|<|>|\+|-|\*|/|\(|\)|,)
+      | (?P<qident>"(?:[^"]|"")*")
+      | (?P<bident>\[[^\]\[]+\])
+      | (?P<op><=|>=|!=|<>|=|<|>|\+|-|\*|/|\(|\)|,|;|::|\.)
       | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)*)
     )""",
-    re.VERBOSE,
+    re.VERBOSE | re.DOTALL,
 )
+
+_SKIP_RE = re.compile(r"(?:\s+|--[^\n]*|/\*.*?\*/)*", re.DOTALL)
 
 _KEYWORDS = {
     "select", "distinct", "from", "join", "left", "on", "where", "group",
     "by", "having", "order", "limit", "and", "or", "not", "in", "is",
     "null", "as", "asc", "desc", "true", "false", "date",
+    # Recognized so misuse yields a *targeted* unsupported-construct error
+    # (or real support in repro.ingest) instead of a generic syntax failure.
+    "union", "all", "with", "right", "full", "cross", "outer", "inner",
+    "exists", "create", "view", "top",
+}
+
+#: Constructs the base grammar names but does not model. The ingestion
+#: front-end (:mod:`repro.ingest`) supports the first three.
+_UNSUPPORTED_HINTS = {
+    "union": "UNION",
+    "with": "WITH (common table expression)",
+    "right": "RIGHT JOIN",
+    "full": "FULL JOIN",
+    "cross": "CROSS JOIN",
+    "outer": "OUTER JOIN",
+    "exists": "EXISTS",
+    "create": "CREATE statement",
 }
 
 
 @dataclass(frozen=True)
-class _Token:
+class Token:
     kind: str  # number | string | op | ident | keyword | end
     text: str
+    pos: int = 0  # byte offset of the token in the source text
+    quoted: bool = False  # identifier came from "..." or [...] quoting
+
+    def lowered(self) -> str:
+        return self.text.lower()
 
 
-def _tokenize(text: str) -> list[_Token]:
-    tokens: list[_Token] = []
+def tokenize(
+    text: str,
+    *,
+    quoted_idents: bool = False,
+    bracket_idents: bool = False,
+) -> list[Token]:
+    """Tokenize ``text``; offsets are preserved, comments skipped.
+
+    ``quoted_idents`` admits ANSI/Postgres ``"name"`` identifiers,
+    ``bracket_idents`` admits T-SQL ``[name]`` identifiers — both surface
+    as ordinary ``ident`` tokens flagged ``quoted`` so dialect layers can
+    note the normalization. Quoted identifiers are never keywords.
+    """
+    tokens: list[Token] = []
     pos = 0
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
-        if match is None or match.end() == pos:
-            remainder = text[pos:].strip()
+        if match is None or match.end() == pos or match.lastgroup is None:
+            skip = _SKIP_RE.match(text, pos)
+            start = skip.end() if skip else pos
+            remainder = text[start:]
             if not remainder:
                 break
-            raise ParseError(f"cannot tokenize near {remainder[:20]!r}")
+            raise ParseError(
+                f"cannot tokenize near {remainder[:20]!r}",
+                source=text,
+                offset=start,
+            )
         pos = match.end()
+        start = match.start(match.lastgroup)
         if match.lastgroup == "ident":
             word = match.group("ident")
             if word.lower() in _KEYWORDS:
-                tokens.append(_Token("keyword", word.lower()))
+                tokens.append(Token("keyword", word.lower(), start))
             else:
-                tokens.append(_Token("ident", word))
+                tokens.append(Token("ident", word, start))
+        elif match.lastgroup == "qident":
+            if not quoted_idents:
+                raise ParseError(
+                    'quoted identifiers ("...") are not enabled for this '
+                    "dialect",
+                    source=text,
+                    offset=start,
+                )
+            name = match.group("qident")[1:-1].replace('""', '"')
+            tokens.append(Token("ident", name, start, quoted=True))
+        elif match.lastgroup == "bident":
+            if not bracket_idents:
+                raise ParseError(
+                    "bracketed identifiers ([...]) are a T-SQL form; "
+                    "select the tsql dialect",
+                    source=text,
+                    offset=start,
+                )
+            tokens.append(
+                Token("ident", match.group("bident")[1:-1], start, quoted=True)
+            )
         elif match.lastgroup == "op":
             op = match.group("op")
-            tokens.append(_Token("op", "!=" if op == "<>" else op))
+            tokens.append(Token("op", "!=" if op == "<>" else op, start))
         elif match.lastgroup == "number":
-            tokens.append(_Token("number", match.group("number")))
+            tokens.append(Token("number", match.group("number"), start))
         else:
-            tokens.append(_Token("string", match.group("string")))
-    tokens.append(_Token("end", ""))
+            tokens.append(Token("string", match.group("string"), start))
+    tokens.append(Token("end", "", len(text)))
     return tokens
 
 
-class _Parser:
-    def __init__(self, text: str) -> None:
-        self.tokens = _tokenize(text)
+class Parser:
+    """Recursive-descent parser over the shared token vocabulary.
+
+    The ingestion front-end subclasses this to add multi-dialect
+    statements (CREATE VIEW, WITH, UNION, FROM-subqueries); the base class
+    covers the single-block grammar and the full expression grammar.
+    """
+
+    def __init__(self, text: str, tokens: list[Token] | None = None) -> None:
+        self.text = text
+        self.tokens = tokens if tokens is not None else tokenize(text)
         self.pos = 0
 
     # -- token helpers ------------------------------------------------------
 
-    def peek(self, ahead: int = 0) -> _Token:
+    def peek(self, ahead: int = 0) -> Token:
         return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
 
-    def advance(self) -> _Token:
+    def advance(self) -> Token:
         token = self.tokens[self.pos]
         if token.kind != "end":
             self.pos += 1
         return token
 
-    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
         token = self.peek()
         if token.kind == kind and (text is None or token.text == text):
             return self.advance()
         return None
 
-    def expect(self, kind: str, text: str | None = None) -> _Token:
+    def expect(self, kind: str, text: str | None = None) -> Token:
         token = self.accept(kind, text)
         if token is None:
             want = text or kind
-            raise ParseError(f"expected {want!r}, found {self.peek().text!r}")
+            raise self.error(f"expected {want!r}, found {self.peek().text!r}")
         return token
+
+    def error(self, message: str, *, token: Token | None = None) -> ParseError:
+        """A :class:`ParseError` pinned to ``token`` (default: lookahead)."""
+        at = token if token is not None else self.peek()
+        return ParseError(message, source=self.text, offset=at.pos)
+
+    def unsupported(
+        self, construct: str, *, token: Token | None = None
+    ) -> UnsupportedConstructError:
+        at = token if token is not None else self.peek()
+        return UnsupportedConstructError(
+            construct,
+            f"unsupported construct: {construct}",
+            source=self.text,
+            offset=at.pos,
+        )
+
+    def _reject_unsupported_keyword(self) -> None:
+        token = self.peek()
+        if token.kind == "keyword" and token.text in _UNSUPPORTED_HINTS:
+            raise self.unsupported(_UNSUPPORTED_HINTS[token.text])
 
     # -- query ---------------------------------------------------------------
 
     def parse_query(self) -> Query:
+        self._reject_unsupported_keyword()
+        query = self.parse_select_block()
+        self._reject_unsupported_keyword()
+        self.expect("end")
+        return query
+
+    def parse_select_block(self) -> Query:
+        """One SELECT…LIMIT block (no trailing-input check)."""
         self.expect("keyword", "select")
         distinct = self.accept("keyword", "distinct") is not None
         star = self.accept("op", "*") is not None
@@ -136,15 +251,23 @@ class _Parser:
             while self.accept("op", ","):
                 items.append(self._select_item())
         self.expect("keyword", "from")
-        source = self.expect("ident").text
+        source = self._relation_name()
         query = Query.from_(source)
 
         while True:
             if self.accept("keyword", "left"):
+                self.accept("keyword", "outer")
                 self.expect("keyword", "join")
                 query = self._join(query, how="left")
+            elif self.accept("keyword", "inner"):
+                self.expect("keyword", "join")
+                query = self._join(query, how="inner")
             elif self.accept("keyword", "join"):
                 query = self._join(query, how="inner")
+            elif self.peek().kind == "keyword" and self.peek().text in (
+                "right", "full", "cross"
+            ):
+                raise self.unsupported(_UNSUPPORTED_HINTS[self.peek().text])
             else:
                 break
 
@@ -170,11 +293,15 @@ class _Parser:
             query = query.limit(int(self.expect("number").text))
         if distinct:
             query = query.distinct()
-        self.expect("end")
         return query
 
+    def _relation_name(self) -> str:
+        if self.peek().kind == "op" and self.peek().text == "(":
+            raise self.unsupported("subquery in FROM")
+        return self.expect("ident").text
+
     def _join(self, query: Query, *, how: str) -> Query:
-        table = self.expect("ident").text
+        table = self._relation_name()
         self.expect("keyword", "on")
         pairs = [self._join_pair()]
         while self.accept("keyword", "and"):
@@ -287,6 +414,8 @@ class _Parser:
             return Comparison(op, left, self._additive())
         if self.accept("keyword", "in"):
             self.expect("op", "(")
+            if self.peek().kind == "keyword" and self.peek().text == "select":
+                raise self.unsupported("IN (subquery)")
             values = [self._literal_value()]
             while self.accept("op", ","):
                 values.append(self._literal_value())
@@ -330,9 +459,13 @@ class _Parser:
         token = self.peek()
         if token.kind == "op" and token.text == "(":
             self.advance()
+            if self.peek().kind == "keyword" and self.peek().text == "select":
+                raise self.unsupported("scalar subquery")
             expr = self.parse_expression()
             self.expect("op", ")")
             return expr
+        if token.kind == "keyword" and token.text == "exists":
+            raise self.unsupported("EXISTS")
         if token.kind in ("number", "string"):
             return Lit(self._literal_value())
         if token.kind == "keyword" and token.text in ("true", "false"):
@@ -348,7 +481,7 @@ class _Parser:
             return Col("date")  # bare "date" is the column, not a literal
         if token.kind == "ident":
             return Col(self.advance().text)
-        raise ParseError(f"unexpected token {token.text!r}")
+        raise self.error(f"unexpected token {token.text!r}")
 
     def _literal_value(self) -> Any:
         token = self.peek()
@@ -368,9 +501,9 @@ class _Parser:
             self.advance()
             value = self._literal_value()
             if not isinstance(value, (int, float)):
-                raise ParseError("unary minus applies only to numbers")
+                raise self.error("unary minus applies only to numbers")
             return -value
-        raise ParseError(f"expected literal, found {token.text!r}")
+        raise self.error(f"expected literal, found {token.text!r}")
 
 
 def _unquote(raw: str) -> str:
@@ -385,12 +518,12 @@ def _default_alias(expr: Expr) -> str:
 
 def parse_query(text: str) -> Query:
     """Parse a SQL-subset SELECT statement into a :class:`Query`."""
-    return _Parser(text).parse_query()
+    return Parser(text).parse_query()
 
 
 def parse_expression(text: str) -> Expr:
     """Parse a standalone boolean/scalar expression (PLA conditions etc.)."""
-    parser = _Parser(text)
+    parser = Parser(text)
     expr = parser.parse_expression()
     parser.expect("end")
     return expr

@@ -27,6 +27,15 @@ class ReportDefinition:
     purpose: str
     description: str = ""
     version: int = 1
+    #: Where this definition came from, for ingested reports: the suite
+    #: file and 1-based line of the defining statement (``"reports.sql:12"``),
+    #: empty for reports authored in-process. Diagnostics about ingested
+    #: reports cite this so findings map back to the SQL the author owns.
+    origin: str = ""
+    #: The original SQL text of the defining statement, when ingested.
+    #: Kept verbatim (pre-normalization) so audits can show exactly what
+    #: was submitted, not our reconstruction of it.
+    source_sql: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -1,0 +1,8 @@
+-- Unsupported construct: correlated EXISTS is outside the ingestion grammar.
+-- report: exists_probe
+SELECT drug FROM wide_prescriptions
+WHERE EXISTS (SELECT drug FROM wide_prescriptions);
+
+-- Parse error: dangling WHERE.
+-- report: broken
+SELECT drug FROM wide_prescriptions WHERE;

@@ -1,0 +1,11 @@
+-- Unknown relation: nothing defines 'prescriptions_2006'.
+-- report: from_nowhere
+SELECT drug FROM prescriptions_2006;
+
+-- Unknown column: the universe has no 'prescriber'.
+-- report: bad_column
+SELECT prescriber FROM wide_prescriptions;
+
+-- Ambiguous column: both sides of the join provide 'zip'.
+-- report: ambiguous_zip
+SELECT zip FROM wide_prescriptions JOIN dim_patient ON patient = patient;

@@ -1,0 +1,9 @@
+-- Duplicate name: the second definition collides with the first.
+CREATE VIEW dup_view AS SELECT drug FROM wide_prescriptions;
+CREATE VIEW dup_view AS SELECT disease FROM wide_prescriptions;
+
+-- UNION arity mismatch: 2 columns vs 1.
+-- report: ragged_union
+SELECT drug, cost FROM wide_prescriptions
+UNION
+SELECT drug FROM wide_prescriptions;

@@ -95,3 +95,73 @@ class TestEngineWrapper:
         # nohiv lacks "disease"? it projects it; ensure chain works
         out = execute(parse_query("SELECT patient FROM asthma_only"), paper_catalog)
         assert len(out) == 3
+
+
+class TestSetOperations:
+    """UNION execution: the base grammar rejects set ops, so these queries
+    come in through the ingestion grammar (repro.ingest)."""
+
+    @staticmethod
+    def parse_union(sql: str) -> Query:
+        from repro.ingest import parse_suite_text
+        from repro.ingest.dialects import DIALECTS
+
+        (statement,) = parse_suite_text(
+            sql + ";", DIALECTS["ansi"], mangle_prefix="eng"
+        )
+        return statement.query
+
+    def test_union_all_concatenates(self, paper_catalog):
+        q = self.parse_union(
+            "SELECT patient FROM prescriptions WHERE disease = 'HIV' "
+            "UNION ALL SELECT patient FROM prescriptions WHERE disease = 'HIV'"
+        )
+        out = execute(q, paper_catalog)
+        assert sorted(r[0] for r in out.rows) == [
+            "Alice", "Alice", "Chris", "Chris",
+        ]
+
+    def test_union_deduplicates(self, paper_catalog):
+        q = self.parse_union(
+            "SELECT patient FROM prescriptions WHERE disease = 'HIV' "
+            "UNION SELECT patient FROM prescriptions WHERE disease = 'HIV'"
+        )
+        out = execute(q, paper_catalog)
+        assert sorted(r[0] for r in out.rows) == ["Alice", "Chris"]
+
+    def test_branches_conform_positionally(self, paper_catalog):
+        # Branch columns (drug, patient) swap into head names (patient, drug):
+        # SQL aligns by position, never by name.
+        q = self.parse_union(
+            "SELECT patient, drug FROM prescriptions WHERE disease = 'HIV' "
+            "UNION ALL SELECT drug, patient FROM prescriptions WHERE disease = 'diabetes'"
+        )
+        out = execute(q, paper_catalog)
+        assert out.schema.names == ("patient", "drug")
+        assert ("DM", "Math") in {tuple(r) for r in out.rows}
+
+    def test_conformance_renames_where_provenance(self, paper_catalog):
+        """Permuted overlapping names must re-key per-cell provenance too;
+        the row and columnar engines must agree on it cell for cell."""
+        from repro.relational.columnar import execute_columnar
+
+        q = self.parse_union(
+            "SELECT patient, drug FROM prescriptions "
+            "UNION ALL SELECT drug, patient FROM prescriptions"
+        )
+        row = execute(q, paper_catalog)
+        col = execute_columnar(q, paper_catalog)
+        assert row.rows == col.rows
+        n = len(row.rows) // 2
+        for i, (pr, pc) in enumerate(zip(row.provenance, col.provenance)):
+            source_col = "patient" if i < n else "drug"
+            assert {r.column for r in pr.where_of("patient")} == {source_col}
+            assert pr.where_of("patient") == pc.where_of("patient")
+            assert pr.where_of("drug") == pc.where_of("drug")
+
+    def test_arity_mismatch_is_rejected(self, paper_catalog):
+        q = self.parse_union(
+            "SELECT patient, drug FROM prescriptions UNION SELECT patient FROM prescriptions"
+        )
+        with pytest.raises(QueryError):
+            execute(q, paper_catalog)

@@ -132,3 +132,38 @@ class TestExpressions:
     def test_trailing_tokens_rejected(self):
         with pytest.raises(ParseError):
             parse_expression("a = 1 b")
+
+
+class TestDiagnosticQuality:
+    """Satellite of the ingestion PR: errors carry offsets and snippets."""
+
+    def test_parse_error_has_offset_and_caret_snippet(self):
+        from repro.errors import ParseError
+
+        try:
+            parse_query("SELECT drug FROM prescriptions WHERE")
+        except ParseError as exc:
+            assert exc.offset is not None
+            snippet = exc.snippet()
+            caret_line = snippet.splitlines()[-1]
+            assert caret_line.strip() == "^"
+            assert exc.line == 1
+        else:  # pragma: no cover
+            raise AssertionError("expected ParseError")
+
+    def test_unsupported_constructs_are_named(self):
+        from repro.errors import UnsupportedConstructError
+
+        cases = {
+            "SELECT a FROM t UNION SELECT a FROM u": "UNION",
+            "WITH x AS (SELECT a FROM t) SELECT a FROM x": "WITH",
+            "SELECT a FROM t RIGHT JOIN u ON a = b": "RIGHT",
+            "SELECT a FROM t WHERE EXISTS (SELECT a FROM u)": "EXISTS",
+        }
+        for sql, construct in cases.items():
+            try:
+                parse_query(sql)
+            except UnsupportedConstructError as exc:
+                assert construct.lower() in exc.construct.lower(), sql
+            else:  # pragma: no cover
+                raise AssertionError(f"expected unsupported-construct: {sql}")
