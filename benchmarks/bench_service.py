@@ -1,0 +1,96 @@
+"""Concurrent delivery-daemon benchmark: throughput, tail latency, and proof.
+
+Drives the daemon with the two standard load mixes — ``read_heavy`` (3%
+mutations) and ``mutation_heavy`` (30% mutations) — at 32 concurrent
+consumers each, then **replays every run's commit log serially** and gates
+on zero linearizability violations: a throughput number from a run whose
+concurrent results diverge from some serial order would be a number about
+broken code.
+
+Reported per mix: requests, wall seconds, throughput (req/s), and
+nearest-rank p50/p95/p99 latency (submit → result, i.e. including queue
+wait). ``main`` (via ``python benchmarks/run_all.py service`` or ``repro
+bench service``) prints the table, optionally writes ``BENCH_service.json``,
+and returns non-zero when any replay reports a violation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.service.loadgen import LOAD_MIXES, run_mix
+
+JSON_PATH = "BENCH_service.json"
+
+CONSUMERS = 32
+FULL_REQUESTS_PER_CONSUMER = 12
+SMOKE_REQUESTS_PER_CONSUMER = 4
+
+
+def run(*, smoke: bool = False) -> dict[str, Any]:
+    """Run both mixes with linearizability checking; returns the result doc."""
+    requests_per_consumer = (
+        SMOKE_REQUESTS_PER_CONSUMER if smoke else FULL_REQUESTS_PER_CONSUMER
+    )
+    mixes: dict[str, Any] = {}
+    for mix in sorted(LOAD_MIXES):
+        result = run_mix(
+            mix,
+            consumers=CONSUMERS,
+            requests_per_consumer=requests_per_consumer,
+            check=True,
+        )
+        mixes[mix] = result.as_dict()
+    return {
+        "bench": "service",
+        "smoke": smoke,
+        "consumers": CONSUMERS,
+        "requests_per_consumer": requests_per_consumer,
+        "mixes": mixes,
+    }
+
+
+def render(doc: dict[str, Any]) -> str:
+    lines = [
+        f"service bench: {doc['consumers']} consumers x "
+        f"{doc['requests_per_consumer']} requests"
+        + (" (smoke)" if doc["smoke"] else ""),
+        "",
+        f"{'mix':<16} {'req':>5} {'wall_s':>8} {'req/s':>8} "
+        f"{'p50_ms':>8} {'p95_ms':>8} {'p99_ms':>8} {'epoch':>6}  linearizable",
+    ]
+    for mix, r in doc["mixes"].items():
+        lin = r["linearizability"]
+        verdict = "PASS" if lin["ok"] else f"FAIL({len(lin['violations'])})"
+        lines.append(
+            f"{mix:<16} {r['requests']:>5} {r['wall_s']:>8.3f} "
+            f"{r['throughput_rps']:>8.1f} {r['p50_ms']:>8.1f} "
+            f"{r['p95_ms']:>8.1f} {r['p99_ms']:>8.1f} {r['epoch']:>6}  {verdict}"
+        )
+    for mix, r in doc["mixes"].items():
+        for violation in r["linearizability"]["violations"]:
+            lines.append(f"  {mix} violation: {violation}")
+    return "\n".join(lines)
+
+
+def main(*, smoke: bool = False, json_path: str | None = None) -> int:
+    doc = run(smoke=smoke)
+    print(render(doc))
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {json_path}")
+    failed = [
+        mix
+        for mix, r in doc["mixes"].items()
+        if not r["linearizability"]["ok"]
+    ]
+    if failed:
+        print(f"\nLINEARIZABILITY GATE FAILED for: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -47,6 +47,7 @@ TARGETS: dict[str, str] = {
     "resilience": "benchmarks.bench_resilience",
     "verify": "benchmarks.bench_verify",
     "ingest": "benchmarks.bench_ingest",
+    "service": "benchmarks.bench_service",
 }
 
 JSON_PATH = "BENCH_engine.json"
@@ -58,6 +59,7 @@ JSON_PATHS: dict[str, str] = {
     "resilience": "BENCH_resilience.json",
     "verify": "BENCH_verify.json",
     "ingest": "BENCH_ingest.json",
+    "service": "BENCH_service.json",
 }
 
 

@@ -10,7 +10,9 @@ on when the BI provider is the party under audit.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import ReproError
 from repro.obs.trace import TRACER
@@ -72,9 +74,27 @@ class DisclosureRecord:
 
 @dataclass
 class AuditLog:
-    """The tamper-evident ledger of all disclosures."""
+    """The tamper-evident ledger of all disclosures.
+
+    Appends are serialized on an internal lock: the sequence number, the
+    previous chain hash, and the append itself form one atomic step, so
+    concurrent delivery workers can never fork the chain or duplicate a
+    sequence number. The commit order of concurrent deliveries *is* the
+    chain order — which is what the service layer's linearizability replay
+    keys on, via the :attr:`on_record` hook (called under the same lock,
+    atomically with the append).
+    """
 
     records: list[DisclosureRecord] = field(default_factory=list)
+    #: Called as ``on_record(record, instance)`` immediately after each
+    #: append, still under the append lock — a subscriber observing commit
+    #: order sees exactly the chain order.
+    on_record: Callable[[DisclosureRecord, ReportInstance], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     GENESIS = "0" * 64
 
@@ -97,27 +117,31 @@ class AuditLog:
                 }
             )
         )
-        record = DisclosureRecord(
-            sequence=len(self.records),
-            report=instance.definition.name,
-            version=instance.definition.version,
-            consumer=context.user.name,
-            roles=tuple(sorted(r.name for r in context.user.roles)),
-            purpose=context.purpose.name,
-            columns=table.schema.names,
-            row_count=len(table),
-            min_contributors=min_contributors,
-            source_footprint=footprint,
-            obligations_applied=instance.obligations_applied,
-            suppressed_rows=instance.suppressed_rows,
-            trace_id=TRACER.current_trace_id() or "" if TRACER.active() else "",
-            degraded=instance.degraded,
-            fault_cause=instance.fault_cause,
-        )
-        chained = DisclosureRecord(
-            **{**record.__dict__, "chain_hash": self._hash(record)}
-        )
-        self.records.append(chained)
+        trace_id = TRACER.current_trace_id() or "" if TRACER.active() else ""
+        with self._lock:
+            record = DisclosureRecord(
+                sequence=len(self.records),
+                report=instance.definition.name,
+                version=instance.definition.version,
+                consumer=context.user.name,
+                roles=tuple(sorted(r.name for r in context.user.roles)),
+                purpose=context.purpose.name,
+                columns=table.schema.names,
+                row_count=len(table),
+                min_contributors=min_contributors,
+                source_footprint=footprint,
+                obligations_applied=instance.obligations_applied,
+                suppressed_rows=instance.suppressed_rows,
+                trace_id=trace_id,
+                degraded=instance.degraded,
+                fault_cause=instance.fault_cause,
+            )
+            chained = DisclosureRecord(
+                **{**record.__dict__, "chain_hash": self._hash(record)}
+            )
+            self.records.append(chained)
+            if self.on_record is not None:
+                self.on_record(chained, instance)
         return chained
 
     def _hash(self, record: DisclosureRecord) -> str:
@@ -128,8 +152,10 @@ class AuditLog:
 
     def verify_chain(self) -> bool:
         """Recompute the chain; False means the log was tampered with."""
+        with self._lock:
+            snapshot = tuple(self.records)
         previous = self.GENESIS
-        for record in self.records:
+        for record in snapshot:
             expected = hashlib.sha256(
                 (previous + record.payload()).encode()
             ).hexdigest()

@@ -258,6 +258,14 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
     from repro import obs
 
+    if args.url:
+        import urllib.request
+
+        base = args.url.rstrip("/")
+        path = "" if base.endswith("/metrics") else "/metrics"
+        with urllib.request.urlopen(base + path) as response:
+            print(response.read().decode("utf-8"), end="")
+        return 0
     previous = obs.enabled()
     obs.reset()
     obs.enable()
@@ -336,6 +344,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if which == "ingest":
         module = _benchmark_module("benchmarks.bench_ingest")
         return int(module.main(smoke=args.smoke, json_path=args.json))
+    if which == "service":
+        module = _benchmark_module("benchmarks.bench_service")
+        return int(module.main(smoke=args.smoke, json_path=args.json))
     module = _benchmark_module("benchmarks.bench_engine_scaling")
     module.main(smoke=args.smoke, json_path=args.json)
     return 0
@@ -357,6 +368,89 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"\nwrote chaos result to {args.json}")
     counts = result.counts()
     return 1 if counts["unavailable"] and args.mode == "refuse" else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service import DeliveryDaemon, ServiceState, start_http_server
+
+    scenario = _scenario()
+    state = ServiceState(scenario, factory=_scenario)
+    daemon = DeliveryDaemon(
+        state, workers=args.workers, queue_size=args.queue_size
+    )
+    if args.faults:
+        from repro.service.loadgen import _fault_resilience
+
+        daemon.state.service.resilience = _fault_resilience(args.faults)
+        print(f"fault plan {args.faults!r} installed (degrade mode)")
+    daemon.start()
+    server = start_http_server(daemon, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"delivery daemon serving on http://{host}:{port}")
+    print(f"  {args.workers} worker(s), queue size {args.queue_size}")
+    print("  endpoints: /metrics /healthz /stats  POST /deliver")
+    try:
+        if args.duration is not None:
+            _time.sleep(args.duration)
+        else:  # pragma: no cover - interactive path
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.shutdown()
+        daemon.stop()
+    stats = daemon.stats()
+    print(
+        f"stopped at epoch {stats['epoch']}: {stats['commits']} commit(s), "
+        f"{stats['refusals']} refusal(s), outcomes {stats['outcomes']}"
+    )
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import run_mix
+
+    result = run_mix(
+        args.mix,
+        consumers=args.consumers,
+        requests_per_consumer=args.requests,
+        seed=args.seed,
+        check=args.check,
+        fault_plan=args.faults,
+    )
+    print(
+        f"{result.mix}: {result.requests} request(s) from "
+        f"{result.consumers} consumer(s) in {result.wall_s:.2f}s "
+        f"({result.throughput_rps:.1f} req/s)"
+    )
+    print(
+        f"  latency p50 {result.p50_ms:.1f}ms  p95 {result.p95_ms:.1f}ms  "
+        f"p99 {result.p99_ms:.1f}ms"
+    )
+    print(f"  outcomes: {result.outcomes}  final epoch: {result.epoch}")
+    failed = False
+    if result.linearizability is not None:
+        lin = result.linearizability
+        verdict = "PASS" if lin["ok"] else "FAIL"
+        print(
+            f"  linearizability: {verdict} "
+            f"({lin['deliveries_checked']} deliveries, "
+            f"{lin['mutations_checked']} mutations, "
+            f"{lin['refusals_checked']} refusals replayed)"
+        )
+        for violation in lin["violations"]:
+            print(f"    violation: {violation}")
+        failed = not lin["ok"]
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(result.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote load result to {args.json}")
+    return 1 if failed else 0
 
 
 def _benchmark_module(name: str):
@@ -523,13 +617,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "which", nargs="?",
-        choices=["engine", "obs", "resilience", "verify", "ingest"],
+        choices=["engine", "obs", "resilience", "verify", "ingest", "service"],
         default="engine",
         help=(
             "engine: row vs columnar scaling; obs: tracing overhead; "
             "resilience: fault-wrapper overhead; verify: solver throughput "
             "and whole-catalog verification wall time; ingest: SQL suite "
-            "compilation scaling"
+            "compilation scaling; service: concurrent daemon throughput/"
+            "latency with linearizability gating"
         ),
     )
     bench.add_argument(
@@ -589,6 +684,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="JSON snapshot instead of Prometheus text format",
     )
+    metrics.add_argument(
+        "--url", metavar="URL", default=None,
+        help="scrape a running 'repro serve' daemon at URL instead of "
+        "running a local workload (e.g. http://127.0.0.1:8472)",
+    )
+
+    serve = _command(
+        sub, "serve",
+        "run the concurrent delivery daemon with its HTTP face",
+        "repro serve --port 8472 --workers 8 --duration 60",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8472,
+        help="HTTP port on 127.0.0.1 (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="delivery worker threads"
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded job queue size (overflow is shed with a 503)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="seconds to serve before exiting (default: until interrupted)",
+    )
+    serve.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="install a named fault plan on the live daemon (degrade mode)",
+    )
+
+    loadgen = _command(
+        sub, "loadgen",
+        "drive a fresh daemon with N concurrent consumers and report latency",
+        "repro loadgen --mix read_heavy --consumers 32 --check",
+    )
+    loadgen.add_argument(
+        "--mix", choices=["read_heavy", "mutation_heavy"], default="read_heavy",
+        help="request mix: mutation probability 3%% vs 30%%",
+    )
+    loadgen.add_argument(
+        "--consumers", type=int, default=32, help="concurrent consumer threads"
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=12, help="requests per consumer"
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=11, help="schedule seed (same seed, same ops)"
+    )
+    loadgen.add_argument(
+        "--check", action="store_true",
+        help="replay the commit log serially and fail on any divergence",
+    )
+    loadgen.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="run under a named fault plan (mutually exclusive with --check)",
+    )
+    loadgen.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the LoadResult to PATH",
+    )
 
     save = _command(
         sub, "save",
@@ -635,6 +791,8 @@ _HANDLERS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
     "save": cmd_save,
     "load": cmd_load,
 }

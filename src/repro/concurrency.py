@@ -1,0 +1,139 @@
+"""Shared concurrency primitives for the serving layer.
+
+The delivery daemon (:mod:`repro.service`) runs many reader threads —
+deliveries — against one shared deployment while occasional writers mutate
+it (row inserts, PLA revisions, report redefinitions). The coordination
+contract is a classic readers–writer lock:
+
+* any number of deliveries may proceed concurrently under the **read**
+  lock — they only consult catalog state;
+* a mutation takes the **write** lock, which excludes every reader, bumps
+  the state tokens the plan/containment/verdict caches key on, and then
+  lets the next wave of readers in.
+
+:class:`RWLock` is *write-preferring*: once a writer is waiting, new
+readers queue behind it, so a steady stream of deliveries cannot starve
+catalog mutations indefinitely. Both sides are reentrant-free by design
+(no lock upgrades/downgrades); keep critical sections small and never
+acquire the same lock twice on one thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """A write-preferring readers–writer lock.
+
+    Implemented with one mutex plus two condition queues; the bookkeeping
+    (`_active_readers`, `_writer_active`, `_writers_waiting`) is only ever
+    touched under the mutex, so the fast paths stay a couple of bytecode
+    ops inside one lock acquisition.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._readers_ok = threading.Condition(self._mutex)
+        self._writers_ok = threading.Condition(self._mutex)
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- read side -----------------------------------------------------------
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Enter the shared section; False on timeout."""
+        with self._mutex:
+            deadline = None if timeout is None else _deadline(timeout)
+            while self._writer_active or self._writers_waiting:
+                if not _wait(self._readers_ok, deadline):
+                    return False
+            self._active_readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._mutex:
+            if self._active_readers <= 0:
+                raise RuntimeError("release_read without a matching acquire_read")
+            self._active_readers -= 1
+            if self._active_readers == 0 and self._writers_waiting:
+                self._writers_ok.notify()
+
+    # -- write side ----------------------------------------------------------
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Enter the exclusive section; False on timeout."""
+        with self._mutex:
+            deadline = None if timeout is None else _deadline(timeout)
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    if not _wait(self._writers_ok, deadline):
+                        return False
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+            return True
+
+    def release_write(self) -> None:
+        with self._mutex:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire_write")
+            self._writer_active = False
+            if self._writers_waiting:
+                self._writers_ok.notify()
+            else:
+                self._readers_ok.notify_all()
+
+    # -- context managers ------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with lock.read_locked(): ...`` — shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with lock.write_locked(): ...`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (tests / stats; racy by nature, read-only) -------------
+
+    def snapshot(self) -> dict[str, int | bool]:
+        with self._mutex:
+            return {
+                "active_readers": self._active_readers,
+                "writer_active": self._writer_active,
+                "writers_waiting": self._writers_waiting,
+            }
+
+
+def _deadline(timeout: float) -> float:
+    import time
+
+    return time.monotonic() + timeout
+
+
+def _wait(cond: threading.Condition, deadline: float | None) -> bool:
+    if deadline is None:
+        cond.wait()
+        return True
+    import time
+
+    remaining = deadline - time.monotonic()
+    if remaining <= 0:
+        return False
+    return cond.wait(remaining)

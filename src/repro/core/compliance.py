@@ -211,19 +211,24 @@ class ComplianceChecker:
     def _check_report_memoized(self, report: ReportDefinition) -> ComplianceVerdict:
         if not self.use_cache:
             return self._check_report_uncached(report)
+        # catalog.uid, not id(): uids are never recycled, so a checker
+        # rebound to a new catalog can't collide with a dead one's entries.
         key = (
             self._report_fingerprint(report),
             self._metaset_fingerprint(),
-            id(self.catalog),
+            self.catalog.uid,
             self.catalog.ddl_version,
         )
+        # Token before compute: an invalidate_cache() racing the check drops
+        # the late fill instead of resurrecting a pre-invalidation verdict.
+        token = self._verdicts.fill_token()
         cached = self._verdicts.get(key)
         if TRACER.active():
             instrument.cache_lookup("verdict", cached is not None)
         if cached is not None:
             return cached
         verdict = self._check_report_uncached(report)
-        self._verdicts.put(key, verdict)
+        self._verdicts.put_if(key, verdict, token)
         return verdict
 
     def _check_report_uncached(self, report: ReportDefinition) -> ComplianceVerdict:

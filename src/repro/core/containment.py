@@ -23,6 +23,7 @@ Two layers:
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -79,6 +80,7 @@ _derivability_cache = LRUCache(maxsize=_PROOF_CACHE_SIZE)
 _containment_cache = LRUCache(maxsize=_PROOF_CACHE_SIZE)
 _caching_enabled = True
 _hooked_catalogs: set[int] = set()
+_hook_lock = threading.Lock()
 
 
 def _on_catalog_mutation(catalog: Catalog, name: str) -> None:
@@ -88,9 +90,11 @@ def _on_catalog_mutation(catalog: Catalog, name: str) -> None:
 
 
 def _hook_catalog(catalog: Catalog) -> None:
-    if catalog.uid not in _hooked_catalogs:
+    with _hook_lock:
+        if catalog.uid in _hooked_catalogs:
+            return
         _hooked_catalogs.add(catalog.uid)
-        catalog.add_mutation_hook(_on_catalog_mutation)
+    catalog.add_mutation_hook(_on_catalog_mutation)
 
 
 def set_proof_caching(enabled: bool) -> bool:
@@ -455,6 +459,10 @@ def check_derivability(
         catalog.uid,
         catalog.ddl_version,
     )
+    # Token captured before the lookup/compute: a DDL mutation landing
+    # mid-proof invalidates the generation and the late fill is dropped
+    # instead of resurrecting a proof over superseded definitions.
+    token = _derivability_cache.fill_token()
     cached = _derivability_cache.get(key)
     if TRACER.active():
         instrument.cache_lookup("derivability", cached is not None)
@@ -464,7 +472,7 @@ def check_derivability(
         report_query, metareport_name, metareport_query, catalog
     )
     _hook_catalog(catalog)
-    _derivability_cache.put(key, result)
+    _derivability_cache.put_if(key, result, token)
     return result
 
 
@@ -786,6 +794,7 @@ def is_contained(q1: Query, q2: Query, catalog: Catalog) -> bool:
     if not _caching_enabled:
         return _is_contained_uncached(q1, q2, catalog)
     key = (q1.fingerprint(), q2.fingerprint(), catalog.uid, catalog.ddl_version)
+    token = _containment_cache.fill_token()
     cached = _containment_cache.get(key)
     if TRACER.active():
         instrument.cache_lookup("containment", cached is not None)
@@ -798,10 +807,10 @@ def is_contained(q1: Query, q2: Query, catalog: Catalog) -> bool:
         result = _is_contained_uncached(q1, q2, catalog)
     except NotConjunctive as exc:
         _hook_catalog(catalog)
-        _containment_cache.put(key, ("raise", exc.args))
+        _containment_cache.put_if(key, ("raise", exc.args), token)
         raise
     _hook_catalog(catalog)
-    _containment_cache.put(key, ("value", result))
+    _containment_cache.put_if(key, ("value", result), token)
     return result
 
 

@@ -188,3 +188,20 @@ class CircuitOpenError(SourceUnavailableError):
 
 class DeadlineExceededError(FaultError):
     """The operation's deadline expired before it could complete."""
+
+
+class ServiceError(ReproError):
+    """The delivery daemon is misconfigured or in an unusable state."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The daemon's bounded job queue is full; the request was shed.
+
+    A typed refusal: load-shedding is an explicit, observable outcome
+    (``repro_service_requests_total{outcome="shed"}``), never a hang or a
+    silent drop.
+    """
+
+
+class ServiceStoppedError(ServiceError):
+    """A request was submitted to a daemon that is not running."""

@@ -39,6 +39,24 @@ a **stable contract**, documented in ``docs/OBSERVABILITY.md``:
 ``repro_audit_anomalies_total{kind}``
     Disclosure records the auditor could not fully audit (e.g. the
     referenced report version is missing from the catalog).
+``repro_service_requests_total{kind,outcome}``
+    Requests processed by the delivery daemon, by request kind
+    (``deliver`` | ``mutate``) and outcome (``delivered``, ``refused``,
+    ``degraded``, ``applied``, ``shed``, ``error``).
+``repro_service_latency_seconds{kind}``
+    End-to-end daemon request latency (enqueue to completion), by kind.
+``repro_service_queue_depth``
+    Jobs currently waiting in the daemon's bounded queue.
+``repro_service_sessions``
+    Consumer sessions currently registered with the daemon.
+``repro_service_epoch``
+    The shared deployment's mutation epoch (bumps on every catalog/PLA/
+    report mutation the daemon applies).
+
+The ``repro_service_*`` metrics are recorded **unconditionally** by the
+daemon — they are its own operational telemetry, not tracing-gated
+instrumentation, so a live ``repro metrics`` scrape against a serving
+process always has data.
 
 All helpers assume the caller already checked :meth:`Tracer.active` — the
 disabled path never reaches this module.
@@ -63,6 +81,11 @@ __all__ = [
     "DEGRADED_DELIVERIES",
     "SPANS_DROPPED",
     "AUDIT_ANOMALIES",
+    "SERVICE_REQUESTS",
+    "SERVICE_LATENCY",
+    "SERVICE_QUEUE_DEPTH",
+    "SERVICE_SESSIONS",
+    "SERVICE_EPOCH",
     "LEVEL_SOURCE",
     "LEVEL_WAREHOUSE",
     "LEVEL_METAREPORT",
@@ -142,6 +165,28 @@ AUDIT_ANOMALIES = _registry.counter(
     "repro_audit_anomalies_total",
     "Disclosure records the auditor could not fully audit, by kind.",
     ("kind",),
+)
+SERVICE_REQUESTS = _registry.counter(
+    "repro_service_requests_total",
+    "Delivery-daemon requests, by kind and outcome.",
+    ("kind", "outcome"),
+)
+SERVICE_LATENCY = _registry.histogram(
+    "repro_service_latency_seconds",
+    "End-to-end daemon request latency (enqueue to completion), by kind.",
+    ("kind",),
+)
+SERVICE_QUEUE_DEPTH = _registry.gauge(
+    "repro_service_queue_depth",
+    "Jobs waiting in the daemon's bounded queue.",
+)
+SERVICE_SESSIONS = _registry.gauge(
+    "repro_service_sessions",
+    "Consumer sessions currently registered with the daemon.",
+)
+SERVICE_EPOCH = _registry.gauge(
+    "repro_service_epoch",
+    "Mutation epoch of the daemon's shared deployment.",
 )
 
 

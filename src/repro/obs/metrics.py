@@ -14,10 +14,17 @@ A deliberately small, zero-dependency subset of the Prometheus data model:
 so module-level metric handles stay valid across test boundaries.
 Rendering to the Prometheus text exposition format lives in
 :mod:`repro.obs.export`.
+
+Thread safety: every observation is a read-modify-write against a shared
+dict, so each metric carries its own lock — increments from concurrent
+delivery workers never lose counts, and snapshot methods (``value``,
+``samples``) see consistent states. The lock is per-metric (not
+per-registry) to keep unrelated hot counters from contending.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Any, Iterator
 
@@ -55,6 +62,7 @@ class _Metric:
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
 
     def _labels(self, labels: tuple) -> tuple:
         if len(labels) != len(self.labelnames):
@@ -80,17 +88,21 @@ class Counter(_Metric):
                 f"{self.name}: counters are monotonic; cannot add {amount}"
             )
         key = self._labels(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, labels: tuple = ()) -> float:
-        return self._values.get(tuple(str(v) for v in labels), 0.0)
+        with self._lock:
+            return self._values.get(tuple(str(v) for v in labels), 0.0)
 
     def samples(self) -> list[tuple[tuple, float]]:
         """``(labelvalues, value)`` pairs, sorted for deterministic output."""
-        return sorted(self._values.items())
+        with self._lock:
+            return sorted(self._values.items())
 
     def reset_values(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
 
 class Gauge(_Metric):
@@ -103,23 +115,29 @@ class Gauge(_Metric):
         self._values: dict[tuple, float] = {}
 
     def set(self, value: float, labels: tuple = ()) -> None:
-        self._values[self._labels(labels)] = float(value)
+        key = self._labels(labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def inc(self, amount: float = 1.0, labels: tuple = ()) -> None:
         key = self._labels(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, labels: tuple = ()) -> None:
         self.inc(-amount, labels)
 
     def value(self, labels: tuple = ()) -> float:
-        return self._values.get(tuple(str(v) for v in labels), 0.0)
+        with self._lock:
+            return self._values.get(tuple(str(v) for v in labels), 0.0)
 
     def samples(self) -> list[tuple[tuple, float]]:
-        return sorted(self._values.items())
+        with self._lock:
+            return sorted(self._values.items())
 
     def reset_values(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
 
 class Histogram(_Metric):
@@ -151,17 +169,16 @@ class Histogram(_Metric):
 
     def observe(self, value: float, labels: tuple = ()) -> None:
         key = self._labels(labels)
-        entry = self._data.get(key)
-        if entry is None:
-            entry = ([0] * (len(self.buckets) + 1), 0.0)
-            self._data[key] = entry
-        counts, total = entry
-        counts[bisect_left(self.buckets, value)] += 1
-        self._data[key] = (counts, total + value)
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                entry = ([0] * (len(self.buckets) + 1), 0.0)
+                self._data[key] = entry
+            counts, total = entry
+            counts[bisect_left(self.buckets, value)] += 1
+            self._data[key] = (counts, total + value)
 
-    def value(self, labels: tuple = ()) -> dict[str, Any]:
-        """Snapshot: per-bucket counts, +Inf count, sum, total count."""
-        key = tuple(str(v) for v in labels)
+    def _value_locked(self, key: tuple) -> dict[str, Any]:
         counts, total = self._data.get(key, ([0] * (len(self.buckets) + 1), 0.0))
         return {
             "buckets": tuple(zip(self.buckets, counts[:-1])),
@@ -170,11 +187,19 @@ class Histogram(_Metric):
             "count": sum(counts),
         }
 
+    def value(self, labels: tuple = ()) -> dict[str, Any]:
+        """Snapshot: per-bucket counts, +Inf count, sum, total count."""
+        key = tuple(str(v) for v in labels)
+        with self._lock:
+            return self._value_locked(key)
+
     def samples(self) -> list[tuple[tuple, dict[str, Any]]]:
-        return sorted((k, self.value(k)) for k in self._data)
+        with self._lock:
+            return sorted((k, self._value_locked(k)) for k in self._data)
 
     def reset_values(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 class MetricsRegistry:
@@ -187,8 +212,13 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     def _register(self, cls, name: str, help: str, labelnames: tuple, **kwargs):
+        with self._lock:
+            return self._register_locked(cls, name, help, labelnames, **kwargs)
+
+    def _register_locked(self, cls, name: str, help: str, labelnames: tuple, **kwargs):
         existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, cls):

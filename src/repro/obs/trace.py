@@ -107,6 +107,9 @@ class Tracer:
         self.on_finish: Callable[[Span], None] | None = None
         self.on_drop: Callable[[int], None] | None = None
         self._local = threading.local()
+        # Guards the shared finished deque + dropped counter; the open-span
+        # stack is thread-local and needs no lock.
+        self._finish_lock = threading.Lock()
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
 
@@ -139,8 +142,9 @@ class Tracer:
 
     def reset(self) -> None:
         """Drop all spans and restart ID numbering (tests, CLI runs)."""
-        self.finished.clear()
-        self.dropped = 0
+        with self._finish_lock:
+            self.finished.clear()
+            self.dropped = 0
         self._local = threading.local()
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
@@ -150,7 +154,8 @@ class Tracer:
         if max_finished < 0:
             raise ValueError("max_finished must be >= 0")
         self.max_finished = max_finished
-        self._evict()
+        with self._finish_lock:
+            self._evict_locked()
 
     # -- span lifecycle ------------------------------------------------------
 
@@ -198,12 +203,13 @@ class Tracer:
         while stack:
             if stack.pop() is span:
                 break
-        self.finished.append(span)
-        self._evict()
+        with self._finish_lock:
+            self.finished.append(span)
+            self._evict_locked()
         if self.on_finish is not None:
             self.on_finish(span)
 
-    def _evict(self) -> None:
+    def _evict_locked(self) -> None:
         evicted = 0
         while len(self.finished) > self.max_finished:
             self.finished.popleft()
@@ -217,25 +223,31 @@ class Tracer:
 
     def spans(self, trace_id: str | None = None) -> Iterable[Span]:
         """Finished spans, optionally filtered to one trace."""
+        with self._finish_lock:
+            snapshot = tuple(self.finished)
         if trace_id is None:
-            return tuple(self.finished)
-        return tuple(s for s in self.finished if s.trace_id == trace_id)
+            return snapshot
+        return tuple(s for s in snapshot if s.trace_id == trace_id)
 
     def drain(self) -> tuple[Span, ...]:
         """Hand finished spans to an exporter and clear retention.
 
         This is how long-lived exporters keep the tracer bounded: each
         export cycle drains, so retention only ever holds spans finished
-        since the last export.
+        since the last export. Atomic: a span finished concurrently lands
+        either in this drain or the next, never in both or neither.
         """
-        out = tuple(self.finished)
-        self.finished.clear()
+        with self._finish_lock:
+            out = tuple(self.finished)
+            self.finished.clear()
         return out
 
     def trace_ids(self) -> tuple[str, ...]:
         """Distinct trace IDs among finished spans, in first-seen order."""
+        with self._finish_lock:
+            snapshot = tuple(self.finished)
         seen: dict[str, None] = {}
-        for span in self.finished:
+        for span in snapshot:
             seen.setdefault(span.trace_id, None)
         return tuple(seen)
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Callable, Iterable
 
 from repro.errors import CatalogError
@@ -50,6 +51,14 @@ class Catalog:
         self.ddl_version = 0
         self.uid = next(Catalog._serial)
         self._mutation_hooks: list[Callable[["Catalog", str], None]] = []
+        # Serializes DDL mutations and hook registration against each other.
+        # Reentrant because mutation hooks may re-enter the catalog (e.g. to
+        # recompute state tokens while invalidating). Concurrent *readers*
+        # during a mutation are the serving layer's problem — the delivery
+        # daemon wraps deliveries/mutations in an RWLock; this lock only
+        # guarantees the catalog itself never corrupts its namespace or
+        # skips a hook when two writers collide.
+        self._lock = threading.RLock()
 
     # -- mutation notification ----------------------------------------------
 
@@ -61,42 +70,48 @@ class Catalog:
         derived from the old definitions (version-stamped keys make stale
         hits impossible regardless; the hook reclaims the memory eagerly).
         """
-        if hook not in self._mutation_hooks:
-            self._mutation_hooks.append(hook)
+        with self._lock:
+            if hook not in self._mutation_hooks:
+                self._mutation_hooks.append(hook)
 
     def _mutated(self, name: str) -> None:
+        # Caller holds self._lock; hooks run under it so a concurrent writer
+        # cannot interleave between the version bump and the invalidations.
         self.ddl_version += 1
-        for hook in self._mutation_hooks:
+        for hook in tuple(self._mutation_hooks):
             hook(self, name)
 
     # -- registration -------------------------------------------------------
 
     def add_table(self, table: Table, *, replace: bool = False) -> Table:
         """Register a base table under its own name."""
-        self._check_name_free(table.name, replace=replace)
-        self._views.pop(table.name, None)
-        self._tables[table.name] = table
-        self._mutated(table.name)
-        return table
+        with self._lock:
+            self._check_name_free(table.name, replace=replace)
+            self._views.pop(table.name, None)
+            self._tables[table.name] = table
+            self._mutated(table.name)
+            return table
 
     def add_view(self, view: View, *, replace: bool = False) -> View:
         """Register a view; rejects definitions that would cycle."""
-        self._check_name_free(view.name, replace=replace)
-        self._check_acyclic(view)
-        self._tables.pop(view.name, None)
-        self._views[view.name] = view
-        self._mutated(view.name)
-        return view
+        with self._lock:
+            self._check_name_free(view.name, replace=replace)
+            self._check_acyclic(view)
+            self._tables.pop(view.name, None)
+            self._views[view.name] = view
+            self._mutated(view.name)
+            return view
 
     def drop(self, name: str) -> None:
         """Remove a table or view; missing names raise :class:`CatalogError`."""
-        if name in self._tables:
-            del self._tables[name]
-        elif name in self._views:
-            del self._views[name]
-        else:
-            raise CatalogError(f"no table or view named {name!r}")
-        self._mutated(name)
+        with self._lock:
+            if name in self._tables:
+                del self._tables[name]
+            elif name in self._views:
+                del self._views[name]
+            else:
+                raise CatalogError(f"no table or view named {name!r}")
+            self._mutated(name)
 
     def _check_name_free(self, name: str, *, replace: bool) -> None:
         if not replace and (name in self._tables or name in self._views):
@@ -190,9 +205,13 @@ class Catalog:
         version and row count of every base table the query transitively
         reads. Two executions with equal tokens are guaranteed to see the
         same catalog state, which is what makes result caching sound.
+
+        Taken under the catalog lock so a token is never computed halfway
+        through another thread's DDL mutation.
         """
-        parts = tuple(
-            (name, self._tables[name].data_version, len(self._tables[name].rows))
-            for name in sorted(self.base_relations_of_query(query))
-        )
-        return (self.uid, self.ddl_version, parts)
+        with self._lock:
+            parts = tuple(
+                (name, self._tables[name].data_version, len(self._tables[name].rows))
+                for name in sorted(self.base_relations_of_query(query))
+            )
+            return (self.uid, self.ddl_version, parts)

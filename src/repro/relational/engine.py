@@ -69,11 +69,17 @@ def _dispatch(
     cache = cfg.effective_plan_cache()
     if cache is None:
         return execute_columnar(query, catalog, name=name)
-    cached = cache.lookup(query, catalog, cfg.mode, name=name)
+    # Reservation protocol: the key and invalidation token are captured
+    # *before* execution, so a catalog mutation landing mid-execution makes
+    # the commit a no-op instead of storing a stale result under a fresh key.
+    reservation = cache.begin(query, catalog, cfg.mode)
+    if reservation is None:
+        return execute_columnar(query, catalog, name=name)
+    cached = cache.fetch(reservation, name=name)
     if cached is not None:
         return cached
     result = execute_columnar(query, catalog, name=name)
-    cache.store(query, catalog, cfg.mode, result)
+    cache.commit(reservation, result)
     return result
 
 

@@ -12,10 +12,21 @@ generations don't linger until LRU pressure.
 Cached values are immutable snapshots ``(name, schema, rows, provenance,
 provider)``; every hit rebuilds a fresh :class:`Table`, so callers can never
 corrupt the cache by mutating a result.
+
+Concurrency: the executor uses the **reservation** protocol
+(:meth:`PlanCache.begin` → :meth:`PlanCache.fetch` →
+:meth:`PlanCache.commit`) rather than lookup-then-store. A reservation
+captures the cache key *and* the invalidation generation before execution
+starts; committing re-checks the generation, so a result computed against
+pre-mutation state can never be stored under a post-mutation key. (The old
+lookup/store pair recomputed the key at store time — under concurrency a
+stale result could land under the fresh token.)
 """
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.cache import CacheStats, LRUCache
@@ -28,7 +39,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.relational.catalog import Catalog
     from repro.relational.query import Query
 
-__all__ = ["PlanCache", "default_plan_cache"]
+__all__ = ["PlanCache", "PlanReservation", "default_plan_cache"]
+
+
+@dataclass(frozen=True)
+class PlanReservation:
+    """Key + invalidation token captured before an execution begins.
+
+    Holding one pins the catalog state the upcoming result will be computed
+    against: the key embeds the state token observed at ``begin`` time and
+    ``token`` is the cache generation at that instant. :meth:`PlanCache.commit`
+    refuses the fill if any invalidation ran in between.
+    """
+
+    key: tuple
+    token: int
+    catalog: "Catalog"
 
 
 class PlanCache:
@@ -37,6 +63,7 @@ class PlanCache:
     def __init__(self, maxsize: int = 256) -> None:
         self._cache = LRUCache(maxsize=maxsize)
         self._hooked_catalogs: set[int] = set()
+        self._hook_lock = threading.Lock()
 
     @property
     def stats(self) -> CacheStats:
@@ -51,32 +78,41 @@ class PlanCache:
         return (query.fingerprint(), catalog.state_token(query), mode)
 
     def _ensure_hook(self, catalog: "Catalog") -> None:
-        if catalog.uid in self._hooked_catalogs:
-            return
-        self._hooked_catalogs.add(catalog.uid)
+        with self._hook_lock:
+            if catalog.uid in self._hooked_catalogs:
+                return
+            self._hooked_catalogs.add(catalog.uid)
         catalog.add_mutation_hook(self._on_catalog_mutation)
 
     def _on_catalog_mutation(self, catalog: "Catalog", name: str) -> None:
         self.invalidate_catalog(catalog)
 
-    # -- cache protocol -----------------------------------------------------
+    # -- reservation protocol -------------------------------------------------
 
-    def lookup(
-        self,
-        query: "Query",
-        catalog: "Catalog",
-        mode: str,
-        *,
-        name: str | None = None,
-    ) -> Table | None:
-        """A fresh :class:`Table` rebuilt from a cached snapshot, or ``None``."""
+    def begin(
+        self, query: "Query", catalog: "Catalog", mode: str
+    ) -> PlanReservation | None:
+        """Capture key + invalidation token for an execution starting *now*.
+
+        Returns ``None`` when the query is not keyable (unresolvable relation
+        chain); the executor then runs uncached and reports the error with
+        query-level context.
+        """
+        # Hook before token capture: a mutation landing after this line must
+        # bump the generation, or the eventual commit would fill stale.
+        self._ensure_hook(catalog)
+        token = self._cache.fill_token()
         try:
             key = self._key(query, catalog, mode)
         except CatalogError:
-            # Unresolvable relation chain: not keyable. Fall through to the
-            # executor, which reports the error with query-level context.
             return None
-        snap = self._cache.get(key)
+        return PlanReservation(key=key, token=token, catalog=catalog)
+
+    def fetch(
+        self, reservation: PlanReservation, *, name: str | None = None
+    ) -> Table | None:
+        """A fresh :class:`Table` rebuilt from the reserved key, or ``None``."""
+        snap = self._cache.get(reservation.key)
         if TRACER.active():
             instrument.cache_lookup("plan", snap is not None)
         if snap is None:
@@ -90,15 +126,15 @@ class PlanCache:
             provider=provider,
         )
 
-    def store(
-        self, query: "Query", catalog: "Catalog", mode: str, result: Table
-    ) -> None:
-        """Snapshot ``result`` under the current catalog state."""
-        try:
-            key = self._key(query, catalog, mode)
-        except CatalogError:
-            return
-        self._ensure_hook(catalog)
+    def commit(self, reservation: PlanReservation, result: Table) -> bool:
+        """Fill the reserved key, unless an invalidation intervened.
+
+        Returns True when the fill landed. A False return means a catalog
+        mutation (or explicit clear) ran between ``begin`` and now; the
+        result was computed against superseded state and is discarded
+        (counted in ``stats.dropped_fills``).
+        """
+        self._ensure_hook(reservation.catalog)
         snap = (
             result.name,
             result.schema,
@@ -106,7 +142,36 @@ class PlanCache:
             tuple(result.provenance),
             result.provider,
         )
-        self._cache.put(key, snap)
+        return self._cache.put_if(reservation.key, snap, reservation.token)
+
+    # -- legacy lookup/store protocol -----------------------------------------
+
+    def lookup(
+        self,
+        query: "Query",
+        catalog: "Catalog",
+        mode: str,
+        *,
+        name: str | None = None,
+    ) -> Table | None:
+        """A fresh :class:`Table` rebuilt from a cached snapshot, or ``None``.
+
+        Single-threaded convenience; concurrent callers should use the
+        reservation protocol so key capture and fill are race-free.
+        """
+        reservation = self.begin(query, catalog, mode)
+        if reservation is None:
+            return None
+        return self.fetch(reservation, name=name)
+
+    def store(
+        self, query: "Query", catalog: "Catalog", mode: str, result: Table
+    ) -> None:
+        """Snapshot ``result`` under the current catalog state (legacy path)."""
+        reservation = self.begin(query, catalog, mode)
+        if reservation is None:
+            return
+        self.commit(reservation, result)
 
     # -- invalidation -------------------------------------------------------
 

@@ -1,0 +1,81 @@
+"""repro.service — the long-running concurrent delivery daemon.
+
+The paper's outsourced-BI model assumes reports flow continuously to many
+consumers under live PLAs; this package turns the batch pipeline into that
+serving layer:
+
+* :mod:`repro.service.state` — one shared deployment behind a
+  write-preferring readers–writer lock. Deliveries run concurrently under
+  the read lock; mutations (fact inserts, PLA revisions, report
+  redefinitions) take the write lock, bump the mutation *epoch*, and
+  thereby the state tokens every cache keys on. A commit log — appended
+  atomically with the audit hash chain — records the serial order the
+  concurrent run is equivalent to.
+* :mod:`repro.service.daemon` — a thread-pool worker daemon with a bounded
+  job queue (overflow is a typed :class:`~repro.errors.ServiceOverloadedError`,
+  never a hang), per-consumer sessions, and unconditional operational
+  metrics (``repro_service_*``).
+* :mod:`repro.service.linearize` — the serial-equivalence checker: replays
+  the commit log against a fresh deployment and verifies payload hashes,
+  audit chain hashes, and refusal decisions are byte-identical.
+* :mod:`repro.service.loadgen` — the deterministic load harness behind
+  ``repro loadgen`` and ``benchmarks/bench_service.py``.
+* :mod:`repro.service.httpd` — a zero-dependency HTTP face
+  (``/metrics``, ``/healthz``, ``/stats``, ``POST /deliver``) so
+  ``repro metrics --url`` can scrape a live daemon.
+
+See ``docs/SERVICE.md`` for the worker model and the linearizability
+argument.
+"""
+
+from __future__ import annotations
+
+from repro.service.daemon import DeliveryDaemon, RequestResult, Session
+from repro.service.httpd import start_http_server
+from repro.service.linearize import (
+    LinearizabilityReport,
+    chain_digest,
+    check_linearizable,
+    payload_hash,
+)
+from repro.service.loadgen import (
+    LOAD_MIXES,
+    LoadResult,
+    LoadSpec,
+    build_schedule,
+    percentile,
+    run_load,
+    run_mix,
+)
+from repro.service.state import (
+    CommitEntry,
+    MUTATION_KINDS,
+    MutationSpec,
+    RefusalEntry,
+    ServiceState,
+    apply_mutation_to,
+)
+
+__all__ = [
+    "ServiceState",
+    "MutationSpec",
+    "MUTATION_KINDS",
+    "CommitEntry",
+    "RefusalEntry",
+    "apply_mutation_to",
+    "DeliveryDaemon",
+    "Session",
+    "RequestResult",
+    "LinearizabilityReport",
+    "check_linearizable",
+    "payload_hash",
+    "chain_digest",
+    "LoadSpec",
+    "LoadResult",
+    "LOAD_MIXES",
+    "build_schedule",
+    "percentile",
+    "run_load",
+    "run_mix",
+    "start_http_server",
+]

@@ -1,0 +1,289 @@
+"""Deterministic load generation against a running delivery daemon.
+
+The harness behind ``repro loadgen`` and ``benchmarks/bench_service.py``:
+N concurrent consumers each submit a seeded, pre-built schedule of
+requests — mostly deliveries, with catalog/PLA/report mutations mixed in
+at the mix's rate — and the run reports throughput plus nearest-rank
+p50/p95/p99 latency. Schedules are pure functions of ``(scenario, spec)``,
+so two runs with the same seed submit byte-identical request streams (the
+*interleaving* stays up to the scheduler — that is what the
+linearizability check is for).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ServiceError
+from repro.service.daemon import DeliveryDaemon
+from repro.service.linearize import check_linearizable
+from repro.service.state import MUTATION_KINDS, MutationSpec, ServiceState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.scenario import Scenario
+
+__all__ = [
+    "LOAD_MIXES",
+    "LoadSpec",
+    "LoadResult",
+    "build_schedule",
+    "percentile",
+    "run_load",
+    "run_mix",
+]
+
+#: Mix name -> probability that any one request is a mutation.
+LOAD_MIXES = {"read_heavy": 0.03, "mutation_heavy": 0.30}
+
+#: The standard scenario's consumers, one per role.
+ROLE_TO_USER = {
+    "analyst": "ann",
+    "auditor": "aldo",
+    "health_director": "dora",
+    "municipality_official": "mara",
+}
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load run: who submits how much of what."""
+
+    consumers: int = 32
+    requests_per_consumer: int = 20
+    mix: str = "read_heavy"
+    seed: int = 11
+    #: Probability a delivery targets a user/purpose the report's audience
+    #: actually admits (the rest exercise the refusal path).
+    compliant_bias: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.mix not in LOAD_MIXES:
+            raise ServiceError(
+                f"unknown load mix {self.mix!r}; expected one of "
+                f"{sorted(LOAD_MIXES)}"
+            )
+        if self.consumers < 1 or self.requests_per_consumer < 1:
+            raise ServiceError("consumers and requests_per_consumer must be >= 1")
+
+
+def build_schedule(
+    scenario: "Scenario", spec: LoadSpec
+) -> list[list[tuple[Any, ...]]]:
+    """One deterministic op list per consumer thread.
+
+    Ops are ``("mutate", MutationSpec)`` or
+    ``("deliver", report, user, purpose)``. Each consumer derives its own
+    RNG from ``spec.seed`` and its index, so schedules are stable under
+    any thread interleaving and independent of consumer count changes
+    elsewhere.
+    """
+    import random
+
+    from repro.simulation.scenario import PURPOSES
+
+    definitions = list(scenario.workload)
+    if not definitions:
+        raise ServiceError("scenario has an empty report workload")
+    users = sorted(ROLE_TO_USER.values())
+    mutation_rate = LOAD_MIXES[spec.mix]
+
+    schedules: list[list[tuple[Any, ...]]] = []
+    for i in range(spec.consumers):
+        rng = random.Random(spec.seed * 1000 + i)
+        ops: list[tuple[Any, ...]] = []
+        for _ in range(spec.requests_per_consumer):
+            if rng.random() < mutation_rate:
+                kind = MUTATION_KINDS[rng.randrange(len(MUTATION_KINDS))]
+                ops.append(("mutate", MutationSpec(kind, seed=rng.randrange(10_000))))
+                continue
+            definition = definitions[rng.randrange(len(definitions))]
+            if rng.random() < spec.compliant_bias:
+                role = sorted(definition.audience)[0]
+                user = ROLE_TO_USER[role]
+                purpose = definition.purpose
+            else:
+                user = users[rng.randrange(len(users))]
+                purpose = PURPOSES[rng.randrange(len(PURPOSES))]
+            ops.append(("deliver", definition.name, user, purpose))
+        schedules.append(ops)
+    return schedules
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil without math
+    return sorted_values[int(rank) - 1]
+
+
+@dataclass
+class LoadResult:
+    """Measured outcome of one load run."""
+
+    mix: str
+    consumers: int
+    requests: int
+    wall_s: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    outcomes: dict[str, int] = field(default_factory=dict)
+    epoch: int = 0
+    linearizability: dict[str, Any] | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        out = {
+            "mix": self.mix,
+            "consumers": self.consumers,
+            "requests": self.requests,
+            "wall_s": round(self.wall_s, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "outcomes": dict(self.outcomes),
+            "epoch": self.epoch,
+        }
+        if self.linearizability is not None:
+            out["linearizability"] = self.linearizability
+        return out
+
+
+def run_load(
+    daemon: DeliveryDaemon, scenario: "Scenario", spec: LoadSpec
+) -> LoadResult:
+    """Drive ``daemon`` with ``spec``'s schedule and measure it.
+
+    One thread per consumer; each op blocks on its future (submit →
+    result is the measured latency), so a consumer models a synchronous
+    client and the daemon's bounded queue provides the backpressure.
+    """
+    schedules = build_schedule(scenario, spec)
+    latencies: list[list[float]] = [[] for _ in schedules]
+    outcomes: dict[str, int] = {}
+    outcomes_lock = threading.Lock()
+
+    def consumer(index: int, ops: list[tuple[Any, ...]]) -> None:
+        for op in ops:
+            t0 = time.perf_counter()
+            if op[0] == "mutate":
+                result = daemon.submit_mutation(op[1]).result(timeout=120.0)
+            else:
+                _, report, user, purpose = op
+                result = daemon.submit_delivery(
+                    report, user=user, purpose=purpose
+                ).result(timeout=120.0)
+            latencies[index].append(time.perf_counter() - t0)
+            with outcomes_lock:
+                outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+
+    threads = [
+        threading.Thread(target=consumer, args=(i, ops), name=f"loadgen-{i}")
+        for i, ops in enumerate(schedules)
+    ]
+    t_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - t_start
+
+    flat = sorted(lat for per_consumer in latencies for lat in per_consumer)
+    requests = len(flat)
+    return LoadResult(
+        mix=spec.mix,
+        consumers=spec.consumers,
+        requests=requests,
+        wall_s=wall_s,
+        throughput_rps=requests / wall_s if wall_s > 0 else 0.0,
+        p50_ms=percentile(flat, 50) * 1000,
+        p95_ms=percentile(flat, 95) * 1000,
+        p99_ms=percentile(flat, 99) * 1000,
+        outcomes=outcomes,
+        epoch=daemon.state.epoch,
+    )
+
+
+def run_mix(
+    mix: str,
+    *,
+    consumers: int = 32,
+    requests_per_consumer: int = 12,
+    seed: int = 11,
+    workers: int = 8,
+    check: bool = False,
+    fault_plan: str | None = None,
+    scenario_factory: Callable[[], "Scenario"] | None = None,
+) -> LoadResult:
+    """Build a fresh deployment, run one mix against it, tear down.
+
+    With ``check=True`` the commit log is replayed serially afterwards and
+    the linearizability verdict lands in ``result.linearizability``
+    (fault-free runs only — ``check`` and ``fault_plan`` are mutually
+    exclusive because injected faults are order-dependent).
+
+    ``fault_plan`` names a built-in plan (``smoke``, ``flaky``, …) to
+    install as a degrade-mode resilience policy on the live daemon.
+    """
+    if check and fault_plan:
+        raise ServiceError(
+            "linearizability checking requires a fault-free run; "
+            "drop --check or the fault plan"
+        )
+    if scenario_factory is None:
+        from repro.simulation.scenario import build_scenario
+
+        scenario_factory = build_scenario
+    scenario = scenario_factory()
+    state = ServiceState(scenario, factory=scenario_factory)
+    daemon = DeliveryDaemon(
+        state, workers=workers, queue_size=max(64, 2 * consumers)
+    )
+    if check:
+        # Serial equivalence demands a fault-free run: strip any
+        # process-default resilience a REPRO_FAULTS environment installed.
+        state.service.resilience = None
+    if fault_plan:
+        daemon.state.service.resilience = _fault_resilience(fault_plan)
+    spec = LoadSpec(
+        consumers=consumers,
+        requests_per_consumer=requests_per_consumer,
+        mix=mix,
+        seed=seed,
+    )
+    with daemon:
+        result = run_load(daemon, scenario, spec)
+    if check:
+        commit_log, refusal_log = state.logs_snapshot()
+        report = check_linearizable(scenario_factory, commit_log, refusal_log)
+        result.linearizability = report.as_dict()
+    return result
+
+
+def _fault_resilience(plan_name: str):
+    """A degrade-mode resilience policy over a named fault plan.
+
+    Backoff sleeps are disabled — the plan's faults are simulated, so
+    waiting on them would only slow the load run without measuring
+    anything real.
+    """
+    from repro.resilience import (
+        BreakerRegistry,
+        DeliveryResilience,
+        FaultInjector,
+        ResiliencePolicy,
+        named_plan,
+    )
+
+    no_sleep = lambda _s: None  # noqa: E731
+    policy = ResiliencePolicy(
+        injector=FaultInjector(named_plan(plan_name), sleep=no_sleep),
+        breakers=BreakerRegistry(),
+        sleep=no_sleep,
+    )
+    return DeliveryResilience(policy=policy, mode="degrade")

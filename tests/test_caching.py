@@ -404,3 +404,115 @@ class TestVerdictCache:
         assert checker.invalidate_cache() == 1
         checker.check_report(report)
         assert checker.cache_stats()["misses"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Invalidation-atomic fills (the stale-fill race)
+# ---------------------------------------------------------------------------
+
+
+class TestInvalidationAtomicFills:
+    """A fill computed before an invalidation must never land after it."""
+
+    def test_put_if_drops_fill_after_invalidation(self):
+        from repro.cache import LRUCache
+
+        cache = LRUCache(maxsize=8)
+        token = cache.fill_token()
+        cache.invalidate_where(lambda _k: True)  # writer wins the race
+        assert cache.put_if("k", "stale", token) is False
+        assert cache.get("k") is None
+        assert cache.stats.dropped_fills == 1
+
+    def test_put_if_lands_without_interleaved_invalidation(self):
+        from repro.cache import LRUCache
+
+        cache = LRUCache(maxsize=8)
+        token = cache.fill_token()
+        assert cache.put_if("k", "fresh", token) is True
+        assert cache.get("k") == "fresh"
+        assert cache.stats.dropped_fills == 0
+
+    def test_get_or_compute_mid_compute_invalidation_not_resurrected(self):
+        from repro.cache import LRUCache
+
+        cache = LRUCache(maxsize=8)
+
+        def compute():
+            # An invalidation lands while the (slow) compute is running.
+            cache.clear()
+            return "computed-against-old-state"
+
+        # Caller still gets its value, but the cache must not keep it.
+        assert cache.get_or_compute("k", compute) == "computed-against-old-state"
+        assert cache.get("k") is None
+        assert cache.stats.dropped_fills == 1
+
+    def test_plan_reservation_fill_dropped_by_concurrent_ddl(self):
+        """A plan computed under pre-mutation state never fills post-mutation."""
+        from repro.relational import execute_columnar
+
+        cat = patient_catalog()
+        cache = PlanCache()
+        q = parse_query("SELECT region FROM visits WHERE cost > 15")
+
+        reservation = cache.begin(q, cat, "columnar")
+        assert reservation is not None
+        result = execute_columnar(q, cat)
+        # DDL lands between compute and commit (the old store() raced here).
+        cat.add_view(View("late", parse_query("SELECT region FROM visits")))
+        assert cache.commit(reservation, result) is False
+        assert cache.stats.dropped_fills >= 1
+
+        # The next lookup sees nothing stale and recomputes cleanly.
+        fresh = cache.begin(q, cat, "columnar")
+        assert fresh is not None
+        assert cache.fetch(fresh) is None
+        ok = cache.commit(fresh, execute_columnar(q, cat))
+        assert ok is True
+        cached = cache.fetch(fresh)
+        assert cached is not None
+        assert list(cached.rows) == list(result.rows)
+
+    def test_plan_reservation_stress_under_concurrent_mutations(self):
+        """Readers fill, a writer mutates: no reader ever observes a stale row."""
+        import threading
+
+        from repro.relational import execute_columnar
+
+        cat = patient_catalog()
+        cache = PlanCache()
+        cfg = ExecutionConfig(mode="columnar", plan_cache=cache)
+        q = parse_query("SELECT region, cost FROM visits WHERE cost >= 0")
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                out = execute(q, cat, config=cfg)
+                # Row multiset must match a bare (uncached) execution taken
+                # *after*: the table only grows, so a stale cached answer
+                # would be a strict subset missing the newest row forever.
+                live = execute_columnar(q, cat)
+                if len(out) > len(live):
+                    errors.append(f"cached {len(out)} rows > live {len(live)}")
+                    return
+
+        def writer() -> None:
+            visits = cat.table("visits")
+            for i in range(40):
+                visits.insert((f"P{i}", "north", "flu", 50 + i))
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        writer_thread.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert errors == []
+        # And the cache converges: a final execution returns the full table.
+        final = execute(q, cat, config=cfg)
+        assert len(final) == len(execute_columnar(q, cat)) == 44

@@ -566,3 +566,54 @@ class TestTracerThreads:
             t.start()
             t.join()
             assert seen == [False]  # the other thread does not
+
+
+class TestMetricThreadSafety:
+    """Regression: unsynchronized read-modify-write increments lost counts."""
+
+    def test_two_threads_lose_no_counter_increments(self):
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "d", ("who",))
+        n = 10_000
+
+        def worker(label: str) -> None:
+            for _ in range(n):
+                counter.inc(1, (label,))
+                counter.inc(1, ("shared",))
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in ("alpha", "beta")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value(("alpha",)) == n
+        assert counter.value(("beta",)) == n
+        # The contended label is where the torn read-modify-write showed.
+        assert counter.value(("shared",)) == 2 * n
+
+    def test_two_threads_lose_no_histogram_observations(self):
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "d", ("op",))
+        n = 5_000
+
+        def worker() -> None:
+            for i in range(n):
+                hist.observe(0.001 * (i % 7), ("op",))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.value(("op",))["count"] == 2 * n
