@@ -1,17 +1,23 @@
-"""Verifier benchmark: solver throughput and whole-catalog verify wall time.
+"""Verifier benchmark: solver throughput, whole-catalog and incremental verify.
 
 The cross-level verifier runs on every catalog mutation in CI, so its cost
-must stay interactive. Two measurements:
+must stay interactive. Three measurements:
 
 * **solver throughput** — implication/satisfiability decisions per second
   over a generated mix of conjunctive range/equality/IN/NULL predicates
   shaped like the healthcare workload's filters;
 * **whole-catalog verify** — wall time of a full :class:`DeploymentVerifier`
   pass (replay included) over scenarios with 10/100/1000 reports (smoke:
-  5/20), the §5 scaling axis that dominates real deployments.
+  5/20), the §5 scaling axis that dominates real deployments;
+* **incremental re-verification** — after mutating one report in a
+  verification-bound catalog (rich predicates, so solver work rather than
+  keying cost dominates), a warm :class:`IncrementalVerifier` pass must
+  produce verdicts identical to a cold full pass and beat it by the gated
+  factor (full runs: ≥20×; smoke: ≥2×, the fixture is tiny).
 
 ``main`` (via ``python benchmarks/run_all.py verify`` or ``repro bench
-verify``) prints the table and optionally writes ``BENCH_verify.json``.
+verify``) prints the table and optionally writes ``BENCH_verify.json``,
+including a ``gates`` list consumed by ``run_all.py``'s consolidated table.
 """
 
 from __future__ import annotations
@@ -20,6 +26,10 @@ import json
 import time
 from typing import Any
 
+from repro.core.containment import clear_proof_caches
+from repro.core.metareport import MetaReport, MetaReportSet
+from repro.core.pla import PLA, IntensionalCondition, PlaLevel, PlaStatus
+from repro.relational import Catalog, Query, Table, make_schema
 from repro.relational.expressions import (
     And,
     Col,
@@ -31,10 +41,14 @@ from repro.relational.expressions import (
     Not,
     Or,
 )
+from repro.relational.types import ColumnType
+from repro.reports.definition import ReportDefinition
 from repro.simulation import ScenarioConfig, build_scenario
 from repro.verify import (
     DeploymentVerifier,
+    IncrementalVerifier,
     Sat,
+    SourcePolicy,
     VerificationInput,
     implication_counterexample,
     satisfiable,
@@ -44,6 +58,12 @@ JSON_PATH = "BENCH_verify.json"
 
 FULL_SIZES = (10, 100, 1000)
 SMOKE_SIZES = (5, 20)
+
+#: Warm incremental re-verification vs a cold full pass, after one report
+#: mutation. The smoke fixture is small enough that fixed costs cap the
+#: ratio, so it only sanity-checks the machinery.
+INCREMENTAL_GATE_FULL = 20.0
+INCREMENTAL_GATE_SMOKE = 2.0
 
 
 def _predicate_mix(n: int) -> list[tuple[Expr, Expr]]:
@@ -118,15 +138,190 @@ def run_catalog_bench(sizes: tuple[int, ...]) -> list[dict[str, Any]]:
     return rows
 
 
+# ---------------------------------------------------------------------------
+# Incremental re-verification (verification-bound fixture)
+# ---------------------------------------------------------------------------
+
+_DISEASES = ("asthma", "diabetes", "flu", "hypertension", "HIV")
+_COLS = ("patient", "drug", "disease", "doctor", "zip", "gender", "cost")
+
+
+def _rich_predicate(i: int) -> Expr:
+    """A solver-heavy predicate: range ∧ IN ∧ NOT NULL ∨ equality branches.
+
+    The seed scenario's filters decide in ~20µs each, which makes keying
+    cost — not proving cost — the bottleneck and says nothing about real
+    deployments. These shapes cost ~0.2ms per solver decision, so the
+    incremental speedup measures avoided *proof* work.
+    """
+    lo, hi = (i % 7) * 10, (i % 7) * 10 + 50 + (i % 3)
+    p: Expr = And(
+        Comparison(">", Col("cost"), Lit(lo)),
+        Comparison("<", Col("cost"), Lit(hi)),
+    )
+    if i % 2:
+        p = And(p, InList(Col("disease"), _DISEASES[: 2 + i % 3]))
+    if i % 3 == 0:
+        p = And(p, Not(IsNull(Col("drug"))))
+    if i % 5 == 0:
+        p = Or(p, Comparison("=", Col("disease"), Lit(_DISEASES[i % 5])))
+    return p
+
+
+def build_verification_bound_input(
+    n_reports: int, *, n_metareports: int = 6
+) -> VerificationInput:
+    """A deployment whose verification cost is dominated by solver work."""
+    cat = Catalog()
+    schema = make_schema(
+        *(
+            (c, ColumnType.INT if c == "cost" else ColumnType.STRING, True)
+            for c in _COLS
+        )
+    )
+    cat.add_table(Table.from_rows("universe", schema, [], provider="warehouse"))
+    metareports = MetaReportSet()
+    for m in range(n_metareports):
+        region = And(
+            Comparison(">", Col("cost"), Lit(-10 * m - 10)),
+            Not(Comparison("=", Col("disease"), Lit("HIV"))),
+        )
+        query = Query.from_("universe").filter(region).project(*_COLS)
+        mr = MetaReport(f"mr_{m}", query)
+        pla = PLA(
+            f"pla_mr_{m}",
+            "owner",
+            PlaLevel.METAREPORT,
+            f"mr_{m}",
+            (
+                IntensionalCondition(
+                    "disease", _rich_predicate(m + 3), "suppress_row"
+                ),
+            ),
+            status=PlaStatus.APPROVED,
+        )
+        mr.attach_pla(pla)
+        metareports.add(mr)
+    metareports.register_views(cat)
+    reports = []
+    for i in range(n_reports):
+        query = (
+            Query.from_(f"mr_{i % n_metareports}")
+            .filter(_rich_predicate(i))
+            .project("drug", "disease", "cost")
+        )
+        reports.append(
+            ReportDefinition(
+                f"r_{i}", f"R {i}", query, frozenset({"analyst"}), "care"
+            )
+        )
+    policies = tuple(
+        SourcePolicy(
+            f"policy_{k}",
+            "universe",
+            Or(_rich_predicate(k + 11), IsNull(Col("cost"))),
+        )
+        for k in range(4)
+    )
+    return VerificationInput(
+        catalog=cat,
+        metareports=metareports,
+        reports=tuple(reports),
+        universe="universe",
+        universe_columns=_COLS,
+        source_policies=policies,
+    )
+
+
+def run_incremental_bench(*, smoke: bool = False) -> dict[str, Any]:
+    """Mutate one report, then race warm incremental vs cold full verify."""
+    n_reports = 20 if smoke else 200
+    target = build_verification_bound_input(n_reports)
+
+    # Populate the verdict cache (untimed), then mutate one report — the
+    # warm pass must re-prove exactly that unit and reuse everything else.
+    verifier = IncrementalVerifier(target)
+    verifier.verify()
+    mutated = target.reports[n_reports // 2]
+    new_query = (
+        Query.from_(mutated.query.source)
+        .filter(_rich_predicate(n_reports + 1))
+        .project("drug", "disease", "cost")
+    )
+    reports = tuple(
+        r.with_query(new_query) if r is mutated else r for r in target.reports
+    )
+    target = VerificationInput(
+        catalog=target.catalog,
+        metareports=target.metareports,
+        reports=reports,
+        universe=target.universe,
+        universe_columns=target.universe_columns,
+        source_policies=target.source_policies,
+    )
+    cache = verifier.cache
+    cache.hits = cache.misses = 0  # report the warm pass, not the populate
+    verifier = IncrementalVerifier(target, cache=cache)
+
+    # Warm incremental first: timing cold afterwards means the cold run
+    # cannot donate proof-cache warmth to the measurement it is racing.
+    start = time.perf_counter()
+    warm_report = verifier.verify()
+    warm_s = time.perf_counter() - start
+
+    clear_proof_caches()  # cold = fresh process: no memoized proofs either
+    start = time.perf_counter()
+    full_report = DeploymentVerifier(target).verify()
+    cold_s = time.perf_counter() - start
+
+    identical = [
+        (r.code, r.location, r.verdict) for r in warm_report.results
+    ] == [(r.code, r.location, r.verdict) for r in full_report.results]
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    gate = INCREMENTAL_GATE_SMOKE if smoke else INCREMENTAL_GATE_FULL
+    return {
+        "n_reports": n_reports,
+        "checks": len(full_report.results),
+        "cold_full_s": cold_s,
+        "warm_incremental_s": warm_s,
+        "speedup": speedup,
+        "units_reused": verifier.cache.hits,
+        "units_reproved": verifier.cache.misses,
+        "verdicts_identical": identical,
+        "gate": gate,
+        "passed": identical and speedup >= gate,
+    }
+
+
 def run_verify_bench(*, smoke: bool = False) -> dict[str, Any]:
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     solver = run_solver_bench(n_predicates=100 if smoke else 400)
     catalog = run_catalog_bench(sizes)
+    incremental = run_incremental_bench(smoke=smoke)
+    gates = [
+        {
+            "name": "incremental_warm_vs_cold",
+            "value": incremental["speedup"],
+            "threshold": incremental["gate"],
+            "passed": incremental["speedup"] >= incremental["gate"],
+        },
+        {
+            "name": "incremental_verdicts_identical",
+            "value": 1.0 if incremental["verdicts_identical"] else 0.0,
+            "threshold": 1.0,
+            "passed": incremental["verdicts_identical"],
+        },
+    ]
     return {
         "smoke": smoke,
         "solver": solver,
         "catalog": catalog,
-        "passed": all(r["refuted"] == 0 and r["unknown"] == 0 for r in catalog),
+        "incremental": incremental,
+        "gates": gates,
+        "passed": (
+            all(r["refuted"] == 0 and r["unknown"] == 0 for r in catalog)
+            and all(g["passed"] for g in gates)
+        ),
     }
 
 
@@ -148,8 +343,25 @@ def _print_report(results: dict[str, Any]) -> None:
             f"{r['n_reports']:>8} {r['checks']:>7} {verdicts:>22} "
             f"{r['elapsed_s']:>8.3f} {r['checks_per_s']:>9.1f}"
         )
+    inc = results["incremental"]
+    print("\nIncremental re-verification (verification-bound fixture)")
+    print(
+        f"  {inc['n_reports']} reports, {inc['checks']} checks; one report "
+        f"mutated: cold full {inc['cold_full_s']:.3f}s, warm incremental "
+        f"{inc['warm_incremental_s']:.3f}s = {inc['speedup']:.1f}x "
+        f"({inc['units_reused']} units reused, {inc['units_reproved']} "
+        "re-proved, verdicts "
+        + ("identical" if inc["verdicts_identical"] else "DIVERGED")
+        + ")"
+    )
+    for g in results["gates"]:
+        status = "PASS" if g["passed"] else "FAIL"
+        print(
+            f"  gate {g['name']}: {g['value']:.1f} "
+            f"(>= {g['threshold']:.1f} required) {status}"
+        )
     verdict = "PASS" if results["passed"] else "FAIL"
-    print(f"\n{verdict}: seed deployment verifies clean at every size.")
+    print(f"\n{verdict}: clean verification at every size and all gates hold.")
 
 
 def main(*, smoke: bool = False, json_path: str | None = None) -> int:
@@ -171,6 +383,7 @@ def test_verify_bench_smoke():
     results = run_verify_bench(smoke=True)
     assert results["solver"]["decisions_per_s"] > 0
     assert results["catalog"], "no catalog sizes measured"
+    assert results["incremental"]["verdicts_identical"]
     assert results["passed"], "seed deployment did not verify clean"
 
 

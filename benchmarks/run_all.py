@@ -16,6 +16,12 @@ runner exits nonzero, so CI can't silently publish half a result set.
 engine bench), shrinking sizes for a fast sanity pass. ``--json`` makes the
 engine bench write its numbers to ``BENCH_engine.json`` in the working
 directory.
+
+After the targets run, the runner prints a consolidated summary over every
+``BENCH_*.json`` present in the working directory — per file, the gate
+results (``gates`` lists plus legacy top-level ``passed`` booleans) — and
+exits nonzero if any gate regressed, whether the file was just rewritten or
+is the committed baseline.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import inspect
+import json
 import pathlib
 import sys
 import time
@@ -74,6 +81,77 @@ def _target_kwargs(entry, *, name: str, smoke: bool, emit_json: bool) -> dict:
     return kwargs
 
 
+def _collect_gates(data: object) -> list[dict]:
+    """Normalize one BENCH_*.json payload into gate rows.
+
+    Structured ``gates`` lists are taken as-is; a top-level ``passed``
+    boolean (the older bench convention) becomes a single synthetic gate so
+    every file contributes at least one row to the summary.
+    """
+    gates: list[dict] = []
+    if not isinstance(data, dict):
+        return gates
+    for gate in data.get("gates") or []:
+        if isinstance(gate, dict) and "passed" in gate:
+            gates.append(
+                {
+                    "name": str(gate.get("name", "unnamed")),
+                    "value": gate.get("value"),
+                    "threshold": gate.get("threshold"),
+                    "passed": bool(gate["passed"]),
+                }
+            )
+    if "passed" in data:
+        gates.append(
+            {
+                "name": "overall",
+                "value": None,
+                "threshold": None,
+                "passed": bool(data["passed"]),
+            }
+        )
+    return gates
+
+
+def summarize_bench_files(directory: str = ".") -> int:
+    """Print the consolidated gate table; return the number of failed gates."""
+    files = sorted(pathlib.Path(directory).glob("BENCH_*.json"))
+    print(f"\n{'#' * 70}\n# consolidated gate summary\n{'#' * 70}")
+    if not files:
+        print("no BENCH_*.json files found")
+        return 0
+    failed = 0
+    print(f"{'file':<24} {'gate':<38} {'value':>10} {'threshold':>10} status")
+    for path in files:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            print(f"{path.name:<24} {'<unreadable>':<38} {'-':>10} {'-':>10} FAIL")
+            failed += 1
+            continue
+        gates = _collect_gates(data)
+        if not gates:
+            print(f"{path.name:<24} {'(no gates)':<38} {'-':>10} {'-':>10} ok")
+            continue
+        for gate in gates:
+            value = "-" if gate["value"] is None else f"{gate['value']:.2f}"
+            threshold = (
+                "-" if gate["threshold"] is None else f"{gate['threshold']:.2f}"
+            )
+            status = "PASS" if gate["passed"] else "FAIL"
+            if not gate["passed"]:
+                failed += 1
+            print(
+                f"{path.name:<24} {gate['name']:<38} {value:>10} "
+                f"{threshold:>10} {status}"
+            )
+    if failed:
+        print(f"\n{failed} gate(s) failed")
+    else:
+        print("\nall gates pass")
+    return failed
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("targets", nargs="*", metavar="target")
@@ -117,10 +195,11 @@ def main(argv: list[str]) -> int:
             print(f"\n[{name} FAILED after {time.perf_counter() - started:.1f}s]")
             continue
         print(f"\n[{name} completed in {time.perf_counter() - started:.1f}s]")
+    failed_gates = summarize_bench_files()
     if failures:
         print(f"\n{len(failures)} target(s) failed: {', '.join(failures)}")
         return 1
-    return 0
+    return 1 if failed_gates else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Docs link checker: every cross-reference in docs/*.md and README.md
+must resolve.
+
+Checked link classes:
+
+* relative markdown links (``[x](docs/FOO.md)``, ``[x](FOO.md#anchor)``) —
+  the target file must exist relative to the linking document;
+* intra-document anchors (``[x](#section)``) — a heading with that GitHub
+  slug must exist in the same document;
+* cross-document anchors (``[x](FOO.md#section)``) — the heading must
+  exist in the target document.
+
+External links (``http(s)://``, ``mailto:``) are out of scope: CI must
+not depend on the network. Bare file mentions in prose or code spans are
+not links and are not checked.
+
+Exit status is the number of broken links, so both CI and
+``tests/test_docs_links.py`` can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Documents whose links are checked: every docs/*.md plus the README.
+def documents() -> list[pathlib.Path]:
+    return sorted(REPO_ROOT.glob("docs/*.md")) + [REPO_ROOT / "README.md"]
+
+
+# [text](target) — but not images ![..](..) and not footnote refs.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces → dashes.
+
+    Emphasis markers are stripped but literal underscores are kept
+    (``BENCH_engine.json`` → ``bench_enginejson``); non-ASCII symbols are
+    dropped like other punctuation.
+    """
+    text = re.sub(r"[`*]", "", heading.strip()).lower()
+    text = re.sub(r"[^a-z0-9_\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    body = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in _HEADING_RE.finditer(body):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_document(path: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    body = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK_RE.finditer(body):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken link {target!r}")
+                continue
+        else:
+            resolved = path
+        if anchor and resolved.suffix == ".md":
+            if anchor not in anchors_of(resolved):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor {target!r}"
+                )
+    return errors
+
+
+def main() -> int:
+    errors: list[str] = []
+    docs = documents()
+    for doc in docs:
+        errors.extend(check_document(doc))
+    for err in errors:
+        print(err)
+    print(f"checked {len(docs)} documents: {len(errors)} broken link(s)")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

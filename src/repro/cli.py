@@ -168,7 +168,20 @@ def cmd_verify(args: argparse.Namespace) -> int:
         )
     else:
         target = VerificationInput.from_scenario(_scenario())
-    report = DeploymentVerifier(target, replay=not args.no_replay).verify()
+    if args.incremental:
+        from repro.verify import IncrementalVerifier, VerdictCache
+
+        cache = VerdictCache.load(args.cache)
+        verifier = IncrementalVerifier(
+            target, replay=not args.no_replay, cache=cache
+        )
+        report = verifier.verify()
+        cache.save(args.cache)
+        # Stats go to stderr so --json stdout stays byte-identical to a
+        # full run (diffable in CI gates).
+        print(cache.stats(), file=sys.stderr)
+    else:
+        report = DeploymentVerifier(target, replay=not args.no_replay).verify()
     print(report.to_json() if args.json else report.render_text())
     return report.exit_code(Severity[args.fail_on.upper()])
 
@@ -348,8 +361,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         module = _benchmark_module("benchmarks.bench_service")
         return int(module.main(smoke=args.smoke, json_path=args.json))
     module = _benchmark_module("benchmarks.bench_engine_scaling")
-    module.main(smoke=args.smoke, json_path=args.json)
-    return 0
+    return int(module.main(smoke=args.smoke, json_path=args.json))
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -574,6 +586,18 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--no-replay", action="store_true",
         help="skip runtime replay of synthesized counterexamples",
+    )
+    verify.add_argument(
+        "--incremental", action="store_true",
+        help="re-prove only verdicts whose inputs changed (value-keyed "
+        "verdict cache; output is identical to a full run)",
+    )
+    verify.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=".repro-verify-cache.json",
+        help="verdict cache file used by --incremental "
+        "(default: %(default)s)",
     )
 
     ingest = _command(

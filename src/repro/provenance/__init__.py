@@ -1,6 +1,13 @@
 """Provenance: why-lineage, where-provenance, and dataset-level DAGs."""
 
 from repro.provenance.graph import DatasetNode, ProvenanceGraph, TransformNode
+from repro.provenance.masks import (
+    LeafContribution,
+    MaskProvenance,
+    mask_from_selector,
+    pack_rows,
+    unpack_rows,
+)
 from repro.provenance.lineage import (
     LineageTrace,
     base_footprint,
@@ -18,9 +25,14 @@ __all__ = [
     "CellOrigin",
     "CellProvenance",
     "DatasetNode",
+    "LeafContribution",
     "LineageTrace",
+    "MaskProvenance",
     "ProvenanceGraph",
     "TransformNode",
+    "mask_from_selector",
+    "pack_rows",
+    "unpack_rows",
     "base_footprint",
     "classify_cell",
     "rows_influenced_by",

@@ -46,6 +46,7 @@ from repro.relational.expressions import Col, Expr
 from repro.relational.query import Query, _ensure_select_consistency
 from repro.relational.schema import Column, Schema
 from repro.relational.table import RowProvenance, Table
+from repro.relational.vector import try_vector_core
 
 __all__ = ["ColumnarTable", "execute_columnar"]
 
@@ -163,11 +164,14 @@ class ColumnarTable:
             rows = list(zip(*self.columns))
         else:
             rows = [() for _ in self.provenance] if not self.columns else []
+        provenance = self.provenance
+        if not getattr(provenance, "lazy_provenance", False):
+            provenance = list(provenance)
         return Table.derived(
             name or self.name,
             self.schema,
             rows,
-            list(self.provenance),
+            provenance,
             provider=self.provider,
         )
 
@@ -814,6 +818,20 @@ def _run(query: Query, catalog: Catalog, *, depth: int) -> ColumnarTable:
 
 def _run_core(query: Query, catalog: Catalog, *, depth: int) -> ColumnarTable:
     _ensure_select_consistency(query)
+
+    # Vector fast path: fused typed-array kernels with bitset provenance
+    # masks (see repro.relational.vector). When eligible it executes the
+    # whole core in single passes and returns lazily-decoded provenance;
+    # otherwise fall through to the object-columnar operators below.
+    fast = try_vector_core(query, catalog)
+    if fast is not None:
+        current = ColumnarTable(
+            fast.name, fast.schema, list(fast.columns), fast.provenance
+        )
+        if query.select_distinct:
+            current = distinct_c(current)
+        return current
+
     current = _resolve(query.source, catalog, depth)
 
     # Fused path: the final join of a non-aggregate query flows straight

@@ -167,6 +167,18 @@ _COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
     ">=": operator.ge,
 }
 
+# Batch variants with the comparison inlined: one bytecode COMPARE_OP per
+# element is measurably cheaper than a call through the operator module
+# when the vector is a million rows long.
+_BATCH_COMPARATORS: dict[str, Callable[[Sequence[Any], Any], list[Any]]] = {
+    "=": lambda vec, c: [None if v is None else v == c for v in vec],
+    "!=": lambda vec, c: [None if v is None else v != c for v in vec],
+    "<": lambda vec, c: [None if v is None else v < c for v in vec],
+    "<=": lambda vec, c: [None if v is None else v <= c for v in vec],
+    ">": lambda vec, c: [None if v is None else v > c for v in vec],
+    ">=": lambda vec, c: [None if v is None else v >= c for v in vec],
+}
+
 NEGATED_OP = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
 FLIPPED_OP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
@@ -249,7 +261,7 @@ class Comparison(_StructuralEq, Expr):
             if rhs is None:
                 return [None] * n
             try:
-                return [None if v is None else op(v, rhs) for v in lhs_vec]
+                return _BATCH_COMPARATORS[self.op](lhs_vec, rhs)
             except TypeError:
                 for v in lhs_vec:
                     if v is None:

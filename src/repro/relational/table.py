@@ -159,12 +159,22 @@ class Table:
         *,
         provider: str = "derived",
     ) -> "Table":
-        """Build a derived table from pre-computed rows and provenance."""
+        """Build a derived table from pre-computed rows and provenance.
+
+        Lazily-decoded provenance sequences (anything exposing a truthy
+        ``lazy_provenance`` marker, e.g. the vector path's bitset-mask
+        provenance) are adopted as-is instead of being materialized, so a
+        fused execution stays free of per-row provenance objects until a
+        consumer actually indexes into them.
+        """
         if len(rows) != len(provenance):
             raise SchemaError("rows and provenance lists must have equal length")
         table = cls(name, schema, provider=provider)
         table.rows = list(rows)
-        table.provenance = list(provenance)
+        if getattr(provenance, "lazy_provenance", False):
+            table.provenance = provenance  # type: ignore[assignment]
+        else:
+            table.provenance = list(provenance)
         return table
 
     def insert(self, row: Sequence[Any] | Mapping[str, Any]) -> RowId:
@@ -191,6 +201,10 @@ class Table:
             coerced.append(coerced_value)
         row_id = RowId(self.provider, self.name, len(self.rows))
         self.rows.append(tuple(coerced))
+        if not isinstance(self.provenance, list):
+            # Derived tables may carry an immutable lazy provenance sequence;
+            # the first insert materializes it so appends are possible.
+            self.provenance = list(self.provenance)
         self.provenance.append(RowProvenance.for_base_row(row_id, self.schema))
         self.data_version += 1
         return row_id

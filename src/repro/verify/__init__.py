@@ -16,7 +16,9 @@ ordering across all four levels without executing a single report:
   results with proof traces, rendered as VER001–VER006 diagnostics,
 * :mod:`repro.verify.counterexample` — witness-row synthesis and replay
   through the production enforcement engine,
-* :mod:`repro.verify.crosslevel` — the deployment-wide consistency pass.
+* :mod:`repro.verify.crosslevel` — the deployment-wide consistency pass,
+* :mod:`repro.verify.incremental` — value-keyed verdict caching so
+  re-verification after a mutation re-proves only the units it touched.
 """
 
 from repro.verify.counterexample import (
@@ -30,6 +32,12 @@ from repro.verify.crosslevel import (
     SourcePolicy,
     VerificationInput,
     verify_scenario,
+)
+from repro.verify.incremental import (
+    IncrementalVerifier,
+    VerdictCache,
+    result_from_dict,
+    result_to_dict,
 )
 from repro.verify.domain import (
     PredicateShape,
@@ -80,5 +88,9 @@ __all__ = [
     "SourcePolicy",
     "VerificationInput",
     "DeploymentVerifier",
+    "IncrementalVerifier",
+    "VerdictCache",
+    "result_to_dict",
+    "result_from_dict",
     "verify_scenario",
 ]

@@ -222,6 +222,36 @@ class DeploymentVerifier:
         }
         return self._report
 
+    # -- unit entry points (incremental re-verification) ---------------------
+
+    def metareport_results(self, metareport: MetaReport) -> list[CheckResult]:
+        """All check results of one approved meta-report, in emission order.
+
+        The unit boundary :mod:`repro.verify.incremental` caches on: the
+        results depend only on this meta-report's definition/view chain, its
+        PLA, and the verifier environment (source policies, universe,
+        budget, replay) — never on which other units ran.
+        """
+        saved = self._report
+        self._report = VerificationReport()
+        try:
+            self._verify_metareport(metareport)
+            return list(self._report.results)
+        finally:
+            self._report = saved
+
+    def report_results(
+        self, definition: ReportDefinition
+    ) -> tuple[list[CheckResult], int]:
+        """Check results of one report plus its covering count (0 or 1)."""
+        saved = self._report
+        self._report = VerificationReport()
+        try:
+            covered = self._verify_report(definition)
+            return list(self._report.results), covered
+        finally:
+            self._report = saved
+
     # -- meta-report level ---------------------------------------------------
 
     def _verify_metareport(self, metareport: MetaReport) -> None:

@@ -112,11 +112,13 @@ class TestCommands:
         target = str(tmp_path / "bench.json")
         assert main(["bench", "--smoke", "--json", target]) == 0
         out = capsys.readouterr().out
-        assert "columnar batch executor" in out
+        assert "fused vector kernels" in out
         data = json.loads((tmp_path / "bench.json").read_text())
         assert data["smoke"] is True
         assert data["summary"]["max_speedup_at_largest"] > 1.0
+        assert data["summary"]["max_fused_speedup_at_largest"] > 1.0
         assert data["containment"]["speedup"] > 1.0
+        assert all(g["passed"] for g in data["gates"])
 
     def test_lint_text(self, capsys):
         assert main(["lint"]) == 0  # scenario has warnings, no errors

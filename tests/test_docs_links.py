@@ -1,0 +1,48 @@
+"""Every cross-reference in docs/*.md and README.md must resolve.
+
+The checker itself lives in ``docs/check_links.py`` (CI runs it as a
+standalone gate next to the API-doc drift check); this test keeps it in
+the tier-1 suite so a broken link fails locally before it fails in CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_links",
+    pathlib.Path(__file__).resolve().parent.parent / "docs" / "check_links.py",
+)
+check_links = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_links)
+
+
+def test_every_docs_link_resolves():
+    errors = []
+    for doc in check_links.documents():
+        errors.extend(check_links.check_document(doc))
+    assert not errors, "\n".join(errors)
+
+
+def test_checker_sees_the_expected_documents():
+    names = {p.name for p in check_links.documents()}
+    # The handbook set this repo promises; a vanished doc is itself a bug.
+    assert {
+        "README.md",
+        "ARCHITECTURE.md",
+        "PERFORMANCE.md",
+        "VERIFICATION.md",
+        "TUTORIAL.md",
+        "API.md",
+    } <= names
+
+
+def test_slugging_matches_github_conventions():
+    assert check_links.github_slug("Reading BENCH_engine.json") == (
+        "reading-bench_enginejson"
+    )
+    assert check_links.github_slug("The engine-mode matrix") == (
+        "the-engine-mode-matrix"
+    )
+    assert check_links.github_slug("8½. A million rows") == "8-a-million-rows"

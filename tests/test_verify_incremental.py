@@ -1,0 +1,310 @@
+"""Incremental re-verification: the cache may never change a verdict.
+
+The load-bearing property: across randomized mutation sequences over a
+deployment (report redefinitions, added/removed reports, PLA revisions,
+source-policy changes, data-only inserts), ``IncrementalVerifier`` with a
+persistent cache produces a report identical to a cold ``DeploymentVerifier``
+pass after every single step. The cache serialization round-trip and the
+invalidation classes documented in docs/VERIFICATION.md are pinned
+alongside.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.metareport import MetaReport, MetaReportSet
+from repro.core.pla import PLA, IntensionalCondition, PlaLevel, PlaStatus
+from repro.relational import Catalog, Query, Table, make_schema
+from repro.relational.expressions import And, Col, Comparison, Lit, Not
+from repro.relational.types import ColumnType
+from repro.reports.definition import ReportDefinition
+from repro.verify import (
+    DeploymentVerifier,
+    IncrementalVerifier,
+    SourcePolicy,
+    VerdictCache,
+    VerificationInput,
+    result_from_dict,
+    result_to_dict,
+)
+
+COLS = ("patient", "disease", "cost")
+
+
+def _range(col: str, lo: int, hi: int):
+    return And(
+        Comparison(">", Col(col), Lit(lo)), Comparison("<", Col(col), Lit(hi))
+    )
+
+
+def _report_query(mr_name: str, i: int) -> Query:
+    return (
+        Query.from_(mr_name)
+        .filter(_range("cost", (i % 5) * 10, (i % 5) * 10 + 40))
+        .project("disease", "cost")
+    )
+
+
+def build_input(n_reports: int = 6, n_metareports: int = 2) -> VerificationInput:
+    cat = Catalog()
+    schema = make_schema(
+        *((c, ColumnType.INT if c == "cost" else ColumnType.STRING, True) for c in COLS)
+    )
+    cat.add_table(Table.from_rows("universe", schema, [], provider="warehouse"))
+    metareports = MetaReportSet()
+    for m in range(n_metareports):
+        query = (
+            Query.from_("universe")
+            .filter(Comparison(">", Col("cost"), Lit(-100 - m)))
+            .project(*COLS)
+        )
+        mr = MetaReport(f"mr_{m}", query)
+        mr.attach_pla(
+            PLA(
+                f"pla_mr_{m}",
+                "owner",
+                PlaLevel.METAREPORT,
+                f"mr_{m}",
+                (
+                    IntensionalCondition(
+                        "disease",
+                        Not(Comparison("=", Col("disease"), Lit("HIV"))),
+                        "suppress_row",
+                    ),
+                ),
+                status=PlaStatus.APPROVED,
+            )
+        )
+        metareports.add(mr)
+    metareports.register_views(cat)
+    reports = tuple(
+        ReportDefinition(
+            f"r_{i}",
+            f"R {i}",
+            _report_query(f"mr_{i % n_metareports}", i),
+            frozenset({"analyst"}),
+            "care",
+        )
+        for i in range(n_reports)
+    )
+    policies = (
+        SourcePolicy("policy_0", "universe", Comparison(">", Col("cost"), Lit(-500))),
+    )
+    return VerificationInput(
+        catalog=cat,
+        metareports=metareports,
+        reports=reports,
+        universe="universe",
+        universe_columns=COLS,
+        source_policies=policies,
+    )
+
+
+def _signature(report):
+    return [
+        (r.code, r.location, r.claim, r.verdict, r.message)
+        for r in report.results
+    ], report.coverage
+
+
+# ---------------------------------------------------------------------------
+# Mutations (pure: each returns a new VerificationInput)
+# ---------------------------------------------------------------------------
+
+
+def _with(target: VerificationInput, **kw) -> VerificationInput:
+    fields = dict(
+        catalog=target.catalog,
+        metareports=target.metareports,
+        reports=target.reports,
+        universe=target.universe,
+        universe_columns=target.universe_columns,
+        source_policies=target.source_policies,
+    )
+    fields.update(kw)
+    return VerificationInput(**fields)
+
+
+def mutate_report_query(target, rng):
+    if not target.reports:
+        return target
+    victim = rng.choice(target.reports)
+    new_query = _report_query(victim.query.source, rng.randrange(100))
+    reports = tuple(
+        r.with_query(new_query) if r is victim else r for r in target.reports
+    )
+    return _with(target, reports=reports)
+
+
+def add_report(target, rng):
+    i = len(target.reports) + rng.randrange(100)
+    mr_name = f"mr_{rng.randrange(2)}"
+    new = ReportDefinition(
+        f"r_new_{i}", f"R {i}", _report_query(mr_name, i),
+        frozenset({"analyst"}), "care",
+    )
+    return _with(target, reports=target.reports + (new,))
+
+
+def remove_report(target, rng):
+    if len(target.reports) <= 1:
+        return target
+    victim = rng.randrange(len(target.reports))
+    reports = tuple(r for i, r in enumerate(target.reports) if i != victim)
+    return _with(target, reports=reports)
+
+
+def revise_pla(target, rng):
+    mr = rng.choice(list(target.metareports))
+    bound = rng.randrange(2, 50)
+    revised = mr.pla.revised(
+        (
+            IntensionalCondition(
+                "disease", Comparison("<", Col("cost"), Lit(bound * 100)),
+                "suppress_row",
+            ),
+        )
+    ).approved()
+    mr.attach_pla(revised)
+    return target
+
+
+def change_source_policy(target, rng):
+    bound = -rng.randrange(200, 900)
+    policies = (
+        SourcePolicy(
+            "policy_0", "universe", Comparison(">", Col("cost"), Lit(bound))
+        ),
+    ) + target.source_policies[1:]
+    return _with(target, source_policies=policies)
+
+
+def insert_data_only(target, rng):
+    table = target.catalog.table("universe")
+    table.insert((f"p{rng.randrange(10**6)}", "flu", rng.randrange(100)))
+    return target
+
+
+MUTATIONS = [
+    mutate_report_query,
+    add_report,
+    remove_report,
+    revise_pla,
+    change_source_policy,
+    insert_data_only,
+]
+
+
+# ---------------------------------------------------------------------------
+# The property
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_incremental_equals_full_across_random_mutations(seed):
+    rng = random.Random(seed)
+    target = build_input()
+    cache = VerdictCache()
+    for _step in range(8):
+        incremental = IncrementalVerifier(target, cache=cache).verify()
+        full = DeploymentVerifier(target).verify()
+        assert _signature(incremental) == _signature(full)
+        target = rng.choice(MUTATIONS)(target, rng)
+    # One final comparison after the last mutation.
+    incremental = IncrementalVerifier(target, cache=cache).verify()
+    full = DeploymentVerifier(target).verify()
+    assert _signature(incremental) == _signature(full)
+
+
+def test_unchanged_rerun_is_pure_cache_hit():
+    target = build_input()
+    cache = VerdictCache()
+    IncrementalVerifier(target, cache=cache).verify()
+    cache.hits = cache.misses = 0
+    IncrementalVerifier(target, cache=cache).verify()
+    assert cache.misses == 0
+    assert cache.hits > 0
+
+
+def test_data_only_insert_reuses_every_unit():
+    target = build_input()
+    cache = VerdictCache()
+    IncrementalVerifier(target, cache=cache).verify()
+    target = insert_data_only(target, random.Random(0))
+    cache.hits = cache.misses = 0
+    report = IncrementalVerifier(target, cache=cache).verify()
+    assert cache.misses == 0
+    assert _signature(report) == _signature(DeploymentVerifier(target).verify())
+
+
+def test_report_mutation_reproves_exactly_one_unit():
+    target = build_input()
+    cache = VerdictCache()
+    IncrementalVerifier(target, cache=cache).verify()
+    target = mutate_report_query(target, random.Random(1))
+    cache.hits = cache.misses = 0
+    IncrementalVerifier(target, cache=cache).verify()
+    assert cache.misses == 1
+
+
+def test_pla_revision_invalidates_covered_reports():
+    target = build_input()
+    cache = VerdictCache()
+    IncrementalVerifier(target, cache=cache).verify()
+    target = revise_pla(target, random.Random(2))
+    cache.hits = cache.misses = 0
+    report = IncrementalVerifier(target, cache=cache).verify()
+    # The revised meta-report unit plus every report it covers re-prove;
+    # units under the untouched meta-report are all reused.
+    assert cache.misses >= 2
+    assert cache.hits >= 1
+    assert _signature(report) == _signature(DeploymentVerifier(target).verify())
+
+
+# ---------------------------------------------------------------------------
+# Cache persistence
+# ---------------------------------------------------------------------------
+
+
+def test_cache_json_round_trip_stays_warm(tmp_path):
+    target = build_input()
+    cache = VerdictCache()
+    baseline = IncrementalVerifier(target, cache=cache).verify()
+    path = tmp_path / "cache.json"
+    cache.save(str(path))
+
+    reloaded = VerdictCache.load(str(path))
+    assert len(reloaded) == len(cache)
+    report = IncrementalVerifier(target, cache=reloaded).verify()
+    assert reloaded.misses == 0
+    assert _signature(report) == _signature(baseline)
+
+
+def test_cache_load_tolerates_missing_and_corrupt_files(tmp_path):
+    assert len(VerdictCache.load(str(tmp_path / "absent.json"))) == 0
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert len(VerdictCache.load(str(bad))) == 0
+    stale = tmp_path / "stale.json"
+    stale.write_text('{"format": 999, "entries": {}}')
+    assert len(VerdictCache.load(str(stale))) == 0
+
+
+def test_check_result_serialization_round_trip():
+    target = build_input()
+    report = DeploymentVerifier(target).verify()
+    assert report.results, "fixture produced no checks"
+    for result in report.results:
+        clone = result_from_dict(result_to_dict(result))
+        assert clone.code == result.code
+        assert clone.location == result.location
+        assert clone.claim == result.claim
+        assert clone.verdict == result.verdict
+        assert clone.message == result.message
+        assert clone.fix_hint == result.fix_hint
+        assert (clone.trace is None) == (result.trace is None)
+        if result.trace is not None:
+            assert clone.trace.steps == result.trace.steps
