@@ -13,7 +13,13 @@ must stay interactive. Three measurements:
   verification-bound catalog (rich predicates, so solver work rather than
   keying cost dominates), a warm :class:`IncrementalVerifier` pass must
   produce verdicts identical to a cold full pass and beat it by the gated
-  factor (full runs: ≥20×; smoke: ≥2×, the fixture is tiny).
+  factor (full runs: ≥20×; smoke: ≥2×, the fixture is tiny);
+* **PROVED rate** — over a solver-depth corpus whose claims need linear
+  arithmetic atoms or functional dependencies to decide, the fraction of
+  checks that come back PROVED, gated against both an absolute floor and
+  the gain over an ablated baseline (arithmetic off, FDs stripped). The
+  seed catalog's own PROVED rate is gated at 1.0 so solver changes can
+  never silently regress claims that used to prove.
 
 ``main`` (via ``python benchmarks/run_all.py verify`` or ``repro bench
 verify``) prints the table and optionally writes ``BENCH_verify.json``,
@@ -32,6 +38,7 @@ from repro.core.pla import PLA, IntensionalCondition, PlaLevel, PlaStatus
 from repro.relational import Catalog, Query, Table, make_schema
 from repro.relational.expressions import (
     And,
+    Arith,
     Col,
     Comparison,
     Expr,
@@ -46,6 +53,7 @@ from repro.reports.definition import ReportDefinition
 from repro.simulation import ScenarioConfig, build_scenario
 from repro.verify import (
     DeploymentVerifier,
+    FunctionalDependency,
     IncrementalVerifier,
     Sat,
     SourcePolicy,
@@ -53,6 +61,7 @@ from repro.verify import (
     implication_counterexample,
     satisfiable,
 )
+from repro.verify.domain import set_arithmetic_enabled
 
 JSON_PATH = "BENCH_verify.json"
 
@@ -293,11 +302,180 @@ def run_incremental_bench(*, smoke: bool = False) -> dict[str, Any]:
     }
 
 
+# ---------------------------------------------------------------------------
+# PROVED rate: how much of the claim space the solver actually decides
+# ---------------------------------------------------------------------------
+
+_HIV_DRUGS = ("lamivudine", "zidovudine")
+_SAFE_DRUGS = ("aspirin", "ibuprofen", "metformin")
+
+#: Every claim in the solver-depth corpus is decidable by construction, so
+#: the PROVED rate must stay essentially perfect (1.0 expected).
+PROVED_RATE_GATE = 0.9
+
+#: The corpus must prove strictly more than the ablated solver (linear
+#: arithmetic disabled, functional dependencies stripped) — the
+#: no-regression guard on solver depth itself.
+PROVED_RATE_GAIN_GATE = 0.1
+
+#: The seed healthcare deployment has verified 100% PROVED since the
+#: verifier landed; any drop is a regression.
+SEED_PROVED_RATE_GATE = 1.0
+
+
+def _solver_depth_fds() -> tuple[FunctionalDependency, ...]:
+    """One dimensional dependency: the drug prescribed determines the disease."""
+    mapping = tuple((d, "HIV") for d in _HIV_DRUGS) + tuple(
+        zip(_SAFE_DRUGS, ("flu", "asthma", "diabetes"))
+    )
+    return (
+        FunctionalDependency(
+            name="dim_drug.drug->disease",
+            determinant="drug",
+            dependent="disease",
+            mapping=mapping,
+            source="dimension drug",
+        ),
+    )
+
+
+def _times(column: str, factor: float) -> Expr:
+    return Arith("*", Col(column), Lit(factor))
+
+
+def build_solver_depth_input(*, with_fds: bool = True) -> VerificationInput:
+    """A deployment whose claims need linear arithmetic or an FD to decide.
+
+    Two meta-report families: arithmetic regions (``cost * 1.2 > 100``
+    shapes — undecidable before the linear-atom extension) and FD regions
+    (drug allow-lists whose source-policy implication only holds because
+    the drug determines the disease). Every claim is decidable by
+    construction, so the PROVED rate measures solver depth, not corpus
+    noise; ``with_fds=False`` strips the dependencies for the ablation
+    baseline.
+    """
+    cat = Catalog()
+    schema = make_schema(
+        *(
+            (c, ColumnType.INT if c == "cost" else ColumnType.STRING, True)
+            for c in _COLS
+        )
+    )
+    cat.add_table(Table.from_rows("universe", schema, [], provider="warehouse"))
+    metareports = MetaReportSet()
+    no_hiv_drugs = Not(InList(Col("drug"), _HIV_DRUGS))
+    for m in range(4):
+        if m % 2 == 0:
+            # Arithmetic region: cost floor expressed through a multiplier.
+            region: Expr = And(
+                Comparison(">", _times("cost", 1.2), Lit(100 + 10 * m)),
+                no_hiv_drugs,
+            )
+            condition: Expr = Comparison(">", _times("cost", 1.2), Lit(90.0))
+        else:
+            # FD region: no arithmetic, but the source-policy implication
+            # (no HIV rows) needs drug -> disease to go through.
+            region = And(
+                Comparison(">", Col("cost"), Lit(60 + m)), no_hiv_drugs
+            )
+            condition = Comparison(">", Col("cost"), Lit(75 + m))
+        query = Query.from_("universe").filter(region).project(*_COLS)
+        mr = MetaReport(f"sd_mr_{m}", query)
+        pla = PLA(
+            f"pla_sd_mr_{m}",
+            "owner",
+            PlaLevel.METAREPORT,
+            f"sd_mr_{m}",
+            (IntensionalCondition("cost", condition, "suppress_row"),),
+            status=PlaStatus.APPROVED,
+        )
+        mr.attach_pla(pla)
+        metareports.add(mr)
+    metareports.register_views(cat)
+    reports = tuple(
+        ReportDefinition(
+            f"sd_r_{i}",
+            f"SD {i}",
+            Query.from_(f"sd_mr_{i % 4}")
+            .filter(Comparison(">", _times("cost", 1.2), Lit(200 + i)))
+            .project("drug", "disease", "cost"),
+            frozenset({"analyst"}),
+            "care",
+        )
+        for i in range(4)
+    )
+    policies = (
+        # Needs arithmetic against the even regions (boundary 100/1.2 ≈
+        # 83.3 > 50) and plain comparisons against the odd ones (60 > 50).
+        SourcePolicy(
+            "cost-floor", "universe", Comparison(">", Col("cost"), Lit(50))
+        ),
+        # Needs the FD: the regions only constrain the *drug*.
+        SourcePolicy(
+            "hiv-rows-stay-home",
+            "universe",
+            Not(Comparison("=", Col("disease"), Lit("HIV"))),
+        ),
+    )
+    return VerificationInput(
+        catalog=cat,
+        metareports=metareports,
+        reports=reports,
+        universe="universe",
+        universe_columns=_COLS,
+        source_policies=policies,
+        fds=_solver_depth_fds() if with_fds else (),
+    )
+
+
+def run_proved_rate_bench() -> dict[str, Any]:
+    """PROVED rate over the solver-depth corpus, vs the ablated baseline."""
+    clear_proof_caches()
+    report = DeploymentVerifier(build_solver_depth_input()).verify()
+    counts = report.counts()
+    total = len(report.results)
+    rate = counts["proved"] / total if total else 0.0
+
+    # Ablation baseline: the solver as it stood before linear arithmetic
+    # and FD conditioning. Restores the toggle even on failure so a bench
+    # crash cannot leak a degraded solver into the rest of the process.
+    previous = set_arithmetic_enabled(False)
+    try:
+        clear_proof_caches()
+        baseline = DeploymentVerifier(
+            build_solver_depth_input(with_fds=False)
+        ).verify()
+    finally:
+        set_arithmetic_enabled(previous)
+    baseline_counts = baseline.counts()
+    baseline_total = len(baseline.results)
+    baseline_rate = (
+        baseline_counts["proved"] / baseline_total if baseline_total else 0.0
+    )
+    return {
+        "checks": total,
+        "proved": counts["proved"],
+        "refuted": counts["refuted"],
+        "unknown": counts["unknown"],
+        "proved_rate": rate,
+        "baseline_checks": baseline_total,
+        "baseline_proved": baseline_counts["proved"],
+        "baseline_refuted": baseline_counts["refuted"],
+        "baseline_unknown": baseline_counts["unknown"],
+        "baseline_proved_rate": baseline_rate,
+        "gain": rate - baseline_rate,
+    }
+
+
 def run_verify_bench(*, smoke: bool = False) -> dict[str, Any]:
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     solver = run_solver_bench(n_predicates=100 if smoke else 400)
     catalog = run_catalog_bench(sizes)
     incremental = run_incremental_bench(smoke=smoke)
+    proved_rate = run_proved_rate_bench()
+    seed_rate = min(
+        (r["proved"] / r["checks"]) if r["checks"] else 0.0 for r in catalog
+    )
     gates = [
         {
             "name": "incremental_warm_vs_cold",
@@ -311,12 +489,31 @@ def run_verify_bench(*, smoke: bool = False) -> dict[str, Any]:
             "threshold": 1.0,
             "passed": incremental["verdicts_identical"],
         },
+        {
+            "name": "verify_proved_rate",
+            "value": proved_rate["proved_rate"],
+            "threshold": PROVED_RATE_GATE,
+            "passed": proved_rate["proved_rate"] >= PROVED_RATE_GATE,
+        },
+        {
+            "name": "verify_proved_rate_gain",
+            "value": proved_rate["gain"],
+            "threshold": PROVED_RATE_GAIN_GATE,
+            "passed": proved_rate["gain"] >= PROVED_RATE_GAIN_GATE,
+        },
+        {
+            "name": "seed_proved_rate",
+            "value": seed_rate,
+            "threshold": SEED_PROVED_RATE_GATE,
+            "passed": seed_rate >= SEED_PROVED_RATE_GATE,
+        },
     ]
     return {
         "smoke": smoke,
         "solver": solver,
         "catalog": catalog,
         "incremental": incremental,
+        "proved_rate": proved_rate,
         "gates": gates,
         "passed": (
             all(r["refuted"] == 0 and r["unknown"] == 0 for r in catalog)
@@ -343,6 +540,14 @@ def _print_report(results: dict[str, Any]) -> None:
             f"{r['n_reports']:>8} {r['checks']:>7} {verdicts:>22} "
             f"{r['elapsed_s']:>8.3f} {r['checks_per_s']:>9.1f}"
         )
+    pr = results["proved_rate"]
+    print("\nPROVED rate (solver-depth corpus vs ablated baseline)")
+    print(
+        f"  featured: {pr['proved']}/{pr['checks']} proved "
+        f"({pr['proved_rate']:.0%}); baseline (no arithmetic, no FDs): "
+        f"{pr['baseline_proved']}/{pr['baseline_checks']} proved "
+        f"({pr['baseline_proved_rate']:.0%}); gain {pr['gain']:+.0%}"
+    )
     inc = results["incremental"]
     print("\nIncremental re-verification (verification-bound fixture)")
     print(
@@ -357,8 +562,8 @@ def _print_report(results: dict[str, Any]) -> None:
     for g in results["gates"]:
         status = "PASS" if g["passed"] else "FAIL"
         print(
-            f"  gate {g['name']}: {g['value']:.1f} "
-            f"(>= {g['threshold']:.1f} required) {status}"
+            f"  gate {g['name']}: {g['value']:.2f} "
+            f"(>= {g['threshold']:.2f} required) {status}"
         )
     verdict = "PASS" if results["passed"] else "FAIL"
     print(f"\n{verdict}: clean verification at every size and all gates hold.")

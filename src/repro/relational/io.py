@@ -123,6 +123,8 @@ def _deserialize(cell: str, ctype: ColumnType) -> Any:
         return float(cell)
     if ctype is ColumnType.DATE:
         return parse_date(cell)
+    if ctype is ColumnType.DATETIME:
+        return datetime.datetime.fromisoformat(cell)
     return cell
 
 

@@ -2,8 +2,8 @@
 
 The engine supports a small, closed set of scalar types sufficient for the
 paper's healthcare/business-intelligence scenario: strings, integers, floats,
-booleans, and calendar dates. ``None`` represents SQL NULL for nullable
-columns.
+booleans, calendar dates, and time-granular datetimes. ``None`` represents
+SQL NULL for nullable columns.
 """
 
 from __future__ import annotations
@@ -25,6 +25,7 @@ class ColumnType(enum.Enum):
     FLOAT = "float"
     BOOL = "bool"
     DATE = "date"
+    DATETIME = "datetime"
 
     def python_types(self) -> tuple[type, ...]:
         """Python classes accepted for this column type."""
@@ -40,6 +41,7 @@ _PYTHON_TYPES: dict[ColumnType, tuple[type, ...]] = {
     ColumnType.FLOAT: (float, int),
     ColumnType.BOOL: (bool,),
     ColumnType.DATE: (datetime.date,),
+    ColumnType.DATETIME: (datetime.datetime,),
 }
 
 _DATE_FORMATS = ("%Y-%m-%d", "%d/%m/%Y")
@@ -114,6 +116,19 @@ def coerce_value(value: Any, ctype: ColumnType) -> Any:
         if isinstance(value, str):
             return parse_date(value)
         raise TypeMismatchError(f"cannot coerce {value!r} to DATE")
+    if ctype is ColumnType.DATETIME:
+        if isinstance(value, datetime.datetime):
+            return value
+        if isinstance(value, datetime.date):
+            return datetime.datetime(value.year, value.month, value.day)
+        if isinstance(value, str):
+            try:
+                return datetime.datetime.fromisoformat(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"cannot coerce {value!r} to DATETIME"
+                ) from exc
+        raise TypeMismatchError(f"cannot coerce {value!r} to DATETIME")
     raise TypeMismatchError(f"unknown column type {ctype!r}")  # pragma: no cover
 
 

@@ -14,6 +14,8 @@ ordering across all four levels without executing a single report:
   under SQL three-valued logic,
 * :mod:`repro.verify.verdicts` — typed ``PROVED``/``REFUTED``/``UNKNOWN``
   results with proof traces, rendered as VER001–VER006 diagnostics,
+* :mod:`repro.verify.fd` — functional dependencies derived from the star
+  dimensions, conjoined into implication premises with provenance,
 * :mod:`repro.verify.counterexample` — witness-row synthesis and replay
   through the production enforcement engine,
 * :mod:`repro.verify.crosslevel` — the deployment-wide consistency pass,
@@ -32,6 +34,11 @@ from repro.verify.crosslevel import (
     SourcePolicy,
     VerificationInput,
     verify_scenario,
+)
+from repro.verify.fd import (
+    FunctionalDependency,
+    fds_from_star,
+    violated_fd,
 )
 from repro.verify.incremental import (
     IncrementalVerifier,
@@ -88,6 +95,9 @@ __all__ = [
     "SourcePolicy",
     "VerificationInput",
     "DeploymentVerifier",
+    "FunctionalDependency",
+    "fds_from_star",
+    "violated_fd",
     "IncrementalVerifier",
     "VerdictCache",
     "result_to_dict",

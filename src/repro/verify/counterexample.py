@@ -30,6 +30,7 @@ from repro.relational.query import Query
 from repro.relational.table import Table, make_schema
 from repro.relational.types import ColumnType
 from repro.reports.definition import ReportDefinition
+from repro.verify.fd import FunctionalDependency, violated_fd
 from repro.verify.solver import truth
 
 __all__ = [
@@ -92,7 +93,11 @@ def _column_type(value: Any) -> ColumnType:
         return ColumnType.INT
     if isinstance(value, float):
         return ColumnType.FLOAT
-    if isinstance(value, (datetime.date, datetime.datetime)):
+    # datetime before date: datetime subclasses date, and a DATE column
+    # would truncate the time component the refutation may hinge on.
+    if isinstance(value, datetime.datetime):
+        return ColumnType.DATETIME
+    if isinstance(value, datetime.date):
         return ColumnType.DATE
     return ColumnType.STRING
 
@@ -142,6 +147,7 @@ def replay_escape(
     target_predicate: Expr,
     *,
     name: str = "counterexample",
+    fds: Iterable[FunctionalDependency] = (),
 ) -> ReplayOutcome:
     """Run ``query`` over the one-row witness instance, fully enforced.
 
@@ -151,7 +157,21 @@ def replay_escape(
     delivered row must satisfy. The replay confirms the refutation iff the
     engine releases at least one row while the witness falls outside that
     region (its evaluation is not definitely ``True``).
+
+    ``fds`` are the declared functional dependencies over the universe: a
+    witness violating one describes a row the warehouse cannot contain, so
+    it is rejected (``confirmed=False``) without touching the engine.
     """
+    violated = violated_fd(row, fds)
+    if violated is not None:
+        return ReplayOutcome(
+            confirmed=False,
+            detail=(
+                "witness violates declared functional dependency "
+                f"{violated.describe_short()}; no warehouse instance "
+                "contains this row"
+            ),
+        )
     replay_catalog = build_replay_catalog(catalog, universe, row)
     definition = ReportDefinition(
         name=name,

@@ -40,6 +40,12 @@ from repro.relational.expressions import And, Expr, Not
 from repro.relational.query import Query
 from repro.reports.definition import ReportDefinition
 from repro.verify.counterexample import Counterexample, replay_escape
+from repro.verify.fd import (
+    FunctionalDependency,
+    complete_row,
+    fds_from_star,
+    violated_fd,
+)
 from repro.verify.solver import (
     DEFAULT_BUDGET,
     Sat,
@@ -94,6 +100,11 @@ class VerificationInput:
     universe_columns: tuple[str, ...]
     plas: PlaRegistry | None = None
     source_policies: tuple[SourcePolicy, ...] = ()
+    #: Declared functional dependencies over the universe's columns
+    #: (usually derived from the warehouse star dimensions). Conjoined
+    #: into VER002 premises when needed; replay rejects witnesses that
+    #: violate them. Part of the incremental environment state token.
+    fds: tuple[FunctionalDependency, ...] = ()
 
     @classmethod
     def from_scenario(cls, scenario: "Scenario") -> "VerificationInput":
@@ -126,6 +137,7 @@ class VerificationInput:
             universe_columns=tuple(scenario.wide_columns),
             plas=scenario.pla_registry,
             source_policies=tuple(policies),
+            fds=fds_from_star(scenario.star),
         )
 
     @classmethod
@@ -403,6 +415,27 @@ class DeploymentVerifier:
             result = implication_counterexample(
                 region, policy.predicate, budget=self.budget
             )
+            fds = self._applicable_fds(region, policy.predicate)
+            fd_steps: tuple[str, ...] = ()
+            if fds and self._needs_fds(result, fds):
+                # Undecided, or refuted only by a row the warehouse cannot
+                # contain: re-prove under the declared dependencies. A
+                # plain proof/consistent refutation never takes this path,
+                # so FD-free verdicts are byte-identical to before.
+                premise = region
+                for fd in fds:
+                    premise = (
+                        fd.predicate()
+                        if premise is None
+                        else And(premise, fd.predicate())
+                    )
+                fd_steps = tuple(
+                    f"ASSUME({fd.describe_short()}) [{fd.source or 'declared'}]"
+                    for fd in fds
+                )
+                result = implication_counterexample(
+                    premise, policy.predicate, budget=self.budget
+                )
             check = CheckResult(
                 code="VER002",
                 location=location,
@@ -415,10 +448,12 @@ class DeploymentVerifier:
                     else ""
                 ),
                 trace=_trace(
-                    result, f"IMPLIES({region} ⇒ {policy.predicate})"
+                    result,
+                    *fd_steps,
+                    f"IMPLIES({region} ⇒ {policy.predicate})",
                 ),
                 counterexample=self._synthesize(
-                    metareport, result, policy.predicate
+                    metareport, result, policy.predicate, fds=fds
                 ),
                 fix_hint=(
                     "narrow the meta-report view (or its PLA) to the source "
@@ -442,6 +477,46 @@ class DeploymentVerifier:
                     verdict=Verdict.PROVED,
                 )
             )
+
+    def _applicable_fds(
+        self, region: Expr | None, conclusion: Expr
+    ) -> tuple[FunctionalDependency, ...]:
+        """Declared FDs that can bear on one implication claim.
+
+        An FD applies when both its columns belong to the universe
+        vocabulary and at least one of them is mentioned by the claim —
+        anything else could only inflate the solver's domains.
+        """
+        universe_cols = set(self.target.universe_columns)
+        claim_cols = set(conclusion.columns())
+        if region is not None:
+            claim_cols |= set(region.columns())
+        return tuple(
+            fd
+            for fd in self.target.fds
+            if set(fd.columns()) <= universe_cols
+            and set(fd.columns()) & claim_cols
+        )
+
+    @staticmethod
+    def _needs_fds(
+        result: SolverResult, fds: Sequence[FunctionalDependency]
+    ) -> bool:
+        """Should the implication be re-proved under the declared FDs?
+
+        Yes when the FD-free pass was undecided, or when its refuting
+        witness violates a declared dependency (the "counterexample" is a
+        row no real warehouse instance contains). A clean proof or an
+        FD-respecting refutation stands as-is — conjoining FDs could only
+        re-derive it at higher cost.
+        """
+        if result.status is Sat.UNKNOWN:
+            return True
+        return (
+            result.status is Sat.SAT
+            and result.witness is not None
+            and violated_fd(result.witness, fds) is not None
+        )
 
     def _bases_of(self, metareport: MetaReport) -> frozenset[str]:
         catalog = self.target.catalog
@@ -535,6 +610,7 @@ class DeploymentVerifier:
         metareport: MetaReport,
         result: SolverResult,
         target_predicate: Expr,
+        fds: tuple[FunctionalDependency, ...] = (),
     ) -> Counterexample | None:
         if result.status is not Sat.SAT or result.witness is None:
             return None
@@ -544,7 +620,7 @@ class DeploymentVerifier:
             else metareport.query
         )
         return self._synthesize_for_query(
-            query, metareport, result, target_predicate
+            query, metareport, result, target_predicate, fds=fds
         )
 
     def _synthesize_for_query(
@@ -553,10 +629,16 @@ class DeploymentVerifier:
         covering: MetaReport,
         result: SolverResult,
         target_predicate: Expr,
+        fds: tuple[FunctionalDependency, ...] = (),
     ) -> Counterexample | None:
         if result.status is not Sat.SAT or result.witness is None:
             return None
         row = self._full_row(result.witness)
+        if fds:
+            # NULL-padding a column the witness never mentioned must not
+            # fabricate an FD-violating pair; complete it from the mapping
+            # its bound partner selects.
+            row = complete_row(row, result.witness, fds)
         assert covering.pla is not None
         conditions = [
             a
@@ -571,6 +653,7 @@ class DeploymentVerifier:
                 query,
                 conditions,
                 target_predicate,
+                fds=fds,
             )
         else:
             from repro.verify.counterexample import ReplayOutcome

@@ -5,37 +5,53 @@ evaluating candidate rows with the runtime's own ``Expr.evaluate`` — so its
 verdicts can never drift from engine semantics. What makes the enumeration
 *exact* rather than a sampling heuristic is the construction here: for the
 supported predicate fragment (column-vs-literal comparisons, column-vs-
-column comparisons, IN lists, IS [NOT] NULL, and any AND/OR/NOT nesting of
-those) an atom's truth value depends only on how a column's value compares
-to the finitely many literal constants in the predicate and to the other
-columns it is compared against. A candidate set containing
+column comparisons, linear single-column arithmetic ``a*x + b ⋈ c``,
+affine column-column comparisons ``x ⋈ a*y + b``, IN lists, IS [NOT]
+NULL, and any AND/OR/NOT nesting of those) an atom's truth value depends
+only on how a column's value compares to finitely many *thresholds*: the
+literal constants, the solved boundaries of its linear atoms, and — for
+columns compared to each other — the (affine images of the) other
+column's candidates. A candidate set containing
 
 * every constant mentioned for the column (or its comparison group),
-* values just below/above each constant (and between adjacent constants),
+* the solved boundary of every linear atom over it (``a*x + b ⋈ c``
+  contributes ``(c - b) / a``; fractional boundaries are sampled at the
+  rounded float plus both ULP neighbours so the true boundary is
+  straddled),
+* values just below/above each threshold (and between adjacent ones),
 * enough extra distinct values to realize every ordering of the columns in
   one comparison group (group size, capped at :data:`MAX_GROUP_OFFSET`),
+* for affine pairs, the *crossing points* where two thresholds meet
+  (``a1*y + b1 = a2*y + b2``) and the images ``a*v + b`` of every source
+  candidate ``v``,
 * and ``NULL``
 
 therefore realizes every reachable atom-valuation — if any row satisfies
 the predicate, some candidate row does too. Columns compared to each other
 are merged into one *group* (union-find) sharing a candidate pool, since
-their relative order matters.
+their relative order matters. Groups linked by a *non-identity* affine
+edge are restricted to exactly one (target, source) column pair — chains
+of affine comparisons leave the fragment and yield UNKNOWN.
 
 Typing assumption: a column whose constants are all ``int`` ranges over
 integers (the warehouse stores typed columns), so ``x > 5 AND x < 6`` is
-reported unsatisfiable. Float constants switch the column to a dense
-domain, adding midpoints between adjacent constants.
+reported unsatisfiable. Float constants — including fractional solved
+boundaries such as ``100 / 1.2`` — switch the column to a dense domain,
+adding midpoints between adjacent constants.
 """
 
 from __future__ import annotations
 
 import datetime
+import math
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Any, Iterable, Sequence
 
 from repro.errors import AnalysisError
 from repro.relational.expressions import (
     And,
+    Arith,
     Col,
     Comparison,
     Expr,
@@ -49,27 +65,69 @@ from repro.relational.expressions import (
 __all__ = [
     "UnsupportedPredicate",
     "MAX_GROUP_OFFSET",
+    "AffineEdge",
     "PredicateShape",
     "scan_shape",
     "build_domains",
     "domain_size",
+    "set_arithmetic_enabled",
 ]
 
 #: Extra distinct values generated around each constant, bounded so huge
 #: column-comparison groups cannot explode the candidate pool.
 MAX_GROUP_OFFSET = 4
 
+#: Feature toggle for the linear-arithmetic fragment. Exists so ablations
+#: (``benchmarks/bench_verify.py``) can measure the PROVED-rate gain of
+#: arithmetic support against the pre-arithmetic solver; production code
+#: never turns it off.
+_ARITHMETIC_ENABLED = True
+
+
+def set_arithmetic_enabled(enabled: bool) -> bool:
+    """Toggle linear-arithmetic atom support; returns the previous setting.
+
+    With arithmetic disabled every ``Arith``-bearing atom raises
+    :class:`UnsupportedPredicate` (the pre-extension behaviour), so solver
+    verdicts degrade to UNKNOWN instead of becoming wrong.
+    """
+    global _ARITHMETIC_ENABLED
+    previous = _ARITHMETIC_ENABLED
+    _ARITHMETIC_ENABLED = enabled
+    return previous
+
 
 class UnsupportedPredicate(AnalysisError):
     """The predicate contains a shape the solver cannot model exactly."""
 
 
+@dataclass(frozen=True)
+class AffineEdge:
+    """A comparison linking two distinct columns: ``target ⋈ a*source + b``.
+
+    Normalized so the target column appears with coefficient 1; the
+    comparison operator itself is irrelevant to domain construction (only
+    the threshold line ``x = a*y + b`` matters) and stays in the predicate
+    for the evaluator.
+    """
+
+    target: str
+    source: str
+    a: Fraction
+    b: Fraction
+
+
 @dataclass
 class PredicateShape:
-    """Columns, literal constant pools, and column-column comparison edges."""
+    """Columns, constant pools, and column-column comparison edges.
+
+    ``edges`` are plain ``x ⋈ y`` comparisons (identity affine edges);
+    ``affine`` carries the non-identity ``x ⋈ a*y + b`` ones.
+    """
 
     constants: dict[str, set[Any]] = field(default_factory=dict)
     edges: list[tuple[str, str]] = field(default_factory=list)
+    affine: list[AffineEdge] = field(default_factory=list)
 
     def columns(self) -> frozenset[str]:
         return frozenset(self.constants)
@@ -77,13 +135,125 @@ class PredicateShape:
     def pool(self, column: str) -> set[Any]:
         return self.constants.setdefault(column, set())
 
+    def add_boundary(self, column: str, boundary: Fraction) -> None:
+        """Record a solved linear-atom boundary as pool constants."""
+        self.pool(column).update(_boundary_values(boundary))
+
+
+def _boundary_values(boundary: Fraction) -> tuple[int | float, ...]:
+    """Pool constants representing one exact rational threshold.
+
+    Integral boundaries stay ``int`` (preserving the int-typing rule);
+    fractional ones become the rounded ``float`` plus both ULP neighbours,
+    so candidates straddle the true boundary even when it is not exactly
+    representable.
+    """
+    if boundary.denominator == 1:
+        return (int(boundary),)
+    approx = float(boundary)
+    return (
+        approx,
+        math.nextafter(approx, math.inf),
+        math.nextafter(approx, -math.inf),
+    )
+
+
+# -- linear terms -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Linear:
+    """One side of an atom as ``coeff * col + const`` over non-NULL rows.
+
+    ``cols`` lists *every* referenced column (a NULL in any of them makes
+    the whole expression NULL, which matters even when the column's
+    coefficient cancelled to zero). ``col`` is ``None`` iff ``coeff`` is
+    zero (a degenerate constant term).
+    """
+
+    cols: frozenset[str]
+    coeff: Fraction
+    col: str | None
+    const: Fraction
+
+
+def _as_fraction(value: Any, context: Expr) -> Fraction:
+    if type(value) is bool or not isinstance(value, (int, float)):
+        raise UnsupportedPredicate(
+            f"non-numeric operand in arithmetic: {context}"
+        )
+    try:
+        return Fraction(value)
+    except (ValueError, OverflowError) as exc:  # NaN / infinity literals
+        raise UnsupportedPredicate(
+            f"non-finite numeric literal in arithmetic: {context}"
+        ) from exc
+
+
+def _linearize(expr: Expr, context: Expr) -> _Linear:
+    """Rewrite one comparison side as a linear single-column term.
+
+    Raises :class:`UnsupportedPredicate` on anything outside the linear
+    fragment: multi-column terms, column*column products, division by a
+    column or by literal zero, non-numeric or NULL operands.
+    """
+    if isinstance(expr, Lit):
+        if expr.value is None:
+            raise UnsupportedPredicate(
+                f"NULL literal inside arithmetic: {context}"
+            )
+        return _Linear(frozenset(), Fraction(0), None, _as_fraction(expr.value, context))
+    if isinstance(expr, Col):
+        return _Linear(frozenset({expr.name}), Fraction(1), expr.name, Fraction(0))
+    if isinstance(expr, Arith):
+        lhs = _linearize(expr.left, context)
+        rhs = _linearize(expr.right, context)
+        cols = lhs.cols | rhs.cols
+        if expr.op in ("+", "-"):
+            if lhs.col is not None and rhs.col is not None and lhs.col != rhs.col:
+                raise UnsupportedPredicate(
+                    f"multi-column arithmetic term: {context}"
+                )
+            sign = 1 if expr.op == "+" else -1
+            coeff = lhs.coeff + sign * rhs.coeff
+            col = lhs.col if lhs.col is not None else rhs.col
+            return _Linear(
+                cols, coeff, col if coeff else None, lhs.const + sign * rhs.const
+            )
+        if expr.op == "*":
+            if lhs.col is not None and rhs.col is not None:
+                raise UnsupportedPredicate(
+                    f"nonlinear column*column term: {context}"
+                )
+            scale, term = (lhs.const, rhs) if lhs.col is None else (rhs.const, lhs)
+            coeff = term.coeff * scale
+            return _Linear(
+                cols, coeff, term.col if coeff else None, term.const * scale
+            )
+        if expr.op == "/":
+            if rhs.col is not None or rhs.cols:
+                raise UnsupportedPredicate(f"division by a column: {context}")
+            if rhs.const == 0:
+                raise UnsupportedPredicate(
+                    f"division by literal zero: {context}"
+                )
+            coeff = lhs.coeff / rhs.const
+            return _Linear(
+                cols, coeff, lhs.col if coeff else None, lhs.const / rhs.const
+            )
+        raise UnsupportedPredicate(
+            f"arithmetic operator {expr.op!r} outside the solver fragment: {context}"
+        )
+    raise UnsupportedPredicate(
+        f"operand outside the solver fragment: {type(expr).__name__}: {context}"
+    )
+
 
 def scan_shape(exprs: Iterable[Expr | None]) -> PredicateShape:
     """Collect the shape of a set of predicates (conjoined or separate).
 
     Raises :class:`UnsupportedPredicate` on atoms outside the fragment
-    (arithmetic, literal-free comparisons over computed values, unknown
-    node types).
+    (nonlinear arithmetic, multi-column terms, unknown node types).
     """
     shape = PredicateShape()
     for expr in exprs:
@@ -116,26 +286,100 @@ def _scan(expr: Expr, shape: PredicateShape) -> None:
             shape.edges.append((left.name, right.name))
         elif isinstance(left, Lit) and isinstance(right, Lit):
             pass  # constant atom; no column involved
+        elif isinstance(left, Arith) or isinstance(right, Arith):
+            _scan_arith_comparison(expr, shape)
         else:
             raise UnsupportedPredicate(
                 f"comparison outside the solver fragment: {expr}"
             )
     elif isinstance(expr, InList):
-        if not isinstance(expr.target, Col):
+        target = expr.target
+        if isinstance(target, Col):
+            shape.pool(target.name).update(
+                v for v in expr.values if v is not None
+            )
+        elif isinstance(target, Arith):
+            _require_arithmetic(expr)
+            lin = _linearize(target, expr)
+            for name in lin.cols:
+                shape.pool(name)
+            if lin.col is not None:
+                for v in expr.values:
+                    if v is None or not isinstance(v, (int, float)):
+                        continue  # a number can only equal a numeric member
+                    shape.add_boundary(
+                        lin.col, (_as_fraction(v, expr) - lin.const) / lin.coeff
+                    )
+        else:
             raise UnsupportedPredicate(f"IN over non-column: {expr}")
-        shape.pool(expr.target.name).update(
-            v for v in expr.values if v is not None
-        )
     elif isinstance(expr, IsNull):
-        if not isinstance(expr.target, Col):
+        target = expr.target
+        if isinstance(target, Col):
+            shape.pool(target.name)
+        elif isinstance(target, Arith):
+            # NULL-ness of a linear term is NULL-ness of any referenced
+            # column (literal coefficients are never NULL; /0 is excluded
+            # by _linearize), so registering the pools suffices.
+            _require_arithmetic(expr)
+            lin = _linearize(target, expr)
+            for name in lin.cols:
+                shape.pool(name)
+        else:
             raise UnsupportedPredicate(f"IS NULL over non-column: {expr}")
-        shape.pool(expr.target.name)
     elif isinstance(expr, Lit):
         pass
     else:
         raise UnsupportedPredicate(
             f"node outside the solver fragment: {type(expr).__name__}: {expr}"
         )
+
+
+def _require_arithmetic(expr: Expr) -> None:
+    if not _ARITHMETIC_ENABLED:
+        raise UnsupportedPredicate(
+            f"arithmetic support disabled (ablation mode): {expr}"
+        )
+
+
+def _scan_arith_comparison(expr: Comparison, shape: PredicateShape) -> None:
+    """Fold one ``Arith``-bearing comparison into the shape.
+
+    Each side is linearized to ``a*col + b``; the atom is then either a
+    solvable single-column boundary, an affine edge between two columns,
+    or a constant (whose referenced columns still need NULL bookkeeping).
+    """
+    _require_arithmetic(expr)
+    lhs = _linearize(expr.left, expr)
+    rhs = _linearize(expr.right, expr)
+    for name in lhs.cols | rhs.cols:
+        shape.pool(name)
+    if lhs.col is not None and rhs.col is not None:
+        if lhs.col == rhs.col:
+            # a1*x + b1 ⋈ a2*x + b2  →  (a1-a2)*x ⋈ b2-b1
+            a = lhs.coeff - rhs.coeff
+            if a != 0:
+                shape.add_boundary(lhs.col, (rhs.const - lhs.const) / a)
+            return
+        # a1*x + b1 ⋈ a2*y + b2  →  x ⋈ (a2/a1)*y + (b2-b1)/a1; the
+        # threshold line is what matters, so dividing by a negative a1
+        # (which flips the comparison) is immaterial here.
+        shape.affine.append(
+            AffineEdge(
+                target=lhs.col,
+                source=rhs.col,
+                a=rhs.coeff / lhs.coeff,
+                b=(rhs.const - lhs.const) / lhs.coeff,
+            )
+        )
+        return
+    if lhs.col is not None:
+        shape.add_boundary(lhs.col, (rhs.const - lhs.const) / lhs.coeff)
+        return
+    if rhs.col is not None:
+        shape.add_boundary(rhs.col, (lhs.const - rhs.const) / rhs.coeff)
+        return
+    # Both sides degenerate: a constant atom (UNKNOWN when a referenced
+    # column is NULL — the pools registered above cover that case).
 
 
 class _Groups:
@@ -172,8 +416,8 @@ def _candidates(pool: set[Any], group_size: int) -> list[Any]:
     kinds = {_kind(v) for v in pool}
     if len(kinds) > 1:
         raise UnsupportedPredicate(
-            f"mixed-type constant pool {sorted(map(repr, pool))}; cannot "
-            "order candidates"
+            f"mixed-type constant pool ({', '.join(sorted(kinds))}): "
+            f"{sorted(map(repr, pool))}; cannot order candidates"
         )
     kind = kinds.pop()
     if kind == "bool":
@@ -203,6 +447,18 @@ def _candidates(pool: set[Any], group_size: int) -> list[Any]:
                 out.add(value + datetime.timedelta(days=j))
                 out.add(value - datetime.timedelta(days=j))
         return sorted(out)
+    if kind == "datetime":
+        # Datetimes are dense (sub-day granularity): day offsets around
+        # each constant plus midpoints between adjacent constants.
+        out = set(pool)
+        for value in pool:
+            for j in offsets:
+                out.add(value + datetime.timedelta(days=j))
+                out.add(value - datetime.timedelta(days=j))
+        ordered = sorted(pool)
+        for a, b in zip(ordered, ordered[1:]):
+            out.add(a + (b - a) / 2)
+        return sorted(out)
     raise UnsupportedPredicate(
         f"constants of unsupported type in pool: {sorted(map(repr, pool))}"
     )
@@ -215,7 +471,12 @@ def _kind(value: Any) -> str:
         return "number"
     if isinstance(value, str):
         return "str"
-    if isinstance(value, (datetime.date, datetime.datetime)):
+    # datetime.datetime subclasses datetime.date but the two do not
+    # order against each other — they must land in distinct kinds so a
+    # mixed pool is rejected (UNKNOWN) instead of crashing sorted().
+    if isinstance(value, datetime.datetime):
+        return "datetime"
+    if isinstance(value, datetime.date):
         return "date"
     return type(value).__name__
 
@@ -224,7 +485,10 @@ def build_domains(exprs: Iterable[Expr | None]) -> dict[str, tuple[Any, ...]]:
     """Per-column candidate domains (``NULL`` last) for a predicate set.
 
     Columns compared to each other share one merged candidate pool so their
-    relative orderings are all reachable.
+    relative orderings are all reachable. A group linked by non-identity
+    affine edges must be exactly one (target, source) pair; the target's
+    pool is closed under the affine images of the source's candidates and
+    under every threshold crossing point.
     """
     shape = scan_shape(exprs)
     groups = _Groups()
@@ -232,6 +496,8 @@ def build_domains(exprs: Iterable[Expr | None]) -> dict[str, tuple[Any, ...]]:
         groups.add(column)
     for a, b in shape.edges:
         groups.union(a, b)
+    for edge in shape.affine:
+        groups.union(edge.target, edge.source)
     members: dict[str, list[str]] = {}
     for column in shape.constants:
         members.setdefault(groups.find(column), []).append(column)
@@ -240,11 +506,80 @@ def build_domains(exprs: Iterable[Expr | None]) -> dict[str, tuple[Any, ...]]:
         pool: set[Any] = set()
         for column in columns:
             pool |= shape.constants[column]
+        affine = [e for e in shape.affine if groups.find(e.target) == root]
+        if affine:
+            source_values, target_values, pair = _affine_group_candidates(
+                columns, pool, affine, shape.edges
+            )
+            domains[pair[1]] = tuple(source_values) + (None,)
+            domains[pair[0]] = tuple(target_values) + (None,)
+            continue
         values = _candidates(pool, len(columns))
         domain = tuple(values) + (None,)
         for column in columns:
             domains[column] = domain
     return domains
+
+
+def _affine_group_candidates(
+    columns: list[str],
+    pool: set[Any],
+    affine: list[AffineEdge],
+    plain_edges: list[tuple[str, str]],
+) -> tuple[list[Any], list[Any], tuple[str, str]]:
+    """Candidates for a two-column group linked by affine edges.
+
+    Exactness argument (the 2D small-model): the atoms partition the
+    (target, source) plane into cells bounded by the lines ``y = const``,
+    ``x = const`` and ``x = a*y + b``. The source candidates realize a
+    point inside every y-interval delimited by the *critical* y-values —
+    the y constants, the crossings of two affine thresholds, and the
+    crossings of an affine threshold with an x constant — within which the
+    ordering of all x-thresholds is fixed. For each such source candidate
+    the target pool then contains every threshold image (and neighbours /
+    midpoints via :func:`_candidates`), realizing every x-side ordering.
+    """
+    pairs = {(e.target, e.source) for e in affine}
+    if len(pairs) > 1 or len(columns) != 2:
+        raise UnsupportedPredicate(
+            "affine column-column comparisons support exactly one column "
+            f"pair per comparison group; got columns {sorted(columns)} with "
+            f"edges {sorted(f'{t}~{s}' for t, s in pairs)}"
+        )
+    (pair,) = pairs
+    target, source = pair
+    bad = sorted(
+        repr(v)
+        for v in pool
+        if type(v) is bool or not isinstance(v, (int, float))
+    )
+    if bad:
+        raise UnsupportedPredicate(
+            f"non-numeric constants {bad} in an arithmetic comparison group"
+        )
+    edges = list(affine)
+    if any({a, b} == {target, source} for a, b in plain_edges):
+        # A plain x ⋈ y comparison in the same group is the identity
+        # affine edge; it must join the crossing/image computation.
+        edges.append(AffineEdge(target, source, Fraction(1), Fraction(0)))
+    source_pool = set(pool)
+    for i, e1 in enumerate(edges):
+        for e2 in edges[i + 1 :]:
+            if e1.a != e2.a:  # non-parallel thresholds cross once
+                source_pool.update(
+                    _boundary_values((e2.b - e1.b) / (e1.a - e2.a))
+                )
+        for c in pool:
+            source_pool.update(
+                _boundary_values((Fraction(c) - e1.b) / e1.a)
+            )
+    source_values = _candidates(source_pool, 2)
+    image_pool = set(pool) | set(source_values)
+    for e in edges:
+        for v in source_values:
+            image_pool.update(_boundary_values(e.a * Fraction(v) + e.b))
+    target_values = _candidates(image_pool, 2)
+    return source_values, target_values, pair
 
 
 def domain_size(domains: dict[str, Sequence[Any]]) -> int:

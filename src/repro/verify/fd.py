@@ -1,0 +1,235 @@
+"""Functional dependencies between wide-view attributes, for the verifier.
+
+A star dimension stores one row per distinct attribute combination, and
+every wide-view row draws its dimension attributes from exactly one such
+row. Two consequences the solver can exploit when proving a Fig 5
+implication (VER002):
+
+* attribute values are confined to the combinations the dimension
+  actually holds (a finite domain), and
+* when one level determines another in the dimension data — ``drug →
+  disease``, ``patient → zip`` — every real warehouse row respects that
+  mapping, so an implication that fails only on mapping-violating rows
+  still holds for every row the deployment can deliver.
+
+:class:`FunctionalDependency` captures one such determinant → dependent
+mapping as an explicit finite pair set, and :func:`fds_from_star` derives
+them from a warehouse star (fine → coarse level pairs whose data is
+actually functional). The verifier conjoins applicable FDs into the
+premise of an implication and records their provenance in the proof
+trace.
+
+**Soundness contract.** An FD-conditioned verdict is relative to the
+declared mappings: it certifies the implication *for every row that
+respects the FDs*, which is every row the current dimension content can
+produce. The mappings therefore enter the incremental verifier's
+environment state token (changing a dimension re-proves everything), and
+counterexample replay rejects any witness violating a declared FD — such
+a witness describes a row the warehouse cannot contain, so it refutes
+nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.relational.expressions import And, Col, Comparison, Expr, IsNull, Lit, Or
+from repro.warehouse.star import StarSchema
+
+__all__ = [
+    "FunctionalDependency",
+    "fds_from_star",
+    "violated_fd",
+]
+
+#: Default cap on mapping pairs per derived FD; past it the dependency is
+#: dropped rather than encoded (a huge Or-of-And would blow the solver's
+#: DNF/enumeration budgets for no proof value).
+MAX_FD_PAIRS = 32
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``determinant → dependent`` with its explicit finite pair set.
+
+    ``mapping`` holds every (determinant value, dependent value) pair the
+    dependency admits; ``None`` entries model NULL attribute values. The
+    pair set doubles as a finite-domain constraint on the determinant.
+    """
+
+    name: str
+    determinant: str
+    dependent: str
+    mapping: tuple[tuple[Any, Any], ...]
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.mapping:
+            raise ValueError(f"FD {self.name!r} has an empty mapping")
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.determinant, self.dependent})
+
+    def predicate(self) -> Expr:
+        """The FD as an exact 3VL predicate over its two columns.
+
+        One disjunct per admitted pair; NULL pair members become
+        ``IS NULL`` atoms so the encoding is definite (never UNKNOWN) on
+        exactly the rows the mapping admits.
+        """
+        expr: Expr | None = None
+        for det_value, dep_value in self.mapping:
+            branch: Expr = And(
+                _match(self.determinant, det_value),
+                _match(self.dependent, dep_value),
+            )
+            expr = branch if expr is None else Or(expr, branch)
+        assert expr is not None  # __post_init__ rejects empty mappings
+        return expr
+
+    def holds(self, row: Mapping[str, Any]) -> bool:
+        """Can a (possibly partial) witness row respect this dependency?
+
+        A column missing from the row is existentially quantified: the
+        row holds iff *some* admitted pair extends it. With both columns
+        bound this is exact pair membership; with one bound it checks the
+        value occurs in the mapping at all (an unmapped value describes a
+        row the dimension cannot produce).
+        """
+        det_bound = self.determinant in row
+        dep_bound = self.dependent in row
+        if not det_bound and not dep_bound:
+            return True
+        if det_bound and dep_bound:
+            pair = (row[self.determinant], row[self.dependent])
+            return any(pair == admitted for admitted in self.mapping)
+        if det_bound:
+            value = row[self.determinant]
+            return any(det == value for det, _ in self.mapping)
+        value = row[self.dependent]
+        return any(dep == value for _, dep in self.mapping)
+
+    def describe(self) -> str:
+        """Stable value-identity string (state tokens, provenance)."""
+        pairs = ", ".join(
+            f"{det!r}->{dep!r}" for det, dep in self.mapping
+        )
+        return (
+            f"fd {self.name}: {self.determinant} -> {self.dependent} "
+            f"[{pairs}] ({self.source or 'declared'})"
+        )
+
+    def describe_short(self) -> str:
+        return (
+            f"{self.name}: {self.determinant} -> {self.dependent} "
+            f"({len(self.mapping)} pairs)"
+        )
+
+
+def _match(column: str, value: Any) -> Expr:
+    if value is None:
+        return IsNull(Col(column))
+    return Comparison("=", Col(column), Lit(value))
+
+
+def violated_fd(
+    row: Mapping[str, Any], fds: Iterable[FunctionalDependency]
+) -> FunctionalDependency | None:
+    """First declared FD the row violates, or ``None``."""
+    for fd in fds:
+        if not fd.holds(row):
+            return fd
+    return None
+
+
+def complete_row(
+    row: dict[str, Any],
+    bound: Mapping[str, Any],
+    fds: Iterable[FunctionalDependency],
+) -> dict[str, Any]:
+    """Fill FD columns a partial witness left open with admitted values.
+
+    ``row`` is the NULL-padded full universe row, ``bound`` the columns
+    the solver actually pinned. A column the witness never mentioned is a
+    *don't-care*, but leaving it NULL could fabricate a pair no dimension
+    row admits — so each open FD column is completed from the mapping
+    entry its bound partner selects (in either direction), iterating so
+    chained dependencies propagate. Columns with no admitted extension
+    are left untouched; :func:`violated_fd` then reports them honestly.
+    """
+    fd_list = tuple(fds)
+    out = dict(row)
+    pinned = set(bound)
+    for _ in range(max(1, len(fd_list))):
+        progressed = False
+        for fd in fd_list:
+            det_bound = fd.determinant in pinned
+            dep_bound = fd.dependent in pinned
+            if det_bound and not dep_bound:
+                value = out.get(fd.determinant)
+                for det, dep in fd.mapping:
+                    if det == value:
+                        out[fd.dependent] = dep
+                        pinned.add(fd.dependent)
+                        progressed = True
+                        break
+            elif dep_bound and not det_bound:
+                value = out.get(fd.dependent)
+                for det, dep in fd.mapping:
+                    if dep == value:
+                        out[fd.determinant] = det
+                        pinned.add(fd.determinant)
+                        progressed = True
+                        break
+        if not progressed:
+            break
+    return out
+
+
+def fds_from_star(
+    star: StarSchema, *, max_pairs: int = MAX_FD_PAIRS
+) -> tuple[FunctionalDependency, ...]:
+    """Derive fine → coarse functional dependencies from a star's dimensions.
+
+    For every dimension and every level pair (finer, coarser) whose data
+    is actually functional — no determinant value maps to two dependent
+    values — emit an FD carrying the observed pair set. Pairs are ordered
+    deterministically so the FD's ``describe()`` (and hence the
+    incremental state token) is stable across runs. Dependencies with
+    more than ``max_pairs`` pairs are skipped: they would bloat the
+    solver's domains without making new implications provable in budget.
+    """
+    out: list[FunctionalDependency] = []
+    for dim in star.dimensions:
+        levels = tuple(dim.levels)
+        if len(levels) < 2:
+            continue
+        rows = list(dim.table.iter_dicts())
+        for i, det in enumerate(levels):
+            for dep in levels[i + 1 :]:
+                mapping: dict[Any, Any] = {}
+                functional = True
+                for row in rows:
+                    det_value, dep_value = row.get(det), row.get(dep)
+                    if det_value in mapping:
+                        if mapping[det_value] != dep_value:
+                            functional = False
+                            break
+                    else:
+                        mapping[det_value] = dep_value
+                if not functional or not mapping or len(mapping) > max_pairs:
+                    continue
+                pairs = tuple(
+                    sorted(mapping.items(), key=lambda kv: repr(kv[0]))
+                )
+                out.append(
+                    FunctionalDependency(
+                        name=f"{dim.table.name}.{det}->{dep}",
+                        determinant=det,
+                        dependent=dep,
+                        mapping=pairs,
+                        source=f"dimension {dim.name}",
+                    )
+                )
+    return tuple(out)

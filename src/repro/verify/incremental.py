@@ -62,7 +62,8 @@ __all__ = [
 
 #: Bump when unit-key composition or the payload schema changes; a cache
 #: written by an older layout is discarded wholesale instead of misread.
-CACHE_FORMAT = 1
+#: 2: functional dependencies joined the environment token.
+CACHE_FORMAT = 2
 
 
 # ---------------------------------------------------------------------------
@@ -340,6 +341,10 @@ class IncrementalVerifier:
                 (p.name, p.relation, str(p.predicate))
                 for p in self.target.source_policies
             ),
+            # FD mappings condition VER002 proofs and replay, so they are
+            # environment: a changed dimension (new/renamed pairs) must
+            # re-prove everything, exactly like a changed source policy.
+            tuple(fd.describe() for fd in self.target.fds),
             self.target.universe,
             self.target.universe_columns,
             self.budget,

@@ -189,6 +189,14 @@ class _Search:
             self.domains = build_domains(self.positives + self.negatives)
         except UnsupportedPredicate as exc:
             return SolverResult(Sat.UNKNOWN, reason=str(exc))
+        except Exception as exc:  # fail closed: never crash, never lie
+            return SolverResult(
+                Sat.UNKNOWN,
+                reason=(
+                    "domain construction failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ),
+            )
         size = domain_size(self.domains)
         conj = _conjoin(self.positives)
         if conj is None:
@@ -201,7 +209,7 @@ class _Search:
             negative_cols |= expr.columns()
         for atoms in branches:
             branch = _conjoin(atoms)
-            if branch is not None and conjunction_inconsistent(branch):
+            if branch is not None and self._provably_empty(branch):
                 continue
             columns = set(negative_cols)
             if branch is not None:
@@ -221,16 +229,37 @@ class _Search:
                     domain_size=size,
                     reason=f"evaluation budget exhausted over {size} candidates",
                 )
-        if self.had_error:
+        # UNSAT requires a *complete* search: every branch fully enumerated
+        # (or soundly pruned), no evaluation error anywhere in this search.
+        # had_error must dominate even when later branches were pruned — a
+        # pruned branch proves nothing about the branch whose evaluation
+        # raised.
+        if self.had_error or self.budget.exhausted:
             return SolverResult(
                 Sat.UNKNOWN,
                 evaluations=self.budget.spent,
                 domain_size=size,
-                reason="candidate evaluation raised (incomparable types?)",
+                reason=(
+                    "candidate evaluation raised (incomparable types?)"
+                    if self.had_error
+                    else f"evaluation budget exhausted over {size} candidates"
+                ),
             )
         return SolverResult(
             Sat.UNSAT, evaluations=self.budget.spent, domain_size=size
         )
+
+    def _provably_empty(self, branch: Expr) -> bool:
+        """Sound pruning only: an *error* in the pruner must not prune.
+
+        ``conjunction_inconsistent`` is a fast emptiness proof; if it
+        raises on a shape it cannot decompose, the branch is enumerated
+        instead — pruning may only ever remove branches proved empty.
+        """
+        try:
+            return conjunction_inconsistent(branch)
+        except Exception:
+            return False
 
     def _enumerate(
         self, branch: Expr | None, columns: list[str]
@@ -249,7 +278,11 @@ class _Search:
                     continue
                 if any(truth(n.evaluate(row)) is True for n in self.negatives):
                     continue
-            except QueryError:
+            except (QueryError, TypeError, ValueError, ArithmeticError):
+                # QueryError is the engine's typed failure; raw TypeError/
+                # OverflowError can escape arithmetic over exotic operand
+                # mixes. Either way the candidate is inconclusive, and the
+                # search as a whole can no longer claim UNSAT.
                 self.had_error = True
                 continue
             return row
