@@ -7,7 +7,13 @@ N statements (view chains, aggregate reports, and UNION reports, cycling
 through all three dialects file by file), ingests them against the
 standard scenario catalog, and reports wall time plus statements/second.
 
-``main`` (via ``python benchmarks/run_all.py ingest``) prints the table
+A second tier ingests the shipped TPC-H-style corpus
+(``examples/sql_suites/tpch`` — outer joins, CASE, scalar subqueries,
+TOP-in-subquery across all three dialects) and gates its parse+compile
+wall time, so a front-end regression on the realistic workload fails the
+consolidated ``BENCH_ingest.json`` gate summary, not just a synthetic one.
+
+``main`` (via ``python benchmarks/run_all.py ingest``) prints the tables
 and optionally writes ``BENCH_ingest.json``.
 """
 
@@ -28,8 +34,20 @@ JSON_PATH = "BENCH_ingest.json"
 FULL_SIZES = (25, 100, 400)
 SMOKE_SIZES = (10, 40)
 
+TPCH_SUITE = (
+    Path(__file__).resolve().parent.parent / "examples" / "sql_suites" / "tpch"
+)
+#: Parse+compile budget for the TPC-H corpus (best of N; ~35 ms locally,
+#: the slack absorbs cold CI runners, not algorithmic regressions).
+TPCH_GATE_S = 1.5
+
 _DISEASES = ("asthma", "diabetes", "flu", "hypertension", "bronchitis")
 _HEADERS = {"ansi": "", "postgres": "-- dialect: postgres\n", "tsql": "-- dialect: tsql\n"}
+
+
+#: Restart the synthetic view chain every N views so generated suites stay
+#: below the engines' 32-level view-nesting limit at any suite size.
+_MAX_CHAIN = 25
 
 
 def _statement(i: int, dialect: str) -> str:
@@ -37,7 +55,8 @@ def _statement(i: int, dialect: str) -> str:
     disease = _DISEASES[i % len(_DISEASES)]
     kind = i % 3
     if kind == 0:
-        source = f"bench_v{i - 3}" if i >= 3 else "wide_prescriptions"
+        chained = i >= 3 and (i // 3) % _MAX_CHAIN != 0
+        source = f"bench_v{i - 3}" if chained else "wide_prescriptions"
         return (
             f"CREATE VIEW bench_v{i} AS "
             f"SELECT drug, disease, zip, cost FROM {source} "
@@ -104,6 +123,29 @@ def run_scaling_bench(*, sizes=FULL_SIZES) -> list[dict[str, Any]]:
     return rows
 
 
+def run_tpch_bench(*, repeats: int = 3) -> dict[str, Any]:
+    """Parse+compile wall time over the shipped TPC-H-style corpus."""
+    scenario = build_scenario()
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = ingest_suite(TPCH_SUITE, catalog=scenario.bi_catalog)
+        best = min(best, time.perf_counter() - started)
+    assert result is not None
+    errors = len(
+        [d for d in result.diagnostics.diagnostics if d.severity.name == "ERROR"]
+    )
+    return {
+        "suite": "examples/sql_suites/tpch",
+        "statements": len(result.statements),
+        "reports": len(result.reports),
+        "views": len(result.views),
+        "errors": errors,
+        "wall_s": round(best, 4),
+    }
+
+
 def main(smoke: bool = False, json_path: str | None = None) -> int:
     rows = run_scaling_bench(sizes=SMOKE_SIZES if smoke else FULL_SIZES)
     header = f"{'stmts':>6} {'reports':>8} {'views':>6} {'wall_s':>8} {'stmts/s':>9}"
@@ -119,8 +161,40 @@ def main(smoke: bool = False, json_path: str | None = None) -> int:
         if row["errors"]:
             failed = True
             print(f"       ^ {row['errors']} unexpected error diagnostic(s)")
+
+    tpch = run_tpch_bench()
+    gates = [
+        {
+            "name": "tpch_parse_compile_wall_s",
+            "value": tpch["wall_s"],
+            "threshold": TPCH_GATE_S,
+            "passed": tpch["wall_s"] <= TPCH_GATE_S,
+        },
+        {
+            "name": "tpch_zero_error_diagnostics",
+            "value": float(tpch["errors"]),
+            "threshold": 0.0,
+            "passed": tpch["errors"] == 0,
+        },
+    ]
+    print(
+        f"\ntpch corpus tier: {tpch['statements']} statements "
+        f"({tpch['reports']} reports, {tpch['views']} views) in "
+        f"{tpch['wall_s']:.3f}s (gate {TPCH_GATE_S:.1f}s), "
+        f"{tpch['errors']} error(s)"
+    )
+    if not all(gate["passed"] for gate in gates):
+        failed = True
+        print("       ^ tpch gate FAILED")
+
     if json_path:
-        payload = {"bench": "ingest", "smoke": smoke, "scaling": rows}
+        payload = {
+            "bench": "ingest",
+            "smoke": smoke,
+            "scaling": rows,
+            "tpch": tpch,
+            "gates": gates,
+        }
         Path(json_path).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {json_path}")
     return 1 if failed else 0

@@ -1,0 +1,58 @@
+-- TPC-H-style workload rewritten over the healthcare star schema.
+-- The fact table plays lineitem; the dimension tables play part,
+-- supplier, and customer. Q1's pricing summary, Q6's revenue band,
+-- Q14's promo share, and Q17's small-quantity probe become
+-- prescription-cost analytics over wide_prescriptions.
+
+-- Q17 flavor: prescriptions priced above the corpus-wide average.
+-- The scalar subquery compiles to a name-mangled single-row aggregate
+-- view cross-joined into this block, so the staging view exercises
+-- scalar-subquery lineage end to end.
+CREATE VIEW above_typical_rx AS
+SELECT drug, disease, zip, date, cost
+FROM wide_prescriptions
+WHERE cost > (SELECT AVG(cost) AS typical_cost FROM wide_prescriptions);
+
+-- Q14 flavor: promo-eligible rows picked by a searched CASE predicate.
+CREATE VIEW promo_rx AS
+SELECT drug, disease, zip, date, cost
+FROM wide_prescriptions
+WHERE (CASE WHEN disease = 'flu' THEN cost ELSE 0 END) > 0;
+
+-- report: pricing_summary
+-- title: Pricing summary by drug (TPC-H Q1 flavor)
+-- audience: analyst auditor
+-- purpose: care/quality
+SELECT drug, COUNT(*) AS prescriptions, SUM(cost) AS total_cost,
+       AVG(cost) AS avg_cost, MIN(cost) AS min_cost, MAX(cost) AS max_cost
+FROM wide_prescriptions
+GROUP BY drug
+ORDER BY drug;
+
+-- report: discount_revenue
+-- title: Revenue from low-cost 2007 prescriptions (TPC-H Q6 flavor)
+-- audience: analyst
+-- purpose: care/quality
+SELECT SUM(cost) AS revenue
+FROM wide_prescriptions
+WHERE date >= DATE '2007-01-01' AND date < DATE '2008-01-01' AND cost < 100;
+
+-- report: promo_cost_share
+-- title: Promo-eligible prescription cost by drug (TPC-H Q14 flavor)
+-- audience: analyst
+-- purpose: care/quality
+SELECT drug, SUM(cost) AS promo_cost
+FROM promo_rx
+GROUP BY drug
+ORDER BY promo_cost DESC;
+
+-- report: price_band_catalog
+-- title: Catalog of prescriptions by price band (searched CASE projection)
+-- audience: analyst
+-- purpose: care/quality
+SELECT drug, disease,
+       CASE WHEN cost > 500 THEN 'premium'
+            WHEN cost > 100 THEN 'standard'
+            ELSE 'economy' END AS price_band
+FROM wide_prescriptions
+WHERE date >= DATE '2007-01-01';

@@ -1,0 +1,37 @@
+-- dialect: postgres
+-- TPC-H Q2/Q8 flavors Postgres-style: "quoted" identifiers, ::casts
+-- inside CASE arms and aggregate arguments (dropped during
+-- normalization), and a RIGHT JOIN staging view.
+
+-- Q2 flavor: every drug in the catalog, with its costly prescriptions
+-- where they exist (RIGHT JOIN keeps drugs never prescribed).
+CREATE VIEW costly_rx_named AS
+SELECT "drug" AS costly_drug, "cost", "zip"
+FROM "wide_prescriptions"
+WHERE "cost"::numeric > 250;
+
+CREATE VIEW drug_market_coverage AS
+SELECT "drug", "cost", "zip"
+FROM "costly_rx_named"
+RIGHT JOIN "dim_drug" ON "costly_drug" = "drug";
+
+-- report: seasonal_cost_profile
+-- title: Average cost of costly prescriptions by disease (TPC-H Q8 flavor)
+-- audience: analyst
+-- purpose: care/quality
+SELECT "disease", AVG("cost"::numeric) AS avg_cost
+FROM "wide_prescriptions"
+WHERE (CASE WHEN "cost"::numeric > 100 THEN 'costly' ELSE 'routine' END) = 'costly'
+GROUP BY "disease"
+ORDER BY avg_cost DESC;
+
+-- report: regional_cohort_spend
+-- title: Prescription spend by region for the post-1940 cohort
+-- audience: analyst auditor
+-- purpose: care/quality
+WITH banded AS (
+    SELECT "zip", "cost" FROM "wide_prescriptions" WHERE "birth_year" >= 1940
+)
+SELECT zip, COUNT(*) AS prescriptions, SUM(cost) AS total_cost
+FROM banded
+GROUP BY zip;

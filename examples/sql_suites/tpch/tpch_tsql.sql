@@ -1,0 +1,43 @@
+-- dialect: tsql
+-- TPC-H Q2/Q3/Q18 flavors in T-SQL dress: [bracketed] identifiers,
+-- TOP n both at the outer level and inside a subquery (each rewrite is
+-- scoped to its own SELECT), and a FULL JOIN staging view.
+
+-- Q2 flavor: every doctor matched against the costly prescriptions they
+-- wrote, keeping doctors with none and orphaned rows alike (FULL JOIN).
+CREATE VIEW costly_rx AS
+SELECT [doctor] AS costly_doctor, [drug], [cost]
+FROM [wide_prescriptions]
+WHERE [cost] > 500;
+
+CREATE VIEW doctor_cost_coverage AS
+SELECT [doctor], [drug], [cost]
+FROM [dim_doctor]
+FULL JOIN [costly_rx] ON [doctor] = [costly_doctor];
+
+-- Q18 flavor staging: the newest prescriptions sampled with TOP inside
+-- a subquery, then re-filtered outside it.
+CREATE VIEW recent_rx_sample AS
+SELECT [drug], [cost]
+FROM (SELECT TOP 1000 [drug], [cost], [date]
+      FROM [wide_prescriptions]
+      ORDER BY [date] DESC) AS newest
+WHERE [cost] > 0;
+
+-- report: top_spend_drugs
+-- title: Five drugs with the highest total spend (TPC-H Q3 flavor)
+-- audience: analyst auditor
+-- purpose: care/quality
+SELECT TOP 5 [drug], SUM([cost]) AS [total_cost]
+FROM [wide_prescriptions]
+GROUP BY [drug]
+ORDER BY [total_cost] DESC;
+
+-- report: gender_case_mix
+-- title: Case mix for female patients via a simple CASE predicate
+-- audience: analyst
+-- purpose: care/quality
+SELECT [disease], COUNT(*) AS [prescriptions]
+FROM [wide_prescriptions]
+WHERE (CASE [gender] WHEN 'F' THEN 1 ELSE 0 END) = 1
+GROUP BY [disease];

@@ -84,7 +84,25 @@ CODES: dict[str, str] = {
     "ING009": "shape-mismatch: the branches of a set operation do not "
     "produce the same number of columns, so the positional union cannot "
     "align them",
+    "ING010": "unmodeled-analytic-construct: an ingested statement uses a "
+    "window function or another analytic shape the static-lineage model "
+    "does not cover yet (fails closed with a typed diagnostic, never a "
+    "crash)",
 }
+
+
+def _location_key(location: str) -> tuple[list[str], int]:
+    """Sort key for a location string, numeric-aware on a trailing line.
+
+    ``suite:reports.sql:10`` must sort *after* ``suite:reports.sql:2`` —
+    a plain lexicographic compare puts line 10 first. Locations without a
+    trailing line number sort before any numbered location of the same
+    prefix.
+    """
+    parts = location.split(":")
+    if parts and parts[-1].isdigit():
+        return (parts[:-1], int(parts[-1]))
+    return (parts, -1)
 
 
 @dataclass(frozen=True)
@@ -135,7 +153,32 @@ class DiagnosticReport:
         return tuple(
             sorted(
                 self.diagnostics,
-                key=lambda d: (-d.severity, d.code, d.location, d.message),
+                key=lambda d: (
+                    -d.severity,
+                    d.code,
+                    _location_key(d.location),
+                    d.message,
+                ),
+            )
+        )
+
+    def source_sorted(self) -> tuple[Diagnostic, ...]:
+        """Diagnostics in *source order*: file, numeric line, then code.
+
+        This is the deterministic ordering ``repro ingest`` presents —
+        findings appear in the order a reader scanning the suite files
+        would hit them, regardless of the order the compiler discovered
+        them in.
+        """
+        return tuple(
+            sorted(
+                self.diagnostics,
+                key=lambda d: (
+                    _location_key(d.location),
+                    d.code,
+                    -d.severity,
+                    d.message,
+                ),
             )
         )
 
@@ -180,12 +223,14 @@ class DiagnosticReport:
         prefix = f"lint[{scanned}]: " if scanned else "lint: "
         return prefix + body
 
-    def to_dict(self) -> dict:
+    def to_dict(self, *, order: str = "severity") -> dict:
+        """JSON-ready form; ``order`` is ``"severity"`` or ``"source"``."""
+        items = self.source_sorted() if order == "source" else self.sorted()
         return {
             "summary": self.summary(),
             "coverage": dict(sorted(self.coverage.items())),
             "counts": self.counts(),
-            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "diagnostics": [d.to_dict() for d in items],
         }
 
     def to_json(self, *, indent: int | None = 2) -> str:

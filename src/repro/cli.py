@@ -200,7 +200,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
         print(_json.dumps(result.to_dict(), indent=2))
     else:
         print(result.summary())
-        for diagnostic in result.diagnostics.sorted():
+        for diagnostic in result.diagnostics.source_sorted():
             print(f"  {diagnostic}")
             if diagnostic.fix_hint:
                 print(f"    fix: {diagnostic.fix_hint}")

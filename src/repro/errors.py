@@ -52,8 +52,12 @@ class ParseError(QueryError):
         line_end = self.source.find("\n", offset)
         if line_end == -1:
             line_end = len(self.source)
-        column = offset - line_start
         line = self.source[line_start:line_end]
+        # Tabs occupy several visual columns; expand them (and compute the
+        # caret position on the expanded line) so the caret lines up with
+        # the offending token on screen instead of drifting left.
+        column = len(line[: offset - line_start].expandtabs())
+        line = line.expandtabs()
         start = max(0, column - width // 2)
         shown = line[start : start + width]
         caret = " " * (column - start) + "^"

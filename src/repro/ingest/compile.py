@@ -114,7 +114,7 @@ class IngestResult:
             "reports": [r.name for r in self.reports],
             "views": [v.name for v in self.views],
             "lineage": self.lineage,
-            "diagnostics": self.diagnostics.to_dict(),
+            "diagnostics": self.diagnostics.to_dict(order="source"),
         }
 
 
@@ -258,6 +258,16 @@ def _ingest_file(
 
 def _parse_diagnostic(exc: ParseError, location: str) -> Diagnostic:
     if isinstance(exc, UnsupportedConstructError):
+        if exc.construct == "window function":
+            return Diagnostic(
+                code="ING010",
+                severity=Severity.ERROR,
+                location=location,
+                message=str(exc),
+                fix_hint="window functions are not modeled by static "
+                "lineage yet; pre-compute the analytic column in a view "
+                "the deployment approves",
+            )
         return Diagnostic(
             code="ING004",
             severity=Severity.ERROR,

@@ -115,20 +115,26 @@ def normalize_tokens(
 def _rewrite_top(
     tokens: list[Token], notes: list[NormalizationNote]
 ) -> list[Token]:
-    """``SELECT TOP n ...`` → ``SELECT ... LIMIT n`` (per statement).
+    """``SELECT TOP n ...`` → ``SELECT ... LIMIT n`` (per SELECT scope).
 
-    The statement's token list ends with an ``end`` token; the LIMIT pair is
-    spliced in just before it. T-SQL puts TOP directly after SELECT (and
-    after DISTINCT), which is the only position rewritten — a TOP anywhere
-    else is left for the parser to reject.
+    The LIMIT pair is spliced at the end of the SELECT's own scope: just
+    before the ``)`` that closes the subquery the SELECT sits in, or just
+    before the statement's ``end`` token at top level — a ``TOP`` inside a
+    FROM-subquery or scalar subquery must not leak its LIMIT onto the
+    enclosing statement. Pending splices are tracked per paren depth, so
+    nested subqueries each get their own. T-SQL puts TOP directly after
+    SELECT (and after DISTINCT), which is the only position rewritten — a
+    TOP anywhere else is left for the parser to reject; likewise two TOPs
+    in one scope (UNION branches) splice two LIMIT pairs, which the parser
+    rejects rather than this pass guessing a combined meaning.
     """
     out: list[Token] = []
-    pending_limit: list[Token] = []
+    pending: dict[int, list[Token]] = {}
+    depth = 0
     i = 0
     while i < len(tokens):
         token = tokens[i]
-        is_select = token.kind == "keyword" and token.text == "select"
-        if is_select:
+        if token.kind == "keyword" and token.text == "select":
             out.append(token)
             i += 1
             if (
@@ -145,10 +151,12 @@ def _rewrite_top(
                 and tokens[i + 1].kind == "number"
             ):
                 top, n = tokens[i], tokens[i + 1]
-                pending_limit = [
-                    Token("keyword", "limit", top.pos),
-                    Token("number", n.text, n.pos),
-                ]
+                pending.setdefault(depth, []).extend(
+                    (
+                        Token("keyword", "limit", top.pos),
+                        Token("number", n.text, n.pos),
+                    )
+                )
                 notes.append(
                     NormalizationNote(
                         construct="TOP n",
@@ -158,9 +166,13 @@ def _rewrite_top(
                 )
                 i += 2
             continue
-        if token.kind == "end":
-            out.extend(pending_limit)
-            pending_limit = []
+        if token.kind == "op" and token.text == "(":
+            depth += 1
+        elif token.kind == "op" and token.text == ")":
+            out.extend(pending.pop(depth, ()))
+            depth -= 1
+        elif token.kind == "end":
+            out.extend(pending.pop(depth, ()))
         out.append(token)
         i += 1
     return out

@@ -9,12 +9,15 @@ suites actually use::
     <set-query> ;                               -- a report
 
 where ``<set-query>`` is one or more SELECT blocks combined with
-``UNION [ALL]``, and a FROM item may be a parenthesized subquery with an
-alias. CTEs and FROM-subqueries are *hoisted into synthetic views* (name-
-mangled per statement, so suites cannot collide), which keeps the compiled
-artifact inside the plain Query-over-view-chains fragment every downstream
-pass — lineage, derivability, region extraction, both engines — already
-understands. Nothing downstream needs to know subqueries exist.
+``UNION [ALL]``, a FROM item may be a parenthesized subquery with an
+alias, and a predicate may compare against a scalar subquery (a single-row
+aggregate). CTEs, FROM-subqueries, and scalar subqueries are *hoisted into
+synthetic views* (name-mangled per statement, so suites cannot collide) —
+scalar subqueries additionally splice in as 1-row CROSS JOINs — which
+keeps the compiled artifact inside the plain Query-over-view-chains
+fragment every downstream pass — lineage, derivability, region extraction,
+all engines — already understands. Nothing downstream needs to know
+subqueries exist.
 
 Metadata rides in comment directives immediately preceding a statement::
 
@@ -31,9 +34,10 @@ statement) selects the dialect when the caller does not force one.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ParseError
+from repro.relational.expressions import Col, Expr
 from repro.relational.query import Query
 from repro.relational.sqlparser import Parser, Token, tokenize
 from repro.ingest.dialects import Dialect, NormalizationNote
@@ -54,8 +58,9 @@ class RawStatement:
     source_sql: str  # verbatim statement text (pre-normalization)
     directives: dict[str, str] = field(default_factory=dict)
     notes: list[NormalizationNote] = field(default_factory=list)
-    #: CTEs and FROM-subqueries hoisted out of this statement, in
-    #: definition order (inner before outer, so registration just works).
+    #: CTEs, FROM-subqueries, and scalar subqueries hoisted out of this
+    #: statement, in definition order (inner before outer, so registration
+    #: just works).
     synthetic_views: list[tuple[str, Query]] = field(default_factory=list)
 
 
@@ -70,6 +75,11 @@ class SuiteParser(Parser):
         self.cte_map: dict[str, str] = {}
         self.synthetic_views: list[tuple[str, Query]] = []
         self._sub_counter = 0
+        self._scalar_counter = 0
+        #: Scalar-subquery views discovered while parsing the current
+        #: SELECT block's expressions; spliced in as 1-row cross joins
+        #: when the block finishes parsing.
+        self._pending_scalar_joins: list[str] = []
 
     # -- statements ----------------------------------------------------------
 
@@ -105,6 +115,103 @@ class SuiteParser(Parser):
             self.synthetic_views.append((synthetic, query))
             if not self.accept("op", ","):
                 break
+
+    # -- scalar subqueries ---------------------------------------------------
+
+    def parse_select_block(self) -> Query:
+        """One SELECT block, plus cross joins for its scalar subqueries.
+
+        Scalar subqueries found while parsing this block's expressions are
+        hoisted as synthetic single-row aggregate views; each is attached
+        here as a 1-row CROSS JOIN. Joins evaluate before WHERE, so the
+        mangled scalar column is in scope for the predicate regardless of
+        splice order. The pending list is saved/restored around the call so
+        nested blocks (FROM-subqueries, UNION branches, nested scalar
+        subqueries) each attach exactly their own views.
+        """
+        saved = self._pending_scalar_joins
+        self._pending_scalar_joins = []
+        try:
+            query = super().parse_select_block()
+            pending = self._pending_scalar_joins
+        finally:
+            self._pending_scalar_joins = saved
+        for view in pending:
+            query = query.join(view, [], how="cross")
+        return query
+
+    def _atom(self) -> Expr:
+        token = self.peek()
+        nxt = self.peek(1)
+        if (
+            token.kind == "op"
+            and token.text == "("
+            and nxt.kind == "keyword"
+            and nxt.text == "select"
+        ):
+            return self._scalar_subquery()
+        return super()._atom()
+
+    def _scalar_subquery(self) -> Expr:
+        """``( SELECT ... )`` inside an expression, hoisted as a view.
+
+        Only single-row shapes are admitted — a no-GROUP BY aggregate with
+        exactly one output column — because the cross-join compilation
+        replicates every row of the subquery result. A no-group aggregate
+        always yields exactly one row (NULL over empty input), which makes
+        the splice value-equivalent to SQL's scalar semantics: a NULL
+        scalar makes the comparison UNKNOWN, dropping the row either way.
+        """
+        open_token = self.expect("op", "(")
+        subquery = self.parse_set_query()
+        self.expect("op", ")")
+        if subquery.set_ops:
+            raise self.unsupported(
+                "scalar subquery with UNION", token=open_token
+            )
+        if not subquery.is_aggregate or subquery.group_by:
+            raise self.unsupported(
+                "scalar subquery that is not a single-row aggregate "
+                "(no GROUP BY)",
+                token=open_token,
+            )
+        if subquery.order or subquery.limit_n is not None:
+            raise self.unsupported(
+                "scalar subquery with ORDER BY/LIMIT", token=open_token
+            )
+        outputs = subquery.output_names() or ()
+        if len(outputs) != 1:
+            raise self.unsupported(
+                "scalar subquery with more than one output column",
+                token=open_token,
+            )
+        self._scalar_counter += 1
+        view = f"{self.mangle_prefix}__scalar{self._scalar_counter}"
+        column = f"{view}_val"
+        # Rename the output aggregate itself to a mangled name so the
+        # cross join can never collide with a column of the enclosing
+        # block — and so the view still renders (and reparses) as a plain
+        # ``SELECT AGG(...) AS <mangled>`` statement.
+        old = outputs[0]
+        specs = tuple(
+            replace(spec, alias=column) if spec.alias == old else spec
+            for spec in subquery.aggregates
+        )
+        if old not in {spec.alias for spec in subquery.aggregates}:
+            raise self.unsupported(
+                "scalar subquery whose output is not a plain aggregate",
+                token=open_token,
+            )
+        having = subquery.having
+        if having is not None:
+            having = having.substitute({old: column})
+        select = (column,) if subquery.select else ()
+        wrapped = replace(
+            subquery, aggregates=specs, having=having, select=select
+        )
+        self.synthetic_views.append((view, wrapped))
+        self._pending_scalar_joins.append(view)
+        return Col(column)
 
     # -- set queries ---------------------------------------------------------
 

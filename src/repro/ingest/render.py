@@ -21,6 +21,7 @@ from repro.relational.algebra import AggSpec
 from repro.relational.expressions import (
     And,
     Arith,
+    Case,
     Col,
     Comparison,
     Expr,
@@ -71,6 +72,13 @@ def render_expr(expr: Expr) -> str:
         return f"{render_expr(expr.target)} {op}"
     if isinstance(expr, Arith):
         return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, Case):
+        arms = " ".join(
+            f"WHEN {render_expr(w)} THEN {render_expr(t)}"
+            for w, t in zip(expr.whens, expr.thens)
+        )
+        tail = f" ELSE {render_expr(expr.else_)}" if expr.else_ is not None else ""
+        return f"(CASE {arms}{tail} END)"
     raise IngestError(f"cannot render expression {expr!r} as SQL")
 
 
@@ -109,7 +117,15 @@ def _render_block(query: Query) -> str:
         parts.append(f"SELECT {distinct}*")
     parts.append(f"FROM {query.source}")
     for clause in query.joins:
-        kind = "JOIN" if clause.how == "inner" else "LEFT JOIN"
+        if clause.how == "cross":
+            parts.append(f"CROSS JOIN {clause.table}")
+            continue
+        kind = {
+            "inner": "JOIN",
+            "left": "LEFT JOIN",
+            "right": "RIGHT JOIN",
+            "full": "FULL JOIN",
+        }[clause.how]
         conds = " AND ".join(f"{l} = {r}" for l, r in clause.on)
         parts.append(f"{kind} {clause.table} ON {conds}")
     if query.where is not None:

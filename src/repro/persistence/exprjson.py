@@ -20,6 +20,7 @@ from repro.relational.algebra import AggSpec
 from repro.relational.expressions import (
     And,
     Arith,
+    Case,
     Col,
     Comparison,
     Expr,
@@ -108,6 +109,15 @@ def expr_to_json(expr: Expr) -> dict[str, Any]:
             "left": expr_to_json(expr.left),
             "right": expr_to_json(expr.right),
         }
+    if isinstance(expr, Case):
+        payload: dict[str, Any] = {
+            "op": "case",
+            "whens": [expr_to_json(w) for w in expr.whens],
+            "thens": [expr_to_json(t) for t in expr.thens],
+        }
+        if expr.else_ is not None:
+            payload["else"] = expr_to_json(expr.else_)
+        return payload
     raise PersistenceError(f"unserializable expression {expr!r}")
 
 
@@ -145,6 +155,12 @@ def expr_from_json(payload: dict[str, Any]) -> Expr:
             payload["arith"],
             expr_from_json(payload["left"]),
             expr_from_json(payload["right"]),
+        )
+    if op == "case":
+        return Case(
+            tuple(expr_from_json(w) for w in payload["whens"]),
+            tuple(expr_from_json(t) for t in payload["thens"]),
+            expr_from_json(payload["else"]) if "else" in payload else None,
         )
     raise PersistenceError(f"unknown expression op {op!r}")
 

@@ -82,20 +82,33 @@ class VPDPolicy:
         """Inject predicates/masks for every *base* relation the query touches.
 
         Predicates attach at the outer WHERE (sound for inner joins and for
-        the FROM relation; rules over the null-extended side of a left join
-        are rejected rather than silently weakened).
+        non-null-extended relations; rules over any null-extended side of an
+        outer join — the right side of LEFT, the accumulated left side of
+        RIGHT, both sides of FULL — are rejected rather than silently
+        weakened).
         """
         rewritten = query
+        n_head = 1 + len(query.joins)
         for position, relation in enumerate(query.referenced_relations()):
             bases = catalog.base_relations(relation)
             for base in sorted(bases):
                 rule = self.rules.get(base)
                 if rule is None:
                     continue
-                if position > 0 and query.joins[position - 1].how == "left":
+                null_extended = (
+                    0 < position < n_head
+                    and query.joins[position - 1].how in ("left", "full")
+                ) or (
+                    position < n_head
+                    and any(
+                        clause.how in ("right", "full")
+                        for clause in query.joins[position:]
+                    )
+                )
+                if null_extended:
                     raise QueryError(
                         f"VPD rule on {base!r} cannot be enforced on the "
-                        "null-extended side of a LEFT JOIN; rewrite the query"
+                        "null-extended side of an outer join; rewrite the query"
                     )
                 predicate = rule.predicate_for(context)
                 if predicate is not None:

@@ -151,22 +151,29 @@ def join_frame(
     Returns ``(schema, collisions, left_key_idx, right_key_idx)``. Shared by
     the row-store and columnar executors.
     """
-    if how not in ("inner", "left"):
+    if how not in ("inner", "left", "right", "full", "cross"):
         raise QueryError(f"unsupported join type {how!r}")
-    if not on:
+    if how == "cross":
+        if on:
+            raise QueryError("CROSS JOIN takes no ON equality pairs")
+    elif not on:
         raise QueryError("join requires at least one equality pair")
     for lcol, rcol in on:
         left_schema.column(lcol)
         right_schema.column(rcol)
 
     schema = left_schema.concat(right_schema, disambiguate=(left_name, right_name))
-    if how == "left":
-        # Right-side columns become nullable in a left outer join.
-        n_left = len(left_schema)
-        schema = Schema(
-            list(schema.columns[:n_left])
-            + [c.as_nullable() for c in schema.columns[n_left:]]
-        )
+    n_left = len(left_schema)
+    if how in ("left", "right", "full"):
+        # Columns on the padded side(s) of an outer join become nullable:
+        # the right side for LEFT, the left side for RIGHT, both for FULL.
+        left_cols = list(schema.columns[:n_left])
+        right_cols = list(schema.columns[n_left:])
+        if how in ("left", "full"):
+            right_cols = [c.as_nullable() for c in right_cols]
+        if how in ("right", "full"):
+            left_cols = [c.as_nullable() for c in left_cols]
+        schema = Schema(left_cols + right_cols)
     collisions = set(left_schema.names) & set(right_schema.names)
     left_key_idx = [left_schema.index_of(lcol) for lcol, _ in on]
     right_key_idx = [right_schema.index_of(rcol) for _, rcol in on]
@@ -183,8 +190,14 @@ def join(
 ) -> Table:
     """Hash equi-join of ``left`` and ``right`` on ``(left_col, right_col)`` pairs.
 
-    ``how`` is ``"inner"`` or ``"left"``. Name collisions between the two
-    sides are qualified as ``<table>.<column>``.
+    ``how`` is ``"inner"``, ``"left"``, ``"right"``, or ``"full"``. Name
+    collisions between the two sides are qualified as ``<table>.<column>``.
+
+    Output order (mirrored exactly by the columnar executor): matched pairs
+    in left-major order (left row order, then right insertion order per
+    key), then — for LEFT/FULL — each unmatched left row in left order at
+    its probe position, then — for RIGHT/FULL — the unmatched right rows in
+    right order, padded with NULLs on the left.
     """
     schema, collisions, left_key_idx, right_key_idx = join_frame(
         left.schema, right.schema, left.name, right.name, on, how
@@ -196,6 +209,7 @@ def join(
             continue
         buckets.setdefault(key, []).append(i)
 
+    null_left = (None,) * len(left.schema)
     null_right = (None,) * len(right.schema)
     rows: list[tuple[Any, ...]] = []
     provs: list[RowProvenance] = []
@@ -209,17 +223,24 @@ def join(
         }
         return RowProvenance(lineage=prov.lineage, where=where)
 
+    matched_right: set[int] = set()
     for i, lrow in enumerate(left.rows):
         key = tuple(lrow[k] for k in left_key_idx)
         matches = [] if any(v is None for v in key) else buckets.get(key, [])
         lprov = requalify(left.provenance[i], left)
         if matches:
+            matched_right.update(matches)
             for j in matches:
                 rows.append(lrow + right.rows[j])
                 provs.append(lprov.merged(requalify(right.provenance[j], right)))
-        elif how == "left":
+        elif how in ("left", "full"):
             rows.append(lrow + null_right)
             provs.append(lprov)
+    if how in ("right", "full"):
+        for j, rrow in enumerate(right.rows):
+            if j not in matched_right:
+                rows.append(null_left + rrow)
+                provs.append(requalify(right.provenance[j], right))
     return Table.derived(name or f"{left.name}_{right.name}", schema, rows, provs)
 
 
@@ -459,6 +480,7 @@ def _infer_type(expr: Expr, schema: Schema) -> ColumnType:
     from repro.relational.expressions import (
         And,
         Arith,
+        Case,
         Comparison,
         InList,
         IsNull,
@@ -487,4 +509,20 @@ def _infer_type(expr: Expr, schema: Schema) -> ColumnType:
         if ColumnType.FLOAT in (left, right):
             return ColumnType.FLOAT
         return ColumnType.INT
+    if isinstance(expr, Case):
+        # Unify the result types of every THEN arm (and ELSE when present;
+        # a missing ELSE contributes NULL, which constrains nothing).
+        results = list(expr.thens)
+        if expr.else_ is not None:
+            results.append(expr.else_)
+        branch_types = {
+            _infer_type(e, schema)
+            for e in results
+            if not (isinstance(e, Lit) and e.value is None)
+        }
+        if len(branch_types) == 1:
+            return branch_types.pop()
+        if branch_types <= {ColumnType.INT, ColumnType.FLOAT}:
+            return ColumnType.FLOAT
+        return ColumnType.STRING
     return ColumnType.STRING

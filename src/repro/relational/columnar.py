@@ -349,12 +349,25 @@ def _probe(
     left_key_idx: list[int],
     right_key_idx: list[int],
     how: str,
-) -> tuple[list[int], list[int], bool]:
+) -> tuple[list[int], list[int], bool, bool]:
     """Hash-probe phase: output row index pairs ``(left_i, right_j)``.
 
-    ``right_j == -1`` marks a left-outer miss. Output order matches the
-    reference engine: left order, bucket (right insertion) order per key.
+    ``right_j == -1`` marks an unmatched left row (LEFT/FULL);
+    ``left_i == -1`` marks an unmatched right row (RIGHT/FULL). Output
+    order matches the reference engine: matched pairs in left order with
+    bucket (right insertion) order per key, unmatched left rows inline at
+    their probe position, then unmatched right rows in right order.
+    Returns ``(out_li, out_rj, has_lmiss, has_rmiss)`` where the flags say
+    whether a ``-1`` occurs in ``out_li`` / ``out_rj`` respectively.
     """
+    if how == "cross":
+        # Cartesian product in left-major order; zip(*()) would yield no
+        # keys at all, so the empty-key case is handled explicitly here.
+        nl, nr = left.n_rows, right.n_rows
+        cross_li = [i for i in range(nl) for _ in range(nr)]
+        cross_rj = list(range(nr)) * nl
+        return cross_li, cross_rj, False, False
+
     buckets: dict[tuple[Any, ...], list[int]] = {}
     right_keys = zip(*(right.columns[k] for k in right_key_idx))
     for j, key in enumerate(right_keys):
@@ -368,7 +381,8 @@ def _probe(
 
     out_li: list[int] = []
     out_rj: list[int] = []
-    has_miss = False
+    has_lmiss = False
+    has_rmiss = False
     bucket_get = buckets.get
     left_keys = zip(*(left.columns[k] for k in left_key_idx))
     if how == "inner":
@@ -379,7 +393,7 @@ def _probe(
             if matches:
                 out_li.extend([i] * len(matches))
                 out_rj.extend(matches)
-    else:  # left outer
+    elif how == "left":
         for i, key in enumerate(left_keys):
             matches = None if None in key else bucket_get(key)
             if matches:
@@ -388,8 +402,25 @@ def _probe(
             else:
                 out_li.append(i)
                 out_rj.append(-1)
-                has_miss = True
-    return out_li, out_rj, has_miss
+                has_rmiss = True
+    else:  # right / full outer
+        matched_right: set[int] = set()
+        for i, key in enumerate(left_keys):
+            matches = None if None in key else bucket_get(key)
+            if matches:
+                matched_right.update(matches)
+                out_li.extend([i] * len(matches))
+                out_rj.extend(matches)
+            elif how == "full":
+                out_li.append(i)
+                out_rj.append(-1)
+                has_rmiss = True
+        for j in range(right.n_rows):
+            if j not in matched_right:
+                out_li.append(-1)
+                out_rj.append(j)
+                has_lmiss = True
+    return out_li, out_rj, has_lmiss, has_rmiss
 
 
 def _joined_lineages(
@@ -397,13 +428,17 @@ def _joined_lineages(
     right: ColumnarTable,
     out_li: list[int],
     out_rj: list[int],
-    has_miss: bool,
+    has_lmiss: bool,
+    has_rmiss: bool,
 ) -> list[frozenset]:
     ll = left.lineage_vector()
     rl = right.lineage_vector()
-    if has_miss:
+    if has_lmiss or has_rmiss:
         return [
-            ll[i] if j < 0 else ll[i] | rl[j] for i, j in zip(out_li, out_rj)
+            rl[j]
+            if i < 0
+            else (ll[i] if j < 0 else ll[i] | rl[j])
+            for i, j in zip(out_li, out_rj)
         ]
     return [ll[i] | rl[j] for i, j in zip(out_li, out_rj)]
 
@@ -416,14 +451,22 @@ def join_c(
     how: str = "inner",
     name: str | None = None,
 ) -> ColumnarTable:
-    """Hash equi-join over key vectors (inner or left outer)."""
+    """Hash equi-join over key vectors (inner, left, right, or full outer)."""
     schema, collisions, left_key_idx, right_key_idx = join_frame(
         left.schema, right.schema, left.name, right.name, on, how
     )
-    out_li, out_rj, has_miss = _probe(left, right, left_key_idx, right_key_idx, how)
+    out_li, out_rj, has_lmiss, has_rmiss = _probe(
+        left, right, left_key_idx, right_key_idx, how
+    )
 
-    columns: list[list[Any]] = [[col[i] for i in out_li] for col in left.columns]
-    if has_miss:
+    columns: list[list[Any]] = []
+    if has_lmiss:
+        columns.extend(
+            [col[i] if i >= 0 else None for i in out_li] for col in left.columns
+        )
+    else:
+        columns.extend([col[i] for i in out_li] for col in left.columns)
+    if has_rmiss:
         columns.extend(
             [col[j] if j >= 0 else None for j in out_rj] for col in right.columns
         )
@@ -439,22 +482,25 @@ def join_c(
     for c in left.schema.names:
         aliases.append(f"{left.name}.{c}" if c in collisions else c)
         lvec = left.where_vector(c)
-        vectors.append([lvec[i] for i in out_li])
+        if has_lmiss:
+            vectors.append([lvec[i] if i >= 0 else E for i in out_li])
+        else:
+            vectors.append([lvec[i] for i in out_li])
     for c in right.schema.names:
         aliases.append(f"{right.name}.{c}" if c in collisions else c)
         rvec = right.where_vector(c)
-        if has_miss:
+        if has_rmiss:
             vectors.append([rvec[j] if j >= 0 else E for j in out_rj])
         else:
             vectors.append([rvec[j] for j in out_rj])
-    lineages = _joined_lineages(left, right, out_li, out_rj, has_miss)
+    lineages = _joined_lineages(left, right, out_li, out_rj, has_lmiss, has_rmiss)
     provs = _assemble(tuple(aliases), vectors, lineages)
 
     # The vector path assumes every input where dict keys all of its side's
     # schema columns, which holds for everything the engine produces except
-    # left-outer miss rows (the reference keeps only the left side's keys).
-    # Rebuild exactly those rows — and any row sourced from a partial input
-    # dict — the way the reference does: requalify items, then merge.
+    # outer-join miss rows (the reference keeps only the present side's
+    # keys). Rebuild exactly those rows — and any row sourced from a partial
+    # input dict — the way the reference does: requalify items, then merge.
     n_lcols = len(left.schema.names)
     n_rcols = len(right.schema.names)
     lpartial = {
@@ -472,11 +518,15 @@ def join_c(
             for c, refs in where.items()
         }
 
-    if has_miss or lpartial or rpartial:
+    if has_lmiss or has_rmiss or lpartial or rpartial:
         make = RowProvenance.make
         for idx, (i, j) in enumerate(zip(out_li, out_rj)):
-            if j < 0 or i in lpartial or j in rpartial:
-                w = requalified(left.provenance[i].where, left.name)
+            if i < 0 or j < 0 or i in lpartial or j in rpartial:
+                w = (
+                    requalified(left.provenance[i].where, left.name)
+                    if i >= 0
+                    else {}
+                )
                 if j >= 0:
                     w.update(requalified(right.provenance[j].where, right.name))
                 provs[idx] = make(provs[idx].lineage, w)
@@ -501,7 +551,9 @@ def join_filter_project_c(
     schema, collisions, left_key_idx, right_key_idx = join_frame(
         left.schema, right.schema, left.name, right.name, on, how
     )
-    out_li, out_rj, has_miss = _probe(left, right, left_key_idx, right_key_idx, how)
+    out_li, out_rj, has_lmiss, has_rmiss = _probe(
+        left, right, left_key_idx, right_key_idx, how
+    )
     n = len(out_li)
 
     # Output column name → (side table, source column index/name, is_left).
@@ -517,8 +569,10 @@ def join_filter_project_c(
         side, idx, _, is_left = side_of[output_name]
         col = side.columns[idx]
         if is_left:
+            if has_lmiss:
+                return [col[i] if i >= 0 else None for i in out_li]
             return [col[i] for i in out_li]
-        if has_miss:
+        if has_rmiss:
             return [col[j] if j >= 0 else None for j in out_rj]
         return [col[j] for j in out_rj]
 
@@ -535,7 +589,8 @@ def join_filter_project_c(
         flags = list(map(bool, predicate.evaluate_batch(pred_env, n)))
         out_li = list(compress(out_li, flags))
         out_rj = list(compress(out_rj, flags))
-        has_miss = has_miss and -1 in out_rj
+        has_lmiss = has_lmiss and -1 in out_li
+        has_rmiss = has_rmiss and -1 in out_rj
         n = len(out_li)
 
     sp_schema, extractors = project_plan(schema, columns)
@@ -559,8 +614,10 @@ def join_filter_project_c(
         side, _, orig, is_left = side_of[output_name]
         svec = side.where_vector(orig)
         if is_left:
+            if has_lmiss:
+                return [svec[i] if i >= 0 else E for i in out_li]
             return [svec[i] for i in out_li]
-        if has_miss:
+        if has_rmiss:
             return [svec[j] if j >= 0 else E for j in out_rj]
         return [svec[j] for j in out_rj]
 
@@ -579,7 +636,9 @@ def join_filter_project_c(
             else:
                 per_col = [where_vec(c) for c in cols]
                 vectors.append([_union(*refs) for refs in zip(*per_col)])
-    lineages = _joined_lineages(left, right, out_li, out_rj, has_miss)
+    lineages = _joined_lineages(
+        left, right, out_li, out_rj, has_lmiss, has_rmiss
+    )
     provs = _assemble(aliases, vectors, lineages)
     return ColumnarTable(
         f"{left.name}_{right.name}", sp_schema, out_columns, provs

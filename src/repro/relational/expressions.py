@@ -32,6 +32,7 @@ __all__ = [
     "InList",
     "IsNull",
     "Arith",
+    "Case",
     "col",
     "lit",
     "conjuncts",
@@ -537,6 +538,84 @@ class Arith(_StructuralEq, Expr):
 
     def __str__(self) -> str:
         return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True, eq=False)
+class Case(_StructuralEq, Expr):
+    """Searched ``CASE WHEN ... THEN ... [ELSE ...] END``.
+
+    ``whens`` and ``thens`` are parallel tuples (kept flat rather than as
+    pairs so :class:`_StructuralEq` compares each sub-expression through
+    ``_ast_eq``). The first WHEN whose condition is *definitely* True under
+    Kleene logic selects its THEN; UNKNOWN conditions fall through, and with
+    no match the result is ``else_`` (NULL when absent) — exactly SQL's
+    searched-CASE semantics. The simple form ``CASE x WHEN v ...`` is
+    desugared to this node by the parser (``x = v`` conditions).
+    """
+
+    whens: tuple[Expr, ...]
+    thens: tuple[Expr, ...]
+    else_: Expr | None = None
+
+    def __post_init__(self) -> None:
+        if not self.whens or len(self.whens) != len(self.thens):
+            raise QueryError(
+                "CASE requires at least one WHEN and parallel WHEN/THEN lists"
+            )
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        for when, then in zip(self.whens, self.thens):
+            if _kleene(when.evaluate(row)) is True:
+                return then.evaluate(row)
+        if self.else_ is not None:
+            return self.else_.evaluate(row)
+        return None
+
+    def evaluate_batch(
+        self, cols: Mapping[str, Sequence[Any]], n: int
+    ) -> list[Any]:
+        # Eager arm evaluation, like And/Or batch kernels: every WHEN and
+        # THEN vector is computed once, then each row picks its first
+        # definitely-True arm.
+        when_vecs = [w.evaluate_batch(cols, n) for w in self.whens]
+        then_vecs = [t.evaluate_batch(cols, n) for t in self.thens]
+        else_vec = (
+            self.else_.evaluate_batch(cols, n)
+            if self.else_ is not None
+            else [None] * n
+        )
+        out: list[Any] = []
+        append = out.append
+        for i in range(n):
+            for when_vec, then_vec in zip(when_vecs, then_vecs):
+                if _kleene(when_vec[i]) is True:
+                    append(then_vec[i])
+                    break
+            else:
+                append(else_vec[i])
+        return out
+
+    def columns(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for expr in self.whens + self.thens:
+            out |= expr.columns()
+        if self.else_ is not None:
+            out |= self.else_.columns()
+        return out
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Case":
+        return Case(
+            tuple(w.substitute(mapping) for w in self.whens),
+            tuple(t.substitute(mapping) for t in self.thens),
+            None if self.else_ is None else self.else_.substitute(mapping),
+        )
+
+    def __str__(self) -> str:
+        arms = " ".join(
+            f"WHEN {w} THEN {t}" for w, t in zip(self.whens, self.thens)
+        )
+        tail = f" ELSE {self.else_}" if self.else_ is not None else ""
+        return f"CASE {arms}{tail} END"
 
 
 def col(name: str) -> Col:

@@ -26,21 +26,37 @@ SelectItem = Union[str, tuple[str, Expr]]
 
 @dataclass(frozen=True)
 class JoinClause:
-    """One JOIN step: join the named table/view on equality pairs."""
+    """One JOIN step: join the named table/view on equality pairs.
+
+    ``how="cross"`` takes no equality pairs (Cartesian product); every
+    other join type requires at least one. The ingestion front-end uses
+    1-row cross joins to splice hoisted scalar subqueries into predicates.
+    """
 
     table: str
     on: tuple[tuple[str, str], ...]
     how: str = "inner"
 
     def __post_init__(self) -> None:
-        if self.how not in ("inner", "left"):
+        if self.how not in ("inner", "left", "right", "full", "cross"):
             raise QueryError(f"unsupported join type {self.how!r}")
-        if not self.on:
+        if self.how == "cross":
+            if self.on:
+                raise QueryError("CROSS JOIN takes no ON equality pairs")
+        elif not self.on:
             raise QueryError("join clause requires at least one equality pair")
 
     def __str__(self) -> str:
+        kind = {
+            "inner": "JOIN",
+            "left": "LEFT JOIN",
+            "right": "RIGHT JOIN",
+            "full": "FULL JOIN",
+            "cross": "CROSS JOIN",
+        }[self.how]
+        if self.how == "cross":
+            return f"{kind} {self.table}"
         conds = " AND ".join(f"{l} = {r}" for l, r in self.on)
-        kind = "JOIN" if self.how == "inner" else "LEFT JOIN"
         return f"{kind} {self.table} ON {conds}"
 
 

@@ -4,7 +4,7 @@ Supported grammar (case-insensitive keywords)::
 
     SELECT [DISTINCT] * | item, item, ...
     FROM name
-    [[INNER] JOIN | LEFT [OUTER] JOIN] name ON a = b [AND c = d ...]
+    [[INNER] JOIN | LEFT|RIGHT|FULL [OUTER] JOIN] name ON a = b [AND ...]
     [WHERE <boolean expression>]
     [GROUP BY col, col, ...]
     [HAVING <boolean expression>]
@@ -14,17 +14,19 @@ Supported grammar (case-insensitive keywords)::
 Items are expressions with an optional ``AS alias``, or aggregates
 ``COUNT(*) | COUNT([DISTINCT] col) | SUM/AVG/MIN/MAX(col)``. Expressions
 support comparisons, ``AND/OR/NOT``, ``IN (...)``, ``IS [NOT] NULL``,
-arithmetic, string/number/date/bool literals, and dotted column names.
+``CASE`` (searched and simple — the simple form desugars to equality
+conditions at parse time), arithmetic, string/number/date/bool literals,
+and dotted column names.
 
 The same expression grammar parses PLA intensional conditions, so source
 owners' predicates ("disease != 'HIV'") and queries share one syntax.
 
 Constructs the grammar recognizes but cannot model — ``UNION``, ``WITH``
-(CTEs), ``RIGHT``/``FULL``/``CROSS``/``OUTER`` joins, ``EXISTS``,
-subqueries — raise :class:`UnsupportedConstructError` naming the construct,
-not a generic syntax failure; :mod:`repro.ingest` extends this parser to
-support several of them. Every :class:`ParseError` carries the token offset
-and renders a caret-annotated source snippet.
+(CTEs), ``CROSS``/``OUTER`` joins, ``EXISTS``, subqueries, window
+functions (``... OVER (...)``) — raise :class:`UnsupportedConstructError`
+naming the construct, not a generic syntax failure; :mod:`repro.ingest`
+extends this parser to support several of them. Every :class:`ParseError`
+carries the token offset and renders a caret-annotated source snippet.
 
 The tokenizer is shared with the multi-dialect ingestion front-end: tokens
 carry source offsets, ``--``/``/* */`` comments are skipped, and
@@ -41,6 +43,7 @@ from repro.errors import ParseError, UnsupportedConstructError
 from repro.relational.algebra import AGGREGATE_FUNCTIONS, AggSpec
 from repro.relational.expressions import (
     Arith,
+    Case,
     Col,
     Comparison,
     Expr,
@@ -74,23 +77,22 @@ _KEYWORDS = {
     "select", "distinct", "from", "join", "left", "on", "where", "group",
     "by", "having", "order", "limit", "and", "or", "not", "in", "is",
     "null", "as", "asc", "desc", "true", "false", "date",
+    "case", "when", "then", "else", "end",
     # Recognized so misuse yields a *targeted* unsupported-construct error
     # (or real support in repro.ingest) instead of a generic syntax failure.
     "union", "all", "with", "right", "full", "cross", "outer", "inner",
-    "exists", "create", "view", "top",
+    "exists", "create", "view", "top", "over",
 }
 
 #: Constructs the base grammar names but does not model. The ingestion
-#: front-end (:mod:`repro.ingest`) supports the first three.
+#: front-end (:mod:`repro.ingest`) supports the first two.
 _UNSUPPORTED_HINTS = {
     "union": "UNION",
     "with": "WITH (common table expression)",
-    "right": "RIGHT JOIN",
-    "full": "FULL JOIN",
-    "cross": "CROSS JOIN",
     "outer": "OUTER JOIN",
     "exists": "EXISTS",
     "create": "CREATE statement",
+    "over": "window function",
 }
 
 
@@ -259,15 +261,22 @@ class Parser:
                 self.accept("keyword", "outer")
                 self.expect("keyword", "join")
                 query = self._join(query, how="left")
+            elif self.accept("keyword", "right"):
+                self.accept("keyword", "outer")
+                self.expect("keyword", "join")
+                query = self._join(query, how="right")
+            elif self.accept("keyword", "full"):
+                self.accept("keyword", "outer")
+                self.expect("keyword", "join")
+                query = self._join(query, how="full")
             elif self.accept("keyword", "inner"):
                 self.expect("keyword", "join")
                 query = self._join(query, how="inner")
             elif self.accept("keyword", "join"):
                 query = self._join(query, how="inner")
-            elif self.peek().kind == "keyword" and self.peek().text in (
-                "right", "full", "cross"
-            ):
-                raise self.unsupported(_UNSUPPORTED_HINTS[self.peek().text])
+            elif self.accept("keyword", "cross"):
+                self.expect("keyword", "join")
+                query = query.join(self._relation_name(), [], how="cross")
             else:
                 break
 
@@ -338,6 +347,8 @@ class Parser:
             and self.peek(1).text == "("
         ):
             spec = self._aggregate(token.text.lower())
+            if self.peek().kind == "keyword" and self.peek().text == "over":
+                raise self.unsupported("window function", token=token)
             alias = self._alias()
             if alias is not None:
                 spec = AggSpec(spec.func, spec.column, alias, spec.distinct)
@@ -466,6 +477,8 @@ class Parser:
             return expr
         if token.kind == "keyword" and token.text == "exists":
             raise self.unsupported("EXISTS")
+        if token.kind == "keyword" and token.text == "case":
+            return self._case()
         if token.kind in ("number", "string"):
             return Lit(self._literal_value())
         if token.kind == "keyword" and token.text in ("true", "false"):
@@ -480,8 +493,64 @@ class Parser:
                 return Lit(parse_date(_unquote(self.advance().text)))
             return Col("date")  # bare "date" is the column, not a literal
         if token.kind == "ident":
+            if self.peek(1).kind == "op" and self.peek(1).text == "(":
+                if self._call_has_over(self.pos + 1):
+                    raise self.unsupported("window function", token=token)
+                raise self.unsupported(
+                    f"function call: {token.text}", token=token
+                )
             return Col(self.advance().text)
         raise self.error(f"unexpected token {token.text!r}")
+
+    def _call_has_over(self, open_paren_pos: int) -> bool:
+        """Does the call whose ``(`` sits at ``open_paren_pos`` carry OVER?
+
+        Pure lookahead (no tokens consumed): scans to the matching ``)``
+        and checks whether the next token is the ``OVER`` keyword, so
+        window functions get their own targeted diagnostic.
+        """
+        depth = 0
+        i = open_paren_pos
+        while i < len(self.tokens):
+            tok = self.tokens[i]
+            if tok.kind == "op" and tok.text == "(":
+                depth += 1
+            elif tok.kind == "op" and tok.text == ")":
+                depth -= 1
+                if depth == 0:
+                    nxt = self.tokens[min(i + 1, len(self.tokens) - 1)]
+                    return nxt.kind == "keyword" and nxt.text == "over"
+            elif tok.kind == "end":
+                break
+            i += 1
+        return False
+
+    def _case(self) -> Expr:
+        """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``.
+
+        The simple form (with an operand) desugars to the searched form:
+        each WHEN value becomes an equality condition on the operand.
+        """
+        case_token = self.expect("keyword", "case")
+        operand: Expr | None = None
+        if not (self.peek().kind == "keyword" and self.peek().text == "when"):
+            operand = self.parse_expression()
+        whens: list[Expr] = []
+        thens: list[Expr] = []
+        while self.accept("keyword", "when"):
+            condition = self.parse_expression()
+            if operand is not None:
+                condition = Comparison("=", operand, condition)
+            self.expect("keyword", "then")
+            whens.append(condition)
+            thens.append(self.parse_expression())
+        if not whens:
+            raise self.error(
+                "CASE requires at least one WHEN arm", token=case_token
+            )
+        else_ = self.parse_expression() if self.accept("keyword", "else") else None
+        self.expect("keyword", "end")
+        return Case(tuple(whens), tuple(thens), else_)
 
     def _literal_value(self) -> Any:
         token = self.peek()

@@ -6,3 +6,8 @@ WHERE EXISTS (SELECT drug FROM wide_prescriptions);
 -- Parse error: dangling WHERE.
 -- report: broken
 SELECT drug FROM wide_prescriptions WHERE;
+
+-- Unmodeled analytic construct: window functions are recognized but not
+-- modeled by static lineage; they must fail closed as ING010, not crash.
+-- report: windowed
+SELECT drug, row_number() OVER (ORDER BY cost) AS rn FROM wide_prescriptions;

@@ -129,6 +129,28 @@ class TestDiagnosticModel:
             Severity.WARNING,
         ]
 
+    def test_sorted_compares_trailing_line_numbers_numerically(self):
+        report = DiagnosticReport()
+        report.add(Diagnostic("ING005", Severity.ERROR, "suite:a.sql:10", "m"))
+        report.add(Diagnostic("ING005", Severity.ERROR, "suite:a.sql:2", "m"))
+        assert [d.location for d in report.sorted()] == [
+            "suite:a.sql:2",
+            "suite:a.sql:10",
+        ]
+
+    def test_source_sorted_orders_by_file_then_line_then_code(self):
+        report = DiagnosticReport()
+        report.add(Diagnostic("ING001", Severity.ERROR, "suite:b.sql:1", "m"))
+        report.add(Diagnostic("ING005", Severity.ERROR, "suite:a.sql:10", "m"))
+        report.add(Diagnostic("ING007", Severity.WARNING, "suite:a.sql:2", "m"))
+        report.add(Diagnostic("ING002", Severity.ERROR, "suite:a.sql:2", "m"))
+        assert [(d.location, d.code) for d in report.source_sorted()] == [
+            ("suite:a.sql:2", "ING002"),
+            ("suite:a.sql:2", "ING007"),
+            ("suite:a.sql:10", "ING005"),
+            ("suite:b.sql:1", "ING001"),
+        ]
+
     def test_to_json_round_trips(self):
         report = DiagnosticReport(coverage={"reports": 2})
         report.add(

@@ -109,11 +109,15 @@ class TestJoin:
 
     def test_bad_join_type_rejected(self):
         with pytest.raises(QueryError):
-            algebra.join(presc(), costs(), [("drug", "drug")], how="full")
+            algebra.join(presc(), costs(), [("drug", "drug")], how="semi")
 
     def test_empty_on_rejected(self):
         with pytest.raises(QueryError):
             algebra.join(presc(), costs(), [])
+
+    def test_cross_join_with_on_pairs_rejected(self):
+        with pytest.raises(QueryError):
+            algebra.join(presc(), costs(), [("drug", "drug")], how="cross")
 
 
 class TestUnionDistinct:

@@ -151,14 +151,24 @@ class TestDiagnosticQuality:
         else:  # pragma: no cover
             raise AssertionError("expected ParseError")
 
+    def test_caret_aligns_to_visual_column_past_tabs(self):
+        from repro.errors import ParseError
+
+        source = "\tSELECT drug\tFROM x WHERE"
+        exc = ParseError("boom", source=source, offset=source.index("FROM"))
+        shown, caret = exc.snippet().splitlines()
+        assert "\t" not in shown  # tabs are expanded for display
+        assert caret.index("^") == len("\tSELECT drug\t".expandtabs())
+
     def test_unsupported_constructs_are_named(self):
         from repro.errors import UnsupportedConstructError
 
         cases = {
             "SELECT a FROM t UNION SELECT a FROM u": "UNION",
             "WITH x AS (SELECT a FROM t) SELECT a FROM x": "WITH",
-            "SELECT a FROM t RIGHT JOIN u ON a = b": "RIGHT",
             "SELECT a FROM t WHERE EXISTS (SELECT a FROM u)": "EXISTS",
+            "SELECT a FROM t WHERE a > (SELECT b FROM u)": "scalar subquery",
+            "SELECT row_number() OVER (ORDER BY a) AS rn FROM t": "window",
         }
         for sql, construct in cases.items():
             try:
